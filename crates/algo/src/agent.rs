@@ -1,0 +1,235 @@
+//! Per-agent networks: decentralized actor + centralized critic, each with
+//! a target copy (plus twin critics for MATD3).
+
+use marl_nn::adam::Adam;
+use marl_nn::gumbel::{gumbel_softmax_sample, harden, GumbelSample};
+use marl_nn::matrix::Matrix;
+use marl_nn::mlp::Mlp;
+use rand::rngs::StdRng;
+
+/// The four (or six, for MATD3) networks of one agent plus optimizers.
+#[derive(Debug)]
+pub struct AgentNets {
+    /// Decentralized actor π_i: obs → action logits.
+    pub actor: Mlp,
+    /// Target actor.
+    pub target_actor: Mlp,
+    /// Centralized critic Q_i: joint obs+actions → scalar.
+    pub critic: Mlp,
+    /// Target critic.
+    pub target_critic: Mlp,
+    /// Second critic (MATD3 twin), with its target.
+    pub critic2: Option<(Mlp, Mlp)>,
+    /// Actor optimizer.
+    pub actor_opt: Adam,
+    /// Critic optimizer (shared by both twins; gradients are applied per
+    /// network via separate state below).
+    pub critic_opt: Adam,
+    /// Optimizer for the twin critic.
+    pub critic2_opt: Option<Adam>,
+}
+
+impl AgentNets {
+    /// Builds the networks for an agent with `obs_dim` observations,
+    /// `act_dim` discrete actions, and a centralized critic over
+    /// `joint_dim` inputs.
+    pub fn new(
+        obs_dim: usize,
+        act_dim: usize,
+        joint_dim: usize,
+        twin_critics: bool,
+        learning_rate: f32,
+        rng: &mut StdRng,
+    ) -> Self {
+        let actor = Mlp::two_layer_relu(obs_dim, act_dim, rng);
+        let mut target_actor = Mlp::two_layer_relu(obs_dim, act_dim, rng);
+        target_actor.hard_update_from(&actor);
+        let critic = Mlp::two_layer_relu(joint_dim, 1, rng);
+        let mut target_critic = Mlp::two_layer_relu(joint_dim, 1, rng);
+        target_critic.hard_update_from(&critic);
+        let critic2 = twin_critics.then(|| {
+            let c2 = Mlp::two_layer_relu(joint_dim, 1, rng);
+            let mut t2 = Mlp::two_layer_relu(joint_dim, 1, rng);
+            t2.hard_update_from(&c2);
+            (c2, t2)
+        });
+        AgentNets {
+            actor,
+            target_actor,
+            critic,
+            target_critic,
+            critic2,
+            actor_opt: Adam::with_learning_rate(learning_rate),
+            critic_opt: Adam::with_learning_rate(learning_rate),
+            critic2_opt: twin_critics.then(|| Adam::with_learning_rate(learning_rate)),
+        }
+    }
+
+    /// Exploration action for a single observation: Gumbel-softmax sample
+    /// from the actor's logits. Returns `(action index, one-hot)`.
+    pub fn act_explore(
+        &self,
+        obs: &[f32],
+        temperature: f32,
+        rng: &mut StdRng,
+    ) -> (usize, Vec<f32>) {
+        let logits = self.actor.forward_inference(&Matrix::row_vector(obs));
+        let sample = gumbel_softmax_sample(&logits, temperature, rng);
+        let hard = harden(&sample.value);
+        let idx = hard
+            .as_slice()
+            .iter()
+            .position(|&x| x == 1.0)
+            .expect("harden produces a one-hot row");
+        (idx, hard.into_vec())
+    }
+
+    /// Greedy action (arg-max logits) for evaluation.
+    pub fn act_greedy(&self, obs: &[f32]) -> usize {
+        let logits = self.actor.forward_inference(&Matrix::row_vector(obs));
+        let row = logits.row(0);
+        let mut best = 0;
+        for (i, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Target-policy relaxed actions for a batch of next observations.
+    ///
+    /// For MATD3, clipped Gaussian noise (`target_noise`, `noise_clip`) is
+    /// added to the logits before the softmax — target-policy smoothing.
+    pub fn target_actions(
+        &self,
+        next_obs: &Matrix,
+        temperature: f32,
+        target_noise: f32,
+        noise_clip: f32,
+        rng: &mut StdRng,
+    ) -> GumbelSample {
+        let mut logits = self.target_actor.forward_inference(next_obs);
+        if target_noise > 0.0 {
+            for x in logits.as_mut_slice() {
+                let n = (marl_nn::rng::standard_normal(rng) * target_noise)
+                    .clamp(-noise_clip, noise_clip);
+                *x += n;
+            }
+        }
+        marl_nn::gumbel::softmax_relaxation(&logits, temperature)
+    }
+
+    /// Polyak-averages all target networks toward the live networks.
+    pub fn soft_update_targets(&mut self, tau: f32) {
+        self.target_actor.soft_update_from(&self.actor, tau);
+        self.target_critic.soft_update_from(&self.critic, tau);
+        if let Some((c2, t2)) = &mut self.critic2 {
+            t2.soft_update_from(c2, tau);
+        }
+    }
+
+    /// Total trainable parameters across all live networks.
+    pub fn parameter_count(&self) -> usize {
+        self.actor.parameter_count()
+            + self.critic.parameter_count()
+            + self.critic2.as_ref().map_or(0, |(c, _)| c.parameter_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marl_nn::rng::seeded;
+
+    fn nets(twin: bool) -> AgentNets {
+        let mut rng = seeded(0);
+        AgentNets::new(16, 5, 3 * 16 + 3 * 5, twin, 0.01, &mut rng)
+    }
+
+    #[test]
+    fn construction_wires_dimensions() {
+        let a = nets(false);
+        assert_eq!(a.actor.input_dim(), 16);
+        assert_eq!(a.actor.output_dim(), 5);
+        assert_eq!(a.critic.input_dim(), 63);
+        assert_eq!(a.critic.output_dim(), 1);
+        assert!(a.critic2.is_none());
+        let b = nets(true);
+        assert!(b.critic2.is_some());
+        assert!(b.critic2_opt.is_some());
+        assert!(b.parameter_count() > a.parameter_count());
+    }
+
+    #[test]
+    fn targets_start_identical() {
+        let a = nets(true);
+        let x = Matrix::full(1, 16, 0.2);
+        assert_eq!(
+            a.actor.forward_inference(&x).as_slice(),
+            a.target_actor.forward_inference(&x).as_slice()
+        );
+        let j = Matrix::full(1, 63, 0.1);
+        assert_eq!(
+            a.critic.forward_inference(&j).as_slice(),
+            a.target_critic.forward_inference(&j).as_slice()
+        );
+        let (c2, t2) = a.critic2.as_ref().unwrap();
+        assert_eq!(c2.forward_inference(&j).as_slice(), t2.forward_inference(&j).as_slice());
+    }
+
+    #[test]
+    fn explore_returns_valid_one_hot() {
+        let a = nets(false);
+        let mut rng = seeded(1);
+        let (idx, onehot) = a.act_explore(&[0.0; 16], 1.0, &mut rng);
+        assert!(idx < 5);
+        assert_eq!(onehot.len(), 5);
+        assert_eq!(onehot.iter().sum::<f32>(), 1.0);
+        assert_eq!(onehot[idx], 1.0);
+    }
+
+    #[test]
+    fn explore_is_stochastic_greedy_is_not() {
+        let a = nets(false);
+        let mut rng = seeded(2);
+        let obs = vec![0.3; 16];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(a.act_explore(&obs, 1.0, &mut rng).0);
+        }
+        assert!(seen.len() > 1, "exploration should visit several actions");
+        assert_eq!(a.act_greedy(&obs), a.act_greedy(&obs));
+    }
+
+    #[test]
+    fn target_actions_are_distributions() {
+        let a = nets(true);
+        let mut rng = seeded(3);
+        let next_obs = Matrix::zeros(4, 16);
+        let s = a.target_actions(&next_obs, 1.0, 0.2, 0.5, &mut rng);
+        for r in 0..4 {
+            let sum: f32 = s.value.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn soft_update_converges_to_live() {
+        let mut a = nets(false);
+        // Perturb the actor, then repeatedly soft-update.
+        let x = Matrix::full(1, 16, 0.5);
+        a.actor.zero_grad();
+        a.actor.forward(&x);
+        a.actor.backward(&Matrix::full(1, 5, 1.0));
+        a.actor_opt.step(&mut a.actor);
+        let live = a.actor.forward_inference(&x);
+        for _ in 0..600 {
+            a.soft_update_targets(0.05);
+        }
+        let tgt = a.target_actor.forward_inference(&x);
+        for (l, t) in live.as_slice().iter().zip(tgt.as_slice()) {
+            assert!((l - t).abs() < 1e-3);
+        }
+    }
+}

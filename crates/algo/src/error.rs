@@ -1,0 +1,65 @@
+//! Error type of the training crate.
+
+use marl_core::error::ReplayError;
+use marl_env::error::EnvError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or running a trainer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// The configuration failed validation.
+    InvalidConfig(String),
+    /// The environment rejected an interaction.
+    Env(EnvError),
+    /// The replay buffer or sampler failed.
+    Replay(ReplayError),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::InvalidConfig(msg) => write!(f, "invalid training config: {msg}"),
+            TrainError::Env(e) => write!(f, "environment error: {e}"),
+            TrainError::Replay(e) => write!(f, "replay error: {e}"),
+        }
+    }
+}
+
+impl Error for TrainError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TrainError::Env(e) => Some(e),
+            TrainError::Replay(e) => Some(e),
+            TrainError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<EnvError> for TrainError {
+    fn from(e: EnvError) -> Self {
+        TrainError::Env(e)
+    }
+}
+
+impl From<ReplayError> for TrainError {
+    fn from(e: ReplayError) -> Self {
+        TrainError::Replay(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: TrainError = EnvError::ActionCountMismatch { expected: 2, got: 1 }.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("environment error"));
+        let e: TrainError = ReplayError::EmptyBuffer.into();
+        assert!(e.to_string().contains("replay error"));
+        let e = TrainError::InvalidConfig("bad".into());
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,132 @@
+//! Reward-curve recording and smoothing (the "mean episode reward" series
+//! of Figures 10 and 11).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-episode mean rewards for a training run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RewardCurve {
+    episodes: Vec<f32>,
+}
+
+impl RewardCurve {
+    /// An empty curve.
+    pub fn new() -> Self {
+        RewardCurve::default()
+    }
+
+    /// Records one episode's mean-over-agents cumulative reward.
+    pub fn push(&mut self, mean_reward: f32) {
+        self.episodes.push(mean_reward);
+    }
+
+    /// Number of recorded episodes.
+    pub fn len(&self) -> usize {
+        self.episodes.len()
+    }
+
+    /// Whether no episode has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.episodes.is_empty()
+    }
+
+    /// Raw per-episode values.
+    pub fn values(&self) -> &[f32] {
+        &self.episodes
+    }
+
+    /// Trailing moving average with the given window (window is clamped to
+    /// the available history), the smoothing used for reward plots.
+    pub fn smoothed(&self, window: usize) -> Vec<f32> {
+        let w = window.max(1);
+        let mut out = Vec::with_capacity(self.episodes.len());
+        let mut sum = 0.0f64;
+        for (i, &v) in self.episodes.iter().enumerate() {
+            sum += v as f64;
+            if i >= w {
+                sum -= self.episodes[i - w] as f64;
+            }
+            let n = (i + 1).min(w);
+            out.push((sum / n as f64) as f32);
+        }
+        out
+    }
+
+    /// Mean of the final `tail` episodes (converged score estimate).
+    pub fn final_score(&self, tail: usize) -> f32 {
+        if self.episodes.is_empty() {
+            return 0.0;
+        }
+        let n = tail.clamp(1, self.episodes.len());
+        let s: f64 = self.episodes[self.episodes.len() - n..]
+            .iter()
+            .map(|&x| x as f64)
+            .sum();
+        (s / n as f64) as f32
+    }
+
+    /// Downsamples the smoothed curve to at most `points` evenly spaced
+    /// samples — the series printed by the figure harnesses.
+    pub fn series(&self, window: usize, points: usize) -> Vec<(usize, f32)> {
+        let sm = self.smoothed(window);
+        if sm.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let stride = (sm.len() as f64 / points as f64).max(1.0);
+        let mut out = Vec::new();
+        let mut x = 0.0;
+        while (x as usize) < sm.len() {
+            let i = x as usize;
+            out.push((i, sm[i]));
+            x += stride;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(vals: &[f32]) -> RewardCurve {
+        let mut c = RewardCurve::new();
+        for &v in vals {
+            c.push(v);
+        }
+        c
+    }
+
+    #[test]
+    fn smoothing_averages_window() {
+        let c = curve(&[1.0, 2.0, 3.0, 4.0]);
+        let s = c.smoothed(2);
+        assert_eq!(s, vec![1.0, 1.5, 2.5, 3.5]);
+        // window 1 = identity
+        assert_eq!(c.smoothed(1), c.values());
+    }
+
+    #[test]
+    fn final_score_uses_tail() {
+        let c = curve(&[0.0, 0.0, 10.0, 20.0]);
+        assert_eq!(c.final_score(2), 15.0);
+        assert_eq!(c.final_score(100), 7.5); // clamped to full history
+        assert_eq!(RewardCurve::new().final_score(5), 0.0);
+    }
+
+    #[test]
+    fn series_downsamples() {
+        let c = curve(&(0..100).map(|i| i as f32).collect::<Vec<_>>());
+        let s = c.series(10, 10);
+        assert!(s.len() >= 10 && s.len() <= 11);
+        assert_eq!(s[0].0, 0);
+        assert!(s.last().unwrap().0 >= 90);
+        // monotone increasing x
+        assert!(s.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn empty_series() {
+        assert!(RewardCurve::new().series(5, 10).is_empty());
+        assert!(curve(&[1.0]).series(5, 0).is_empty());
+    }
+}

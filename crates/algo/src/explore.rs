@@ -1,0 +1,120 @@
+//! Exploration schedules: temperature and ε-greedy annealing on top of the
+//! Gumbel-softmax action sampling.
+//!
+//! The paper trains with fixed Gumbel exploration; annealing schedules are
+//! a quality-of-life extension for longer runs (exploration decays as the
+//! policies sharpen).
+
+use serde::{Deserialize, Serialize};
+
+/// A linear annealing schedule over environment steps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearSchedule {
+    /// Value at step 0.
+    pub start: f32,
+    /// Value reached at `steps` (held afterwards).
+    pub end: f32,
+    /// Steps over which to anneal (0 = constant at `start`).
+    pub steps: u64,
+}
+
+impl LinearSchedule {
+    /// A constant schedule.
+    pub fn constant(value: f32) -> Self {
+        LinearSchedule { start: value, end: value, steps: 0 }
+    }
+
+    /// Value at `step`.
+    pub fn at(&self, step: u64) -> f32 {
+        if self.steps == 0 || step >= self.steps {
+            if self.steps == 0 {
+                self.start
+            } else {
+                self.end
+            }
+        } else {
+            let t = step as f32 / self.steps as f32;
+            self.start + (self.end - self.start) * t
+        }
+    }
+}
+
+/// Exploration configuration combining Gumbel temperature and ε-greedy
+/// random actions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExplorationSchedule {
+    /// Gumbel-softmax temperature schedule (higher = more exploration).
+    pub temperature: LinearSchedule,
+    /// Probability of replacing the sampled action with a uniformly random
+    /// one.
+    pub epsilon: LinearSchedule,
+}
+
+impl Default for ExplorationSchedule {
+    fn default() -> Self {
+        // Fixed Gumbel exploration, no ε-greedy: the paper's setting.
+        ExplorationSchedule {
+            temperature: LinearSchedule::constant(1.0),
+            epsilon: LinearSchedule::constant(0.0),
+        }
+    }
+}
+
+impl ExplorationSchedule {
+    /// A typical annealed setting: temperature 1.0 → 0.5 and ε 0.1 → 0.01
+    /// over `steps`.
+    pub fn annealed(steps: u64) -> Self {
+        ExplorationSchedule {
+            temperature: LinearSchedule { start: 1.0, end: 0.5, steps },
+            epsilon: LinearSchedule { start: 0.1, end: 0.01, steps },
+        }
+    }
+
+    /// `(temperature, epsilon)` at `step`.
+    pub fn at(&self, step: u64) -> (f32, f32) {
+        (self.temperature.at(step).max(1e-3), self.epsilon.at(step).clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_schedule_never_moves() {
+        let s = LinearSchedule::constant(0.7);
+        assert_eq!(s.at(0), 0.7);
+        assert_eq!(s.at(1_000_000), 0.7);
+    }
+
+    #[test]
+    fn linear_schedule_interpolates_and_saturates() {
+        let s = LinearSchedule { start: 1.0, end: 0.0, steps: 100 };
+        assert_eq!(s.at(0), 1.0);
+        assert!((s.at(50) - 0.5).abs() < 1e-6);
+        assert_eq!(s.at(100), 0.0);
+        assert_eq!(s.at(1000), 0.0);
+    }
+
+    #[test]
+    fn default_matches_paper_setting() {
+        let e = ExplorationSchedule::default();
+        assert_eq!(e.at(0), (1.0, 0.0));
+        assert_eq!(e.at(999_999), (1.0, 0.0));
+    }
+
+    #[test]
+    fn annealed_schedule_decays_both_knobs() {
+        let e = ExplorationSchedule::annealed(1000);
+        let (t0, e0) = e.at(0);
+        let (t1, e1) = e.at(1000);
+        assert!(t0 > t1);
+        assert!(e0 > e1);
+        // temperature floor keeps Gumbel sampling valid
+        let floor = ExplorationSchedule {
+            temperature: LinearSchedule { start: 1.0, end: -5.0, steps: 10 },
+            epsilon: LinearSchedule::constant(0.0),
+        };
+        assert!(floor.at(10).0 > 0.0);
+    }
+}

@@ -1,0 +1,835 @@
+//! The CTDE training loop with phase instrumentation.
+//!
+//! The loop follows the paper's Figure 1: *action selection* (actor
+//! forwards + Gumbel sampling), environment execution, replay pushes, and
+//! — every `update_every` pushed samples — *update all trainers*, which
+//! decomposes into mini-batch sampling, target-Q calculation, and
+//! Q-loss/P-loss backpropagation, followed by target soft updates.
+
+use crate::agent::AgentNets;
+use crate::config::{Algorithm, LayoutMode, Task, TrainConfig};
+use crate::error::TrainError;
+use crate::eval::RewardCurve;
+use marl_core::config::SamplerConfig;
+use marl_core::error::ReplayError;
+use marl_core::indices::SamplePlan;
+use marl_core::layout::InterleavedStore;
+use marl_core::multi::MultiAgentReplay;
+use marl_core::sampler::Sampler;
+use marl_core::transition::{MultiBatch, Transition, TransitionLayout};
+use marl_env::entity::DiscreteAction;
+use marl_env::env::ParticleEnv;
+use marl_nn::gumbel::softmax_relaxation;
+use marl_nn::loss::{mse, td_errors, weighted_mse};
+use marl_nn::matrix::Matrix;
+use marl_perf::phase::{Phase, PhaseProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Aggregate statistics of the mini-batch sampling phase over a run —
+/// the measured counterpart of the paper's access-pattern analysis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SamplingTelemetry {
+    /// Plans drawn (one per agent trainer per update iteration).
+    pub plans: u64,
+    /// Rows gathered across all agents' buffers.
+    pub rows_gathered: u64,
+    /// Bytes gathered across all agents' buffers.
+    pub bytes_gathered: u64,
+    /// Random jumps (plan segments) — the prefetcher-hostile events.
+    pub random_jumps: u64,
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// The configuration trained.
+    pub config: TrainConfig,
+    /// Accumulated phase timings.
+    pub profile: PhaseProfile,
+    /// Per-episode mean rewards.
+    pub curve: RewardCurve,
+    /// Total wall-clock time of the run.
+    pub wall_time: Duration,
+    /// Environment steps executed.
+    pub env_steps: u64,
+    /// Update-all-trainers iterations performed.
+    pub update_iterations: u64,
+    /// Sampling-phase access statistics.
+    pub sampling: SamplingTelemetry,
+}
+
+/// Replay storage behind one of the paper's two data layouts.
+#[derive(Debug)]
+enum ReplayBackend {
+    /// Per-agent buffers (baseline, Figure 5).
+    PerAgent(MultiAgentReplay),
+    /// Interleaved key-value store (Section IV-B2), kept up to date
+    /// incrementally so no periodic reshape is needed during training.
+    Interleaved(InterleavedStore),
+}
+
+impl ReplayBackend {
+    fn len(&self) -> usize {
+        match self {
+            ReplayBackend::PerAgent(r) => r.len(),
+            ReplayBackend::Interleaved(s) => s.len(),
+        }
+    }
+
+    fn push_step(&mut self, transitions: &[Transition]) -> Result<usize, ReplayError> {
+        match self {
+            ReplayBackend::PerAgent(r) => r.push_step(transitions),
+            ReplayBackend::Interleaved(s) => s.push_step(transitions),
+        }
+    }
+
+    fn sample(&self, plan: &SamplePlan, threads: usize) -> Result<MultiBatch, ReplayError> {
+        match self {
+            ReplayBackend::PerAgent(r) if threads > 1 => r.sample_parallel(plan, threads),
+            ReplayBackend::PerAgent(r) => r.sample(plan),
+            // The interleaved layout's single pass is already one stream.
+            ReplayBackend::Interleaved(s) => s.sample(plan),
+        }
+    }
+}
+
+/// A full MADDPG/MATD3 trainer over a particle environment.
+///
+/// # Examples
+///
+/// ```no_run
+/// use marl_algo::config::{Algorithm, Task, TrainConfig};
+/// use marl_algo::trainer::Trainer;
+///
+/// let config = TrainConfig::paper_defaults(Algorithm::Maddpg, Task::PredatorPrey, 3)
+///     .with_episodes(50);
+/// let mut trainer = Trainer::new(config)?;
+/// let report = trainer.train()?;
+/// println!("sampling share: {:.1}%",
+///          report.profile.fraction(marl_perf::phase::Phase::MiniBatchSampling) * 100.0);
+/// # Ok::<(), marl_algo::error::TrainError>(())
+/// ```
+#[derive(Debug)]
+pub struct Trainer {
+    config: TrainConfig,
+    env: ParticleEnv,
+    agents: Vec<AgentNets>,
+    replay: ReplayBackend,
+    sampler: Box<dyn Sampler>,
+    rng: StdRng,
+    profile: PhaseProfile,
+    curve: RewardCurve,
+    obs_dims: Vec<usize>,
+    act_dim: usize,
+    total_obs_dim: usize,
+    env_steps: u64,
+    updates: u64,
+    samples_since_update: usize,
+    telemetry: SamplingTelemetry,
+}
+
+impl Trainer {
+    /// Builds a trainer from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::InvalidConfig`] for inconsistent settings.
+    pub fn new(config: TrainConfig) -> Result<Self, TrainError> {
+        config.validate().map_err(TrainError::InvalidConfig)?;
+        let env = match config.task {
+            Task::PredatorPrey => {
+                marl_env::predator_prey(config.agents, config.max_episode_len, config.seed)
+            }
+            Task::CooperativeNavigation => {
+                marl_env::cooperative_navigation(config.agents, config.max_episode_len, config.seed)
+            }
+            Task::PhysicalDeception => {
+                marl_env::physical_deception(config.agents, config.max_episode_len, config.seed)
+            }
+        };
+        let obs_dims: Vec<usize> = env.observation_spaces().iter().map(|s| s.dim).collect();
+        let act_dim = DiscreteAction::COUNT;
+        let total_obs_dim: usize = obs_dims.iter().sum();
+        let joint_dim = total_obs_dim + obs_dims.len() * act_dim;
+        let mut rng = StdRng::seed_from_u64(marl_nn::rng::derive_seed(config.seed, 1));
+        let twin = config.algorithm == Algorithm::Matd3;
+        let agents = obs_dims
+            .iter()
+            .map(|&od| AgentNets::new(od, act_dim, joint_dim, twin, config.learning_rate, &mut rng))
+            .collect();
+        let layouts: Vec<TransitionLayout> =
+            obs_dims.iter().map(|&od| TransitionLayout::new(od, act_dim)).collect();
+        let replay = match config.layout {
+            LayoutMode::PerAgent => {
+                ReplayBackend::PerAgent(MultiAgentReplay::new(&layouts, config.buffer_capacity))
+            }
+            LayoutMode::Interleaved => ReplayBackend::Interleaved(InterleavedStore::new(
+                &layouts,
+                config.buffer_capacity,
+            )),
+        };
+        let sampler = config.sampler.build(config.buffer_capacity);
+        Ok(Trainer {
+            config,
+            env,
+            agents,
+            replay,
+            sampler,
+            rng,
+            profile: PhaseProfile::new(),
+            curve: RewardCurve::new(),
+            obs_dims,
+            act_dim,
+            total_obs_dim,
+            env_steps: 0,
+            updates: 0,
+            samples_since_update: 0,
+            telemetry: SamplingTelemetry::default(),
+        })
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Accumulated phase timings so far.
+    pub fn profile(&self) -> &PhaseProfile {
+        &self.profile
+    }
+
+    /// Rows currently stored in the replay buffers.
+    pub fn replay_len(&self) -> usize {
+        self.replay.len()
+    }
+
+    /// Update-all-trainers iterations performed so far.
+    pub fn update_iterations(&self) -> u64 {
+        self.updates
+    }
+
+    /// Read access to the per-agent replay buffers; `None` when training
+    /// with the interleaved layout (diagnostics/benches).
+    pub fn replay(&self) -> Option<&MultiAgentReplay> {
+        match &self.replay {
+            ReplayBackend::PerAgent(r) => Some(r),
+            ReplayBackend::Interleaved(_) => None,
+        }
+    }
+
+    /// Trains for the configured number of episodes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment and replay failures.
+    pub fn train(&mut self) -> Result<TrainReport, TrainError> {
+        let t0 = Instant::now();
+        for _ in 0..self.config.episodes {
+            let mean_reward = self.run_episode()?;
+            self.curve.push(mean_reward);
+        }
+        Ok(TrainReport {
+            config: self.config,
+            profile: self.profile.clone(),
+            curve: self.curve.clone(),
+            wall_time: t0.elapsed(),
+            env_steps: self.env_steps,
+            update_iterations: self.updates,
+            sampling: self.telemetry,
+        })
+    }
+
+    /// Runs one episode (exploration + pushes + scheduled updates) and
+    /// returns the mean-over-agents cumulative reward.
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment and replay failures.
+    pub fn run_episode(&mut self) -> Result<f32, TrainError> {
+        let mut obs = self.env.reset();
+        let n = self.agents.len();
+        let mut episode_reward = vec![0.0f32; n];
+        loop {
+            // --- Action selection ---
+            let t0 = Instant::now();
+            let (temperature, epsilon) = self.config.exploration.at(self.env_steps);
+            let mut action_idx = Vec::with_capacity(n);
+            let mut action_onehot = Vec::with_capacity(n);
+            for (a, o) in self.agents.iter().zip(&obs) {
+                let (mut idx, mut hot) = a.act_explore(o, temperature, &mut self.rng);
+                if epsilon > 0.0 && rand::Rng::gen::<f32>(&mut self.rng) < epsilon {
+                    idx = rand::Rng::gen_range(&mut self.rng, 0..self.act_dim);
+                    hot = vec![0.0; self.act_dim];
+                    hot[idx] = 1.0;
+                }
+                action_idx.push(idx);
+                action_onehot.push(hot);
+            }
+            self.profile.add(Phase::ActionSelection, t0.elapsed());
+
+            // --- Environment execution ---
+            let t0 = Instant::now();
+            let step = self.env.step(&action_idx)?;
+            self.profile.add(Phase::EnvironmentStep, t0.elapsed());
+            self.env_steps += 1;
+
+            // --- Store experiences ---
+            let t0 = Instant::now();
+            let done_flag = if step.done { 1.0 } else { 0.0 };
+            let transitions: Vec<Transition> = (0..n)
+                .map(|i| Transition {
+                    obs: std::mem::take(&mut obs[i]),
+                    action: std::mem::take(&mut action_onehot[i]),
+                    reward: step.rewards[i],
+                    next_obs: step.observations[i].clone(),
+                    done: done_flag,
+                })
+                .collect();
+            let slot = self.replay.push_step(&transitions)?;
+            self.sampler.observe_push(slot);
+            self.samples_since_update += 1;
+            for (er, r) in episode_reward.iter_mut().zip(&step.rewards) {
+                *er += r;
+            }
+            self.profile.add(Phase::Bookkeeping, t0.elapsed());
+
+            obs = step.observations;
+
+            // --- Update all trainers ---
+            if self.replay.len() >= self.config.warmup
+                && self.samples_since_update >= self.config.update_every
+            {
+                self.samples_since_update = 0;
+                self.update_all_trainers()?;
+            }
+
+            if step.done {
+                break;
+            }
+        }
+        Ok(episode_reward.iter().sum::<f32>() / n as f32)
+    }
+
+    /// Pre-fills the replay buffers with `rows` random-policy steps without
+    /// performing any updates (used by benches to isolate the sampling
+    /// phase).
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment and replay failures.
+    pub fn prefill(&mut self, rows: usize) -> Result<(), TrainError> {
+        let n = self.agents.len();
+        let mut obs = self.env.reset();
+        let mut filled = 0;
+        while filled < rows {
+            let actions: Vec<usize> =
+                (0..n).map(|_| rand::Rng::gen_range(&mut self.rng, 0..self.act_dim)).collect();
+            let step = self.env.step(&actions)?;
+            let transitions: Vec<Transition> = (0..n)
+                .map(|i| {
+                    let mut onehot = vec![0.0; self.act_dim];
+                    onehot[actions[i]] = 1.0;
+                    Transition {
+                        obs: std::mem::take(&mut obs[i]),
+                        action: onehot,
+                        reward: step.rewards[i],
+                        next_obs: step.observations[i].clone(),
+                        done: if step.done { 1.0 } else { 0.0 },
+                    }
+                })
+                .collect();
+            let slot = self.replay.push_step(&transitions)?;
+            self.sampler.observe_push(slot);
+            filled += 1;
+            obs = if step.done { self.env.reset() } else { step.observations };
+        }
+        Ok(())
+    }
+
+    /// Runs one full *update all trainers* iteration (all N agent
+    /// trainers).
+    ///
+    /// # Errors
+    ///
+    /// Propagates replay/sampler failures.
+    pub fn update_all_trainers(&mut self) -> Result<(), TrainError> {
+        let n = self.agents.len();
+        for i in 0..n {
+            // --- Mini-batch sampling: the common indices array is applied
+            // to every agent's buffer (O(N·B) reads per trainer, O(N²·B)
+            // for the full iteration).
+            let t0 = Instant::now();
+            let plan =
+                self.sampler.plan(self.replay.len(), self.config.batch_size, &mut self.rng)?;
+            self.telemetry.plans += 1;
+            self.telemetry.random_jumps += plan.random_jumps() as u64;
+            let rows = plan.batch_len() as u64;
+            self.telemetry.rows_gathered += rows * n as u64;
+            let bytes: u64 = self
+                .obs_dims
+                .iter()
+                .map(|&od| {
+                    rows * TransitionLayout::new(od, self.act_dim).row_bytes() as u64
+                })
+                .sum();
+            self.telemetry.bytes_gathered += bytes;
+            let raw = self.replay.sample(&plan, self.config.sampling_threads)?;
+            let view = BatchView::from_multi(raw, &self.obs_dims, self.act_dim);
+            self.profile.add(Phase::MiniBatchSampling, t0.elapsed());
+
+            self.update_one_trainer(i, &view)?;
+        }
+
+        // --- Target-network soft updates ---
+        let t0 = Instant::now();
+        let do_target_update = self.config.algorithm == Algorithm::Maddpg
+            || self.updates.is_multiple_of(self.config.policy_delay as u64);
+        if do_target_update {
+            for a in &mut self.agents {
+                a.soft_update_targets(self.config.tau);
+            }
+        }
+        self.profile.add(Phase::SoftUpdate, t0.elapsed());
+        self.updates += 1;
+        Ok(())
+    }
+
+    /// Target-Q + critic/actor update for one agent trainer.
+    fn update_one_trainer(&mut self, i: usize, view: &BatchView) -> Result<(), TrainError> {
+        let cfg = self.config;
+        let batch = view.batch;
+        let matd3 = cfg.algorithm == Algorithm::Matd3;
+
+        // --- Target Q calculation ---
+        let t0 = Instant::now();
+        // Each agent's target actor proposes the next action from its own
+        // next observation: N×(N−1) cross-agent reads in spirit.
+        let noise = if matd3 { cfg.target_noise } else { 0.0 };
+        let mut next_action_parts: Vec<Matrix> = Vec::with_capacity(self.agents.len());
+        for (a, next_obs) in self.agents.iter().zip(&view.next_obs) {
+            let s = a.target_actions(next_obs, cfg.temperature, noise, cfg.noise_clip, &mut self.rng);
+            next_action_parts.push(s.value);
+        }
+        let mut joint_next_parts: Vec<&Matrix> = Vec::with_capacity(2 * self.agents.len());
+        joint_next_parts.extend(view.next_obs.iter());
+        joint_next_parts.extend(next_action_parts.iter());
+        let joint_next = Matrix::hstack(&joint_next_parts);
+        let tq = {
+            let q1 = self.agents[i].target_critic.forward_inference(&joint_next);
+            if let Some((_, t2)) = &self.agents[i].critic2 {
+                let q2 = t2.forward_inference(&joint_next);
+                // Twin-critic minimum combats overestimation bias.
+                let mut m = q1.clone();
+                for (a, b) in m.as_mut_slice().iter_mut().zip(q2.as_slice()) {
+                    *a = a.min(*b);
+                }
+                m
+            } else {
+                q1
+            }
+        };
+        let mut y = Matrix::zeros(batch, 1);
+        for r in 0..batch {
+            let not_done = 1.0 - view.dones[r];
+            *y.at_mut(r, 0) = view.rewards[i][r] + cfg.gamma * not_done * tq.at(r, 0);
+        }
+        self.profile.add(Phase::TargetQ, t0.elapsed());
+
+        // --- Q loss (critic) + P loss (actor) ---
+        let t0 = Instant::now();
+        let mut joint_parts: Vec<&Matrix> = Vec::with_capacity(2 * self.agents.len());
+        joint_parts.extend(view.obs.iter());
+        joint_parts.extend(view.actions.iter());
+        let joint = Matrix::hstack(&joint_parts);
+
+        // Critic 1.
+        let agent = &mut self.agents[i];
+        agent.critic.zero_grad();
+        let q = agent.critic.forward(&joint);
+        let (_loss, grad) = match &view.weights {
+            Some(w) => weighted_mse(&q, &y, w),
+            None => mse(&q, &y),
+        };
+        agent.critic.backward(&grad);
+        agent.critic_opt.step(&mut agent.critic);
+
+        // Twin critic (MATD3).
+        if let Some((c2, _)) = &mut agent.critic2 {
+            c2.zero_grad();
+            let q2 = c2.forward(&joint);
+            let (_l2, g2) = match &view.weights {
+                Some(w) => weighted_mse(&q2, &y, w),
+                None => mse(&q2, &y),
+            };
+            c2.backward(&g2);
+            agent.critic2_opt.as_mut().expect("twin optimizer").step(c2);
+        }
+
+        // Refresh priorities from the TD errors of this trainer's batch.
+        let td = td_errors(&q, &y);
+        self.sampler.update_priorities(&view.indices, &td);
+
+        // Policy update (delayed for MATD3).
+        let do_policy = !matd3 || self.updates.is_multiple_of(cfg.policy_delay as u64);
+        if do_policy {
+            let agent = &mut self.agents[i];
+            let logits = agent.actor.forward(&view.obs[i]);
+            let sample = softmax_relaxation(&logits, cfg.temperature);
+            // Joint input with agent i's action replaced by its relaxed
+            // current-policy action.
+            let mut pol_parts: Vec<&Matrix> = Vec::with_capacity(2 * self.obs_dims.len());
+            pol_parts.extend(view.obs.iter());
+            for (j, act) in view.actions.iter().enumerate() {
+                if j == i {
+                    pol_parts.push(&sample.value);
+                } else {
+                    pol_parts.push(act);
+                }
+            }
+            let joint_pol = Matrix::hstack(&pol_parts);
+            agent.critic.zero_grad();
+            agent.critic.forward(&joint_pol);
+            // Maximize Q ⇒ gradient −1/B on every Q output.
+            let grad_q = Matrix::full(batch, 1, -1.0 / batch as f32);
+            let grad_joint = agent.critic.backward(&grad_q);
+            let act_off = self.total_obs_dim + i * self.act_dim;
+            let grad_action = grad_joint.columns(act_off, self.act_dim);
+            let grad_logits = sample.backward(&grad_action);
+            agent.actor.zero_grad();
+            agent.actor.backward(&grad_logits);
+            agent.actor_opt.step(&mut agent.actor);
+        }
+        self.profile.add(Phase::QLossPLoss, t0.elapsed());
+        Ok(())
+    }
+
+    /// Sampling-phase telemetry so far.
+    pub fn sampling_telemetry(&self) -> SamplingTelemetry {
+        self.telemetry
+    }
+
+    /// Captures a checkpoint of all agents' networks and optimizer state.
+    pub fn checkpoint(&self) -> crate::checkpoint::Checkpoint {
+        crate::checkpoint::Checkpoint {
+            config: self.config,
+            agents: self.agents.iter().map(crate::checkpoint::AgentState::capture).collect(),
+            update_iterations: self.updates,
+        }
+    }
+
+    /// Restores all agents' networks/optimizers from a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::InvalidConfig`] when the checkpoint's agent
+    /// count or architectures do not match this trainer.
+    pub fn restore(&mut self, ckpt: crate::checkpoint::Checkpoint) -> Result<(), TrainError> {
+        if ckpt.agents.len() != self.agents.len() {
+            return Err(TrainError::InvalidConfig(format!(
+                "checkpoint holds {} agents but trainer has {}",
+                ckpt.agents.len(),
+                self.agents.len()
+            )));
+        }
+        for (state, nets) in ckpt.agents.into_iter().zip(&mut self.agents) {
+            state.restore(nets)?;
+        }
+        self.updates = ckpt.update_iterations;
+        Ok(())
+    }
+
+    /// Greedy evaluation over `episodes` fresh episodes; returns the mean
+    /// per-episode, mean-over-agents cumulative reward.
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment failures.
+    pub fn evaluate(&mut self, episodes: usize) -> Result<f32, TrainError> {
+        let n = self.agents.len();
+        let mut total = 0.0f64;
+        for _ in 0..episodes {
+            let mut obs = self.env.reset();
+            loop {
+                let actions: Vec<usize> = self
+                    .agents
+                    .iter()
+                    .zip(&obs)
+                    .map(|(a, o)| a.act_greedy(o))
+                    .collect();
+                let step = self.env.step(&actions)?;
+                total += step.rewards.iter().sum::<f32>() as f64 / n as f64;
+                obs = step.observations;
+                if step.done {
+                    break;
+                }
+            }
+        }
+        Ok((total / episodes.max(1) as f64) as f32)
+    }
+}
+
+/// Mini-batch reshaped into per-agent matrices.
+#[derive(Debug)]
+struct BatchView {
+    batch: usize,
+    obs: Vec<Matrix>,
+    actions: Vec<Matrix>,
+    next_obs: Vec<Matrix>,
+    rewards: Vec<Vec<f32>>,
+    dones: Vec<f32>,
+    weights: Option<Vec<f32>>,
+    indices: Vec<usize>,
+}
+
+impl BatchView {
+    fn from_multi(mb: MultiBatch, obs_dims: &[usize], act_dim: usize) -> Self {
+        let batch = mb.len();
+        let mut obs = Vec::with_capacity(mb.agents.len());
+        let mut actions = Vec::with_capacity(mb.agents.len());
+        let mut next_obs = Vec::with_capacity(mb.agents.len());
+        let mut rewards = Vec::with_capacity(mb.agents.len());
+        let mut dones = Vec::new();
+        for (ab, &od) in mb.agents.into_iter().zip(obs_dims) {
+            obs.push(Matrix::from_vec(batch, od, ab.obs));
+            actions.push(Matrix::from_vec(batch, act_dim, ab.actions));
+            next_obs.push(Matrix::from_vec(batch, od, ab.next_obs));
+            rewards.push(ab.rewards);
+            if dones.is_empty() {
+                dones = ab.dones;
+            }
+        }
+        BatchView { batch, obs, actions, next_obs, rewards, dones, weights: mb.weights, indices: mb.indices }
+    }
+}
+
+/// Convenience: trains a configuration end-to-end and returns the report.
+///
+/// # Errors
+///
+/// Propagates [`Trainer`] failures.
+pub fn train(config: TrainConfig) -> Result<TrainReport, TrainError> {
+    Trainer::new(config)?.train()
+}
+
+/// Convenience: the PER-MADDPG baseline of the paper (MADDPG + PER
+/// sampler).
+pub fn per_maddpg_config(task: Task, agents: usize) -> TrainConfig {
+    TrainConfig::paper_defaults(Algorithm::Maddpg, task, agents)
+        .with_sampler(SamplerConfig::Per)
+}
+
+/// Convenience: the information-prioritized MADDPG variant (IP-MADDPG).
+pub fn ip_maddpg_config(task: Task, agents: usize) -> TrainConfig {
+    TrainConfig::paper_defaults(Algorithm::Maddpg, task, agents)
+        .with_sampler(SamplerConfig::IpLocality)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(algorithm: Algorithm, task: Task, agents: usize) -> TrainConfig {
+        TrainConfig::paper_defaults(algorithm, task, agents)
+            .with_episodes(3)
+            .with_batch_size(32)
+            .with_buffer_capacity(4096)
+            .with_seed(11)
+    }
+
+    #[test]
+    fn maddpg_trains_and_profiles() {
+        let mut cfg = quick_config(Algorithm::Maddpg, Task::PredatorPrey, 3);
+        cfg.warmup = 40;
+        cfg.update_every = 25;
+        let mut t = Trainer::new(cfg).unwrap();
+        let report = t.train().unwrap();
+        assert_eq!(report.curve.len(), 3);
+        assert_eq!(report.env_steps, 3 * 25);
+        assert!(report.update_iterations >= 1);
+        assert!(report.profile.get(Phase::MiniBatchSampling) > Duration::ZERO);
+        assert!(report.profile.get(Phase::TargetQ) > Duration::ZERO);
+        assert!(report.profile.get(Phase::QLossPLoss) > Duration::ZERO);
+        assert!(report.profile.get(Phase::ActionSelection) > Duration::ZERO);
+        // Telemetry: one plan per trainer per iteration, 32-row batches
+        // gathered from all 3 buffers.
+        let t = report.sampling;
+        assert_eq!(t.plans, report.update_iterations * 3);
+        assert_eq!(t.rows_gathered, t.plans * 32 * 3);
+        assert!(t.bytes_gathered > t.rows_gathered);
+        assert!(t.random_jumps > 0 && t.random_jumps <= t.plans * 32);
+    }
+
+    #[test]
+    fn matd3_uses_twin_critics_and_delay() {
+        let mut cfg = quick_config(Algorithm::Matd3, Task::CooperativeNavigation, 3);
+        cfg.warmup = 40;
+        cfg.update_every = 25;
+        let mut t = Trainer::new(cfg).unwrap();
+        assert!(t.agents[0].critic2.is_some());
+        let report = t.train().unwrap();
+        assert!(report.update_iterations >= 1);
+    }
+
+    #[test]
+    fn locality_sampler_trains() {
+        let mut cfg = quick_config(Algorithm::Maddpg, Task::CooperativeNavigation, 3)
+            .with_sampler(SamplerConfig::Locality { neighbors: 8 });
+        cfg.warmup = 64;
+        cfg.update_every = 30;
+        let mut t = Trainer::new(cfg).unwrap();
+        t.train().unwrap();
+        assert!(t.update_iterations() >= 1);
+    }
+
+    #[test]
+    fn prioritized_samplers_train() {
+        for sampler in [SamplerConfig::Per, SamplerConfig::IpLocality] {
+            let mut cfg =
+                quick_config(Algorithm::Maddpg, Task::PredatorPrey, 3).with_sampler(sampler);
+            cfg.warmup = 40;
+            cfg.update_every = 30;
+            let mut t = Trainer::new(cfg).unwrap();
+            t.train().unwrap();
+            assert!(t.update_iterations() >= 1, "{sampler:?}");
+        }
+    }
+
+    #[test]
+    fn interleaved_layout_trains_identically_in_shape() {
+        use crate::config::LayoutMode;
+        let mut cfg = quick_config(Algorithm::Maddpg, Task::PredatorPrey, 3);
+        cfg.warmup = 40;
+        cfg.update_every = 25;
+        let run = |layout: LayoutMode| {
+            let mut t = Trainer::new(cfg.with_layout(layout)).unwrap();
+            let r = t.train().unwrap();
+            (r.update_iterations, r.curve.values().to_vec())
+        };
+        let (u_per, c_per) = run(LayoutMode::PerAgent);
+        let (u_int, c_int) = run(LayoutMode::Interleaved);
+        assert_eq!(u_per, u_int);
+        // Same seed + same data (only the layout differs) => identical
+        // training trajectory.
+        assert_eq!(c_per, c_int);
+    }
+
+    #[test]
+    fn interleaved_layout_hides_per_agent_replay() {
+        use crate::config::LayoutMode;
+        let cfg = quick_config(Algorithm::Maddpg, Task::PredatorPrey, 3)
+            .with_layout(LayoutMode::Interleaved);
+        let mut t = Trainer::new(cfg).unwrap();
+        assert!(t.replay().is_none());
+        t.prefill(100).unwrap();
+        assert_eq!(t.replay_len(), 100);
+        t.update_all_trainers().unwrap();
+    }
+
+    #[test]
+    fn parallel_sampling_matches_serial_training() {
+        let mut cfg = quick_config(Algorithm::Maddpg, Task::PredatorPrey, 3);
+        cfg.warmup = 40;
+        cfg.update_every = 25;
+        let run = |threads: usize| {
+            let mut c = cfg;
+            c.sampling_threads = threads;
+            let mut t = Trainer::new(c).unwrap();
+            t.train().unwrap().curve.values().to_vec()
+        };
+        assert_eq!(run(1), run(3), "gather parallelism must not change results");
+    }
+
+    #[test]
+    fn prefill_and_manual_update() {
+        let cfg = quick_config(Algorithm::Maddpg, Task::PredatorPrey, 3);
+        let mut t = Trainer::new(cfg).unwrap();
+        t.prefill(200).unwrap();
+        assert_eq!(t.replay_len(), 200);
+        t.update_all_trainers().unwrap();
+        assert_eq!(t.update_iterations(), 1);
+    }
+
+    #[test]
+    fn evaluate_zero_episodes_is_zero() {
+        let cfg = quick_config(Algorithm::Maddpg, Task::CooperativeNavigation, 3);
+        let mut t = Trainer::new(cfg).unwrap();
+        assert_eq!(t.evaluate(0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn evaluate_runs_greedily() {
+        let cfg = quick_config(Algorithm::Maddpg, Task::CooperativeNavigation, 3);
+        let mut t = Trainer::new(cfg).unwrap();
+        let score = t.evaluate(2).unwrap();
+        assert!(score.is_finite());
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut cfg = quick_config(Algorithm::Maddpg, Task::PredatorPrey, 3);
+        cfg.agents = 0;
+        assert!(matches!(Trainer::new(cfg), Err(TrainError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn annealed_exploration_trains() {
+        let mut cfg = quick_config(Algorithm::Maddpg, Task::PredatorPrey, 3);
+        cfg.warmup = 40;
+        cfg.update_every = 25;
+        cfg.exploration = crate::explore::ExplorationSchedule::annealed(50);
+        let mut t = Trainer::new(cfg).unwrap();
+        let report = t.train().unwrap();
+        assert!(report.update_iterations > 0);
+        assert!(report.curve.values().iter().all(|r| r.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut cfg = quick_config(Algorithm::Maddpg, Task::PredatorPrey, 3);
+            cfg.warmup = 40;
+            cfg.update_every = 25;
+            let mut t = Trainer::new(cfg).unwrap();
+            t.train().unwrap().curve.values().to_vec()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_resumes_training() {
+        let mut cfg = quick_config(Algorithm::Matd3, Task::PredatorPrey, 3);
+        cfg.warmup = 40;
+        cfg.update_every = 25;
+        let mut a = Trainer::new(cfg).unwrap();
+        a.train().unwrap();
+        let ckpt = a.checkpoint();
+        assert_eq!(ckpt.agents.len(), 3);
+        // Restore into a fresh trainer and verify identical greedy policy.
+        let mut b = Trainer::new(cfg).unwrap();
+        b.restore(ckpt).unwrap();
+        assert_eq!(b.update_iterations(), a.update_iterations());
+        let obs = vec![0.25; 16];
+        for (x, y) in a.agents.iter().zip(&b.agents) {
+            assert_eq!(x.act_greedy(&obs), y.act_greedy(&obs));
+        }
+    }
+
+    #[test]
+    fn restore_rejects_wrong_agent_count() {
+        let cfg3 = quick_config(Algorithm::Maddpg, Task::PredatorPrey, 3);
+        let cfg6 = quick_config(Algorithm::Maddpg, Task::PredatorPrey, 6);
+        let a = Trainer::new(cfg3).unwrap();
+        let mut b = Trainer::new(cfg6).unwrap();
+        assert!(matches!(b.restore(a.checkpoint()), Err(TrainError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn convenience_configs() {
+        let per = per_maddpg_config(Task::PredatorPrey, 3);
+        assert_eq!(per.sampler, SamplerConfig::Per);
+        let ip = ip_maddpg_config(Task::CooperativeNavigation, 6);
+        assert_eq!(ip.sampler, SamplerConfig::IpLocality);
+    }
+}

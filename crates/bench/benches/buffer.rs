@@ -1,0 +1,80 @@
+//! Criterion benchmarks of the replay-storage layer: push throughput,
+//! per-agent vs interleaved sampling, and the reorganization (reshape)
+//! cost the paper charges against the layout optimization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use marl_algo::Task;
+use marl_bench::synthetic_replay;
+use marl_core::config::SamplerConfig;
+use marl_core::layout::InterleavedStore;
+use marl_core::multi::MultiAgentReplay;
+use marl_core::transition::{Transition, TransitionLayout};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ROWS: usize = 50_000;
+const BATCH: usize = 1024;
+
+fn bench_push(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer/push");
+    for agents in [3usize, 12] {
+        let layouts = vec![TransitionLayout::new(72, 5); agents];
+        let step: Vec<Transition> = layouts
+            .iter()
+            .map(|l| Transition {
+                obs: vec![0.0; l.obs_dim],
+                action: vec![0.0; l.act_dim],
+                reward: 0.0,
+                next_obs: vec![0.0; l.obs_dim],
+                done: 0.0,
+            })
+            .collect();
+        let mut replay = MultiAgentReplay::new(&layouts, ROWS);
+        group.bench_function(BenchmarkId::new("per-agent", agents), |b| {
+            b.iter(|| replay.push_step(std::hint::black_box(&step)).expect("push"))
+        });
+        let mut store = InterleavedStore::new(&layouts, ROWS);
+        group.bench_function(BenchmarkId::new("interleaved", agents), |b| {
+            b.iter(|| store.push_step(std::hint::black_box(&step)).expect("push"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reorganize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer/reorganize");
+    group.sample_size(10);
+    for agents in [3usize, 12, 24] {
+        let replay = synthetic_replay(Task::PredatorPrey, agents, ROWS);
+        group.bench_function(BenchmarkId::from_parameter(agents), |b| {
+            b.iter(|| std::hint::black_box(InterleavedStore::reorganize_from(&replay)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gather_layouts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer/gather");
+    group.sample_size(20);
+    for agents in [3usize, 12, 24] {
+        let replay = synthetic_replay(Task::PredatorPrey, agents, ROWS);
+        let (store, _) = InterleavedStore::reorganize_from(&replay);
+        let mut sampler = SamplerConfig::Uniform.build(ROWS);
+        let mut rng = StdRng::seed_from_u64(0);
+        let plan = sampler.plan(ROWS, BATCH, &mut rng).expect("plan");
+        group.bench_function(BenchmarkId::new("per-agent", agents), |b| {
+            b.iter(|| std::hint::black_box(replay.sample(&plan).expect("sample")))
+        });
+        group.bench_function(BenchmarkId::new("interleaved", agents), |b| {
+            b.iter(|| std::hint::black_box(store.sample(&plan).expect("sample")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_push, bench_reorganize, bench_gather_layouts
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benchmarks of one full *update-all-trainers* iteration —
+//! the unit the paper's end-to-end numbers are built from — comparing the
+//! baseline sampler against the locality-aware configurations on MADDPG
+//! and MATD3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use marl_algo::{Algorithm, Task, TrainConfig, Trainer};
+use marl_core::config::SamplerConfig;
+
+fn trainer(algorithm: Algorithm, agents: usize, sampler: SamplerConfig) -> Trainer {
+    let config = TrainConfig::paper_defaults(algorithm, Task::PredatorPrey, agents)
+        .with_sampler(sampler)
+        .with_batch_size(256)
+        .with_buffer_capacity(20_000)
+        .with_seed(0);
+    let mut t = Trainer::new(config).expect("trainer");
+    t.prefill(5_000).expect("prefill");
+    t
+}
+
+fn bench_update_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end-to-end/update-all-trainers");
+    group.sample_size(10);
+    for agents in [3usize, 6] {
+        for sampler in
+            [SamplerConfig::Uniform, SamplerConfig::LocalityN16R64, SamplerConfig::LocalityN64R16]
+        {
+            let mut t = trainer(Algorithm::Maddpg, agents, sampler);
+            let label = format!("maddpg-{}-{}", agents, sampler.label());
+            group.bench_function(BenchmarkId::from_parameter(label), |b| {
+                b.iter(|| t.update_all_trainers().expect("update"))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_matd3_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end-to-end/matd3-update");
+    group.sample_size(10);
+    let mut t = trainer(Algorithm::Matd3, 3, SamplerConfig::Uniform);
+    group.bench_function("matd3-3-baseline", |b| {
+        b.iter(|| t.update_all_trainers().expect("update"))
+    });
+    group.finish();
+}
+
+fn bench_episode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end-to-end/episode");
+    group.sample_size(10);
+    let mut t = trainer(Algorithm::Maddpg, 3, SamplerConfig::Uniform);
+    group.bench_function("maddpg-3-episode", |b| {
+        b.iter(|| t.run_episode().expect("episode"))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_update_iteration, bench_matd3_iteration, bench_episode
+}
+criterion_main!(benches);

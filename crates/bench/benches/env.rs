@@ -1,0 +1,37 @@
+//! Criterion benchmarks of the particle environments: step throughput as
+//! agent count grows for both scenarios (the "other segments" cost of the
+//! paper's breakdown).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use marl_env::{cooperative_navigation, predator_prey};
+
+fn bench_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("env/step");
+    for n in [3usize, 12, 24] {
+        let mut pp = predator_prey(n, 1_000_000, 0);
+        pp.reset();
+        let actions = vec![0usize; pp.trained_agents()];
+        group.bench_function(BenchmarkId::new("predator-prey", n), |b| {
+            b.iter(|| std::hint::black_box(pp.step(&actions).expect("step")))
+        });
+        let mut cn = cooperative_navigation(n, 1_000_000, 0);
+        cn.reset();
+        let actions = vec![0usize; cn.trained_agents()];
+        group.bench_function(BenchmarkId::new("cooperative-navigation", n), |b| {
+            b.iter(|| std::hint::black_box(cn.step(&actions).expect("step")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reset(c: &mut Criterion) {
+    let mut env = predator_prey(12, 25, 0);
+    c.bench_function("env/reset-pp-12", |b| b.iter(|| std::hint::black_box(env.reset())));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_steps, bench_reset
+}
+criterion_main!(benches);

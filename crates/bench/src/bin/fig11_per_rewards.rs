@@ -1,0 +1,85 @@
+//! Figure 11: reward curves for PER-MADDPG (the prioritization baseline)
+//! vs IP-MADDPG (the paper's information-prioritized locality-aware
+//! sampling on top of PER), for PP-6, CN-6 and CN-12 — learning quality
+//! should be comparable while IP samples ~2× faster (see the criterion
+//! sampler bench for the speed side).
+
+use marl_algo::{Algorithm, Task};
+use marl_bench::{env_usize, maybe_json, run_scaled_training};
+use marl_core::config::SamplerConfig;
+use marl_perf::phase::Phase;
+use marl_perf::report::Table;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Curve {
+    scenario: String,
+    variant: String,
+    final_score: f32,
+    sampling_seconds: f64,
+    series: Vec<(usize, f32)>,
+}
+
+fn main() {
+    // Reward-curve experiments measure learning, not gather throughput:
+    // do not pre-fill the replay with random-policy data unless the user
+    // explicitly asks for it.
+    if std::env::var("MARL_PREFILL").is_err() {
+        std::env::set_var("MARL_PREFILL", "0");
+    }
+    println!("== Figure 11: PER-MADDPG vs IP-MADDPG reward curves ==\n");
+    let points = env_usize("MARL_POINTS", 8);
+    let scenarios = [
+        ("PP-6", Task::PredatorPrey, 6usize),
+        ("CN-6", Task::CooperativeNavigation, 6),
+        ("CN-12", Task::CooperativeNavigation, 12),
+    ];
+    let mut curves = Vec::new();
+    for (name, task, n) in scenarios {
+        println!("-- {name} --");
+        let mut table =
+            Table::new(&["variant", "final score", "sampling (s)", "curve (episode:reward)"]);
+        for (vname, sampler) in
+            [("PER-MADDPG", SamplerConfig::Per), ("IP-MADDPG", SamplerConfig::IpLocality)]
+        {
+            let report = run_scaled_training(Algorithm::Maddpg, task, n, sampler, 23);
+            let window = (report.curve.len() / 5).max(1);
+            let series = report.curve.series(window, points);
+            let final_score = report.curve.final_score(window);
+            let sampling = report.profile.get(Phase::MiniBatchSampling).as_secs_f64();
+            let curve_str = series
+                .iter()
+                .map(|(e, v)| format!("{e}:{v:.0}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            table.row_owned(vec![
+                vname.into(),
+                format!("{final_score:.1}"),
+                format!("{sampling:.2}"),
+                curve_str,
+            ]);
+            curves.push(Curve {
+                scenario: name.into(),
+                variant: vname.into(),
+                final_score,
+                sampling_seconds: sampling,
+                series,
+            });
+        }
+        println!("{table}");
+    }
+    maybe_json("fig11", &curves);
+
+    // Shape checks: comparable learning, faster sampling for IP.
+    for (name, _, _) in scenarios {
+        let per = curves.iter().find(|c| c.scenario == name && c.variant == "PER-MADDPG");
+        let ip = curves.iter().find(|c| c.scenario == name && c.variant == "IP-MADDPG");
+        if let (Some(per), Some(ip)) = (per, ip) {
+            let speedup = per.sampling_seconds / ip.sampling_seconds.max(1e-9);
+            println!(
+                "{name}: IP sampling speedup over PER {:.2}x (paper: ~2x avg); final scores {:.1} vs {:.1}",
+                speedup, ip.final_score, per.final_score
+            );
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Figure 3: training-time breakdown *within* update-all-trainers
+//! (mini-batch sampling / target-Q calculation / Q-loss + P-loss) for both
+//! algorithms and environments, 3–24 agents.
+
+use marl_algo::{Algorithm, Task};
+use marl_bench::{env_agents, maybe_json, run_scaled_training, GpuModeledBreakdown};
+use marl_core::config::SamplerConfig;
+use marl_perf::phase::Phase;
+use marl_perf::report::{percent, Table};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    algorithm: &'static str,
+    task: &'static str,
+    agents: usize,
+    sampling: f64,
+    target_q: f64,
+    q_loss_p_loss: f64,
+    modeled_sampling: f64,
+    modeled_target_q: f64,
+    modeled_q_loss_p_loss: f64,
+}
+
+fn main() {
+    println!("== Figure 3: breakdown within update-all-trainers ==\n");
+    let agents = env_agents(&[3, 6, 12]);
+    let mut rows = Vec::new();
+    for algorithm in [Algorithm::Maddpg, Algorithm::Matd3] {
+        for task in [Task::PredatorPrey, Task::CooperativeNavigation] {
+            println!("-- {} / {} --", algorithm.label(), task.label());
+            let mut table = Table::new(&[
+                "agents",
+                "mini-batch sampling",
+                "target-Q",
+                "Q-loss + P-loss",
+                "sampling (TF/GPU model)",
+                "target-Q (TF/GPU model)",
+                "Q/P-loss (TF/GPU model)",
+            ]);
+            for &n in &agents {
+                let report =
+                    run_scaled_training(algorithm, task, n, SamplerConfig::Uniform, 0);
+                let p = &report.profile;
+                let sampling = p.fraction_of_update(Phase::MiniBatchSampling);
+                let target_q = p.fraction_of_update(Phase::TargetQ);
+                let qp = p.fraction_of_update(Phase::QLossPLoss);
+                let m = GpuModeledBreakdown::from_report(&report);
+                let mu = m.update_all_trainers();
+                let (ms, mtq, mqp) =
+                    (m.sampling / mu, m.target_q / mu, m.q_loss_p_loss / mu);
+                table.row_owned(vec![
+                    n.to_string(),
+                    percent(sampling),
+                    percent(target_q),
+                    percent(qp),
+                    percent(ms),
+                    percent(mtq),
+                    percent(mqp),
+                ]);
+                rows.push(Row {
+                    algorithm: algorithm.label(),
+                    task: task.label(),
+                    agents: n,
+                    sampling,
+                    target_q,
+                    q_loss_p_loss: qp,
+                    modeled_sampling: ms,
+                    modeled_target_q: mtq,
+                    modeled_q_loss_p_loss: mqp,
+                });
+            }
+            println!("{table}");
+        }
+    }
+    maybe_json("fig3", &rows);
+
+    // Shape check: under the paper's TF/GPU substrate model, sampling is
+    // the dominant sub-phase (paper: ~50–65%).
+    let dominant = rows
+        .iter()
+        .filter(|r| {
+            r.modeled_sampling > r.modeled_target_q
+                && r.modeled_sampling > r.modeled_q_loss_p_loss
+        })
+        .count();
+    println!(
+        "mini-batch sampling dominant (TF/GPU model) in {}/{} configurations {}",
+        dominant,
+        rows.len(),
+        if dominant * 2 > rows.len() { "✓" } else { "(expected majority)" }
+    );
+    println!(
+        "(measured pure-CPU substrate: dense math dominates instead — the paper's balance\n\
+         assumes GPU-offloaded networks; see DESIGN.md substitutions)"
+    );
+}

@@ -1,0 +1,90 @@
+//! Figure 6: MADDPG predator-prey scalability from 3 to 48 agents —
+//! training-time breakdown (action selection / update-all-trainers /
+//! other) and absolute time, showing the update share approaching ~87 %.
+//!
+//! Defaults to N ∈ {3, 6, 12, 24}; add 48 with `MARL_AGENTS=3,6,12,24,48`
+//! (the 48-agent point is heavy).
+
+use marl_algo::{Algorithm, Task};
+use marl_bench::{env_agents, maybe_json, run_scaled_training, GpuModeledBreakdown};
+use marl_core::config::SamplerConfig;
+use marl_perf::phase::Phase;
+use marl_perf::report::{percent, Table};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    agents: usize,
+    measured_seconds: f64,
+    extrapolated_60k_seconds: f64,
+    action_selection: f64,
+    update_all_trainers: f64,
+    other: f64,
+    modeled_update_all_trainers: f64,
+}
+
+fn main() {
+    println!("== Figure 6: MADDPG predator-prey scalability ==\n");
+    let agents = env_agents(&[3, 6, 12, 24]);
+    let mut table = Table::new(&[
+        "agents",
+        "measured (s)",
+        "per-60k extrapolation (s)",
+        "action selection",
+        "update all trainers",
+        "other",
+        "update (TF/GPU model)",
+    ]);
+    let mut rows = Vec::new();
+    for &n in &agents {
+        let report =
+            run_scaled_training(Algorithm::Maddpg, Task::PredatorPrey, n, SamplerConfig::Uniform, 0);
+        let p = &report.profile;
+        let total = p.total().as_secs_f64();
+        let update = p.update_all_trainers().as_secs_f64() / total;
+        let action = p.fraction(Phase::ActionSelection);
+        let other = (1.0 - update - action).max(0.0);
+        let measured = report.wall_time.as_secs_f64();
+        let extrapolated = measured * 60_000.0 / report.curve.len().max(1) as f64;
+        let m = GpuModeledBreakdown::from_report(&report);
+        let modeled_update = m.update_all_trainers() / m.total();
+        table.row_owned(vec![
+            n.to_string(),
+            format!("{measured:.2}"),
+            format!("{extrapolated:.0}"),
+            percent(action),
+            percent(update),
+            percent(other),
+            percent(modeled_update),
+        ]);
+        rows.push(Row {
+            agents: n,
+            measured_seconds: measured,
+            extrapolated_60k_seconds: extrapolated,
+            action_selection: action,
+            update_all_trainers: update,
+            other,
+            modeled_update_all_trainers: modeled_update,
+        });
+    }
+    println!("{table}");
+    maybe_json("fig6", &rows);
+
+    let monotone = rows
+        .windows(2)
+        .all(|w| w[1].modeled_update_all_trainers >= w[0].modeled_update_all_trainers);
+    println!(
+        "update-all-trainers share (TF/GPU model) rises monotonically with N (paper: 34% -> 87%): {}",
+        if monotone { "✓" } else { "✗" }
+    );
+    // Compare per-60k-episode extrapolations: the raw measured seconds use
+    // different episode budgets per N.
+    let superlinear = rows.windows(2).all(|w| {
+        w[1].extrapolated_60k_seconds / w[0].extrapolated_60k_seconds
+            > w[1].agents as f64 / w[0].agents as f64
+    });
+    println!(
+        "per-episode training time grows super-linearly in N: {}",
+        if superlinear { "✓" } else { "✗" }
+    );
+}

@@ -1,0 +1,117 @@
+//! Table I: end-to-end training times for MADDPG and MATD3 with 3–24
+//! agents on predator-prey and cooperative navigation.
+//!
+//! The paper trains 60 000 episodes on an RTX 3090 host; this harness runs
+//! a scaled episode budget (override with `MARL_EPISODES`), reports the
+//! measured seconds, a per-60k-episode extrapolation, and checks the two
+//! *shape* properties Table I exhibits: super-linear growth in N and
+//! predator-prey ≳ cooperative navigation.
+
+use marl_algo::{Algorithm, Task};
+use marl_bench::{env_agents, maybe_json, run_scaled_training};
+use marl_core::config::SamplerConfig;
+use marl_perf::report::Table;
+use serde::Serialize;
+
+/// Paper-reported seconds for reference (60k episodes).
+fn paper_seconds(algorithm: Algorithm, task: Task, agents: usize) -> Option<f64> {
+    let v = match (algorithm, task, agents) {
+        (Algorithm::Maddpg, Task::PredatorPrey, 3) => 3365.99,
+        (Algorithm::Maddpg, Task::PredatorPrey, 6) => 8504.99,
+        (Algorithm::Maddpg, Task::PredatorPrey, 12) => 23406.16,
+        (Algorithm::Maddpg, Task::PredatorPrey, 24) => 82768.15,
+        (Algorithm::Matd3, Task::PredatorPrey, 3) => 3838.97,
+        (Algorithm::Matd3, Task::PredatorPrey, 6) => 9039.11,
+        (Algorithm::Matd3, Task::PredatorPrey, 12) => 24678.43,
+        (Algorithm::Matd3, Task::PredatorPrey, 24) => 80123.24,
+        (Algorithm::Maddpg, Task::CooperativeNavigation, 3) => 2403.64,
+        (Algorithm::Maddpg, Task::CooperativeNavigation, 6) => 5888.64,
+        (Algorithm::Maddpg, Task::CooperativeNavigation, 12) => 15722.43,
+        (Algorithm::Maddpg, Task::CooperativeNavigation, 24) => 52421.81,
+        (Algorithm::Matd3, Task::CooperativeNavigation, 3) => 2785.53,
+        (Algorithm::Matd3, Task::CooperativeNavigation, 6) => 6369.42,
+        (Algorithm::Matd3, Task::CooperativeNavigation, 12) => 17081.71,
+        (Algorithm::Matd3, Task::CooperativeNavigation, 24) => 55371.91,
+        _ => return None,
+    };
+    Some(v)
+}
+
+#[derive(Debug, Serialize)]
+struct Row {
+    algorithm: &'static str,
+    task: &'static str,
+    agents: usize,
+    episodes: usize,
+    measured_seconds: f64,
+    extrapolated_60k_seconds: f64,
+    paper_seconds: Option<f64>,
+}
+
+fn main() {
+    println!("== Table I: end-to-end training times ==\n");
+    let agents = env_agents(&[3, 6, 12]);
+    let mut table = Table::new(&[
+        "algorithm",
+        "environment",
+        "agents",
+        "episodes",
+        "measured (s)",
+        "per-60k extrapolation (s)",
+        "paper @60k (s)",
+    ]);
+    let mut rows = Vec::new();
+    for algorithm in [Algorithm::Maddpg, Algorithm::Matd3] {
+        for task in [Task::PredatorPrey, Task::CooperativeNavigation] {
+            for &n in &agents {
+                let report =
+                    run_scaled_training(algorithm, task, n, SamplerConfig::Uniform, 0);
+                let measured = report.wall_time.as_secs_f64();
+                let extrapolated = measured * 60_000.0 / report.curve.len().max(1) as f64;
+                let paper = paper_seconds(algorithm, task, n);
+                table.row_owned(vec![
+                    algorithm.label().into(),
+                    task.label().into(),
+                    n.to_string(),
+                    report.curve.len().to_string(),
+                    format!("{measured:.2}"),
+                    format!("{extrapolated:.0}"),
+                    paper.map_or("-".into(), |p| format!("{p:.0}")),
+                ]);
+                rows.push(Row {
+                    algorithm: algorithm.label(),
+                    task: task.label(),
+                    agents: n,
+                    episodes: report.curve.len(),
+                    measured_seconds: measured,
+                    extrapolated_60k_seconds: extrapolated,
+                    paper_seconds: paper,
+                });
+            }
+        }
+    }
+    println!("{table}");
+    maybe_json("table1", &rows);
+
+    // Shape checks the paper's Table I exhibits.
+    for algorithm in ["MADDPG", "MATD3"] {
+        let series: Vec<&Row> = rows
+            .iter()
+            .filter(|r| r.algorithm == algorithm && r.task == "predator-prey")
+            .collect();
+        for pair in series.windows(2) {
+            // Normalize per episode: the scaled runs shrink the episode
+            // budget as N grows.
+            let ratio = pair[1].extrapolated_60k_seconds / pair[0].extrapolated_60k_seconds;
+            let nratio = pair[1].agents as f64 / pair[0].agents as f64;
+            println!(
+                "{algorithm} PP {} -> {} agents: {:.2}x time for {:.0}x agents ({})",
+                pair[0].agents,
+                pair[1].agents,
+                ratio,
+                nratio,
+                if ratio > nratio { "super-linear ✓" } else { "sub-linear" }
+            );
+        }
+    }
+}

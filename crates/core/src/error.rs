@@ -1,0 +1,77 @@
+//! Error types of the replay/sampling crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by replay storage and samplers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// An index referenced a row beyond the stored length.
+    IndexOutOfRange {
+        /// Offending index.
+        index: usize,
+        /// Stored length at the time.
+        len: usize,
+    },
+    /// A sample was requested from an empty buffer.
+    EmptyBuffer,
+    /// The buffer holds fewer rows than the requested batch.
+    NotEnoughSamples {
+        /// Rows available.
+        available: usize,
+        /// Rows requested.
+        requested: usize,
+    },
+    /// The batch size is not compatible with the sampler configuration
+    /// (e.g. not divisible by the neighbor count).
+    InvalidBatch {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Multi-agent push with the wrong number of per-agent transitions.
+    AgentCountMismatch {
+        /// Number of buffers.
+        expected: usize,
+        /// Transitions supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::IndexOutOfRange { index, len } => {
+                write!(f, "index {index} out of range for buffer of length {len}")
+            }
+            ReplayError::EmptyBuffer => write!(f, "cannot sample from an empty replay buffer"),
+            ReplayError::NotEnoughSamples { available, requested } => {
+                write!(f, "requested {requested} samples but only {available} are stored")
+            }
+            ReplayError::InvalidBatch { reason } => write!(f, "invalid batch request: {reason}"),
+            ReplayError::AgentCountMismatch { expected, got } => {
+                write!(f, "expected {expected} per-agent transitions but received {got}")
+            }
+        }
+    }
+}
+
+impl Error for ReplayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(ReplayError::EmptyBuffer.to_string().contains("empty"));
+        assert!(ReplayError::NotEnoughSamples { available: 2, requested: 5 }
+            .to_string()
+            .contains("only 2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + 'static>() {}
+        check::<ReplayError>();
+    }
+}

@@ -1,0 +1,145 @@
+//! Sample plans: the "common indices array" of the paper's Figure 5,
+//! encoded as segments so that contiguous neighbor runs stay visible to the
+//! gather executor, the statistics collector, and the cache simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// A contiguous run of rows `[start, start + len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    /// First row index.
+    pub start: usize,
+    /// Run length (≥ 1).
+    pub len: usize,
+}
+
+impl Segment {
+    /// A single-row segment.
+    pub fn single(index: usize) -> Self {
+        Segment { start: index, len: 1 }
+    }
+
+    /// A multi-row run.
+    pub fn run(start: usize, len: usize) -> Self {
+        debug_assert!(len >= 1);
+        Segment { start, len }
+    }
+
+    /// Iterates the indices covered by this segment.
+    pub fn iter(&self) -> impl Iterator<Item = usize> {
+        self.start..self.start + self.len
+    }
+}
+
+/// The common index plan one agent trainer uses against *every* agent's
+/// replay buffer for one mini-batch.
+///
+/// Random (baseline) sampling produces `batch_len` single-row segments;
+/// cache locality-aware sampling produces `refs` segments of `neighbors`
+/// rows each; information-prioritized sampling produces variable-length
+/// segments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SamplePlan {
+    /// Ordered gather segments.
+    pub segments: Vec<Segment>,
+    /// Importance-sampling weight per *row* (flattened over segments);
+    /// `None` when sampling is uniform/unweighted.
+    pub weights: Option<Vec<f32>>,
+}
+
+impl SamplePlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        SamplePlan { segments: Vec::new(), weights: None }
+    }
+
+    /// Builds a plan of single-row segments from raw indices.
+    pub fn from_indices(indices: &[usize]) -> Self {
+        SamplePlan {
+            segments: indices.iter().map(|&i| Segment::single(i)).collect(),
+            weights: None,
+        }
+    }
+
+    /// Total rows this plan gathers.
+    pub fn batch_len(&self) -> usize {
+        self.segments.iter().map(|s| s.len).sum()
+    }
+
+    /// Whether the plan gathers nothing.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Flattens into the per-row index list (the literal indices array).
+    pub fn flatten(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.batch_len());
+        for s in &self.segments {
+            out.extend(s.iter());
+        }
+        out
+    }
+
+    /// Number of *random jumps* the gather performs: one per segment
+    /// (each segment start is an unpredictable address; rows within a
+    /// segment stream sequentially).
+    pub fn random_jumps(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Fraction of rows that are streamed sequentially after a jump
+    /// (`0.0` for fully random plans, approaching `1.0` for long runs).
+    pub fn sequential_fraction(&self) -> f64 {
+        let total = self.batch_len();
+        if total == 0 {
+            return 0.0;
+        }
+        (total - self.segments.len()) as f64 / total as f64
+    }
+}
+
+impl Default for SamplePlan {
+    fn default() -> Self {
+        SamplePlan::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_indices_builds_singles() {
+        let p = SamplePlan::from_indices(&[5, 2, 9]);
+        assert_eq!(p.batch_len(), 3);
+        assert_eq!(p.random_jumps(), 3);
+        assert_eq!(p.flatten(), vec![5, 2, 9]);
+        assert_eq!(p.sequential_fraction(), 0.0);
+    }
+
+    #[test]
+    fn runs_flatten_in_order() {
+        let p = SamplePlan {
+            segments: vec![Segment::run(10, 3), Segment::single(2)],
+            weights: None,
+        };
+        assert_eq!(p.batch_len(), 4);
+        assert_eq!(p.flatten(), vec![10, 11, 12, 2]);
+        assert_eq!(p.random_jumps(), 2);
+        assert_eq!(p.sequential_fraction(), 0.5);
+    }
+
+    #[test]
+    fn empty_plan() {
+        let p = SamplePlan::new();
+        assert!(p.is_empty());
+        assert_eq!(p.batch_len(), 0);
+        assert_eq!(p.sequential_fraction(), 0.0);
+    }
+
+    #[test]
+    fn long_runs_approach_full_sequentiality() {
+        let p = SamplePlan { segments: vec![Segment::run(0, 1024)], weights: None };
+        assert!(p.sequential_fraction() > 0.999);
+    }
+}

@@ -1,0 +1,308 @@
+//! Transition data layout reorganization (Section IV-B2 of the paper).
+//!
+//! Instead of N per-agent buffers in distant memory, the interleaved store
+//! keeps a single key-value table: the key is the time-step index, the
+//! value is *all agents' transition data for that step, contiguous*. A
+//! mini-batch gather then touches one fat row per index — `O(m)` lookups —
+//! instead of `N` separate buffers — `O(N·m)` — and a single fetch
+//! prefetches every agent's data at once.
+
+use crate::error::ReplayError;
+use crate::indices::SamplePlan;
+use crate::multi::MultiAgentReplay;
+use crate::transition::{AgentBatch, MultiBatch, Transition, TransitionLayout};
+
+/// Statistics of one reorganization pass (the "data reshaping" cost the
+/// paper charges against the layout optimization at small agent counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReorganizeReport {
+    /// Rows copied.
+    pub rows: usize,
+    /// Agents interleaved.
+    pub agents: usize,
+    /// Total `f32` elements moved.
+    pub elements_moved: usize,
+}
+
+/// A single interleaved key-value store over all agents' transitions.
+///
+/// # Examples
+///
+/// ```
+/// use marl_core::layout::InterleavedStore;
+/// use marl_core::transition::{Transition, TransitionLayout};
+///
+/// let layouts = vec![TransitionLayout::new(2, 1); 4];
+/// let mut store = InterleavedStore::new(&layouts, 64);
+/// let ts: Vec<Transition> = (0..4)
+///     .map(|_| Transition {
+///         obs: vec![0.0; 2],
+///         action: vec![1.0],
+///         reward: 0.0,
+///         next_obs: vec![0.0; 2],
+///         done: 0.0,
+///     })
+///     .collect();
+/// store.push_step(&ts)?;
+/// assert_eq!(store.len(), 1);
+/// # Ok::<(), marl_core::error::ReplayError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct InterleavedStore {
+    layouts: Vec<TransitionLayout>,
+    /// Element offset of each agent's segment within a fat row.
+    offsets: Vec<usize>,
+    fat_width: usize,
+    capacity: usize,
+    data: Vec<f32>,
+    len: usize,
+    next: usize,
+}
+
+impl InterleavedStore {
+    /// Creates an empty interleaved store for the given per-agent layouts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layouts` is empty or `capacity == 0`.
+    pub fn new(layouts: &[TransitionLayout], capacity: usize) -> Self {
+        assert!(!layouts.is_empty(), "need at least one agent");
+        assert!(capacity > 0, "capacity must be positive");
+        let mut offsets = Vec::with_capacity(layouts.len());
+        let mut off = 0;
+        for l in layouts {
+            offsets.push(off);
+            off += l.row_width();
+        }
+        InterleavedStore {
+            layouts: layouts.to_vec(),
+            offsets,
+            fat_width: off,
+            capacity,
+            data: vec![0.0; capacity * off],
+            len: 0,
+            next: 0,
+        }
+    }
+
+    /// Builds the store by reorganizing an existing per-agent replay — the
+    /// paper's reshape step. Returns the store and a cost report.
+    pub fn reorganize_from(replay: &MultiAgentReplay) -> (Self, ReorganizeReport) {
+        let layouts = replay.layouts();
+        let mut store = InterleavedStore::new(&layouts, replay.capacity());
+        let rows = replay.len();
+        // Stream each agent's rows into the interleaved fat rows. This is
+        // a full-buffer copy: the dominant cost at small N.
+        for (a, l) in layouts.iter().enumerate() {
+            let w = l.row_width();
+            let off = store.offsets[a];
+            let src = replay.buffer(a).raw_rows();
+            for t in 0..rows {
+                let dst = t * store.fat_width + off;
+                store.data[dst..dst + w].copy_from_slice(&src[t * w..(t + 1) * w]);
+            }
+        }
+        store.len = rows;
+        store.next = rows % store.capacity;
+        let report = ReorganizeReport {
+            rows,
+            agents: layouts.len(),
+            elements_moved: rows * store.fat_width,
+        };
+        (store, report)
+    }
+
+    /// Number of agents.
+    pub fn agent_count(&self) -> usize {
+        self.layouts.len()
+    }
+
+    /// Rows stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Capacity in rows.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Width of a fat row in `f32` elements (all agents).
+    pub fn fat_row_width(&self) -> usize {
+        self.fat_width
+    }
+
+    /// Appends one step (one transition per agent) directly in interleaved
+    /// form, keeping the store incrementally up to date after the initial
+    /// reorganization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplayError::AgentCountMismatch`] on a wrong transition
+    /// count.
+    pub fn push_step(&mut self, transitions: &[Transition]) -> Result<usize, ReplayError> {
+        if transitions.len() != self.layouts.len() {
+            return Err(ReplayError::AgentCountMismatch {
+                expected: self.layouts.len(),
+                got: transitions.len(),
+            });
+        }
+        let slot = self.next;
+        let base = slot * self.fat_width;
+        for ((t, l), &off) in transitions.iter().zip(&self.layouts).zip(&self.offsets) {
+            t.write_row(l, &mut self.data[base + off..base + off + l.row_width()]);
+        }
+        self.next = (self.next + 1) % self.capacity;
+        self.len = (self.len + 1).min(self.capacity);
+        Ok(slot)
+    }
+
+    /// Borrows the fat row at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len`.
+    pub fn fat_row(&self, idx: usize) -> &[f32] {
+        assert!(idx < self.len, "row {idx} out of bounds (len {})", self.len);
+        &self.data[idx * self.fat_width..(idx + 1) * self.fat_width]
+    }
+
+    /// Samples the joint mini-batch with a *single* pass over the common
+    /// indices: each index fetches every agent's data from one contiguous
+    /// fat row (`O(m)` instead of `O(N·m)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an index-range error if the plan references unstored rows.
+    pub fn sample(&self, plan: &SamplePlan) -> Result<MultiBatch, ReplayError> {
+        let batch = plan.batch_len();
+        let mut agents: Vec<AgentBatch> = self
+            .layouts
+            .iter()
+            .map(|&l| AgentBatch::with_capacity(l, batch))
+            .collect();
+        for seg in &plan.segments {
+            for idx in seg.iter() {
+                if idx >= self.len {
+                    return Err(ReplayError::IndexOutOfRange { index: idx, len: self.len });
+                }
+                let fat = &self.data[idx * self.fat_width..(idx + 1) * self.fat_width];
+                for ((ab, l), &off) in agents.iter_mut().zip(&self.layouts).zip(&self.offsets) {
+                    ab.push_row(&fat[off..off + l.row_width()]);
+                }
+            }
+        }
+        Ok(MultiBatch { agents, indices: plan.flatten(), weights: plan.weights.clone() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transition(l: &TransitionLayout, v: f32) -> Transition {
+        Transition {
+            obs: vec![v; l.obs_dim],
+            action: vec![v; l.act_dim],
+            reward: v,
+            next_obs: vec![v + 0.5; l.obs_dim],
+            done: 0.0,
+        }
+    }
+
+    fn filled_replay(agents: usize, rows: usize) -> MultiAgentReplay {
+        let layouts = vec![TransitionLayout::new(3, 2); agents];
+        let mut r = MultiAgentReplay::new(&layouts, rows * 2);
+        for t in 0..rows {
+            let ts: Vec<Transition> =
+                (0..agents).map(|a| transition(&layouts[a], (t * 10 + a) as f32)).collect();
+            r.push_step(&ts).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn reorganize_preserves_every_row() {
+        let replay = filled_replay(3, 25);
+        let (store, report) = InterleavedStore::reorganize_from(&replay);
+        assert_eq!(store.len(), 25);
+        assert_eq!(report.rows, 25);
+        assert_eq!(report.agents, 3);
+        assert_eq!(report.elements_moved, 25 * store.fat_row_width());
+        // Cross-check against the per-agent buffers through sampling.
+        let plan = SamplePlan::from_indices(&(0..25).collect::<Vec<_>>());
+        assert_eq!(store.sample(&plan).unwrap().agents, replay.sample(&plan).unwrap().agents);
+    }
+
+    #[test]
+    fn incremental_push_matches_reorganized_layout() {
+        let layouts = vec![TransitionLayout::new(3, 2); 2];
+        let mut store = InterleavedStore::new(&layouts, 8);
+        for t in 0..5 {
+            let ts: Vec<Transition> =
+                (0..2).map(|a| transition(&layouts[a], (t * 10 + a) as f32)).collect();
+            store.push_step(&ts).unwrap();
+        }
+        let plan = SamplePlan::from_indices(&[0, 4]);
+        let mb = store.sample(&plan).unwrap();
+        assert_eq!(mb.agents[0].rewards, vec![0.0, 40.0]);
+        assert_eq!(mb.agents[1].rewards, vec![1.0, 41.0]);
+    }
+
+    #[test]
+    fn ring_wraps_fat_rows() {
+        let layouts = vec![TransitionLayout::new(1, 1); 2];
+        let mut store = InterleavedStore::new(&layouts, 2);
+        for t in 0..3 {
+            let ts: Vec<Transition> =
+                (0..2).map(|a| transition(&layouts[a], (t * 10 + a) as f32)).collect();
+            store.push_step(&ts).unwrap();
+        }
+        // slot 0 overwritten by t=2
+        let plan = SamplePlan::from_indices(&[0, 1]);
+        let mb = store.sample(&plan).unwrap();
+        assert_eq!(mb.agents[0].rewards, vec![20.0, 10.0]);
+    }
+
+    #[test]
+    fn sample_rejects_out_of_range() {
+        let replay = filled_replay(2, 4);
+        let (store, _) = InterleavedStore::reorganize_from(&replay);
+        let plan = SamplePlan::from_indices(&[4]);
+        assert!(store.sample(&plan).is_err());
+    }
+
+    #[test]
+    fn wrong_agent_count_rejected() {
+        let layouts = vec![TransitionLayout::new(1, 1); 3];
+        let mut store = InterleavedStore::new(&layouts, 4);
+        let err = store.push_step(&[transition(&layouts[0], 0.0)]).unwrap_err();
+        assert!(matches!(err, ReplayError::AgentCountMismatch { expected: 3, got: 1 }));
+    }
+
+    #[test]
+    fn fat_width_sums_agent_rows() {
+        let layouts =
+            vec![TransitionLayout::new(4, 2), TransitionLayout::new(3, 2), TransitionLayout::new(2, 1)];
+        let store = InterleavedStore::new(&layouts, 4);
+        let expect: usize = layouts.iter().map(|l| l.row_width()).sum();
+        assert_eq!(store.fat_row_width(), expect);
+    }
+
+    #[test]
+    fn heterogeneous_layouts_roundtrip() {
+        let layouts = vec![TransitionLayout::new(4, 2), TransitionLayout::new(2, 1)];
+        let mut store = InterleavedStore::new(&layouts, 4);
+        let ts = vec![transition(&layouts[0], 1.0), transition(&layouts[1], 2.0)];
+        store.push_step(&ts).unwrap();
+        let mb = store.sample(&SamplePlan::from_indices(&[0])).unwrap();
+        assert_eq!(mb.agents[0].obs, vec![1.0; 4]);
+        assert_eq!(mb.agents[1].obs, vec![2.0; 2]);
+        assert_eq!(mb.agents[1].rewards, vec![2.0]);
+    }
+}

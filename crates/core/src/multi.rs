@@ -1,0 +1,353 @@
+//! The N-agent replay buffer: one [`ReplayStorage`] per agent, pushed in
+//! lockstep, sampled with a *common indices array* so the joint transition
+//! of all agents at the same time step is reassembled (Figure 5 of the
+//! paper).
+
+use crate::error::ReplayError;
+use crate::indices::SamplePlan;
+use crate::storage::ReplayStorage;
+use crate::transition::{AgentBatch, MultiBatch, Transition, TransitionLayout};
+
+/// Per-agent replay buffers kept aligned by pushing one transition per
+/// agent per environment step.
+///
+/// # Examples
+///
+/// ```
+/// use marl_core::multi::MultiAgentReplay;
+/// use marl_core::transition::{Transition, TransitionLayout};
+///
+/// let layouts = vec![TransitionLayout::new(4, 2); 3];
+/// let mut replay = MultiAgentReplay::new(&layouts, 100);
+/// let ts: Vec<Transition> = (0..3)
+///     .map(|_| Transition {
+///         obs: vec![0.0; 4],
+///         action: vec![1.0, 0.0],
+///         reward: 0.0,
+///         next_obs: vec![0.0; 4],
+///         done: 0.0,
+///     })
+///     .collect();
+/// replay.push_step(&ts)?;
+/// assert_eq!(replay.len(), 1);
+/// # Ok::<(), marl_core::error::ReplayError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiAgentReplay {
+    buffers: Vec<ReplayStorage>,
+    capacity: usize,
+}
+
+impl MultiAgentReplay {
+    /// Creates aligned buffers, one per agent layout, each of `capacity`
+    /// rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layouts` is empty or `capacity == 0`.
+    pub fn new(layouts: &[TransitionLayout], capacity: usize) -> Self {
+        assert!(!layouts.is_empty(), "need at least one agent");
+        let buffers = layouts.iter().map(|&l| ReplayStorage::new(l, capacity)).collect();
+        MultiAgentReplay { buffers, capacity }
+    }
+
+    /// Number of agents.
+    pub fn agent_count(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Shared capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of aligned rows stored (identical across agents).
+    pub fn len(&self) -> usize {
+        self.buffers[0].len()
+    }
+
+    /// Whether nothing is stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The slot the next push writes (for priority bookkeeping).
+    pub fn next_slot(&self) -> usize {
+        self.buffers[0].next_slot()
+    }
+
+    /// Per-agent row layouts.
+    pub fn layouts(&self) -> Vec<TransitionLayout> {
+        self.buffers.iter().map(|b| *b.layout()).collect()
+    }
+
+    /// Read access to one agent's storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent` is out of range.
+    pub fn buffer(&self, agent: usize) -> &ReplayStorage {
+        &self.buffers[agent]
+    }
+
+    /// Reconstructs a multi-agent replay from per-agent storages (snapshot
+    /// restore).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplayError::InvalidBatch`] if the storages disagree on
+    /// capacity, length or cursor.
+    pub fn from_storages(buffers: Vec<ReplayStorage>) -> Result<Self, ReplayError> {
+        if buffers.is_empty() {
+            return Err(ReplayError::InvalidBatch { reason: "no agent storages".into() });
+        }
+        let capacity = buffers[0].capacity();
+        let len = buffers[0].len();
+        let next = buffers[0].next_slot();
+        if buffers
+            .iter()
+            .any(|b| b.capacity() != capacity || b.len() != len || b.next_slot() != next)
+        {
+            return Err(ReplayError::InvalidBatch {
+                reason: "agent storages are not aligned".into(),
+            });
+        }
+        Ok(MultiAgentReplay { buffers, capacity })
+    }
+
+    /// Pushes one transition per agent (same time step). Returns the slot
+    /// written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplayError::AgentCountMismatch`] when the number of
+    /// transitions differs from the number of agents.
+    pub fn push_step(&mut self, transitions: &[Transition]) -> Result<usize, ReplayError> {
+        if transitions.len() != self.buffers.len() {
+            return Err(ReplayError::AgentCountMismatch {
+                expected: self.buffers.len(),
+                got: transitions.len(),
+            });
+        }
+        let mut slot = 0;
+        for (b, t) in self.buffers.iter_mut().zip(transitions) {
+            slot = b.push(t);
+        }
+        Ok(slot)
+    }
+
+    /// Executes a sample plan against **every** agent's buffer with the
+    /// same (common) indices, producing the joint mini-batch the critic
+    /// update consumes.
+    ///
+    /// Contiguous plan segments are gathered with streaming reads;
+    /// single-row segments with scattered reads — so the *cost* of a plan
+    /// directly reflects its locality, exactly the effect the paper
+    /// measures.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index-range errors from the underlying storage.
+    pub fn sample(&self, plan: &SamplePlan) -> Result<MultiBatch, ReplayError> {
+        let batch = plan.batch_len();
+        let mut agents = Vec::with_capacity(self.buffers.len());
+        // Scratch reused across agents.
+        let mut rows: Vec<f32> = Vec::new();
+        for b in &self.buffers {
+            rows.clear();
+            let w = b.layout().row_width();
+            for seg in &plan.segments {
+                if seg.len == 1 {
+                    b.gather(std::slice::from_ref(&seg.start), &mut rows)?;
+                } else {
+                    b.gather_run(seg.start, seg.len, &mut rows)?;
+                }
+            }
+            let mut ab = AgentBatch::with_capacity(*b.layout(), batch);
+            for r in 0..batch {
+                ab.push_row(&rows[r * w..(r + 1) * w]);
+            }
+            agents.push(ab);
+        }
+        Ok(MultiBatch { agents, indices: plan.flatten(), weights: plan.weights.clone() })
+    }
+
+    /// Parallel variant of [`MultiAgentReplay::sample`]: agents' gathers
+    /// are independent, so they are fanned out over up to `threads` scoped
+    /// worker threads.
+    ///
+    /// This is an *extension* beyond the paper (which identifies the
+    /// sampling phase as CPU-bound): thread-level parallelism composes
+    /// with, but does not replace, the locality optimizations — each
+    /// worker still executes the same plan segments.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index-range errors from the underlying storage.
+    pub fn sample_parallel(
+        &self,
+        plan: &SamplePlan,
+        threads: usize,
+    ) -> Result<MultiBatch, ReplayError> {
+        let threads = threads.clamp(1, self.buffers.len());
+        if threads == 1 {
+            return self.sample(plan);
+        }
+        let batch = plan.batch_len();
+        let n = self.buffers.len();
+        let chunk = n.div_ceil(threads);
+        let results: Vec<Result<Vec<AgentBatch>, ReplayError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .buffers
+                .chunks(chunk)
+                .map(|bufs| {
+                    scope.spawn(move || {
+                        let mut out = Vec::with_capacity(bufs.len());
+                        let mut rows: Vec<f32> = Vec::new();
+                        for b in bufs {
+                            rows.clear();
+                            let w = b.layout().row_width();
+                            for seg in &plan.segments {
+                                if seg.len == 1 {
+                                    b.gather(std::slice::from_ref(&seg.start), &mut rows)?;
+                                } else {
+                                    b.gather_run(seg.start, seg.len, &mut rows)?;
+                                }
+                            }
+                            let mut ab = AgentBatch::with_capacity(*b.layout(), batch);
+                            for r in 0..batch {
+                                ab.push_row(&rows[r * w..(r + 1) * w]);
+                            }
+                            out.push(ab);
+                        }
+                        Ok(out)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("gather worker panicked")).collect()
+        });
+        let mut agents = Vec::with_capacity(n);
+        for r in results {
+            agents.extend(r?);
+        }
+        Ok(MultiBatch { agents, indices: plan.flatten(), weights: plan.weights.clone() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::indices::Segment;
+
+    fn transition(layout: &TransitionLayout, v: f32) -> Transition {
+        Transition {
+            obs: vec![v; layout.obs_dim],
+            action: vec![v; layout.act_dim],
+            reward: v,
+            next_obs: vec![v + 0.5; layout.obs_dim],
+            done: 0.0,
+        }
+    }
+
+    fn filled(agents: usize, rows: usize) -> MultiAgentReplay {
+        let layouts = vec![TransitionLayout::new(3, 2); agents];
+        let mut r = MultiAgentReplay::new(&layouts, rows * 2);
+        for t in 0..rows {
+            let ts: Vec<Transition> = (0..agents)
+                .map(|a| transition(&layouts[a], (t * 10 + a) as f32))
+                .collect();
+            r.push_step(&ts).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn push_keeps_buffers_aligned() {
+        let r = filled(4, 10);
+        assert_eq!(r.len(), 10);
+        assert_eq!(r.agent_count(), 4);
+        for a in 0..4 {
+            assert_eq!(r.buffer(a).len(), 10);
+            // value encodes time and agent
+            assert_eq!(r.buffer(a).transition(3).reward, (30 + a) as f32);
+        }
+    }
+
+    #[test]
+    fn wrong_agent_count_rejected() {
+        let layouts = vec![TransitionLayout::new(2, 1); 2];
+        let mut r = MultiAgentReplay::new(&layouts, 4);
+        let err = r.push_step(&[transition(&layouts[0], 0.0)]).unwrap_err();
+        assert!(matches!(err, ReplayError::AgentCountMismatch { expected: 2, got: 1 }));
+    }
+
+    #[test]
+    fn common_indices_align_across_agents() {
+        let r = filled(3, 20);
+        let plan = SamplePlan::from_indices(&[5, 17, 0]);
+        let mb = r.sample(&plan).unwrap();
+        assert_eq!(mb.len(), 3);
+        for (a, ab) in mb.agents.iter().enumerate() {
+            // row 0 of every agent batch comes from time step 5
+            assert_eq!(ab.rewards[0], (50 + a) as f32);
+            assert_eq!(ab.rewards[1], (170 + a) as f32);
+            assert_eq!(ab.rewards[2], a as f32);
+        }
+    }
+
+    #[test]
+    fn run_segments_equal_scattered_result() {
+        let r = filled(2, 30);
+        let run_plan = SamplePlan { segments: vec![Segment::run(4, 5)], weights: None };
+        let flat_plan = SamplePlan::from_indices(&[4, 5, 6, 7, 8]);
+        assert_eq!(r.sample(&run_plan).unwrap().agents, r.sample(&flat_plan).unwrap().agents);
+    }
+
+    #[test]
+    fn batch_columns_have_consistent_shapes() {
+        let r = filled(2, 16);
+        let plan = SamplePlan::from_indices(&(0..8).collect::<Vec<_>>());
+        let mb = r.sample(&plan).unwrap();
+        for ab in &mb.agents {
+            assert_eq!(ab.obs.len(), 8 * 3);
+            assert_eq!(ab.actions.len(), 8 * 2);
+            assert_eq!(ab.rewards.len(), 8);
+            assert_eq!(ab.next_obs.len(), 8 * 3);
+            assert_eq!(ab.dones.len(), 8);
+        }
+    }
+
+    #[test]
+    fn out_of_range_plan_fails() {
+        let r = filled(2, 4);
+        let plan = SamplePlan::from_indices(&[4]);
+        assert!(r.sample(&plan).is_err());
+    }
+
+    #[test]
+    fn parallel_sample_equals_sequential() {
+        let r = filled(8, 64);
+        let plan = SamplePlan::from_indices(&[0, 7, 31, 63, 12]);
+        let seq = r.sample(&plan).unwrap();
+        for threads in [1usize, 2, 3, 8, 100] {
+            let par = r.sample_parallel(&plan, threads).unwrap();
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_sample_propagates_errors() {
+        let r = filled(4, 4);
+        let plan = SamplePlan::from_indices(&[10]);
+        assert!(r.sample_parallel(&plan, 4).is_err());
+    }
+
+    #[test]
+    fn weights_pass_through() {
+        let r = filled(2, 8);
+        let mut plan = SamplePlan::from_indices(&[0, 1]);
+        plan.weights = Some(vec![0.5, 1.0]);
+        let mb = r.sample(&plan).unwrap();
+        assert_eq!(mb.weights, Some(vec![0.5, 1.0]));
+    }
+}

@@ -1,0 +1,78 @@
+//! Mini-batch sampling strategies.
+//!
+//! Each strategy produces a [`SamplePlan`] — the common indices array an
+//! agent trainer applies to every agent's replay buffer — and optionally
+//! consumes TD-error feedback to maintain priorities.
+
+pub mod ip_locality;
+pub mod locality;
+pub mod per;
+pub mod reuse;
+pub mod uniform;
+
+use crate::error::ReplayError;
+use crate::indices::SamplePlan;
+use rand::rngs::StdRng;
+
+pub use ip_locality::{IpLocalityConfig, IpLocalitySampler};
+pub use locality::{LocalityConfig, LocalitySampler};
+pub use per::{PerConfig, PerSampler};
+pub use reuse::{ReuseConfig, ReuseWindowSampler};
+pub use uniform::UniformSampler;
+
+/// A mini-batch sampling strategy over a replay buffer of growing length.
+///
+/// Implementations are stateful: prioritized strategies track per-slot
+/// priorities via [`Sampler::observe_push`] and
+/// [`Sampler::update_priorities`].
+pub trait Sampler: std::fmt::Debug + Send {
+    /// Short name used in reports (e.g. `"uniform"`, `"locality-n16-r64"`).
+    fn name(&self) -> String;
+
+    /// Plans the indices for one mini-batch of `batch` rows over a buffer
+    /// currently holding `len` rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the buffer is empty, too small for the batch, or
+    /// the batch is incompatible with the strategy configuration.
+    fn plan(&mut self, len: usize, batch: usize, rng: &mut StdRng) -> Result<SamplePlan, ReplayError>;
+
+    /// Notifies the strategy that a new transition landed in `slot`
+    /// (prioritized strategies give fresh transitions maximal priority).
+    fn observe_push(&mut self, _slot: usize) {}
+
+    /// Feeds back TD errors for previously sampled `indices` so priorities
+    /// can be refreshed. Non-prioritized strategies ignore this.
+    fn update_priorities(&mut self, _indices: &[usize], _td_errors: &[f32]) {}
+}
+
+/// Validates common preconditions shared by all strategies.
+pub(crate) fn check_batch(len: usize, batch: usize) -> Result<(), ReplayError> {
+    if len == 0 {
+        return Err(ReplayError::EmptyBuffer);
+    }
+    if batch == 0 {
+        return Err(ReplayError::InvalidBatch { reason: "batch size must be positive".into() });
+    }
+    if batch > len {
+        return Err(ReplayError::NotEnoughSamples { available: len, requested: batch });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_batch_cases() {
+        assert!(matches!(check_batch(0, 4), Err(ReplayError::EmptyBuffer)));
+        assert!(matches!(check_batch(10, 0), Err(ReplayError::InvalidBatch { .. })));
+        assert!(matches!(
+            check_batch(3, 4),
+            Err(ReplayError::NotEnoughSamples { available: 3, requested: 4 })
+        ));
+        assert!(check_batch(4, 4).is_ok());
+    }
+}

@@ -1,0 +1,381 @@
+//! Proportional prioritized experience replay (PER, Schaul et al. 2015) —
+//! the prioritization baseline the paper compares against
+//! (PER-MADDPG / PER-MATD3).
+
+use crate::error::ReplayError;
+use crate::indices::SamplePlan;
+use crate::sampler::{check_batch, Sampler};
+use crate::sumtree::SumTree;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of proportional PER.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerConfig {
+    /// Priority exponent α (0 = uniform, 1 = fully proportional).
+    pub alpha: f64,
+    /// Initial importance-sampling compensation exponent β (Lemma 1's β;
+    /// 1 = full compensation).
+    pub beta: f64,
+    /// Final β reached after [`PerConfig::beta_anneal_plans`] plans
+    /// (Schaul et al. anneal β → 1 so late training is unbiased).
+    pub beta_final: f64,
+    /// Number of plans over which β anneals linearly from `beta` to
+    /// `beta_final` (0 disables annealing).
+    pub beta_anneal_plans: u64,
+    /// Small constant added to |TD| so no priority is zero.
+    pub epsilon: f64,
+    /// Buffer capacity the priority tree covers.
+    pub capacity: usize,
+}
+
+impl PerConfig {
+    /// The defaults used by the paper's PER baseline (β annealed to 1 over
+    /// 100 k plans).
+    pub fn with_capacity(capacity: usize) -> Self {
+        PerConfig {
+            alpha: 0.6,
+            beta: 0.4,
+            beta_final: 1.0,
+            beta_anneal_plans: 100_000,
+            epsilon: 1e-3,
+            capacity,
+        }
+    }
+}
+
+/// Shared prioritization machinery: a sum tree plus the importance-weight
+/// bookkeeping. Reused by [`PerSampler`] and the information-prioritized
+/// locality sampler.
+#[derive(Debug, Clone)]
+pub struct PriorityCore {
+    tree: SumTree,
+    config: PerConfig,
+    max_priority: f64,
+    len: usize,
+    plans: u64,
+}
+
+impl PriorityCore {
+    /// Creates the core with all priorities zero.
+    pub fn new(config: PerConfig) -> Self {
+        PriorityCore {
+            tree: SumTree::new(config.capacity),
+            config,
+            max_priority: 1.0,
+            len: 0,
+            plans: 0,
+        }
+    }
+
+    /// Advances the β-annealing schedule (call once per planned batch) and
+    /// returns the effective β.
+    pub fn advance_beta(&mut self) -> f64 {
+        self.plans += 1;
+        self.current_beta()
+    }
+
+    /// The effective β under the annealing schedule.
+    pub fn current_beta(&self) -> f64 {
+        let c = &self.config;
+        if c.beta_anneal_plans == 0 {
+            return c.beta;
+        }
+        let t = (self.plans as f64 / c.beta_anneal_plans as f64).min(1.0);
+        c.beta + (c.beta_final - c.beta) * t
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &PerConfig {
+        &self.config
+    }
+
+    /// Number of slots that have ever received a priority.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no slot has a priority yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Gives a freshly pushed `slot` the current maximum priority, so new
+    /// transitions are sampled at least once (standard PER behaviour).
+    pub fn observe_push(&mut self, slot: usize) {
+        self.tree.update(slot, self.max_priority.powf(self.config.alpha));
+        self.len = (self.len + 1).min(self.config.capacity);
+    }
+
+    /// Refreshes priorities from TD errors: `p = (|td| + ε)^α`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn update_priorities(&mut self, indices: &[usize], td_errors: &[f32]) {
+        assert_eq!(indices.len(), td_errors.len(), "indices/td length mismatch");
+        for (&i, &td) in indices.iter().zip(td_errors) {
+            let p = (td.abs() as f64 + self.config.epsilon).max(1e-12);
+            self.max_priority = self.max_priority.max(p);
+            self.tree.update(i, p.powf(self.config.alpha));
+        }
+    }
+
+    /// Draws one leaf proportional to priority within the prefix stratum
+    /// `[lo, hi)`; returns `(index, sampling probability)`.
+    pub fn sample_stratum(&self, lo: f64, hi: f64, rng: &mut StdRng) -> (usize, f64) {
+        let total = self.tree.total();
+        let prefix = rng.gen_range(lo..hi.max(lo + f64::MIN_POSITIVE));
+        let idx = self.tree.find_prefix(prefix);
+        let prob = self.tree.priority(idx) / total;
+        (idx, prob)
+    }
+
+    /// Total priority mass.
+    pub fn total_mass(&self) -> f64 {
+        self.tree.total()
+    }
+
+    /// Current (α-exponentiated) priority of a slot.
+    pub fn priority_of(&self, idx: usize) -> f64 {
+        self.tree.priority(idx)
+    }
+
+    /// Priority of a slot normalized to `[0, 1]` — the "value" the paper's
+    /// neighbor predictor thresholds. Normalization is relative to twice
+    /// the buffer's **mean** priority (O(1) from the tree total), so a
+    /// mean-priority transition scores 0.5 and anything ≥ 2× the mean
+    /// saturates at 1.0; an all-time-max normalization would pin almost
+    /// every reference below the lowest threshold once an outlier TD error
+    /// appears.
+    pub fn normalized_priority(&self, idx: usize, len: usize) -> f32 {
+        let total = self.tree.total();
+        if total <= 0.0 || len == 0 {
+            return 0.0;
+        }
+        let mean = total / len as f64;
+        ((self.tree.priority(idx) / (2.0 * mean)).clamp(0.0, 1.0)) as f32
+    }
+
+    /// The maximum importance weight over the first `len` rows — compute
+    /// this **once per plan** (it scans the tree's leaves) and feed it to
+    /// [`PriorityCore::importance_weight`].
+    pub fn max_weight(&self, len: usize) -> f64 {
+        let beta = self.current_beta();
+        let n = len.max(1) as f64;
+        let min_prob = self
+            .tree
+            .min_priority(len)
+            .map(|p| p / self.tree.total())
+            .unwrap_or(1.0 / n);
+        (1.0 / (n * min_prob.max(1e-12))).powf(beta)
+    }
+
+    /// Lemma 1 importance weight for a sample of probability `prob` over
+    /// `len` stored rows: `w_i = (1/N · 1/P(i))^β`, normalized by
+    /// `w_max` (from [`PriorityCore::max_weight`]) so weights lie in
+    /// `(0, 1]`.
+    pub fn importance_weight(&self, prob: f64, len: usize, w_max: f64) -> f32 {
+        let beta = self.current_beta();
+        let n = len.max(1) as f64;
+        let w = (1.0 / (n * prob.max(1e-12))).powf(beta);
+        (w / w_max.max(1e-12)).min(1.0) as f32
+    }
+}
+
+/// Proportional PER with stratified sampling.
+///
+/// # Examples
+///
+/// ```
+/// use marl_core::sampler::{PerConfig, PerSampler, Sampler};
+/// use rand::SeedableRng;
+///
+/// let mut s = PerSampler::new(PerConfig::with_capacity(1 << 14));
+/// for slot in 0..1000 { s.observe_push(slot); }
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let plan = s.plan(1000, 256, &mut rng)?;
+/// assert_eq!(plan.batch_len(), 256);
+/// assert!(plan.weights.is_some());
+/// # Ok::<(), marl_core::error::ReplayError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PerSampler {
+    core: PriorityCore,
+}
+
+impl PerSampler {
+    /// Creates the sampler.
+    pub fn new(config: PerConfig) -> Self {
+        PerSampler { core: PriorityCore::new(config) }
+    }
+
+    /// Access to the shared prioritization core (for tests/diagnostics).
+    pub fn core(&self) -> &PriorityCore {
+        &self.core
+    }
+}
+
+impl Sampler for PerSampler {
+    fn name(&self) -> String {
+        "per".to_owned()
+    }
+
+    fn plan(&mut self, len: usize, batch: usize, rng: &mut StdRng) -> Result<SamplePlan, ReplayError> {
+        check_batch(len, batch)?;
+        if self.core.total_mass() <= 0.0 {
+            return Err(ReplayError::InvalidBatch {
+                reason: "priority tree is empty; push transitions first".into(),
+            });
+        }
+        // Stratified proportional sampling: divide the mass into `batch`
+        // equal strata and draw one index from each.
+        self.core.advance_beta();
+        let total = self.core.total_mass();
+        let stratum = total / batch as f64;
+        let w_max = self.core.max_weight(len);
+        let mut indices = Vec::with_capacity(batch);
+        let mut weights = Vec::with_capacity(batch);
+        for b in 0..batch {
+            let (idx, prob) = self.core.sample_stratum(b as f64 * stratum, (b + 1) as f64 * stratum, rng);
+            let idx = idx.min(len - 1);
+            indices.push(idx);
+            weights.push(self.core.importance_weight(prob, len, w_max));
+        }
+        let mut plan = SamplePlan::from_indices(&indices);
+        plan.weights = Some(weights);
+        Ok(plan)
+    }
+
+    fn observe_push(&mut self, slot: usize) {
+        self.core.observe_push(slot);
+    }
+
+    fn update_priorities(&mut self, indices: &[usize], td_errors: &[f32]) {
+        self.core.update_priorities(indices, td_errors);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn pushed_sampler(n: usize) -> PerSampler {
+        let mut s = PerSampler::new(PerConfig::with_capacity(1 << 12));
+        for i in 0..n {
+            s.observe_push(i);
+        }
+        s
+    }
+
+    #[test]
+    fn fresh_transitions_all_sampleable() {
+        let mut s = pushed_sampler(100);
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = s.plan(100, 64, &mut rng).unwrap();
+        assert!(p.flatten().iter().all(|&i| i < 100));
+        let w = p.weights.unwrap();
+        assert_eq!(w.len(), 64);
+        // uniform priorities → all weights 1
+        assert!(w.iter().all(|&x| (x - 1.0).abs() < 1e-5), "{w:?}");
+    }
+
+    #[test]
+    fn high_priority_rows_sampled_more() {
+        let mut s = pushed_sampler(64);
+        // Make row 7 dominate.
+        s.update_priorities(&[7], &[100.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut hits = 0;
+        for _ in 0..50 {
+            let p = s.plan(64, 32, &mut rng).unwrap();
+            hits += p.flatten().iter().filter(|&&i| i == 7).count();
+        }
+        // With alpha = 0.6, row 7's mass share is (100^0.6)/(63 + 100^0.6)
+        // ~ 20%, so ~320 of the 1600 samples; uniform would give ~25.
+        assert!(hits > 200, "hits={hits}");
+    }
+
+    #[test]
+    fn weights_compensate_for_priority() {
+        let mut s = pushed_sampler(64);
+        s.update_priorities(&[7], &[100.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = s.plan(64, 64, &mut rng).unwrap();
+        let idx = p.flatten();
+        let w = p.weights.unwrap();
+        // Weight of the dominant index must be far below any rare one.
+        let w7: Vec<f32> = idx
+            .iter()
+            .zip(&w)
+            .filter(|(&i, _)| i == 7)
+            .map(|(_, &w)| w)
+            .collect();
+        let w_other: Vec<f32> = idx
+            .iter()
+            .zip(&w)
+            .filter(|(&i, _)| i != 7)
+            .map(|(_, &w)| w)
+            .collect();
+        assert!(!w7.is_empty());
+        if !w_other.is_empty() {
+            assert!(w7[0] < w_other[0]);
+        }
+        assert!(w.iter().all(|&x| x > 0.0 && x <= 1.0));
+    }
+
+    #[test]
+    fn beta_anneals_toward_final() {
+        let mut cfg = PerConfig::with_capacity(64);
+        cfg.beta = 0.4;
+        cfg.beta_final = 1.0;
+        cfg.beta_anneal_plans = 10;
+        let mut s = PerSampler::new(cfg);
+        for i in 0..64 {
+            s.observe_push(i);
+        }
+        assert!((s.core().current_beta() - 0.4).abs() < 1e-9);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            s.plan(64, 8, &mut rng).unwrap();
+        }
+        assert!((s.core().current_beta() - 1.0).abs() < 1e-9);
+        // and it saturates
+        s.plan(64, 8, &mut rng).unwrap();
+        assert!((s.core().current_beta() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn annealing_disabled_with_zero_plans() {
+        let mut cfg = PerConfig::with_capacity(8);
+        cfg.beta_anneal_plans = 0;
+        let mut core = PriorityCore::new(cfg);
+        for _ in 0..100 {
+            core.advance_beta();
+        }
+        assert!((core.current_beta() - cfg.beta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tree_rejected() {
+        let mut s = PerSampler::new(PerConfig::with_capacity(16));
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(s.plan(10, 4, &mut rng).is_err());
+    }
+
+    #[test]
+    fn fresh_pushes_inherit_max_priority() {
+        let mut s = PerSampler::new(PerConfig::with_capacity(8));
+        s.observe_push(0);
+        let base = s.core().priority_of(0);
+        s.update_priorities(&[0], &[50.0]);
+        let inflated = s.core().priority_of(0);
+        assert!(inflated > base);
+        // A new transition lands with the maximum priority seen so far, so
+        // it is guaranteed to be sampled at least once.
+        s.observe_push(1);
+        assert!((s.core().priority_of(1) - inflated).abs() / inflated < 1e-3);
+    }
+}

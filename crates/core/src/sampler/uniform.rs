@@ -1,0 +1,94 @@
+//! Baseline uniform random sampling (the default in MADDPG/MATD3).
+
+use crate::error::ReplayError;
+use crate::indices::SamplePlan;
+use crate::sampler::{check_batch, Sampler};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The baseline strategy: `batch` indices drawn uniformly at random.
+///
+/// Every index is an unpredictable address — the access pattern the paper
+/// identifies as the sampling-phase bottleneck ("load misses for every
+/// reference point in the index array").
+///
+/// # Examples
+///
+/// ```
+/// use marl_core::sampler::{Sampler, UniformSampler};
+/// use rand::SeedableRng;
+///
+/// let mut s = UniformSampler::new();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let plan = s.plan(10_000, 1024, &mut rng)?;
+/// assert_eq!(plan.batch_len(), 1024);
+/// assert_eq!(plan.random_jumps(), 1024);
+/// # Ok::<(), marl_core::error::ReplayError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct UniformSampler {
+    _private: (),
+}
+
+impl UniformSampler {
+    /// Creates the baseline sampler.
+    pub fn new() -> Self {
+        UniformSampler { _private: () }
+    }
+}
+
+impl Sampler for UniformSampler {
+    fn name(&self) -> String {
+        "uniform".to_owned()
+    }
+
+    fn plan(&mut self, len: usize, batch: usize, rng: &mut StdRng) -> Result<SamplePlan, ReplayError> {
+        check_batch(len, batch)?;
+        let indices: Vec<usize> = (0..batch).map(|_| rng.gen_range(0..len)).collect();
+        Ok(SamplePlan::from_indices(&indices))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn plan_has_no_sequential_runs() {
+        let mut s = UniformSampler::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = s.plan(1000, 64, &mut rng).unwrap();
+        assert_eq!(p.batch_len(), 64);
+        assert_eq!(p.random_jumps(), 64);
+        assert!(p.flatten().iter().all(|&i| i < 1000));
+    }
+
+    #[test]
+    fn indices_cover_the_buffer() {
+        let mut s = UniformSampler::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = s.plan(10, 1000, &mut rng);
+        // batch > len is rejected
+        assert!(p.is_err());
+        let p = s.plan(1000, 1000, &mut rng).unwrap();
+        let idx = p.flatten();
+        let distinct: std::collections::HashSet<_> = idx.iter().collect();
+        // with replacement, but should still touch a wide range
+        assert!(distinct.len() > 500);
+    }
+
+    #[test]
+    fn empty_buffer_rejected() {
+        let mut s = UniformSampler::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(matches!(s.plan(0, 4, &mut rng), Err(ReplayError::EmptyBuffer)));
+    }
+
+    #[test]
+    fn no_weights_for_uniform() {
+        let mut s = UniformSampler::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(s.plan(100, 10, &mut rng).unwrap().weights.is_none());
+    }
+}

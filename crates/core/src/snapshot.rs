@@ -1,0 +1,261 @@
+//! Compact binary snapshots of replay buffers.
+//!
+//! Long characterization runs (the paper's take days) need their replay
+//! state persisted and restored; JSON is impractical at 1 M rows ×
+//! hundreds of floats, so snapshots use a versioned little-endian binary
+//! framing built on [`bytes`].
+
+use crate::error::ReplayError;
+use crate::multi::MultiAgentReplay;
+use crate::storage::ReplayStorage;
+use crate::transition::TransitionLayout;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic prefix of a snapshot frame.
+const MAGIC: u32 = 0x4D41_524C; // "MARL"
+/// Current framing version.
+const VERSION: u16 = 1;
+
+/// Errors from decoding a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The buffer does not start with the snapshot magic.
+    BadMagic,
+    /// Unsupported framing version.
+    BadVersion(u16),
+    /// The frame ended before the declared payload.
+    Truncated,
+    /// Internal inconsistency (e.g. length exceeding capacity).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a replay snapshot (bad magic)"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Encodes one agent's buffer into `out`.
+fn encode_storage(storage: &ReplayStorage, out: &mut BytesMut) {
+    let l = storage.layout();
+    out.put_u32_le(l.obs_dim as u32);
+    out.put_u32_le(l.act_dim as u32);
+    out.put_u64_le(storage.capacity() as u64);
+    out.put_u64_le(storage.len() as u64);
+    out.put_u64_le(storage.next_slot() as u64);
+    for row in 0..storage.len() {
+        for &x in storage.row(row) {
+            out.put_f32_le(x);
+        }
+    }
+}
+
+fn decode_storage(buf: &mut Bytes) -> Result<ReplayStorage, SnapshotError> {
+    if buf.remaining() < 4 + 4 + 8 + 8 + 8 {
+        return Err(SnapshotError::Truncated);
+    }
+    let obs_dim = buf.get_u32_le() as usize;
+    let act_dim = buf.get_u32_le() as usize;
+    let capacity = buf.get_u64_le() as usize;
+    let len = buf.get_u64_le() as usize;
+    let next = buf.get_u64_le() as usize;
+    if capacity == 0 {
+        return Err(SnapshotError::Corrupt("zero capacity"));
+    }
+    if len > capacity || next >= capacity.max(1) {
+        return Err(SnapshotError::Corrupt("length/cursor out of range"));
+    }
+    let layout = TransitionLayout::new(obs_dim, act_dim);
+    let w = layout.row_width();
+    // Guard against hostile headers demanding absurd allocations: the
+    // backing store may not exceed 2^31 floats (8 GiB).
+    if capacity.saturating_mul(w) > (1usize << 31) {
+        return Err(SnapshotError::Corrupt("implausible capacity"));
+    }
+    if buf.remaining() < len * w * 4 {
+        return Err(SnapshotError::Truncated);
+    }
+    let mut rows = vec![0.0f32; len * w];
+    for x in rows.iter_mut() {
+        *x = buf.get_f32_le();
+    }
+    ReplayStorage::from_raw_parts(layout, capacity, len, next, &rows)
+        .map_err(|_| SnapshotError::Corrupt("inconsistent storage header"))
+}
+
+/// Serializes a multi-agent replay into a framed binary snapshot.
+///
+/// # Examples
+///
+/// ```
+/// use marl_core::multi::MultiAgentReplay;
+/// use marl_core::snapshot::{decode_replay, encode_replay};
+/// use marl_core::transition::TransitionLayout;
+///
+/// let replay = MultiAgentReplay::new(&[TransitionLayout::new(4, 2); 2], 16);
+/// let bytes = encode_replay(&replay);
+/// let restored = decode_replay(bytes).unwrap();
+/// assert_eq!(restored.agent_count(), 2);
+/// ```
+pub fn encode_replay(replay: &MultiAgentReplay) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_u32_le(MAGIC);
+    out.put_u16_le(VERSION);
+    out.put_u32_le(replay.agent_count() as u32);
+    for a in 0..replay.agent_count() {
+        encode_storage(replay.buffer(a), &mut out);
+    }
+    out.freeze()
+}
+
+/// Decodes a snapshot produced by [`encode_replay`].
+///
+/// # Errors
+///
+/// Returns a [`SnapshotError`] for malformed input.
+pub fn decode_replay(mut buf: Bytes) -> Result<MultiAgentReplay, SnapshotError> {
+    if buf.remaining() < 10 {
+        return Err(SnapshotError::Truncated);
+    }
+    if buf.get_u32_le() != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    let agents = buf.get_u32_le() as usize;
+    if agents == 0 {
+        return Err(SnapshotError::Corrupt("zero agents"));
+    }
+    // Never pre-allocate by an untrusted count: each agent frame needs at
+    // least its 32-byte header, so an agent count beyond the remaining
+    // bytes is certainly corrupt.
+    if agents > buf.remaining() / 32 {
+        return Err(SnapshotError::Truncated);
+    }
+    let mut storages = Vec::with_capacity(agents);
+    for _ in 0..agents {
+        storages.push(decode_storage(&mut buf)?);
+    }
+    MultiAgentReplay::from_storages(storages)
+        .map_err(|_| SnapshotError::Corrupt("agents disagree on length/capacity"))
+}
+
+/// The fallible-conversion error alias used by replay snapshot helpers.
+impl From<SnapshotError> for ReplayError {
+    fn from(e: SnapshotError) -> Self {
+        ReplayError::InvalidBatch { reason: format!("snapshot: {e}") }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transition::Transition;
+
+    fn transition(l: &TransitionLayout, v: f32) -> Transition {
+        Transition {
+            obs: vec![v; l.obs_dim],
+            action: vec![v * 0.5; l.act_dim],
+            reward: v,
+            next_obs: vec![v + 1.0; l.obs_dim],
+            done: 0.0,
+        }
+    }
+
+    fn filled(agents: usize, capacity: usize, pushes: usize) -> MultiAgentReplay {
+        let layouts = vec![TransitionLayout::new(3, 2); agents];
+        let mut r = MultiAgentReplay::new(&layouts, capacity);
+        for t in 0..pushes {
+            let step: Vec<Transition> =
+                (0..agents).map(|a| transition(&layouts[a], (t * 10 + a) as f32)).collect();
+            r.push_step(&step).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn roundtrip_partial_buffer() {
+        let r = filled(3, 32, 10);
+        let restored = decode_replay(encode_replay(&r)).unwrap();
+        assert_eq!(restored.len(), 10);
+        assert_eq!(restored.agent_count(), 3);
+        for a in 0..3 {
+            for t in 0..10 {
+                assert_eq!(restored.buffer(a).transition(t), r.buffer(a).transition(t));
+            }
+        }
+        assert_eq!(restored.next_slot(), r.next_slot());
+    }
+
+    #[test]
+    fn roundtrip_wrapped_ring() {
+        let r = filled(2, 8, 21); // wraps twice
+        let restored = decode_replay(encode_replay(&r)).unwrap();
+        assert_eq!(restored.len(), 8);
+        assert_eq!(restored.next_slot(), r.next_slot());
+        for a in 0..2 {
+            for slot in 0..8 {
+                assert_eq!(restored.buffer(a).transition(slot), r.buffer(a).transition(slot));
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = decode_replay(Bytes::from_static(b"not a snapshot....")).unwrap_err();
+        assert_eq!(err, SnapshotError::BadMagic);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let r = filled(2, 8, 5);
+        let full = encode_replay(&r);
+        for cut in [0usize, 5, 12, full.len() - 3] {
+            let err = decode_replay(full.slice(..cut)).unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::Truncated | SnapshotError::BadMagic),
+                "cut={cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn version_mismatch_detected() {
+        let r = filled(1, 4, 1);
+        let full = encode_replay(&r);
+        let mut bad = BytesMut::from(&full[..]);
+        bad[4] = 99; // version byte
+        let err = decode_replay(bad.freeze()).unwrap_err();
+        assert!(matches!(err, SnapshotError::BadVersion(_)));
+    }
+
+    #[test]
+    fn hostile_capacity_rejected_without_allocation() {
+        let mut out = BytesMut::new();
+        out.put_u32_le(MAGIC);
+        out.put_u16_le(VERSION);
+        out.put_u32_le(1); // one agent
+        out.put_u32_le(1000); // obs_dim
+        out.put_u32_le(5); // act_dim
+        out.put_u64_le(u64::MAX); // capacity bomb
+        out.put_u64_le(0);
+        out.put_u64_le(0);
+        let err = decode_replay(out.freeze()).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt(_)), "{err:?}");
+    }
+
+    #[test]
+    fn snapshot_error_converts_to_replay_error() {
+        let e: ReplayError = SnapshotError::BadMagic.into();
+        assert!(e.to_string().contains("snapshot"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Access-pattern statistics derived from sample plans: the quantities the
+//! paper's hardware analysis (Figure 4, cache-miss reductions) is built on.
+
+use crate::indices::SamplePlan;
+use crate::transition::TransitionLayout;
+use serde::{Deserialize, Serialize};
+
+/// Memory-access statistics for executing one plan against one buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessStats {
+    /// Rows gathered.
+    pub rows: usize,
+    /// Bytes read from the replay storage.
+    pub bytes_read: usize,
+    /// Unpredictable address jumps (one per plan segment).
+    pub random_jumps: usize,
+    /// Distinct 64-byte cache lines touched (upper bound, assuming rows are
+    /// line-aligned and segments do not overlap).
+    pub cache_lines_touched: usize,
+    /// Distinct 4 KiB pages touched (upper bound).
+    pub pages_touched: usize,
+}
+
+/// Derives access statistics for `plan` against a buffer of rows shaped by
+/// `layout`.
+///
+/// # Examples
+///
+/// ```
+/// use marl_core::indices::SamplePlan;
+/// use marl_core::stats::plan_stats;
+/// use marl_core::transition::TransitionLayout;
+///
+/// let plan = SamplePlan::from_indices(&[0, 100, 200]);
+/// let s = plan_stats(&plan, &TransitionLayout::new(16, 5));
+/// assert_eq!(s.rows, 3);
+/// assert_eq!(s.random_jumps, 3);
+/// ```
+pub fn plan_stats(plan: &SamplePlan, layout: &TransitionLayout) -> AccessStats {
+    const LINE: usize = 64;
+    const PAGE: usize = 4096;
+    let row_bytes = layout.row_bytes();
+    let mut bytes = 0usize;
+    let mut lines = 0usize;
+    let mut pages = std::collections::HashSet::new();
+    for seg in &plan.segments {
+        let seg_bytes = seg.len * row_bytes;
+        bytes += seg_bytes;
+        // A contiguous run of b bytes spans at most b/LINE + 1 lines.
+        lines += seg_bytes / LINE + 1;
+        let start_b = seg.start * row_bytes;
+        for p in (start_b / PAGE)..=((start_b + seg_bytes.saturating_sub(1)) / PAGE) {
+            pages.insert(p);
+        }
+    }
+    AccessStats {
+        rows: plan.batch_len(),
+        bytes_read: bytes,
+        random_jumps: plan.random_jumps(),
+        cache_lines_touched: lines,
+        pages_touched: pages.len(),
+    }
+}
+
+/// Aggregated statistics for one *full trainer iteration*: every one of the
+/// `agents` trainers gathers from every agent's buffer with a fresh plan,
+/// so costs scale as O(N²·B) — the paper's key scaling observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationStats {
+    /// Number of (trainer, buffer) gathers performed: `agents²`.
+    pub gathers: usize,
+    /// Total rows moved.
+    pub rows: usize,
+    /// Total bytes moved.
+    pub bytes_read: usize,
+    /// Total random jumps.
+    pub random_jumps: usize,
+}
+
+/// Scales single-plan stats to a full update-all-trainers iteration for
+/// `agents` trainers each gathering from `agents` buffers.
+pub fn iteration_stats(per_plan: &AccessStats, agents: usize) -> IterationStats {
+    let gathers = agents * agents;
+    IterationStats {
+        gathers,
+        rows: per_plan.rows * gathers,
+        bytes_read: per_plan.bytes_read * gathers,
+        random_jumps: per_plan.random_jumps * gathers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::indices::Segment;
+
+    #[test]
+    fn scattered_plan_touches_many_lines() {
+        let layout = TransitionLayout::new(16, 5); // 39 floats = 156 bytes
+        let plan = SamplePlan::from_indices(&(0..64).map(|i| i * 1000).collect::<Vec<_>>());
+        let s = plan_stats(&plan, &layout);
+        assert_eq!(s.rows, 64);
+        assert_eq!(s.random_jumps, 64);
+        assert_eq!(s.bytes_read, 64 * 156);
+        assert!(s.pages_touched >= 64); // rows are far apart; some straddle two pages
+    }
+
+    #[test]
+    fn contiguous_plan_shares_pages() {
+        let layout = TransitionLayout::new(16, 5);
+        let plan = SamplePlan { segments: vec![Segment::run(0, 64)], weights: None };
+        let s = plan_stats(&plan, &layout);
+        assert_eq!(s.rows, 64);
+        assert_eq!(s.random_jumps, 1);
+        // 64*156 = 9984 bytes ≈ 3 pages, far fewer than 64
+        assert!(s.pages_touched <= 3);
+        let scattered = plan_stats(
+            &SamplePlan::from_indices(&(0..64).map(|i| i * 1000).collect::<Vec<_>>()),
+            &layout,
+        );
+        assert!(s.cache_lines_touched < scattered.cache_lines_touched);
+    }
+
+    #[test]
+    fn iteration_scales_quadratically() {
+        let layout = TransitionLayout::new(4, 2);
+        let plan = SamplePlan::from_indices(&[0, 1, 2, 3]);
+        let per = plan_stats(&plan, &layout);
+        let i3 = iteration_stats(&per, 3);
+        let i6 = iteration_stats(&per, 6);
+        assert_eq!(i3.gathers, 9);
+        assert_eq!(i6.gathers, 36);
+        assert_eq!(i6.bytes_read, 4 * i3.bytes_read);
+    }
+}

@@ -1,0 +1,301 @@
+//! Flat ring-buffer storage for one agent's transitions.
+//!
+//! This is the `Mem[Agent_k]` of the paper's Figure 5: a contiguous
+//! row-major array of up to `capacity` transitions that the samplers index
+//! into. The storage layer deliberately exposes *gather* primitives both
+//! for scattered indices (baseline random sampling) and contiguous runs
+//! (cache locality-aware sampling) so the two access patterns can be
+//! compared on identical data.
+
+use crate::error::ReplayError;
+use crate::transition::{Transition, TransitionLayout};
+
+/// A fixed-capacity ring buffer of transition rows for a single agent.
+///
+/// # Examples
+///
+/// ```
+/// use marl_core::storage::ReplayStorage;
+/// use marl_core::transition::{Transition, TransitionLayout};
+///
+/// let layout = TransitionLayout::new(4, 2);
+/// let mut buf = ReplayStorage::new(layout, 8);
+/// buf.push(&Transition {
+///     obs: vec![0.0; 4],
+///     action: vec![1.0, 0.0],
+///     reward: 1.0,
+///     next_obs: vec![0.0; 4],
+///     done: 0.0,
+/// });
+/// assert_eq!(buf.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplayStorage {
+    layout: TransitionLayout,
+    capacity: usize,
+    data: Vec<f32>,
+    len: usize,
+    next: usize,
+}
+
+impl ReplayStorage {
+    /// Creates an empty buffer holding up to `capacity` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(layout: TransitionLayout, capacity: usize) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        ReplayStorage {
+            layout,
+            capacity,
+            data: vec![0.0; capacity * layout.row_width()],
+            len: 0,
+            next: 0,
+        }
+    }
+
+    /// Row layout.
+    pub fn layout(&self) -> &TransitionLayout {
+        &self.layout
+    }
+
+    /// Maximum number of rows.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of valid rows currently stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The slot the next push will write (used to keep multi-agent buffers
+    /// aligned).
+    pub fn next_slot(&self) -> usize {
+        self.next
+    }
+
+    /// Appends a transition, overwriting the oldest once full. Returns the
+    /// slot written.
+    pub fn push(&mut self, t: &Transition) -> usize {
+        let w = self.layout.row_width();
+        let slot = self.next;
+        t.write_row(&self.layout, &mut self.data[slot * w..(slot + 1) * w]);
+        self.next = (self.next + 1) % self.capacity;
+        self.len = (self.len + 1).min(self.capacity);
+        slot
+    }
+
+    /// Borrows row `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len`.
+    #[inline]
+    pub fn row(&self, idx: usize) -> &[f32] {
+        assert!(idx < self.len, "row index {idx} out of bounds (len {})", self.len);
+        let w = self.layout.row_width();
+        &self.data[idx * w..(idx + 1) * w]
+    }
+
+    /// Decodes row `idx` into a [`Transition`].
+    pub fn transition(&self, idx: usize) -> Transition {
+        Transition::from_row(&self.layout, self.row(idx))
+    }
+
+    /// Gathers scattered rows into `out` (row-major, appended).
+    ///
+    /// This is the baseline random mini-batch access pattern: one
+    /// unpredictable row read per index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplayError::IndexOutOfRange`] if any index exceeds the
+    /// stored length.
+    pub fn gather(&self, indices: &[usize], out: &mut Vec<f32>) -> Result<(), ReplayError> {
+        let w = self.layout.row_width();
+        out.reserve(indices.len() * w);
+        for &idx in indices {
+            if idx >= self.len {
+                return Err(ReplayError::IndexOutOfRange { index: idx, len: self.len });
+            }
+            out.extend_from_slice(&self.data[idx * w..(idx + 1) * w]);
+        }
+        Ok(())
+    }
+
+    /// Gathers `count` *contiguous* rows starting at `start` into `out`.
+    ///
+    /// This is the cache locality-aware access pattern: a single streaming
+    /// read the hardware prefetcher can follow (one `memcpy` of
+    /// `count × row_width` floats).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplayError::IndexOutOfRange`] if the run exceeds the
+    /// stored length.
+    pub fn gather_run(&self, start: usize, count: usize, out: &mut Vec<f32>) -> Result<(), ReplayError> {
+        if start + count > self.len {
+            return Err(ReplayError::IndexOutOfRange {
+                index: start + count.saturating_sub(1),
+                len: self.len,
+            });
+        }
+        let w = self.layout.row_width();
+        out.extend_from_slice(&self.data[start * w..(start + count) * w]);
+        Ok(())
+    }
+
+    /// Raw view of the valid prefix of the storage (first `len` rows).
+    /// Used by the layout reorganizer, which streams whole buffers.
+    pub fn raw_rows(&self) -> &[f32] {
+        &self.data[..self.len * self.layout.row_width()]
+    }
+
+    /// Clears the buffer without deallocating.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.next = 0;
+    }
+
+    /// Reconstructs a storage from raw parts (snapshot restore): `rows`
+    /// holds `len` rows in **slot order**.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplayError::InvalidBatch`] when the parts are
+    /// inconsistent.
+    pub fn from_raw_parts(
+        layout: TransitionLayout,
+        capacity: usize,
+        len: usize,
+        next: usize,
+        rows: &[f32],
+    ) -> Result<Self, ReplayError> {
+        if capacity == 0 || len > capacity || next >= capacity {
+            return Err(ReplayError::InvalidBatch {
+                reason: "inconsistent capacity/len/cursor".into(),
+            });
+        }
+        let w = layout.row_width();
+        if rows.len() != len * w {
+            return Err(ReplayError::InvalidBatch {
+                reason: format!("expected {} row floats, got {}", len * w, rows.len()),
+            });
+        }
+        let mut storage = ReplayStorage::new(layout, capacity);
+        storage.data[..rows.len()].copy_from_slice(rows);
+        storage.len = len;
+        storage.next = next;
+        Ok(storage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: f32) -> Transition {
+        Transition {
+            obs: vec![v, v],
+            action: vec![v],
+            reward: v,
+            next_obs: vec![v + 1.0, v + 1.0],
+            done: 0.0,
+        }
+    }
+
+    fn storage(cap: usize) -> ReplayStorage {
+        ReplayStorage::new(TransitionLayout::new(2, 1), cap)
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let mut s = storage(4);
+        s.push(&t(1.0));
+        s.push(&t(2.0));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.transition(0), t(1.0));
+        assert_eq!(s.transition(1), t(2.0));
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut s = storage(2);
+        s.push(&t(1.0));
+        s.push(&t(2.0));
+        let slot = s.push(&t(3.0));
+        assert_eq!(slot, 0, "wraps to slot 0");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.transition(0), t(3.0));
+        assert_eq!(s.transition(1), t(2.0));
+    }
+
+    #[test]
+    fn gather_scattered_matches_rows() {
+        let mut s = storage(8);
+        for i in 0..8 {
+            s.push(&t(i as f32));
+        }
+        let mut out = Vec::new();
+        s.gather(&[7, 0, 3], &mut out).unwrap();
+        let w = s.layout().row_width();
+        assert_eq!(&out[..w], s.row(7));
+        assert_eq!(&out[w..2 * w], s.row(0));
+        assert_eq!(&out[2 * w..], s.row(3));
+    }
+
+    #[test]
+    fn gather_rejects_out_of_range() {
+        let mut s = storage(4);
+        s.push(&t(0.0));
+        let mut out = Vec::new();
+        let err = s.gather(&[1], &mut out).unwrap_err();
+        assert!(matches!(err, ReplayError::IndexOutOfRange { index: 1, len: 1 }));
+    }
+
+    #[test]
+    fn gather_run_equals_scattered_gather_of_same_range() {
+        let mut s = storage(16);
+        for i in 0..16 {
+            s.push(&t(i as f32));
+        }
+        let mut contiguous = Vec::new();
+        s.gather_run(4, 5, &mut contiguous).unwrap();
+        let mut scattered = Vec::new();
+        s.gather(&[4, 5, 6, 7, 8], &mut scattered).unwrap();
+        assert_eq!(contiguous, scattered);
+    }
+
+    #[test]
+    fn gather_run_bounds_check() {
+        let mut s = storage(4);
+        s.push(&t(0.0));
+        s.push(&t(1.0));
+        let mut out = Vec::new();
+        assert!(s.gather_run(1, 2, &mut out).is_err());
+        assert!(s.gather_run(0, 2, &mut out).is_ok());
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_capacity() {
+        let mut s = storage(4);
+        s.push(&t(0.0));
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 4);
+        assert_eq!(s.next_slot(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = storage(0);
+    }
+}

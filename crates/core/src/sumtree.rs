@@ -1,0 +1,190 @@
+//! Sum tree for proportional prioritized sampling (Schaul et al., 2015),
+//! used by the PER baseline and by the paper's information-prioritized
+//! locality-aware sampler to pick reference points.
+
+/// A binary-indexed sum tree over `capacity` priorities.
+///
+/// Leaves hold priorities; internal nodes hold subtree sums, so prefix-sum
+/// sampling and priority updates are both `O(log capacity)`.
+///
+/// # Examples
+///
+/// ```
+/// use marl_core::sumtree::SumTree;
+/// let mut t = SumTree::new(4);
+/// t.update(0, 1.0);
+/// t.update(1, 3.0);
+/// assert_eq!(t.total(), 4.0);
+/// assert_eq!(t.find_prefix(0.5), 0);
+/// assert_eq!(t.find_prefix(2.0), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SumTree {
+    capacity: usize,
+    tree: Vec<f64>,
+}
+
+impl SumTree {
+    /// Creates a tree with all priorities zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "sum tree capacity must be positive");
+        let size = capacity.next_power_of_two();
+        SumTree { capacity, tree: vec![0.0; 2 * size] }
+    }
+
+    /// Number of leaves.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total priority mass.
+    pub fn total(&self) -> f64 {
+        self.tree[1]
+    }
+
+    /// Priority of leaf `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= capacity`.
+    pub fn priority(&self, idx: usize) -> f64 {
+        assert!(idx < self.capacity, "leaf {idx} out of range");
+        let size = self.tree.len() / 2;
+        self.tree[size + idx]
+    }
+
+    /// Sets the priority of leaf `idx`, updating ancestor sums.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= capacity` or `priority` is negative/non-finite.
+    pub fn update(&mut self, idx: usize, priority: f64) {
+        assert!(idx < self.capacity, "leaf {idx} out of range");
+        assert!(priority.is_finite() && priority >= 0.0, "priority must be finite and >= 0");
+        let size = self.tree.len() / 2;
+        let mut node = size + idx;
+        let delta = priority - self.tree[node];
+        self.tree[node] = priority;
+        while node > 1 {
+            node /= 2;
+            self.tree[node] += delta;
+        }
+    }
+
+    /// Finds the leaf whose cumulative-priority interval contains `prefix`.
+    ///
+    /// `prefix` is clamped into `[0, total)`. Returns leaf index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree has zero total mass.
+    pub fn find_prefix(&self, prefix: f64) -> usize {
+        assert!(self.total() > 0.0, "cannot sample from an all-zero sum tree");
+        let mut prefix = prefix.clamp(0.0, self.total() * (1.0 - 1e-12));
+        let size = self.tree.len() / 2;
+        let mut node = 1;
+        while node < size {
+            let left = 2 * node;
+            if prefix < self.tree[left] {
+                node = left;
+            } else {
+                prefix -= self.tree[left];
+                node = left + 1;
+            }
+        }
+        (node - size).min(self.capacity - 1)
+    }
+
+    /// Minimum non-zero priority among the first `len` leaves, used for the
+    /// max-weight normalization in importance sampling. Returns `None` if
+    /// all are zero.
+    pub fn min_priority(&self, len: usize) -> Option<f64> {
+        let size = self.tree.len() / 2;
+        self.tree[size..size + len.min(self.capacity)]
+            .iter()
+            .copied()
+            .filter(|&p| p > 0.0)
+            .fold(None, |acc, p| Some(acc.map_or(p, |a: f64| a.min(p))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_track_updates() {
+        let mut t = SumTree::new(6); // non power of two
+        for i in 0..6 {
+            t.update(i, (i + 1) as f64);
+        }
+        assert_eq!(t.total(), 21.0);
+        t.update(5, 0.0);
+        assert_eq!(t.total(), 15.0);
+        assert_eq!(t.priority(2), 3.0);
+    }
+
+    #[test]
+    fn prefix_lookup_maps_intervals() {
+        let mut t = SumTree::new(4);
+        t.update(0, 1.0);
+        t.update(1, 2.0);
+        t.update(2, 3.0);
+        t.update(3, 4.0);
+        // intervals: [0,1) [1,3) [3,6) [6,10)
+        assert_eq!(t.find_prefix(0.0), 0);
+        assert_eq!(t.find_prefix(0.99), 0);
+        assert_eq!(t.find_prefix(1.0), 1);
+        assert_eq!(t.find_prefix(5.9), 2);
+        assert_eq!(t.find_prefix(6.0), 3);
+        assert_eq!(t.find_prefix(9.999), 3);
+        // clamped
+        assert_eq!(t.find_prefix(100.0), 3);
+        assert_eq!(t.find_prefix(-5.0), 0);
+    }
+
+    #[test]
+    fn sampling_frequency_tracks_priority() {
+        use rand::{Rng, SeedableRng};
+        let mut t = SumTree::new(3);
+        t.update(0, 1.0);
+        t.update(1, 1.0);
+        t.update(2, 8.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            let p: f64 = rng.gen::<f64>() * t.total();
+            counts[t.find_prefix(p)] += 1;
+        }
+        let frac2 = counts[2] as f64 / 10_000.0;
+        assert!((frac2 - 0.8).abs() < 0.03, "{counts:?}");
+    }
+
+    #[test]
+    fn min_priority_ignores_zeros() {
+        let mut t = SumTree::new(4);
+        assert_eq!(t.min_priority(4), None);
+        t.update(1, 5.0);
+        t.update(3, 2.0);
+        assert_eq!(t.min_priority(4), Some(2.0));
+        assert_eq!(t.min_priority(2), Some(5.0)); // leaf 3 outside len
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero sum tree")]
+    fn sampling_empty_tree_panics() {
+        let t = SumTree::new(2);
+        t.find_prefix(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "priority must be finite")]
+    fn negative_priority_rejected() {
+        let mut t = SumTree::new(2);
+        t.update(0, -1.0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Entities populating the particle world: agents and landmarks.
+
+use crate::vec2::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// Physical state shared by all entities.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhysicalState {
+    /// Position in world coordinates.
+    pub position: Vec2,
+    /// Velocity.
+    pub velocity: Vec2,
+}
+
+/// The role an agent plays in a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Role {
+    /// A trained, cooperating agent (predator in predator-prey; every agent
+    /// in cooperative navigation).
+    Cooperator,
+    /// An environment-controlled prey agent (predator-prey only). The paper
+    /// treats prey as part of the environment, so they act via a scripted
+    /// evasion policy rather than a learned one.
+    Prey,
+}
+
+/// A controllable agent.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Agent {
+    /// Display / debugging name (e.g. `"predator-0"`).
+    pub name: String,
+    /// Role in the scenario.
+    pub role: Role,
+    /// Physical state.
+    pub state: PhysicalState,
+    /// Communication channel contents (observed by teammates; zeroed when
+    /// the scenario is silent, as in the paper's tasks).
+    pub comm: [f32; 2],
+    /// Collision radius.
+    pub size: f32,
+    /// Acceleration multiplier applied to action forces.
+    pub accel: f32,
+    /// Maximum speed (`None` = unbounded).
+    pub max_speed: Option<f32>,
+    /// Whether this entity collides with others.
+    pub collide: bool,
+    /// Whether the integrator moves this entity.
+    pub movable: bool,
+    /// Control force chosen for the current step.
+    pub action_force: Vec2,
+}
+
+impl Agent {
+    /// Creates an agent with the common defaults; scenarios override the
+    /// physical parameters.
+    pub fn new(name: impl Into<String>, role: Role) -> Self {
+        Agent {
+            name: name.into(),
+            role,
+            state: PhysicalState::default(),
+            comm: [0.0; 2],
+            size: 0.05,
+            accel: 5.0,
+            max_speed: None,
+            collide: true,
+            movable: true,
+            action_force: Vec2::ZERO,
+        }
+    }
+
+    /// Whether this agent is trained (not environment-scripted).
+    pub fn is_trained(&self) -> bool {
+        self.role == Role::Cooperator
+    }
+}
+
+/// A static landmark.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Landmark {
+    /// Display name.
+    pub name: String,
+    /// Physical state (landmarks never move but keep a state for uniform
+    /// observation code).
+    pub state: PhysicalState,
+    /// Collision radius.
+    pub size: f32,
+    /// Whether agents collide with it.
+    pub collide: bool,
+}
+
+impl Landmark {
+    /// Creates a landmark of the given radius.
+    pub fn new(name: impl Into<String>, size: f32, collide: bool) -> Self {
+        Landmark { name: name.into(), state: PhysicalState::default(), size, collide }
+    }
+}
+
+/// The discrete action set of the particle environments.
+///
+/// The paper: "agents have discrete action space and typically include five
+/// actions corresponding to static, move right, move left, move up or down".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DiscreteAction {
+    /// No movement.
+    Stay,
+    /// Accelerate in −x.
+    Left,
+    /// Accelerate in +x.
+    Right,
+    /// Accelerate in −y.
+    Down,
+    /// Accelerate in +y.
+    Up,
+}
+
+impl DiscreteAction {
+    /// Number of discrete actions.
+    pub const COUNT: usize = 5;
+
+    /// All actions in index order.
+    pub const ALL: [DiscreteAction; 5] = [
+        DiscreteAction::Stay,
+        DiscreteAction::Left,
+        DiscreteAction::Right,
+        DiscreteAction::Down,
+        DiscreteAction::Up,
+    ];
+
+    /// Unit force direction for this action.
+    pub fn direction(self) -> Vec2 {
+        match self {
+            DiscreteAction::Stay => Vec2::ZERO,
+            DiscreteAction::Left => Vec2::new(-1.0, 0.0),
+            DiscreteAction::Right => Vec2::new(1.0, 0.0),
+            DiscreteAction::Down => Vec2::new(0.0, -1.0),
+            DiscreteAction::Up => Vec2::new(0.0, 1.0),
+        }
+    }
+
+    /// Maps an action index (0..5) to the action.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if `index >= 5`.
+    pub fn from_index(index: usize) -> Option<Self> {
+        Self::ALL.get(index).copied()
+    }
+
+    /// The index of this action (inverse of [`DiscreteAction::from_index`]).
+    pub fn index(self) -> usize {
+        match self {
+            DiscreteAction::Stay => 0,
+            DiscreteAction::Left => 1,
+            DiscreteAction::Right => 2,
+            DiscreteAction::Down => 3,
+            DiscreteAction::Up => 4,
+        }
+    }
+
+    /// The discrete action whose direction best matches `desired`
+    /// (`Stay` when `desired` is negligible).
+    pub fn closest_to(desired: Vec2) -> Self {
+        if desired.norm() < 1e-6 {
+            return DiscreteAction::Stay;
+        }
+        if desired.x.abs() >= desired.y.abs() {
+            if desired.x >= 0.0 {
+                DiscreteAction::Right
+            } else {
+                DiscreteAction::Left
+            }
+        } else if desired.y >= 0.0 {
+            DiscreteAction::Up
+        } else {
+            DiscreteAction::Down
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_index_roundtrip() {
+        for (i, a) in DiscreteAction::ALL.iter().enumerate() {
+            assert_eq!(a.index(), i);
+            assert_eq!(DiscreteAction::from_index(i), Some(*a));
+        }
+        assert_eq!(DiscreteAction::from_index(5), None);
+    }
+
+    #[test]
+    fn closest_action_quadrants() {
+        assert_eq!(DiscreteAction::closest_to(Vec2::new(1.0, 0.2)), DiscreteAction::Right);
+        assert_eq!(DiscreteAction::closest_to(Vec2::new(-1.0, 0.2)), DiscreteAction::Left);
+        assert_eq!(DiscreteAction::closest_to(Vec2::new(0.1, 1.0)), DiscreteAction::Up);
+        assert_eq!(DiscreteAction::closest_to(Vec2::new(0.1, -1.0)), DiscreteAction::Down);
+        assert_eq!(DiscreteAction::closest_to(Vec2::ZERO), DiscreteAction::Stay);
+    }
+
+    #[test]
+    fn trained_flag_follows_role() {
+        assert!(Agent::new("a", Role::Cooperator).is_trained());
+        assert!(!Agent::new("p", Role::Prey).is_trained());
+    }
+}

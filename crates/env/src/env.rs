@@ -1,0 +1,283 @@
+//! The environment wrapper: episodic reset/step over a scenario, with
+//! scripted agents driven internally.
+
+use crate::entity::DiscreteAction;
+use crate::error::EnvError;
+use crate::scenario::Scenario;
+use crate::spaces::{BoxSpace, DiscreteSpace};
+use crate::world::World;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Result of one environment step for the trained agents.
+#[derive(Debug, Clone)]
+pub struct StepResult {
+    /// Next observation per trained agent.
+    pub observations: Vec<Vec<f32>>,
+    /// Reward per trained agent.
+    pub rewards: Vec<f32>,
+    /// Whether the episode has reached its horizon.
+    pub done: bool,
+}
+
+/// An episodic multi-agent particle environment.
+///
+/// Scripted (environment-controlled) agents — the prey in predator-prey —
+/// are stepped internally; callers only provide actions for *trained*
+/// agents and only receive observations/rewards for them, exactly as the
+/// paper's training loop does.
+///
+/// # Examples
+///
+/// ```
+/// use marl_env::env::ParticleEnv;
+/// use marl_env::scenarios::simple_spread::{CooperativeNavigation, CooperativeNavigationConfig};
+///
+/// let scenario = CooperativeNavigation::new(CooperativeNavigationConfig::scaled(3));
+/// let mut env = ParticleEnv::new(Box::new(scenario), 25, 0);
+/// let obs = env.reset();
+/// assert_eq!(obs.len(), 3);
+/// let step = env.step(&[0, 1, 2])?;
+/// assert_eq!(step.rewards.len(), 3);
+/// # Ok::<(), marl_env::error::EnvError>(())
+/// ```
+#[derive(Debug)]
+pub struct ParticleEnv {
+    scenario: Box<dyn Scenario>,
+    world: World,
+    max_episode_len: usize,
+    t: usize,
+    rng: StdRng,
+    trained: Vec<usize>,
+    scripted: Vec<usize>,
+}
+
+impl ParticleEnv {
+    /// Creates an environment with episode horizon `max_episode_len`
+    /// (the paper uses 25) and a deterministic seed.
+    pub fn new(scenario: Box<dyn Scenario>, max_episode_len: usize, seed: u64) -> Self {
+        let world = scenario.make_world();
+        let trained = world
+            .agents
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.is_trained())
+            .map(|(i, _)| i)
+            .collect();
+        let scripted = world
+            .agents
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !a.is_trained())
+            .map(|(i, _)| i)
+            .collect();
+        ParticleEnv {
+            scenario,
+            world,
+            max_episode_len,
+            t: 0,
+            rng: StdRng::seed_from_u64(seed),
+            trained,
+            scripted,
+        }
+    }
+
+    /// Number of trained agents (the paper's N).
+    pub fn trained_agents(&self) -> usize {
+        self.trained.len()
+    }
+
+    /// Scenario name.
+    pub fn scenario_name(&self) -> &str {
+        self.scenario.name()
+    }
+
+    /// Episode horizon.
+    pub fn max_episode_len(&self) -> usize {
+        self.max_episode_len
+    }
+
+    /// Observation space of each trained agent.
+    pub fn observation_spaces(&self) -> Vec<BoxSpace> {
+        self.trained
+            .iter()
+            .map(|&i| self.scenario.observation_space(&self.world, i))
+            .collect()
+    }
+
+    /// The shared discrete action space.
+    pub fn action_space(&self) -> DiscreteSpace {
+        DiscreteSpace::new(DiscreteAction::COUNT)
+    }
+
+    /// Read-only access to the underlying world (for tests/diagnostics).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Starts a new episode; returns the initial observation per trained
+    /// agent.
+    pub fn reset(&mut self) -> Vec<Vec<f32>> {
+        self.scenario.reset_world(&mut self.world, &mut self.rng);
+        self.t = 0;
+        self.observe()
+    }
+
+    /// Applies one action per trained agent, steps scripted agents and
+    /// physics, and returns the transition outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnvError::ActionCountMismatch`] if `actions.len()` differs
+    /// from [`ParticleEnv::trained_agents`], or
+    /// [`EnvError::InvalidAction`] for an out-of-range action index.
+    pub fn step(&mut self, actions: &[usize]) -> Result<StepResult, EnvError> {
+        if actions.len() != self.trained.len() {
+            return Err(EnvError::ActionCountMismatch {
+                expected: self.trained.len(),
+                got: actions.len(),
+            });
+        }
+        for (&agent_idx, &action) in self.trained.iter().zip(actions) {
+            let act = DiscreteAction::from_index(action)
+                .ok_or(EnvError::InvalidAction { agent: agent_idx, action })?;
+            self.world.agents[agent_idx].action_force = act.direction();
+        }
+        for k in 0..self.scripted.len() {
+            let agent_idx = self.scripted[k];
+            let act = self.scenario.scripted_action(&self.world, agent_idx, &mut self.rng);
+            self.world.agents[agent_idx].action_force = act.direction();
+        }
+        self.world.step();
+        self.t += 1;
+        let rewards = self
+            .trained
+            .iter()
+            .map(|&i| self.scenario.reward(&self.world, i))
+            .collect();
+        Ok(StepResult {
+            observations: self.observe(),
+            rewards,
+            done: self.t >= self.max_episode_len,
+        })
+    }
+
+    fn observe(&self) -> Vec<Vec<f32>> {
+        self.trained
+            .iter()
+            .map(|&i| self.scenario.observation(&self.world, i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::simple_spread::{CooperativeNavigation, CooperativeNavigationConfig};
+    use crate::scenarios::simple_tag::{PredatorPrey, PredatorPreyConfig};
+
+    fn cn_env(n: usize) -> ParticleEnv {
+        ParticleEnv::new(
+            Box::new(CooperativeNavigation::new(CooperativeNavigationConfig::scaled(n))),
+            25,
+            3,
+        )
+    }
+
+    fn pp_env(n: usize) -> ParticleEnv {
+        ParticleEnv::new(Box::new(PredatorPrey::new(PredatorPreyConfig::scaled(n))), 25, 3)
+    }
+
+    #[test]
+    fn episode_terminates_at_horizon() {
+        let mut env = cn_env(3);
+        env.reset();
+        for t in 1..=25 {
+            let r = env.step(&[0, 0, 0]).unwrap();
+            assert_eq!(r.done, t == 25, "t={t}");
+        }
+    }
+
+    #[test]
+    fn single_step_horizon_terminates_immediately() {
+        let mut env = ParticleEnv::new(
+            Box::new(CooperativeNavigation::new(CooperativeNavigationConfig::scaled(2))),
+            1,
+            0,
+        );
+        env.reset();
+        assert!(env.step(&[0, 0]).unwrap().done);
+        // reset starts a fresh episode
+        env.reset();
+        assert!(env.step(&[0, 0]).unwrap().done);
+    }
+
+    #[test]
+    fn action_count_is_validated() {
+        let mut env = cn_env(3);
+        env.reset();
+        let err = env.step(&[0, 0]).unwrap_err();
+        assert!(matches!(err, EnvError::ActionCountMismatch { expected: 3, got: 2 }));
+    }
+
+    #[test]
+    fn invalid_action_is_rejected() {
+        let mut env = cn_env(2);
+        env.reset();
+        let err = env.step(&[0, 9]).unwrap_err();
+        assert!(matches!(err, EnvError::InvalidAction { action: 9, .. }));
+    }
+
+    #[test]
+    fn predator_prey_exposes_only_predators() {
+        let mut env = pp_env(3);
+        assert_eq!(env.trained_agents(), 3);
+        let obs = env.reset();
+        assert_eq!(obs.len(), 3);
+        assert_eq!(obs[0].len(), 16);
+        let spaces = env.observation_spaces();
+        assert_eq!(spaces.len(), 3);
+        assert!(spaces.iter().all(|s| s.dim == 16));
+    }
+
+    #[test]
+    fn prey_moves_without_external_actions() {
+        let mut env = pp_env(3);
+        env.reset();
+        let prey_before = env.world().agents[3].state.position;
+        // Push predators toward the prey for several steps so it flees.
+        for _ in 0..10 {
+            env.step(&[2, 2, 2]).unwrap();
+        }
+        let prey_after = env.world().agents[3].state.position;
+        assert_ne!(prey_before, prey_after, "scripted prey should move");
+    }
+
+    #[test]
+    fn observations_are_in_space() {
+        let mut env = pp_env(6);
+        let obs = env.reset();
+        for (o, s) in obs.iter().zip(env.observation_spaces()) {
+            assert!(s.contains(o));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_rollout() {
+        let run = |seed: u64| {
+            let mut env = ParticleEnv::new(
+                Box::new(PredatorPrey::new(PredatorPreyConfig::scaled(3))),
+                25,
+                seed,
+            );
+            env.reset();
+            let mut trace = vec![];
+            for _ in 0..5 {
+                let r = env.step(&[1, 2, 3]).unwrap();
+                trace.push(r.rewards);
+            }
+            trace
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

@@ -1,0 +1,82 @@
+//! # marl-env
+//!
+//! A Rust port of the OpenAI multi-agent particle environments used by the
+//! MARL systems paper: the 2-D soft-contact physics core plus the two
+//! evaluated scenarios —
+//!
+//! * **predator-prey** (`simple_tag`, competitive): N cooperating predators
+//!   chase M faster, environment-controlled prey;
+//! * **cooperative navigation** (`simple_spread`, cooperative): N agents
+//!   cover N landmarks while avoiding collisions.
+//!
+//! Observation dimensions match the paper's tables (e.g. `Box(16,)` per
+//! predator at N = 3, `Box(98,)` at N = 24, `6N` for cooperative
+//! navigation).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use marl_env::env::ParticleEnv;
+//! use marl_env::scenarios::simple_tag::{PredatorPrey, PredatorPreyConfig};
+//!
+//! let scenario = PredatorPrey::new(PredatorPreyConfig::scaled(3));
+//! let mut env = ParticleEnv::new(Box::new(scenario), 25, 0);
+//! let mut obs = env.reset();
+//! while let Ok(step) = env.step(&vec![0; env.trained_agents()]) {
+//!     obs = step.observations;
+//!     if step.done { break; }
+//! }
+//! assert_eq!(obs.len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod entity;
+pub mod env;
+pub mod error;
+pub mod render;
+pub mod scenario;
+pub mod scenarios;
+pub mod spaces;
+pub mod vec2;
+pub mod world;
+
+pub use entity::DiscreteAction;
+pub use env::{ParticleEnv, StepResult};
+pub use error::EnvError;
+pub use scenario::Scenario;
+pub use world::World;
+
+/// Convenience constructor for the paper's predator-prey configuration at
+/// `n` trained agents.
+pub fn predator_prey(n: usize, max_episode_len: usize, seed: u64) -> ParticleEnv {
+    use scenarios::simple_tag::{PredatorPrey, PredatorPreyConfig};
+    ParticleEnv::new(
+        Box::new(PredatorPrey::new(PredatorPreyConfig::scaled(n))),
+        max_episode_len,
+        seed,
+    )
+}
+
+/// Convenience constructor for the paper's cooperative-navigation
+/// configuration at `n` trained agents.
+pub fn cooperative_navigation(n: usize, max_episode_len: usize, seed: u64) -> ParticleEnv {
+    use scenarios::simple_spread::{CooperativeNavigation, CooperativeNavigationConfig};
+    ParticleEnv::new(
+        Box::new(CooperativeNavigation::new(CooperativeNavigationConfig::scaled(n))),
+        max_episode_len,
+        seed,
+    )
+}
+
+/// Convenience constructor for the physical-deception extension scenario
+/// (`simple_adversary`) at `n` trained agents.
+pub fn physical_deception(n: usize, max_episode_len: usize, seed: u64) -> ParticleEnv {
+    use scenarios::simple_adversary::{PhysicalDeception, PhysicalDeceptionConfig};
+    ParticleEnv::new(
+        Box::new(PhysicalDeception::new(PhysicalDeceptionConfig::scaled(n))),
+        max_episode_len,
+        seed,
+    )
+}

@@ -1,0 +1,5 @@
+//! Concrete scenario implementations.
+
+pub mod simple_adversary;
+pub mod simple_spread;
+pub mod simple_tag;

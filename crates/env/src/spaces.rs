@@ -1,0 +1,77 @@
+//! Observation and action space descriptors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A continuous box observation space of fixed dimension, matching the
+/// paper's `Box(16,)`-style notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoxSpace {
+    /// Feature dimension.
+    pub dim: usize,
+}
+
+impl BoxSpace {
+    /// Creates a box space of `dim` float features.
+    pub fn new(dim: usize) -> Self {
+        BoxSpace { dim }
+    }
+
+    /// Whether `obs` belongs to the space (finite, right length).
+    pub fn contains(&self, obs: &[f32]) -> bool {
+        obs.len() == self.dim && obs.iter().all(|x| x.is_finite())
+    }
+}
+
+impl fmt::Display for BoxSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Box({},)", self.dim)
+    }
+}
+
+/// A discrete action space with `n` actions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiscreteSpace {
+    /// Number of actions.
+    pub n: usize,
+}
+
+impl DiscreteSpace {
+    /// Creates a discrete space with `n` actions.
+    pub fn new(n: usize) -> Self {
+        DiscreteSpace { n }
+    }
+
+    /// Whether `action` is a valid index.
+    pub fn contains(&self, action: usize) -> bool {
+        action < self.n
+    }
+}
+
+impl fmt::Display for DiscreteSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Discrete({})", self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_membership() {
+        let s = BoxSpace::new(3);
+        assert!(s.contains(&[0.0, 1.0, -2.0]));
+        assert!(!s.contains(&[0.0, 1.0]));
+        assert!(!s.contains(&[0.0, f32::NAN, 0.0]));
+    }
+
+    #[test]
+    fn discrete_membership_and_display() {
+        let s = DiscreteSpace::new(5);
+        assert!(s.contains(4));
+        assert!(!s.contains(5));
+        assert_eq!(s.to_string(), "Discrete(5)");
+        assert_eq!(BoxSpace::new(16).to_string(), "Box(16,)");
+    }
+}

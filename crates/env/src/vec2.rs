@@ -1,0 +1,155 @@
+//! 2-D vector arithmetic for the particle world.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// A 2-D vector (position, velocity, or force).
+///
+/// # Examples
+///
+/// ```
+/// use marl_env::vec2::Vec2;
+/// let v = Vec2::new(3.0, 4.0);
+/// assert_eq!(v.norm(), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// Horizontal component.
+    pub x: f32,
+    /// Vertical component.
+    pub y: f32,
+}
+
+impl Vec2 {
+    /// The zero vector.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from components.
+    pub const fn new(x: f32, y: f32) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f32 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Squared Euclidean norm (avoids the square root).
+    pub fn norm_squared(self) -> f32 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Distance to `other`.
+    pub fn distance(self, other: Vec2) -> f32 {
+        (self - other).norm()
+    }
+
+    /// Unit vector in the same direction, or zero if the norm is ~0.
+    pub fn normalized(self) -> Vec2 {
+        let n = self.norm();
+        if n > 1e-9 {
+            Vec2::new(self.x / n, self.y / n)
+        } else {
+            Vec2::ZERO
+        }
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vec2) -> f32 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Clamps the norm to at most `max`, preserving direction.
+    pub fn clamp_norm(self, max: f32) -> Vec2 {
+        let n = self.norm();
+        if n > max && n > 0.0 {
+            self * (max / n)
+        } else {
+            self
+        }
+    }
+
+    /// Largest absolute component (L∞ norm).
+    pub fn linf(self) -> f32 {
+        self.x.abs().max(self.y.abs())
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    fn add_assign(&mut self, rhs: Vec2) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Vec2 {
+    fn sub_assign(&mut self, rhs: Vec2) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Mul<f32> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, s: f32) -> Vec2 {
+        Vec2::new(self.x * s, self.y * s)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, -1.0);
+        assert_eq!(a + b, Vec2::new(4.0, 1.0));
+        assert_eq!(a - b, Vec2::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(-a, Vec2::new(-1.0, -2.0));
+        assert_eq!(a.dot(b), 1.0);
+    }
+
+    #[test]
+    fn normalized_handles_zero() {
+        assert_eq!(Vec2::ZERO.normalized(), Vec2::ZERO);
+        let u = Vec2::new(0.0, 5.0).normalized();
+        assert!((u.norm() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clamp_norm_preserves_direction() {
+        let v = Vec2::new(3.0, 4.0).clamp_norm(1.0);
+        assert!((v.norm() - 1.0).abs() < 1e-6);
+        assert!((v.x / v.y - 0.75).abs() < 1e-6);
+        // under the cap it is unchanged
+        assert_eq!(Vec2::new(0.1, 0.0).clamp_norm(1.0), Vec2::new(0.1, 0.0));
+    }
+
+    #[test]
+    fn linf_norm() {
+        assert_eq!(Vec2::new(-3.0, 2.0).linf(), 3.0);
+    }
+}

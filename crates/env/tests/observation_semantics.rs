@@ -1,0 +1,94 @@
+//! Semantic checks of the observation vectors: the layout the trainers and
+//! the paper's dimension tables rely on.
+
+use marl_env::scenario::Scenario;
+use marl_env::scenarios::simple_spread::{CooperativeNavigation, CooperativeNavigationConfig};
+use marl_env::scenarios::simple_tag::{PredatorPrey, PredatorPreyConfig};
+use marl_env::vec2::Vec2;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn observation_prefix_is_velocity_then_position() {
+    let s = PredatorPrey::new(PredatorPreyConfig::scaled(3));
+    let mut w = s.make_world();
+    let mut rng = StdRng::seed_from_u64(1);
+    s.reset_world(&mut w, &mut rng);
+    w.agents[0].state.velocity = Vec2::new(0.25, -0.5);
+    w.agents[0].state.position = Vec2::new(0.9, 0.1);
+    let obs = s.observation(&w, 0);
+    assert_eq!(&obs[..4], &[0.25, -0.5, 0.9, 0.1]);
+}
+
+#[test]
+fn landmark_offsets_are_relative() {
+    let s = CooperativeNavigation::new(CooperativeNavigationConfig::scaled(3));
+    let mut w = s.make_world();
+    let mut rng = StdRng::seed_from_u64(2);
+    s.reset_world(&mut w, &mut rng);
+    w.agents[0].state.position = Vec2::new(0.5, 0.5);
+    w.landmarks[0].state.position = Vec2::new(0.7, 0.1);
+    let obs = s.observation(&w, 0);
+    // landmarks start at offset 4
+    assert!((obs[4] - 0.2).abs() < 1e-6);
+    assert!((obs[5] - (-0.4)).abs() < 1e-6);
+}
+
+#[test]
+fn other_agent_offsets_are_relative_and_exclude_self() {
+    let s = CooperativeNavigation::new(CooperativeNavigationConfig::scaled(3));
+    let mut w = s.make_world();
+    let mut rng = StdRng::seed_from_u64(3);
+    s.reset_world(&mut w, &mut rng);
+    for (i, a) in w.agents.iter_mut().enumerate() {
+        a.state.position = Vec2::new(i as f32, 0.0);
+    }
+    // Agent 1's others-block starts after vel(2)+pos(2)+landmarks(2*3)=10.
+    let obs = s.observation(&w, 1);
+    assert_eq!(obs[10], -1.0); // agent 0 at x=0 relative to agent 1 at x=1
+    assert_eq!(obs[12], 1.0); // agent 2 at x=2
+}
+
+#[test]
+fn prey_velocities_appear_in_predator_observation() {
+    let s = PredatorPrey::new(PredatorPreyConfig::scaled(3));
+    let mut w = s.make_world();
+    let mut rng = StdRng::seed_from_u64(4);
+    s.reset_world(&mut w, &mut rng);
+    w.agents[3].state.velocity = Vec2::new(1.25, -1.25); // the prey
+    let obs = s.observation(&w, 0);
+    // Predator obs: vel(2)+pos(2)+landmarks(4)+others(6)+prey_vel(2) = 16.
+    assert_eq!(&obs[14..16], &[1.25, -1.25]);
+    // The prey itself does not observe its own velocity in that block.
+    let prey_obs = s.observation(&w, 3);
+    assert_eq!(prey_obs.len(), 14);
+}
+
+#[test]
+fn dimension_table_matches_paper_for_all_sweep_sizes() {
+    // Paper anchors: Box(16,) at N=3 and Box(98,) at N=24 for predators.
+    // Intermediate sizes follow the scaling rule (prey = max(1, N/3),
+    // landmarks = max(2, N/3)): dim = 4 + 2L + 2(N+M-1) + 2M.
+    let pp_expected = [(3usize, 16usize), (6, 26), (12, 50), (24, 98)];
+    for (n, dim) in pp_expected {
+        let s = PredatorPrey::new(PredatorPreyConfig::scaled(n));
+        let w = s.make_world();
+        assert_eq!(s.observation(&w, 0).len(), dim, "PP N={n}");
+    }
+    let cn_expected = [(3usize, 18usize), (6, 36), (12, 72), (24, 144)];
+    for (n, dim) in cn_expected {
+        let s = CooperativeNavigation::new(CooperativeNavigationConfig::scaled(n));
+        let w = s.make_world();
+        assert_eq!(s.observation(&w, 0).len(), dim, "CN N={n}");
+    }
+}
+
+#[test]
+fn scaled_config_matches_paper_entity_counts() {
+    // 3 predators -> 1 prey + 2 landmarks; 24 predators -> 8 prey + 8
+    // landmarks (the paper's "agents 25 to 32 (Preys)" setup).
+    let c3 = PredatorPreyConfig::scaled(3);
+    assert_eq!((c3.prey, c3.landmarks), (1, 2));
+    let c24 = PredatorPreyConfig::scaled(24);
+    assert_eq!((c24.prey, c24.landmarks), (8, 8));
+}

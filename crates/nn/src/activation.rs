@@ -1,0 +1,181 @@
+//! Activation functions with explicit forward/backward passes.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Activation applied after a hidden [`crate::linear::Linear`] layer.
+///
+/// The paper's networks are "two-layer ReLU MLPs with 64 units per layer";
+/// `Tanh` and `Identity` are provided for output heads and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum Activation {
+    /// Rectified linear unit.
+    #[default]
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Pass-through (linear output head).
+    Identity,
+}
+
+
+impl Activation {
+    /// Applies the activation element-wise, returning the activated output.
+    pub fn forward(self, z: &Matrix) -> Matrix {
+        match self {
+            Activation::Relu => z.map(|x| if x > 0.0 { x } else { 0.0 }),
+            Activation::Tanh => z.map(f32::tanh),
+            Activation::Identity => z.clone(),
+        }
+    }
+
+    /// Computes `dL/dz` from `dL/da` given the activated output `a`.
+    ///
+    /// All three activations admit a backward pass expressed in terms of
+    /// their own output, which avoids caching pre-activations.
+    pub fn backward(self, grad_out: &Matrix, activated: &Matrix) -> Matrix {
+        match self {
+            Activation::Identity => grad_out.clone(),
+            Activation::Relu => {
+                let mut g = grad_out.clone();
+                for (g, &a) in g.as_mut_slice().iter_mut().zip(activated.as_slice()) {
+                    if a <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
+                g
+            }
+            Activation::Tanh => {
+                let mut g = grad_out.clone();
+                for (g, &a) in g.as_mut_slice().iter_mut().zip(activated.as_slice()) {
+                    *g *= 1.0 - a * a;
+                }
+                g
+            }
+        }
+    }
+}
+
+/// Row-wise softmax.
+///
+/// # Examples
+///
+/// ```
+/// use marl_nn::{activation::softmax, matrix::Matrix};
+/// let p = softmax(&Matrix::row_vector(&[0.0, 0.0]));
+/// assert!((p.at(0, 0) - 0.5).abs() < 1e-6);
+/// ```
+pub fn softmax(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    let cols = out.cols();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for x in row.iter_mut() {
+            *x = (*x - max).exp();
+            sum += *x;
+        }
+        if sum > 0.0 {
+            for x in row.iter_mut() {
+                *x /= sum;
+            }
+        } else {
+            for x in row.iter_mut() {
+                *x = 1.0 / cols as f32;
+            }
+        }
+    }
+    out
+}
+
+/// Backward pass of row-wise softmax: given `y = softmax(z)` and `dL/dy`,
+/// returns `dL/dz = y ⊙ (dL/dy − (dL/dy · y))`.
+pub fn softmax_backward(grad_out: &Matrix, softmax_out: &Matrix) -> Matrix {
+    assert_eq!(grad_out.shape(), softmax_out.shape(), "softmax backward shape mismatch");
+    let mut grad_in = Matrix::zeros(grad_out.rows(), grad_out.cols());
+    for r in 0..grad_out.rows() {
+        let g = grad_out.row(r);
+        let y = softmax_out.row(r);
+        let dot: f32 = g.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
+        let out = grad_in.row_mut(r);
+        for ((o, &gi), &yi) in out.iter_mut().zip(g.iter()).zip(y.iter()) {
+            *o = yi * (gi - dot);
+        }
+    }
+    grad_in
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_backward() {
+        let z = Matrix::row_vector(&[-1.0, 0.0, 2.0]);
+        let a = Activation::Relu.forward(&z);
+        assert_eq!(a.as_slice(), &[0.0, 0.0, 2.0]);
+        let g = Activation::Relu.backward(&Matrix::row_vector(&[1.0, 1.0, 1.0]), &a);
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn tanh_gradient_matches_finite_difference() {
+        let z = Matrix::row_vector(&[0.3, -0.7]);
+        let a = Activation::Tanh.forward(&z);
+        let g = Activation::Tanh.backward(&Matrix::row_vector(&[1.0, 1.0]), &a);
+        let eps = 1e-3f32;
+        for i in 0..2 {
+            let mut zp = z.clone();
+            zp.as_mut_slice()[i] += eps;
+            let mut zm = z.clone();
+            zm.as_mut_slice()[i] -= eps;
+            let fd = (Activation::Tanh.forward(&zp).as_slice()[i]
+                - Activation::Tanh.forward(&zm).as_slice()[i])
+                / (2.0 * eps);
+            assert!((fd - g.as_slice()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let z = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-5.0, 0.0, 5.0]]);
+        let p = softmax(&z);
+        for r in 0..2 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(p.row(r).iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&Matrix::row_vector(&[1.0, 2.0]));
+        let b = softmax(&Matrix::row_vector(&[101.0, 102.0]));
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_difference() {
+        let z = Matrix::row_vector(&[0.2, -0.4, 0.9]);
+        let y = softmax(&z);
+        // Loss L = sum(w * softmax(z)) for arbitrary w.
+        let w = [0.7, -1.3, 0.5];
+        let grad_out = Matrix::row_vector(&w);
+        let g = softmax_backward(&grad_out, &y);
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut zp = z.clone();
+            zp.as_mut_slice()[i] += eps;
+            let mut zm = z.clone();
+            zm.as_mut_slice()[i] -= eps;
+            let lp: f32 = softmax(&zp).as_slice().iter().zip(&w).map(|(a, b)| a * b).sum();
+            let lm: f32 = softmax(&zm).as_slice().iter().zip(&w).map(|(a, b)| a * b).sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - g.as_slice()[i]).abs() < 1e-2, "i={i} fd={fd} g={}", g.as_slice()[i]);
+        }
+    }
+}

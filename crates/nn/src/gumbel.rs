@@ -1,0 +1,168 @@
+//! Gumbel-softmax relaxation for discrete MARL actions.
+//!
+//! The particle environments use a 5-way discrete action space; MADDPG
+//! handles discrete actions by sampling from a Gumbel-softmax distribution
+//! over the actor's logits, keeping the action differentiable for the
+//! deterministic policy-gradient update.
+
+use crate::activation::{softmax, softmax_backward};
+use crate::matrix::Matrix;
+use crate::rng::standard_gumbel;
+use rand::Rng;
+
+/// A differentiable Gumbel-softmax sample along with the state needed for
+/// its backward pass.
+#[derive(Debug, Clone)]
+pub struct GumbelSample {
+    /// The relaxed one-hot sample (rows sum to 1).
+    pub value: Matrix,
+    /// Temperature used for the sample.
+    pub temperature: f32,
+}
+
+impl GumbelSample {
+    /// Backpropagates `dL/dvalue` to `dL/dlogits`.
+    pub fn backward(&self, grad_out: &Matrix) -> Matrix {
+        let mut g = softmax_backward(grad_out, &self.value);
+        g.scale(1.0 / self.temperature);
+        g
+    }
+}
+
+/// Draws a Gumbel-softmax sample `softmax((logits + g) / temperature)`.
+///
+/// # Panics
+///
+/// Panics if `temperature <= 0`.
+pub fn gumbel_softmax_sample<R: Rng + ?Sized>(
+    logits: &Matrix,
+    temperature: f32,
+    rng: &mut R,
+) -> GumbelSample {
+    assert!(temperature > 0.0, "temperature must be positive");
+    let mut noisy = logits.clone();
+    for x in noisy.as_mut_slice() {
+        *x = (*x + standard_gumbel(rng)) / temperature;
+    }
+    GumbelSample { value: softmax(&noisy), temperature }
+}
+
+/// Deterministic relaxation (no Gumbel noise): `softmax(logits / temperature)`.
+pub fn softmax_relaxation(logits: &Matrix, temperature: f32) -> GumbelSample {
+    assert!(temperature > 0.0, "temperature must be positive");
+    let mut scaled = logits.clone();
+    scaled.scale(1.0 / temperature);
+    GumbelSample { value: softmax(&scaled), temperature }
+}
+
+/// Converts relaxed samples to hard one-hot rows (straight-through
+/// discretization used when acting in the environment).
+pub fn harden(sample: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(sample.rows(), sample.cols());
+    for r in 0..sample.rows() {
+        let row = sample.row(r);
+        let mut best = 0;
+        for (i, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = i;
+            }
+        }
+        *out.at_mut(r, best) = 1.0;
+    }
+    out
+}
+
+/// Index of the arg-max action in each row.
+pub fn argmax_actions(sample: &Matrix) -> Vec<usize> {
+    (0..sample.rows())
+        .map(|r| {
+            let row = sample.row(r);
+            let mut best = 0;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn samples_are_distributions() {
+        let mut rng = seeded(21);
+        let logits = Matrix::from_rows(&[&[1.0, 0.0, -1.0], &[0.0, 0.0, 0.0]]);
+        let s = gumbel_softmax_sample(&logits, 1.0, &mut rng);
+        for r in 0..2 {
+            let sum: f32 = s.value.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn low_temperature_approaches_one_hot() {
+        let logits = Matrix::row_vector(&[5.0, 0.0, 0.0]);
+        let s = softmax_relaxation(&logits, 0.1);
+        assert!(s.value.at(0, 0) > 0.99);
+    }
+
+    #[test]
+    fn gumbel_marginals_follow_logits() {
+        // Sampling repeatedly, the argmax frequency should respect the
+        // softmax ordering of the logits.
+        let mut rng = seeded(22);
+        let logits = Matrix::row_vector(&[2.0, 0.0, -2.0]);
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            let s = gumbel_softmax_sample(&logits, 1.0, &mut rng);
+            counts[argmax_actions(&s.value)[0]] += 1;
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[2], "{counts:?}");
+    }
+
+    #[test]
+    fn harden_gives_one_hot() {
+        let m = Matrix::from_rows(&[&[0.2, 0.5, 0.3], &[0.9, 0.05, 0.05]]);
+        let h = harden(&m);
+        assert_eq!(h.as_slice(), &[0.0, 1.0, 0.0, 1.0, 0.0, 0.0]);
+        assert_eq!(argmax_actions(&m), vec![1, 0]);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let logits = Matrix::row_vector(&[0.4, -0.3, 0.1]);
+        let temp = 0.7;
+        let s = softmax_relaxation(&logits, temp);
+        let w = [1.0f32, -2.0, 0.5];
+        let g = s.backward(&Matrix::row_vector(&w));
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let f = |l: &Matrix| -> f32 {
+                softmax_relaxation(l, temp)
+                    .value
+                    .as_slice()
+                    .iter()
+                    .zip(&w)
+                    .map(|(a, b)| a * b)
+                    .sum()
+            };
+            let fd = (f(&lp) - f(&lm)) / (2.0 * eps);
+            assert!((fd - g.as_slice()[i]).abs() < 1e-2, "i={i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn zero_temperature_rejected() {
+        let _ = softmax_relaxation(&Matrix::row_vector(&[0.0]), 0.0);
+    }
+}

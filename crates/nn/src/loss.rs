@@ -1,0 +1,124 @@
+//! Loss functions used by the critic (MSE / weighted MSE) and utilities for
+//! temporal-difference targets.
+
+use crate::matrix::Matrix;
+
+/// Mean-squared error between `pred` and `target`.
+///
+/// Returns `(loss, dL/dpred)` with the conventional `2/(n)` gradient scale
+/// where `n` is the number of elements.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = pred.len().max(1) as f32;
+    let mut grad = pred.clone();
+    grad.sub_assign(target);
+    let loss = grad.as_slice().iter().map(|d| d * d).sum::<f32>() / n;
+    grad.scale(2.0 / n);
+    (loss, grad)
+}
+
+/// Importance-weighted MSE used by prioritized replay (Lemma 1 of the
+/// paper): each row `i` is scaled by `weights[i]`.
+///
+/// Returns `(loss, dL/dpred)`.
+///
+/// # Panics
+///
+/// Panics if shapes mismatch or `weights.len() != pred.rows()`.
+pub fn weighted_mse(pred: &Matrix, target: &Matrix, weights: &[f32]) -> (f32, Matrix) {
+    assert_eq!(pred.shape(), target.shape(), "weighted_mse shape mismatch");
+    assert_eq!(weights.len(), pred.rows(), "weight/row mismatch");
+    let n = pred.len().max(1) as f32;
+    let mut grad = pred.clone();
+    grad.sub_assign(target);
+    let cols = pred.cols();
+    let mut loss = 0.0;
+    for r in 0..pred.rows() {
+        let w = weights[r];
+        let row = grad.row_mut(r);
+        for d in row.iter_mut() {
+            loss += w * *d * *d;
+            *d *= 2.0 * w;
+        }
+        let _ = cols;
+    }
+    grad.scale(1.0 / n);
+    (loss / n, grad)
+}
+
+/// Per-row absolute TD error `|pred − target|`, used to refresh priorities
+/// in prioritized replay.
+pub fn td_errors(pred: &Matrix, target: &Matrix) -> Vec<f32> {
+    assert_eq!(pred.shape(), target.shape(), "td_errors shape mismatch");
+    (0..pred.rows())
+        .map(|r| {
+            pred.row(r)
+                .iter()
+                .zip(target.row(r))
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f32>()
+                / pred.cols().max(1) as f32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_for_equal() {
+        let a = Matrix::full(3, 2, 1.5);
+        let (l, g) = mse(&a, &a);
+        assert_eq!(l, 0.0);
+        assert!(g.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let pred = Matrix::from_rows(&[&[0.5, -1.0], &[2.0, 0.0]]);
+        let target = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]);
+        let (_, g) = mse(&pred, &target);
+        let eps = 1e-3f32;
+        for i in 0..pred.len() {
+            let mut pp = pred.clone();
+            pp.as_mut_slice()[i] += eps;
+            let mut pm = pred.clone();
+            pm.as_mut_slice()[i] -= eps;
+            let fd = (mse(&pp, &target).0 - mse(&pm, &target).0) / (2.0 * eps);
+            assert!((fd - g.as_slice()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn weighted_mse_reduces_to_mse_with_unit_weights() {
+        let pred = Matrix::from_rows(&[&[1.0], &[3.0]]);
+        let target = Matrix::from_rows(&[&[0.0], &[0.0]]);
+        let (lw, gw) = weighted_mse(&pred, &target, &[1.0, 1.0]);
+        let (l, g) = mse(&pred, &target);
+        assert!((lw - l).abs() < 1e-6);
+        for (a, b) in gw.as_slice().iter().zip(g.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn weighted_mse_scales_rows() {
+        let pred = Matrix::from_rows(&[&[1.0], &[1.0]]);
+        let target = Matrix::zeros(2, 1);
+        let (_, g) = weighted_mse(&pred, &target, &[0.0, 1.0]);
+        assert_eq!(g.at(0, 0), 0.0);
+        assert!(g.at(1, 0) > 0.0);
+    }
+
+    #[test]
+    fn td_errors_are_absolute_means() {
+        let pred = Matrix::from_rows(&[&[1.0, -1.0]]);
+        let target = Matrix::from_rows(&[&[0.0, 0.0]]);
+        assert_eq!(td_errors(&pred, &target), vec![1.0]);
+    }
+}

@@ -1,0 +1,496 @@
+//! Dense row-major `f32` matrix used as the tensor type of the network
+//! substrate.
+//!
+//! The reproduction deliberately avoids external tensor libraries: the
+//! paper's bottleneck analysis concerns the CPU-side sampling phase, so a
+//! small, predictable matrix kernel keeps the actor/critic phases realistic
+//! without pulling in a BLAS dependency.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense row-major matrix of `f32` values.
+///
+/// `Matrix` is the only tensor type used by [`crate::mlp::Mlp`] and friends.
+/// Rows index batch elements, columns index features.
+///
+/// # Examples
+///
+/// ```
+/// use marl_nn::matrix::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Matrix::eye(2);
+/// let c = a.matmul(&b);
+/// assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for Matrix {
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
+impl Matrix {
+    /// Creates a matrix of zeros with the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Matrix { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix from row slices; all rows must share a length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        if rows.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "inconsistent row length in from_rows");
+            data.extend_from_slice(r);
+        }
+        Matrix { rows: rows.len(), cols, data }
+    }
+
+    /// A 1×n row-vector matrix.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Matrix::from_vec(1, values.len(), values.to_vec())
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing row-major storage.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its backing storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Borrow one row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow one row as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// Uses the cache-friendly `i,k,j` loop order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `selfᵀ · rhs` without materializing the transpose.
+    pub fn transpose_matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "transpose_matmul shape mismatch: {}x{} vs {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for r in 0..self.rows {
+            let arow = &self.data[r * self.cols..(r + 1) * self.cols];
+            let brow = &rhs.data[r * rhs.cols..(r + 1) * rhs.cols];
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · rhsᵀ` without materializing the transpose.
+    pub fn matmul_transpose(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_transpose shape mismatch: {}x{} vs {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            for j in 0..rhs.rows {
+                let brow = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
+                let mut acc = 0.0;
+                for (&a, &b) in arow.iter().zip(brow.iter()) {
+                    acc += a * b;
+                }
+                out.data[i * rhs.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Returns an explicit transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Adds `rhs` element-wise in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Subtracts `rhs` element-wise in place.
+    pub fn sub_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "sub_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a -= b;
+        }
+    }
+
+    /// Multiplies every element by `s` in place.
+    pub fn scale(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Element-wise product in place (Hadamard).
+    pub fn hadamard_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "hadamard shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a *= b;
+        }
+    }
+
+    /// Returns a new matrix with `f` applied element-wise.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Adds a broadcast row vector `bias` (len == cols) to every row.
+    pub fn add_row_broadcast(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "broadcast length mismatch");
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (x, b) in row.iter_mut().zip(bias.iter()) {
+                *x += b;
+            }
+        }
+    }
+
+    /// Sums each column into a vector of length `cols`.
+    pub fn column_sums(&self) -> Vec<f32> {
+        let mut sums = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (s, x) in sums.iter_mut().zip(row.iter()) {
+                *s += x;
+            }
+        }
+        sums
+    }
+
+    /// Mean of all elements; `0.0` for an empty matrix.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Horizontally concatenates matrices that share a row count.
+    ///
+    /// This is how the centralized critic input `[o_1..o_N, a_1..a_N]` is
+    /// assembled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parts disagree on row count or `parts` is empty.
+    pub fn hstack(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "hstack of zero matrices");
+        let rows = parts[0].rows;
+        let cols: usize = parts.iter().map(|m| m.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let orow = &mut out.data[r * cols..(r + 1) * cols];
+            let mut off = 0;
+            for p in parts {
+                assert_eq!(p.rows, rows, "hstack row mismatch");
+                orow[off..off + p.cols].copy_from_slice(p.row(r));
+                off += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Extracts the column range `[start, start+width)` into a new matrix.
+    ///
+    /// Used to slice the critic-input gradient belonging to one agent's
+    /// action during the policy update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the column count.
+    pub fn columns(&self, start: usize, width: usize) -> Matrix {
+        assert!(start + width <= self.cols, "column range out of bounds");
+        let mut out = Matrix::zeros(self.rows, width);
+        for r in 0..self.rows {
+            out.data[r * width..(r + 1) * width]
+                .copy_from_slice(&self.data[r * self.cols + start..r * self.cols + start + width]);
+        }
+        out
+    }
+
+    /// Vertically stacks matrices that share a column count.
+    pub fn vstack(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "vstack of zero matrices");
+        let cols = parts[0].cols;
+        let rows: usize = parts.iter().map(|m| m.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            assert_eq!(p.cols, cols, "vstack column mismatch");
+            data.extend_from_slice(&p.data);
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Clamps every element into `[lo, hi]` in place.
+    pub fn clamp_assign(&mut self, lo: f32, hi: f32) {
+        for x in &mut self.data {
+            *x = x.clamp(lo, hi);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let i = Matrix::eye(3);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn transpose_matmul_matches_explicit() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let fast = a.transpose_matmul(&b);
+        let slow = a.transpose().matmul(&b);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn matmul_transpose_matches_explicit() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let b = Matrix::from_rows(&[&[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]);
+        let fast = a.matmul_transpose(&b);
+        let slow = a.matmul(&b.transpose());
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn hstack_and_columns_roundtrip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[3.0], &[7.0]]);
+        let s = Matrix::hstack(&[&a, &b]);
+        assert_eq!(s.shape(), (2, 3));
+        assert_eq!(s.columns(0, 2), a);
+        assert_eq!(s.columns(2, 1), b);
+    }
+
+    #[test]
+    fn vstack_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::full(1, 3, 2.0);
+        let v = Matrix::vstack(&[&a, &b]);
+        assert_eq!(v.shape(), (3, 3));
+        assert_eq!(v.at(2, 1), 2.0);
+    }
+
+    #[test]
+    fn column_sums_and_broadcast() {
+        let mut a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.column_sums(), vec![4.0, 6.0]);
+        a.add_row_broadcast(&[10.0, 20.0]);
+        assert_eq!(a.as_slice(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(Matrix::zeros(0, 0).mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn clamp_and_scale() {
+        let mut a = Matrix::from_rows(&[&[-2.0, 0.5, 3.0]]);
+        a.clamp_assign(-1.0, 1.0);
+        assert_eq!(a.as_slice(), &[-1.0, 0.5, 1.0]);
+        a.scale(2.0);
+        assert_eq!(a.as_slice(), &[-2.0, 1.0, 2.0]);
+    }
+}

@@ -1,0 +1,405 @@
+//! Trace-driven set-associative cache simulation.
+//!
+//! Substitutes for the paper's `perf` hardware counters: the samplers'
+//! address streams are replayed through a three-level LRU hierarchy to
+//! obtain cache-miss counts whose *relative* behaviour (growth with agent
+//! count, reduction under locality-aware sampling) mirrors Figure 4 and the
+//! Section VI-A miss-reduction numbers.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total size in bytes.
+    pub size_bytes: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// Creates a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless sizes are positive, the line size divides the total
+    /// size, and the set count is a power of two.
+    pub fn new(size_bytes: usize, line_bytes: usize, ways: usize) -> Self {
+        assert!(size_bytes > 0 && line_bytes > 0 && ways > 0, "sizes must be positive");
+        assert_eq!(size_bytes % (line_bytes * ways), 0, "size must be divisible by way size");
+        let sets = size_bytes / (line_bytes * ways);
+        assert!(sets.is_power_of_two(), "set count must be a power of two (got {sets})");
+        CacheConfig { size_bytes, line_bytes, ways }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.line_bytes * self.ways)
+    }
+}
+
+/// One cache level with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct CacheLevel {
+    config: CacheConfig,
+    /// `sets × ways` tags; `u64::MAX` = invalid. Most-recently-used first.
+    tags: Vec<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheLevel {
+    /// Creates an empty (cold) cache.
+    pub fn new(config: CacheConfig) -> Self {
+        CacheLevel {
+            config,
+            tags: vec![u64::MAX; config.sets() * config.ways],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The level's geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Accesses the line containing `addr`; returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.config.line_bytes as u64;
+        let sets = self.config.sets() as u64;
+        let set = (line % sets) as usize;
+        let tag = line / sets;
+        let ways = self.config.ways;
+        let slot = &mut self.tags[set * ways..(set + 1) * ways];
+        if let Some(pos) = slot.iter().position(|&t| t == tag) {
+            // Move to MRU position.
+            slot[..=pos].rotate_right(1);
+            self.hits += 1;
+            true
+        } else {
+            slot.rotate_right(1);
+            slot[0] = tag;
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Resets counters (cache contents are kept).
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Installs the line containing `addr` without touching the hit/miss
+    /// counters — models a hardware-prefetched fill.
+    pub fn install(&mut self, addr: u64) {
+        let line = addr / self.config.line_bytes as u64;
+        let sets = self.config.sets() as u64;
+        let set = (line % sets) as usize;
+        let tag = line / sets;
+        let ways = self.config.ways;
+        let slot = &mut self.tags[set * ways..(set + 1) * ways];
+        if let Some(pos) = slot.iter().position(|&t| t == tag) {
+            slot[..=pos].rotate_right(1);
+        } else {
+            slot.rotate_right(1);
+            slot[0] = tag;
+        }
+    }
+}
+
+/// Counter snapshot of a hierarchy walk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheCounters {
+    /// Total accesses issued.
+    pub accesses: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// L3 (last-level) misses — trips to DRAM.
+    pub l3_misses: u64,
+}
+
+impl CacheCounters {
+    /// "Cache misses" in the sense of the paper's `perf` metric: last-level
+    /// misses.
+    pub fn llc_misses(&self) -> u64 {
+        self.l3_misses
+    }
+}
+
+/// A three-level inclusive-enough-for-counting hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use marl_perf::cache::{CacheConfig, CacheHierarchy};
+/// let mut h = CacheHierarchy::new(
+///     CacheConfig::new(32 * 1024, 64, 8),
+///     CacheConfig::new(512 * 1024, 64, 8),
+///     CacheConfig::new(16 * 1024 * 1024, 64, 16),
+/// );
+/// h.access(0);
+/// h.access(0);
+/// assert_eq!(h.counters().accesses, 2);
+/// assert_eq!(h.counters().l1_misses, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1: CacheLevel,
+    l2: CacheLevel,
+    l3: CacheLevel,
+    accesses: u64,
+    /// Stream-prefetcher timeliness coverage in percent (0 = disabled).
+    ///
+    /// Hardware stream prefetchers train after two sequential line
+    /// accesses, do not cross 4 KiB page boundaries, and cover a fraction
+    /// of the stream's demand accesses (they are not perfectly timely).
+    /// The paper's locality-aware sampling works precisely by steering
+    /// this unit, so the model matters for miss-reduction fidelity.
+    prefetch_coverage: u8,
+}
+
+impl CacheHierarchy {
+    /// Builds the hierarchy from per-level configs (no prefetcher).
+    pub fn new(l1: CacheConfig, l2: CacheConfig, l3: CacheConfig) -> Self {
+        CacheHierarchy {
+            l1: CacheLevel::new(l1),
+            l2: CacheLevel::new(l2),
+            l3: CacheLevel::new(l3),
+            accesses: 0,
+            prefetch_coverage: 0,
+        }
+    }
+
+    /// Enables the stream-prefetcher model with the given timeliness
+    /// coverage (percent of trained-stream accesses the prefetcher fully
+    /// hides, 0–100).
+    pub fn with_prefetcher(mut self, coverage_percent: u8) -> Self {
+        self.prefetch_coverage = coverage_percent.min(100);
+        self
+    }
+
+    /// Accesses one byte address; lower levels are only consulted on miss.
+    pub fn access(&mut self, addr: u64) {
+        self.accesses += 1;
+        if !self.l1.access(addr) && !self.l2.access(addr) {
+            self.l3.access(addr);
+        }
+    }
+
+    /// Accesses every cache line in `[addr, addr + bytes)` once, applying
+    /// the stream-prefetcher model: within each 4 KiB page, the first two
+    /// lines train the stream; thereafter `prefetch_coverage`% of lines are
+    /// prefetched (installed without demand misses).
+    pub fn access_range(&mut self, addr: u64, bytes: u64) {
+        let line = self.l1.config.line_bytes as u64;
+        const PAGE: u64 = 4096;
+        let first = addr / line;
+        let last = (addr + bytes.saturating_sub(1)) / line;
+        let mut stream_pos: u64 = 0; // lines since the current page started
+        let mut page = u64::MAX;
+        let mut covered_acc: u64 = 0;
+        for l in first..=last {
+            let a = l * line;
+            let p = a / PAGE;
+            if p != page {
+                page = p;
+                stream_pos = 0;
+                covered_acc = 0;
+            }
+            let trained = stream_pos >= 2;
+            stream_pos += 1;
+            if trained && self.prefetch_coverage > 0 {
+                // Deterministic duty-cycle: cover `coverage`% of trained
+                // stream lines.
+                covered_acc += self.prefetch_coverage as u64;
+                if covered_acc >= 100 {
+                    covered_acc -= 100;
+                    self.accesses += 1;
+                    self.l1.install(a);
+                    self.l2.install(a);
+                    self.l3.install(a);
+                    continue;
+                }
+            }
+            self.access(a);
+        }
+    }
+
+    /// Current counters.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            accesses: self.accesses,
+            l1_misses: self.l1.misses(),
+            l2_misses: self.l2.misses(),
+            l3_misses: self.l3.misses(),
+        }
+    }
+
+    /// Resets counters, keeping cache contents warm.
+    pub fn reset_counters(&mut self) {
+        self.accesses = 0;
+        self.l1.reset_counters();
+        self.l2.reset_counters();
+        self.l3.reset_counters();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CacheLevel {
+        // 4 sets × 2 ways × 64B = 512B
+        CacheLevel::new(CacheConfig::new(512, 64, 2))
+    }
+
+    #[test]
+    fn geometry() {
+        let c = CacheConfig::new(32 * 1024, 64, 8);
+        assert_eq!(c.sets(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_rejected() {
+        let _ = CacheConfig::new(192, 64, 1);
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = small();
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63)); // same line
+        assert!(!c.access(64)); // next line
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = small();
+        // set 0 holds lines whose (line % 4) == 0: addresses 0, 1024, 2048...
+        c.access(0); // miss
+        c.access(1024); // miss, set full
+        c.access(0); // hit, 0 is MRU
+        c.access(2048); // miss, evicts 1024 (LRU)
+        assert!(c.access(0), "0 must survive");
+        assert!(!c.access(1024), "1024 was evicted");
+    }
+
+    #[test]
+    fn streaming_fits_l2_after_l1_overflow() {
+        let mut h = CacheHierarchy::new(
+            CacheConfig::new(1024, 64, 2),
+            CacheConfig::new(8192, 64, 4),
+            CacheConfig::new(65536, 64, 8),
+        );
+        // Stream 4 KiB twice: first pass misses everywhere, second pass
+        // misses L1 (too small) but hits L2.
+        for _ in 0..2 {
+            h.access_range(0, 4096);
+        }
+        let c = h.counters();
+        assert_eq!(c.accesses, 128);
+        assert_eq!(c.l3_misses, 64, "only the first pass reaches L3");
+        assert!(c.l2_misses < c.l1_misses);
+    }
+
+    #[test]
+    fn random_large_footprint_misses_llc() {
+        let mut h = CacheHierarchy::new(
+            CacheConfig::new(1024, 64, 2),
+            CacheConfig::new(8192, 64, 4),
+            CacheConfig::new(65536, 64, 8),
+        );
+        // Touch 1 MiB of distinct lines: none can fit in 64 KiB L3.
+        for i in 0..16_384u64 {
+            h.access(i * 64);
+        }
+        let c = h.counters();
+        assert_eq!(c.l3_misses, 16_384);
+    }
+
+    #[test]
+    fn prefetcher_hides_stream_misses() {
+        let make = |coverage| {
+            CacheHierarchy::new(
+                CacheConfig::new(1024, 64, 2),
+                CacheConfig::new(8192, 64, 4),
+                CacheConfig::new(65536, 64, 8),
+            )
+            .with_prefetcher(coverage)
+        };
+        // Stream one page (64 lines), cold caches.
+        let mut off = make(0);
+        off.access_range(0, 4096);
+        let mut half = make(50);
+        half.access_range(0, 4096);
+        let mut full = make(100);
+        full.access_range(0, 4096);
+        assert_eq!(off.counters().l3_misses, 64);
+        // 2 training lines + 50% of the remaining 62 ≈ 33 demand misses.
+        assert_eq!(half.counters().l3_misses, 33);
+        // full coverage: only the 2 training lines miss.
+        assert_eq!(full.counters().l3_misses, 2);
+        // Access counts stay identical: prefetched lines are still program
+        // accesses.
+        assert_eq!(off.counters().accesses, half.counters().accesses);
+    }
+
+    #[test]
+    fn prefetcher_resets_at_page_boundaries() {
+        let mut h = CacheHierarchy::new(
+            CacheConfig::new(1024, 64, 2),
+            CacheConfig::new(8192, 64, 4),
+            CacheConfig::new(65536, 64, 8),
+        )
+        .with_prefetcher(100);
+        // Two pages: the stream must retrain on the second page.
+        h.access_range(0, 8192);
+        assert_eq!(h.counters().l3_misses, 4);
+    }
+
+    #[test]
+    fn prefetcher_cannot_help_single_line_accesses() {
+        let mut h = CacheHierarchy::new(
+            CacheConfig::new(1024, 64, 2),
+            CacheConfig::new(8192, 64, 4),
+            CacheConfig::new(65536, 64, 8),
+        )
+        .with_prefetcher(100);
+        // Random single-line touches never train a stream.
+        for i in 0..100u64 {
+            h.access_range(i * 8192, 64);
+        }
+        assert_eq!(h.counters().l3_misses, 100);
+    }
+
+    #[test]
+    fn access_range_spans_lines() {
+        let mut h = CacheHierarchy::new(
+            CacheConfig::new(1024, 64, 2),
+            CacheConfig::new(8192, 64, 4),
+            CacheConfig::new(65536, 64, 8),
+        );
+        h.access_range(60, 8); // straddles two lines
+        assert_eq!(h.counters().accesses, 2);
+    }
+}

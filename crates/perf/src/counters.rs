@@ -1,0 +1,124 @@
+//! Hardware-counter snapshots and the growth-rate arithmetic of Figure 4.
+
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of the counters the paper reads with `perf`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HwCounters {
+    /// Retired instructions (estimated).
+    pub instructions: u64,
+    /// Last-level cache misses.
+    pub cache_misses: u64,
+    /// L1-D misses.
+    pub l1d_misses: u64,
+    /// Data-TLB load misses.
+    pub dtlb_misses: u64,
+    /// Instruction-TLB load misses (estimated).
+    pub itlb_misses: u64,
+    /// Branches (estimated).
+    pub branches: u64,
+    /// Branch mispredictions (estimated).
+    pub branch_misses: u64,
+}
+
+impl HwCounters {
+    /// Element-wise difference (`self − earlier`), saturating at zero.
+    pub fn delta(&self, earlier: &HwCounters) -> HwCounters {
+        HwCounters {
+            instructions: self.instructions.saturating_sub(earlier.instructions),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            l1d_misses: self.l1d_misses.saturating_sub(earlier.l1d_misses),
+            dtlb_misses: self.dtlb_misses.saturating_sub(earlier.dtlb_misses),
+            itlb_misses: self.itlb_misses.saturating_sub(earlier.itlb_misses),
+            branches: self.branches.saturating_sub(earlier.branches),
+            branch_misses: self.branch_misses.saturating_sub(earlier.branch_misses),
+        }
+    }
+}
+
+/// Growth rates (×) between two agent scales, the y-axis of Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GrowthRates {
+    /// Instruction growth.
+    pub instructions: f64,
+    /// LLC-miss growth.
+    pub cache_misses: f64,
+    /// dTLB-miss growth.
+    pub dtlb_misses: f64,
+    /// iTLB-miss growth.
+    pub itlb_misses: f64,
+    /// Branch-miss growth.
+    pub branch_misses: f64,
+}
+
+/// Computes `larger / smaller` per counter; a zero denominator yields 1.0
+/// (no measurable growth).
+pub fn growth_rates(smaller: &HwCounters, larger: &HwCounters) -> GrowthRates {
+    fn ratio(a: u64, b: u64) -> f64 {
+        if b == 0 {
+            1.0
+        } else {
+            a as f64 / b as f64
+        }
+    }
+    GrowthRates {
+        instructions: ratio(larger.instructions, smaller.instructions),
+        cache_misses: ratio(larger.cache_misses, smaller.cache_misses),
+        dtlb_misses: ratio(larger.dtlb_misses, smaller.dtlb_misses),
+        itlb_misses: ratio(larger.itlb_misses, smaller.itlb_misses),
+        branch_misses: ratio(larger.branch_misses, smaller.branch_misses),
+    }
+}
+
+/// Percentage reduction of LLC misses from `baseline` to `optimized`
+/// (positive = fewer misses), as in Section VI-A's 16.1 %→29 % numbers.
+pub fn miss_reduction_percent(baseline: &HwCounters, optimized: &HwCounters) -> f64 {
+    if baseline.cache_misses == 0 {
+        return 0.0;
+    }
+    (1.0 - optimized.cache_misses as f64 / baseline.cache_misses as f64) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u64, m: u64, d: u64) -> HwCounters {
+        HwCounters {
+            instructions: i,
+            cache_misses: m,
+            dtlb_misses: d,
+            l1d_misses: m * 2,
+            itlb_misses: 1,
+            branches: i / 4,
+            branch_misses: i / 100,
+        }
+    }
+
+    #[test]
+    fn growth_is_elementwise() {
+        let g = growth_rates(&c(100, 10, 20), &c(350, 32, 64));
+        assert!((g.instructions - 3.5).abs() < 1e-9);
+        assert!((g.cache_misses - 3.2).abs() < 1e-9);
+        assert!((g.dtlb_misses - 3.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_denominator_is_unit_growth() {
+        let g = growth_rates(&HwCounters::default(), &c(100, 10, 20));
+        assert_eq!(g.instructions, 1.0);
+    }
+
+    #[test]
+    fn miss_reduction() {
+        assert!((miss_reduction_percent(&c(0, 100, 0), &c(0, 71, 0)) - 29.0).abs() < 1e-9);
+        assert_eq!(miss_reduction_percent(&HwCounters::default(), &c(0, 5, 0)), 0.0);
+    }
+
+    #[test]
+    fn delta_saturates() {
+        let d = c(10, 5, 2).delta(&c(100, 1, 1));
+        assert_eq!(d.instructions, 0);
+        assert_eq!(d.cache_misses, 4);
+    }
+}

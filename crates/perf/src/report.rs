@@ -1,0 +1,216 @@
+//! Plain-text tables for the experiment harness (the rows/series the paper
+//! reports, printed in a stable format).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A simple left-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use marl_perf::report::Table;
+/// let mut t = Table::new(&["config", "time (s)"]);
+/// t.row(&["baseline", "12.5"]);
+/// let s = t.to_string();
+/// assert!(s.contains("baseline"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Appends one row of owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (c, w) in cells.iter().zip(&widths) {
+                write!(f, " {c:<w$} |")?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+impl Table {
+    /// Serializes the table as RFC-4180-ish CSV (quotes cells containing
+    /// commas, quotes, or newlines).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use marl_perf::report::Table;
+    /// let mut t = Table::new(&["a", "b"]);
+    /// t.row(&["1", "x,y"]);
+    /// assert_eq!(t.to_csv(), "a,b\n1,\"x,y\"\n");
+    /// ```
+    pub fn to_csv(&self) -> String {
+        fn cell(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            let joined: Vec<String> = cells.iter().map(|c| cell(c)).collect();
+            out.push_str(&joined.join(","));
+            out.push('\n');
+        };
+        line(&self.headers, &mut out);
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Serializes as a GitHub-flavoured Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| " --- |").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal, e.g. `0.512` →
+/// `"51.2%"`.
+pub fn percent(frac: f64) -> String {
+    format!("{:.1}%", frac * 100.0)
+}
+
+/// Formats seconds with adaptive precision.
+pub fn seconds(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{:.2}ms", s * 1e3)
+    }
+}
+
+/// Formats a signed percentage improvement, e.g. `-37.1%` for a slowdown.
+pub fn signed_percent(p: f64) -> String {
+    format!("{p:+.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(&["xxxxx", "1"]);
+        t.row(&["y", "2"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines[1].starts_with("|--"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count mismatch")]
+    fn row_width_checked() {
+        Table::new(&["a", "b"]).row(&["only-one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(percent(0.512), "51.2%");
+        assert_eq!(seconds(123.4), "123");
+        assert_eq!(seconds(3.13959), "3.14");
+        assert_eq!(seconds(0.01), "10.00ms");
+        assert_eq!(signed_percent(-37.1), "-37.1%");
+        assert_eq!(signed_percent(25.8), "+25.8%");
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["plain", "1"]);
+        t.row(&["with,comma", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "name,value\nplain,1\n\"with,comma\",\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn markdown_has_separator_row() {
+        let mut t = Table::new(&["x", "y"]);
+        t.row(&["1", "2"]);
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1], "| --- | --- |");
+        assert_eq!(lines[2], "| 1 | 2 |");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new(&["h"]);
+        assert!(t.is_empty());
+        t.row_owned(vec!["v".into()]);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Data-TLB simulation (fully associative, LRU) for the dTLB-load-miss
+//! trends of the paper's Figure 4.
+
+use serde::{Deserialize, Serialize};
+
+/// TLB geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// Number of entries.
+    pub entries: usize,
+    /// Page size in bytes (4 KiB on the paper's platforms).
+    pub page_bytes: usize,
+}
+
+impl TlbConfig {
+    /// Creates a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either field is zero.
+    pub fn new(entries: usize, page_bytes: usize) -> Self {
+        assert!(entries > 0 && page_bytes > 0, "TLB geometry must be positive");
+        TlbConfig { entries, page_bytes }
+    }
+}
+
+/// A fully associative LRU TLB.
+///
+/// # Examples
+///
+/// ```
+/// use marl_perf::tlb::{Tlb, TlbConfig};
+/// let mut t = Tlb::new(TlbConfig::new(64, 4096));
+/// t.access(0);
+/// t.access(1); // same page
+/// assert_eq!(t.misses(), 1);
+/// assert_eq!(t.hits(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    config: TlbConfig,
+    /// Pages, most-recently-used first.
+    pages: Vec<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    pub fn new(config: TlbConfig) -> Self {
+        Tlb { config, pages: Vec::with_capacity(config.entries), hits: 0, misses: 0 }
+    }
+
+    /// Geometry.
+    pub fn config(&self) -> &TlbConfig {
+        &self.config
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Translates `addr`; returns `true` on TLB hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let page = addr / self.config.page_bytes as u64;
+        if let Some(pos) = self.pages.iter().position(|&p| p == page) {
+            self.pages[..=pos].rotate_right(1);
+            self.hits += 1;
+            true
+        } else {
+            if self.pages.len() == self.config.entries {
+                self.pages.pop();
+            }
+            self.pages.insert(0, page);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Translates every page in `[addr, addr + bytes)` once.
+    pub fn access_range(&mut self, addr: u64, bytes: u64) {
+        let page = self.config.page_bytes as u64;
+        let first = addr / page;
+        let last = (addr + bytes.saturating_sub(1)) / page;
+        for p in first..=last {
+            self.access(p * page);
+        }
+    }
+
+    /// Resets counters, keeping translations warm.
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_page_hits() {
+        let mut t = Tlb::new(TlbConfig::new(4, 4096));
+        t.access(100);
+        t.access(200);
+        t.access(4095);
+        assert_eq!(t.misses(), 1);
+        assert_eq!(t.hits(), 2);
+    }
+
+    #[test]
+    fn capacity_evicts_lru() {
+        let mut t = Tlb::new(TlbConfig::new(2, 4096));
+        t.access(0); // page 0
+        t.access(4096); // page 1
+        t.access(0); // hit, page 0 MRU
+        t.access(8192); // page 2, evicts page 1
+        assert!(t.access(0));
+        assert!(!t.access(4096));
+    }
+
+    #[test]
+    fn range_walks_pages() {
+        let mut t = Tlb::new(TlbConfig::new(64, 4096));
+        t.access_range(0, 3 * 4096);
+        assert_eq!(t.misses(), 3);
+        t.reset_counters();
+        t.access_range(0, 3 * 4096);
+        assert_eq!(t.hits(), 3);
+    }
+
+    #[test]
+    fn scattered_pages_thrash_small_tlb() {
+        let mut t = Tlb::new(TlbConfig::new(16, 4096));
+        for i in 0..1024u64 {
+            t.access(i * 67 * 4096); // distinct pages beyond capacity
+        }
+        assert_eq!(t.misses(), 1024);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests of the cache/TLB simulator: conservation laws and
+//! monotonicity properties that must hold for any access trace.
+
+use marl_perf::cache::{CacheConfig, CacheHierarchy};
+use marl_perf::platform::PlatformSpec;
+use marl_perf::tlb::{Tlb, TlbConfig};
+use marl_perf::trace::{BufferGeometry, GatherSegment, MemoryModel};
+use proptest::prelude::*;
+
+fn small_hierarchy(coverage: u8) -> CacheHierarchy {
+    CacheHierarchy::new(
+        CacheConfig::new(1024, 64, 2),
+        CacheConfig::new(8192, 64, 4),
+        CacheConfig::new(65536, 64, 8),
+    )
+    .with_prefetcher(coverage)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Conservation: per level, misses never exceed the accesses that
+    /// reached it, and lower levels see at most the upper level's misses.
+    #[test]
+    fn miss_hierarchy_conservation(
+        addrs in proptest::collection::vec(0u64..1_000_000, 1..300),
+        coverage in 0u8..=100,
+    ) {
+        let mut h = small_hierarchy(coverage);
+        for a in &addrs {
+            h.access(*a);
+        }
+        let c = h.counters();
+        prop_assert!(c.l1_misses <= c.accesses);
+        prop_assert!(c.l2_misses <= c.l1_misses);
+        prop_assert!(c.l3_misses <= c.l2_misses);
+    }
+
+    /// Replaying the same trace twice never increases the second pass's
+    /// miss count above the first (caches only get warmer).
+    #[test]
+    fn warm_replay_is_never_worse(
+        addrs in proptest::collection::vec(0u64..100_000, 1..200),
+    ) {
+        let mut h = small_hierarchy(0);
+        for a in &addrs {
+            h.access(*a);
+        }
+        let cold = h.counters().l3_misses;
+        h.reset_counters();
+        for a in &addrs {
+            h.access(*a);
+        }
+        let warm = h.counters().l3_misses;
+        prop_assert!(warm <= cold);
+    }
+
+    /// Higher prefetch coverage never yields more misses on a streaming
+    /// range.
+    #[test]
+    fn prefetch_coverage_is_monotone(
+        start in 0u64..100_000,
+        kib in 1u64..64,
+        c1 in 0u8..=100,
+        c2 in 0u8..=100,
+    ) {
+        let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+        let mut a = small_hierarchy(lo);
+        a.access_range(start, kib * 1024);
+        let mut b = small_hierarchy(hi);
+        b.access_range(start, kib * 1024);
+        prop_assert!(b.counters().l3_misses <= a.counters().l3_misses);
+        // Access counts identical: coverage changes who serves a line, not
+        // how many lines the program touches.
+        prop_assert_eq!(a.counters().accesses, b.counters().accesses);
+    }
+
+    /// TLB conservation: hits + misses == translations; a bigger TLB never
+    /// misses more.
+    #[test]
+    fn tlb_size_monotone(
+        pages in proptest::collection::vec(0u64..5_000, 1..300),
+        small in 2usize..32,
+        extra in 1usize..64,
+    ) {
+        let mut t_small = Tlb::new(TlbConfig::new(small, 4096));
+        let mut t_big = Tlb::new(TlbConfig::new(small + extra, 4096));
+        for &p in &pages {
+            t_small.access(p * 4096);
+            t_big.access(p * 4096);
+        }
+        prop_assert_eq!(t_small.hits() + t_small.misses(), pages.len() as u64);
+        prop_assert!(t_big.misses() <= t_small.misses());
+    }
+
+    /// The memory model's counters are deterministic in the trace.
+    #[test]
+    fn model_is_deterministic(
+        segs in proptest::collection::vec((0usize..100_000, 1usize..64), 1..40),
+    ) {
+        let geom = BufferGeometry { base_addr: 0, row_bytes: 156 };
+        let trace: Vec<GatherSegment> =
+            segs.iter().map(|&(s, r)| GatherSegment { start_row: s, rows: r }).collect();
+        let run = || {
+            let mut m = MemoryModel::new(&PlatformSpec::i7_9700k());
+            m.replay_gather(&geom, &trace);
+            m.counters()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Splitting one contiguous run into two back-to-back segments touches
+    /// the same data and can only add (never remove) overhead counters.
+    #[test]
+    fn segment_splitting_never_reduces_cost(
+        start in 0usize..10_000,
+        rows in 2usize..128,
+        split in 1usize..127,
+    ) {
+        prop_assume!(split < rows);
+        let geom = BufferGeometry { base_addr: 0, row_bytes: 604 };
+        let whole = {
+            let mut m = MemoryModel::new(&PlatformSpec::ryzen_3975wx());
+            m.replay_gather(&geom, &[GatherSegment { start_row: start, rows }]);
+            m.counters()
+        };
+        let split_counters = {
+            let mut m = MemoryModel::new(&PlatformSpec::ryzen_3975wx());
+            m.replay_gather(
+                &geom,
+                &[
+                    GatherSegment { start_row: start, rows: split },
+                    GatherSegment { start_row: start + split, rows: rows - split },
+                ],
+            );
+            m.counters()
+        };
+        prop_assert!(split_counters.cache_misses >= whole.cache_misses);
+        prop_assert!(split_counters.branch_misses >= whole.branch_misses);
+        prop_assert!(split_counters.dtlb_misses >= whole.dtlb_misses);
+    }
+}

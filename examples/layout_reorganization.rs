@@ -1,0 +1,54 @@
+//! End-to-end training with the transition data layout reorganization
+//! (Section IV-B2): the trainer keeps a single interleaved key-value store
+//! instead of N per-agent buffers, turning the joint mini-batch gather
+//! into a single O(m) pass.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example layout_reorganization
+//! ```
+
+use marl_repro::algo::{Algorithm, LayoutMode, Task, TrainConfig, Trainer};
+use marl_repro::perf::phase::Phase;
+use marl_repro::perf::report::Table;
+
+fn run(layout: LayoutMode, agents: usize) -> Result<(f64, f64, f32), Box<dyn std::error::Error>> {
+    let config = TrainConfig::paper_defaults(Algorithm::Maddpg, Task::PredatorPrey, agents)
+        .with_layout(layout)
+        .with_episodes(60)
+        .with_batch_size(256)
+        .with_buffer_capacity(30_000)
+        .with_seed(5);
+    let mut trainer = Trainer::new(config)?;
+    trainer.prefill(24_000)?; // realistic buffer occupancy before measuring
+    let report = trainer.train()?;
+    Ok((
+        report.wall_time.as_secs_f64(),
+        report.profile.get(Phase::MiniBatchSampling).as_secs_f64(),
+        report.curve.final_score(15),
+    ))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("MADDPG predator-prey with per-agent vs interleaved transition layout\n");
+    let mut table =
+        Table::new(&["agents", "layout", "total (s)", "sampling (s)", "final score"]);
+    for agents in [3usize, 6] {
+        for (label, layout) in
+            [("per-agent", LayoutMode::PerAgent), ("interleaved", LayoutMode::Interleaved)]
+        {
+            let (total, sampling, score) = run(layout, agents)?;
+            table.row_owned(vec![
+                agents.to_string(),
+                label.into(),
+                format!("{total:.2}"),
+                format!("{sampling:.3}"),
+                format!("{score:.1}"),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!("With identical seeds the two layouts train identically; only the gather cost");
+    println!("differs (the interleaved advantage grows with the agent count — Fig. 14).");
+    Ok(())
+}

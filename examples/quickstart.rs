@@ -1,0 +1,53 @@
+//! Quickstart: train MADDPG on a 3-predator predator-prey task and print
+//! the paper-style phase breakdown.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use marl_repro::algo::{Algorithm, Task, TrainConfig, Trainer};
+use marl_repro::perf::phase::Phase;
+use marl_repro::perf::report::{percent, Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = TrainConfig::paper_defaults(Algorithm::Maddpg, Task::PredatorPrey, 3)
+        .with_episodes(120)
+        .with_batch_size(256)
+        .with_buffer_capacity(20_000);
+    println!(
+        "training {} on {} with {} agents, {} episodes...",
+        config.algorithm.label(),
+        config.task.label(),
+        config.agents,
+        config.episodes
+    );
+
+    let mut trainer = Trainer::new(config)?;
+    let report = trainer.train()?;
+
+    println!("\nwall time: {:?}", report.wall_time);
+    println!("environment steps: {}", report.env_steps);
+    println!("update-all-trainers iterations: {}", report.update_iterations);
+
+    let mut table = Table::new(&["phase", "share of total", "share of update-all-trainers"]);
+    for phase in Phase::ALL {
+        let of_update = if phase.in_update_all_trainers() {
+            percent(report.profile.fraction_of_update(phase))
+        } else {
+            "-".to_owned()
+        };
+        table.row(&[phase.label(), &percent(report.profile.fraction(phase)), &of_update]);
+    }
+    println!("\n{table}");
+
+    let smoothed = report.curve.smoothed(20);
+    println!(
+        "mean episode reward: first {:.1} -> last {:.1}",
+        smoothed.first().copied().unwrap_or(0.0),
+        smoothed.last().copied().unwrap_or(0.0)
+    );
+    let score = trainer.evaluate(10)?;
+    println!("greedy evaluation over 10 episodes: {score:.1}");
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Scalability mini-study: how the update-all-trainers share of training
+//! time grows with the number of agents (the trend of the paper's
+//! Figures 2 and 6), on scaled-down predator-prey runs.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example scalability_profile
+//! ```
+
+use marl_repro::algo::{Algorithm, Task, TrainConfig, Trainer};
+use marl_repro::perf::phase::Phase;
+use marl_repro::perf::report::{percent, Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("MADDPG predator-prey scalability (scaled-down: 40 episodes, batch 256)\n");
+    let mut table = Table::new(&[
+        "agents",
+        "total (s)",
+        "action-selection",
+        "update-all-trainers",
+        "sampling share of update",
+    ]);
+    for agents in [3usize, 6, 12] {
+        let config = TrainConfig::paper_defaults(Algorithm::Maddpg, Task::PredatorPrey, agents)
+            .with_episodes(40)
+            .with_batch_size(256)
+            .with_buffer_capacity(20_000)
+            .with_seed(1);
+        let mut trainer = Trainer::new(config)?;
+        let report = trainer.train()?;
+        let p = &report.profile;
+        let update_frac = p.update_all_trainers().as_secs_f64() / p.total().as_secs_f64();
+        table.row_owned(vec![
+            agents.to_string(),
+            format!("{:.2}", report.wall_time.as_secs_f64()),
+            percent(p.fraction(Phase::ActionSelection)),
+            percent(update_frac),
+            percent(p.fraction_of_update(Phase::MiniBatchSampling)),
+        ]);
+    }
+    println!("{table}");
+    println!("expected trend (paper Fig. 2/3): the update-all-trainers share grows with N");
+    println!("and mini-batch sampling dominates inside it.");
+    Ok(())
+}

@@ -1,0 +1,199 @@
+//! `marl-train` — command-line entry point for training runs.
+//!
+//! ```text
+//! marl-train [--algo maddpg|matd3] [--task pp|cn|pd] [--agents N]
+//!            [--sampler baseline|n16r64|n64r16|per|ip|per-reuse:W]
+//!            [--layout per-agent|interleaved] [--episodes E] [--batch B]
+//!            [--capacity C] [--threads T] [--seed S] [--eval-episodes K]
+//!            [--checkpoint-out FILE]
+//! ```
+//!
+//! Prints the phase breakdown and reward summary; optionally writes a JSON
+//! checkpoint of the trained networks.
+
+use marl_repro::algo::{Algorithm, LayoutMode, Task, TrainConfig, Trainer};
+use marl_repro::core::SamplerConfig;
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct CliError(String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+fn parse_sampler(v: &str) -> Result<SamplerConfig, CliError> {
+    Ok(match v {
+        "baseline" | "uniform" => SamplerConfig::Uniform,
+        "n16r64" => SamplerConfig::LocalityN16R64,
+        "n64r16" => SamplerConfig::LocalityN64R16,
+        "per" => SamplerConfig::Per,
+        "ip" => SamplerConfig::IpLocality,
+        other => {
+            if let Some(w) = other.strip_prefix("per-reuse:") {
+                let window: usize = w
+                    .parse()
+                    .map_err(|_| CliError(format!("bad reuse window in --sampler {other}")))?;
+                SamplerConfig::PerReuse { window }
+            } else if let Some(n) = other.strip_prefix("n") {
+                let neighbors: usize = n
+                    .parse()
+                    .map_err(|_| CliError(format!("unknown sampler {other}")))?;
+                SamplerConfig::Locality { neighbors }
+            } else {
+                return Err(CliError(format!("unknown sampler {other}")));
+            }
+        }
+    })
+}
+
+fn parse_args(args: &[String]) -> Result<(TrainConfig, usize, Option<String>), CliError> {
+    let mut algorithm = Algorithm::Maddpg;
+    let mut task = Task::PredatorPrey;
+    let mut agents = 3usize;
+    let mut sampler = SamplerConfig::Uniform;
+    let mut layout = LayoutMode::PerAgent;
+    let mut episodes = 300usize;
+    let mut batch = 256usize;
+    let mut capacity = 50_000usize;
+    let mut threads = 1usize;
+    let mut seed = 0u64;
+    let mut eval_episodes = 10usize;
+    let mut checkpoint_out = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, CliError> {
+            it.next().ok_or_else(|| CliError(format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--algo" => {
+                algorithm = match value("--algo")?.as_str() {
+                    "maddpg" => Algorithm::Maddpg,
+                    "matd3" => Algorithm::Matd3,
+                    v => return Err(CliError(format!("unknown algorithm {v}"))),
+                }
+            }
+            "--task" => {
+                task = match value("--task")?.as_str() {
+                    "pp" | "predator-prey" => Task::PredatorPrey,
+                    "cn" | "cooperative-navigation" => Task::CooperativeNavigation,
+                    "pd" | "physical-deception" => Task::PhysicalDeception,
+                    v => return Err(CliError(format!("unknown task {v}"))),
+                }
+            }
+            "--agents" => agents = parse_num(value("--agents")?)?,
+            "--sampler" => sampler = parse_sampler(value("--sampler")?)?,
+            "--layout" => {
+                layout = match value("--layout")?.as_str() {
+                    "per-agent" => LayoutMode::PerAgent,
+                    "interleaved" => LayoutMode::Interleaved,
+                    v => return Err(CliError(format!("unknown layout {v}"))),
+                }
+            }
+            "--episodes" => episodes = parse_num(value("--episodes")?)?,
+            "--batch" => batch = parse_num(value("--batch")?)?,
+            "--capacity" => capacity = parse_num(value("--capacity")?)?,
+            "--threads" => threads = parse_num(value("--threads")?)?,
+            "--seed" => seed = parse_num(value("--seed")?)? as u64,
+            "--eval-episodes" => eval_episodes = parse_num(value("--eval-episodes")?)?,
+            "--checkpoint-out" => checkpoint_out = Some(value("--checkpoint-out")?.clone()),
+            "--help" | "-h" => {
+                return Err(CliError("help".into()));
+            }
+            v => return Err(CliError(format!("unknown flag {v}"))),
+        }
+    }
+    let mut config = TrainConfig::paper_defaults(algorithm, task, agents)
+        .with_sampler(sampler)
+        .with_layout(layout)
+        .with_episodes(episodes)
+        .with_batch_size(batch)
+        .with_buffer_capacity(capacity)
+        .with_sampling_threads(threads)
+        .with_seed(seed);
+    // Keep the warmup proportionate to the run so short CLI runs still
+    // perform updates.
+    config.warmup = (2 * batch).clamp(batch, capacity / 2).max(batch);
+    Ok((config, eval_episodes, checkpoint_out))
+}
+
+fn parse_num(v: &str) -> Result<usize, CliError> {
+    v.parse().map_err(|_| CliError(format!("not a number: {v}")))
+}
+
+fn usage() {
+    eprintln!(
+        "usage: marl-train [--algo maddpg|matd3] [--task pp|cn|pd] [--agents N]\n\
+         \x20                 [--sampler baseline|n16r64|n64r16|nK|per|ip|per-reuse:W]\n\
+         \x20                 [--layout per-agent|interleaved] [--episodes E] [--batch B]\n\
+         \x20                 [--capacity C] [--threads T] [--seed S] [--eval-episodes K]\n\
+         \x20                 [--checkpoint-out FILE]"
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (config, eval_episodes, checkpoint_out) = match parse_args(&args) {
+        Ok(v) => v,
+        Err(CliError(msg)) => {
+            if msg != "help" {
+                eprintln!("error: {msg}\n");
+            }
+            usage();
+            return if msg == "help" { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        }
+    };
+
+    println!(
+        "training {} / {} / {} agents / sampler {} / {} episodes",
+        config.algorithm.label(),
+        config.task.label(),
+        config.agents,
+        config.sampler.label(),
+        config.episodes
+    );
+    let mut trainer = match Trainer::new(config) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match trainer.train() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("\nwall time: {:?} | env steps: {} | update iterations: {}",
+        report.wall_time, report.env_steps, report.update_iterations);
+    if report.update_iterations == 0 {
+        eprintln!(
+            "warning: no network updates ran — increase --episodes or lower --batch \
+             (warmup is 2x the batch size)"
+        );
+    }
+    println!("{}", report.profile.as_table());
+    let window = (report.curve.len() / 5).max(1);
+    println!("final score (smoothed): {:.2}", report.curve.final_score(window));
+    if eval_episodes > 0 {
+        match trainer.evaluate(eval_episodes) {
+            Ok(score) => println!("greedy evaluation over {eval_episodes} episodes: {score:.2}"),
+            Err(e) => eprintln!("evaluation failed: {e}"),
+        }
+    }
+    if let Some(path) = checkpoint_out {
+        let ckpt = trainer.checkpoint();
+        match serde_json::to_string(&ckpt).map(|json| std::fs::write(&path, json)) {
+            Ok(Ok(())) => println!("checkpoint written to {path}"),
+            Ok(Err(e)) => eprintln!("failed to write checkpoint: {e}"),
+            Err(e) => eprintln!("failed to serialize checkpoint: {e}"),
+        }
+    }
+    ExitCode::SUCCESS
+}

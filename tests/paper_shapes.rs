@@ -1,0 +1,136 @@
+//! Fast checks of the *shapes* the paper reports: locality reduces random
+//! jumps and simulated misses; sampling traffic scales O(N²·B); the
+//! neighbor predictor follows the priority thresholds.
+
+use marl_repro::core::config::SamplerConfig;
+use marl_repro::core::stats::{iteration_stats, plan_stats};
+use marl_repro::core::transition::TransitionLayout;
+use marl_repro::perf::platform::PlatformSpec;
+use marl_repro::perf::trace::{BufferGeometry, GatherSegment, MemoryModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ROWS: usize = 200_000; // 200k x ~600B rows = 120 MB per buffer, still far beyond LLC
+const BATCH: usize = 1024;
+
+fn segments(cfg: SamplerConfig, rng: &mut StdRng) -> Vec<GatherSegment> {
+    let mut sampler = cfg.build(ROWS);
+    if cfg.is_prioritized() {
+        for slot in 0..ROWS {
+            sampler.observe_push(slot);
+        }
+    }
+    let plan = sampler.plan(ROWS, BATCH, rng).unwrap();
+    plan.segments
+        .iter()
+        .map(|s| GatherSegment { start_row: s.start, rows: s.len })
+        .collect()
+}
+
+fn simulated_misses(cfg: SamplerConfig, agents: usize) -> (u64, u64) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let layout = TransitionLayout::new(72, 5);
+    let geometry = BufferGeometry::layout(agents, ROWS, layout.row_bytes());
+    let mut model = MemoryModel::new(&PlatformSpec::ryzen_3975wx());
+    for _ in 0..agents {
+        let segs = segments(cfg, &mut rng);
+        for geom in &geometry {
+            model.replay_gather(geom, &segs);
+        }
+    }
+    let c = model.counters();
+    (c.cache_misses, c.dtlb_misses)
+}
+
+#[test]
+fn locality_reduces_simulated_misses() {
+    let (base_llc, base_tlb) = simulated_misses(SamplerConfig::Uniform, 3);
+    let (loc_llc, loc_tlb) = simulated_misses(SamplerConfig::LocalityN64R16, 3);
+    assert!(
+        loc_llc < base_llc,
+        "locality LLC misses {loc_llc} should undercut baseline {base_llc}"
+    );
+    assert!(loc_tlb < base_tlb, "locality dTLB misses should shrink");
+    // The reduction should be substantial (paper reports double-digit %).
+    let reduction = 1.0 - loc_llc as f64 / base_llc as f64;
+    assert!(reduction > 0.10, "LLC reduction only {:.1}%", reduction * 100.0);
+}
+
+#[test]
+fn miss_counts_grow_superlinearly_with_agents() {
+    let (m3, _) = simulated_misses(SamplerConfig::Uniform, 3);
+    let (m6, _) = simulated_misses(SamplerConfig::Uniform, 6);
+    let ratio = m6 as f64 / m3 as f64;
+    assert!(ratio > 2.0, "expected super-linear growth, got {ratio:.2}x");
+}
+
+#[test]
+fn sampling_traffic_is_quadratic_in_agents() {
+    let layout = TransitionLayout::new(72, 5);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut sampler = SamplerConfig::Uniform.build(ROWS);
+    let plan = sampler.plan(ROWS, BATCH, &mut rng).unwrap();
+    let per = plan_stats(&plan, &layout);
+    let s3 = iteration_stats(&per, 3);
+    let s24 = iteration_stats(&per, 24);
+    assert_eq!(s24.gathers, 64 * s3.gathers); // 24² = 576 = 64 × 3²
+    assert_eq!(s24.bytes_read, 64 * s3.bytes_read);
+    assert_eq!(s24.random_jumps, 64 * s3.random_jumps);
+}
+
+#[test]
+fn plan_jump_counts_match_paper_operating_points() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut uniform = SamplerConfig::Uniform.build(ROWS);
+    assert_eq!(uniform.plan(ROWS, BATCH, &mut rng).unwrap().random_jumps(), 1024);
+    let mut n16 = SamplerConfig::LocalityN16R64.build(ROWS);
+    assert_eq!(n16.plan(ROWS, BATCH, &mut rng).unwrap().random_jumps(), 64);
+    let mut n64 = SamplerConfig::LocalityN64R16.build(ROWS);
+    assert_eq!(n64.plan(ROWS, BATCH, &mut rng).unwrap().random_jumps(), 16);
+}
+
+#[test]
+fn ip_locality_jumps_fall_between_per_and_pure_locality() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut per = SamplerConfig::Per.build(ROWS);
+    let mut ip = SamplerConfig::IpLocality.build(ROWS);
+    for slot in 0..ROWS {
+        per.observe_push(slot);
+        ip.observe_push(slot);
+    }
+    let per_jumps = per.plan(ROWS, BATCH, &mut rng).unwrap().random_jumps();
+    let ip_jumps = ip.plan(ROWS, BATCH, &mut rng).unwrap().random_jumps();
+    assert_eq!(per_jumps, 1024);
+    assert!(ip_jumps < per_jumps, "IP must jump less than PER");
+    assert!(ip_jumps >= 16, "IP keeps more randomness than one giant run");
+}
+
+#[test]
+fn bigger_caches_miss_less_on_identical_traces() {
+    // Cross-platform sanity: the i7's smaller L3 must not outperform the
+    // Ryzen's larger slice on the same trace.
+    let mut rng = StdRng::seed_from_u64(4);
+    let layout = TransitionLayout::new(72, 5);
+    let geometry = BufferGeometry::layout(3, ROWS, layout.row_bytes());
+    let run = |platform: &PlatformSpec, rng: &mut StdRng| {
+        let mut model = MemoryModel::new(platform);
+        let mut sampler = SamplerConfig::Uniform.build(ROWS);
+        for _ in 0..3 {
+            let plan = sampler.plan(ROWS, BATCH, rng).unwrap();
+            let segs: Vec<GatherSegment> = plan
+                .segments
+                .iter()
+                .map(|s| GatherSegment { start_row: s.start, rows: s.len })
+                .collect();
+            for geom in &geometry {
+                model.replay_gather(geom, &segs);
+            }
+        }
+        model.counters()
+    };
+    let ryzen = run(&PlatformSpec::ryzen_3975wx(), &mut rng);
+    let mut rng2 = StdRng::seed_from_u64(4);
+    let i7 = run(&PlatformSpec::i7_9700k(), &mut rng2);
+    assert!(i7.cache_misses >= ryzen.cache_misses);
+    assert!(i7.dtlb_misses >= ryzen.dtlb_misses);
+}
