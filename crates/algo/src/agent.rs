@@ -76,11 +76,8 @@ impl AgentNets {
         let logits = self.actor.forward_inference(&Matrix::row_vector(obs));
         let sample = gumbel_softmax_sample(&logits, temperature, rng);
         let hard = harden(&sample.value);
-        let idx = hard
-            .as_slice()
-            .iter()
-            .position(|&x| x == 1.0)
-            .expect("harden produces a one-hot row");
+        let idx =
+            hard.as_slice().iter().position(|&x| x == 1.0).expect("harden produces a one-hot row");
         (idx, hard.into_vec())
     }
 

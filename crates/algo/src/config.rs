@@ -51,8 +51,7 @@ impl Task {
 }
 
 /// How transition data is laid out in memory (Section IV-B2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum LayoutMode {
     /// One buffer per agent in separate allocations (the baseline).
     #[default]
@@ -61,7 +60,6 @@ pub enum LayoutMode {
     /// step is contiguous, so a joint gather is O(m) instead of O(N·m).
     Interleaved,
 }
-
 
 /// Full training configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -110,6 +108,11 @@ pub struct TrainConfig {
     /// beyond the paper — the sampling phase is CPU-bound, so independent
     /// per-agent gathers can be fanned out).
     pub sampling_threads: usize,
+    /// Worker threads for the per-agent critic/actor updates inside
+    /// *update all trainers* (1 = serial). The N trainers are independent
+    /// once mini-batches and target actions are staged, so the update
+    /// phase fans out without changing results.
+    pub update_threads: usize,
     /// Experiment seed.
     pub seed: u64,
 }
@@ -140,6 +143,7 @@ impl TrainConfig {
             target_noise: 0.2,
             noise_clip: 0.5,
             sampling_threads: 1,
+            update_threads: 1,
             seed: 0,
         }
     }
@@ -181,6 +185,12 @@ impl TrainConfig {
         self
     }
 
+    /// Overrides the parallel-update thread count (builder style).
+    pub fn with_update_threads(mut self, threads: usize) -> Self {
+        self.update_threads = threads;
+        self
+    }
+
     /// Overrides the replay capacity (builder style).
     pub fn with_buffer_capacity(mut self, capacity: usize) -> Self {
         self.buffer_capacity = capacity;
@@ -217,6 +227,9 @@ impl TrainConfig {
         if self.sampling_threads == 0 {
             return Err("sampling threads must be >= 1".into());
         }
+        if self.update_threads == 0 {
+            return Err("update threads must be >= 1".into());
+        }
         Ok(())
     }
 }
@@ -243,9 +256,11 @@ mod tests {
             .with_sampler(SamplerConfig::LocalityN64R16)
             .with_episodes(10)
             .with_batch_size(64)
+            .with_update_threads(4)
             .with_seed(7);
         assert_eq!(c.episodes, 10);
         assert_eq!(c.batch_size, 64);
+        assert_eq!(c.update_threads, 4);
         assert_eq!(c.seed, 7);
         assert!(c.warmup >= 128);
         assert!(c.validate().is_ok());
@@ -274,6 +289,9 @@ mod tests {
         assert!(c.validate().is_err());
         c = base;
         c.sampling_threads = 0;
+        assert!(c.validate().is_err());
+        c = base;
+        c.update_threads = 0;
         assert!(c.validate().is_err());
     }
 

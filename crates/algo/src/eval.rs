@@ -58,10 +58,7 @@ impl RewardCurve {
             return 0.0;
         }
         let n = tail.clamp(1, self.episodes.len());
-        let s: f64 = self.episodes[self.episodes.len() - n..]
-            .iter()
-            .map(|&x| x as f64)
-            .sum();
+        let s: f64 = self.episodes[self.episodes.len() - n..].iter().map(|&x| x as f64).sum();
         (s / n as f64) as f32
     }
 

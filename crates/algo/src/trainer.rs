@@ -39,6 +39,10 @@ pub struct SamplingTelemetry {
     pub bytes_gathered: u64,
     /// Random jumps (plan segments) — the prefetcher-hostile events.
     pub random_jumps: u64,
+    /// Full cross-agent target-action computations. The staged pipeline
+    /// performs exactly one per plan; a per-trainer recomputation scheme
+    /// would need N per plan.
+    pub target_action_passes: u64,
 }
 
 /// Outcome of a training run.
@@ -165,10 +169,9 @@ impl Trainer {
             LayoutMode::PerAgent => {
                 ReplayBackend::PerAgent(MultiAgentReplay::new(&layouts, config.buffer_capacity))
             }
-            LayoutMode::Interleaved => ReplayBackend::Interleaved(InterleavedStore::new(
-                &layouts,
-                config.buffer_capacity,
-            )),
+            LayoutMode::Interleaved => {
+                ReplayBackend::Interleaved(InterleavedStore::new(&layouts, config.buffer_capacity))
+            }
         };
         let sampler = config.sampler.build(config.buffer_capacity);
         Ok(Trainer {
@@ -349,18 +352,39 @@ impl Trainer {
     }
 
     /// Runs one full *update all trainers* iteration (all N agent
-    /// trainers).
+    /// trainers) as a three-phase pipeline:
+    ///
+    /// 1. **Stage** — draw all N sampling plans (serially, on the master
+    ///    RNG) and gather all N mini-batches, fanning whole-plan gathers
+    ///    over the update worker pool when `update_threads > 1`.
+    /// 2. **Share** — compute every agent's target actions once per
+    ///    staged batch and assemble the joint next-state critic inputs.
+    ///    Target-policy smoothing noise comes from per-agent RNG streams
+    ///    derived from the master seed, so the draw sequence does not
+    ///    depend on the thread count.
+    /// 3. **Fan out** — run the N per-agent critic/actor updates on a
+    ///    `std::thread::scope` worker pool sized by
+    ///    [`TrainConfig::update_threads`]. Each worker owns a disjoint
+    ///    split-borrowed chunk of the agent vector and accumulates phase
+    ///    timings in a worker-local profile, merged afterwards.
+    ///
+    /// Results are bitwise identical for every `update_threads` value.
     ///
     /// # Errors
     ///
     /// Propagates replay/sampler failures.
     pub fn update_all_trainers(&mut self) -> Result<(), TrainError> {
         let n = self.agents.len();
-        for i in 0..n {
-            // --- Mini-batch sampling: the common indices array is applied
-            // to every agent's buffer (O(N·B) reads per trainer, O(N²·B)
-            // for the full iteration).
-            let t0 = Instant::now();
+        let cfg = self.config;
+        let matd3 = cfg.algorithm == Algorithm::Matd3;
+
+        // --- Phase 1: mini-batch sampling. The common indices array of
+        // each plan is applied to every agent's buffer (O(N·B) reads per
+        // trainer, O(N²·B) for the full iteration). All N plans are drawn
+        // up front so the gathers become embarrassingly parallel.
+        let t0 = Instant::now();
+        let mut plans = Vec::with_capacity(n);
+        for _ in 0..n {
             let plan =
                 self.sampler.plan(self.replay.len(), self.config.batch_size, &mut self.rng)?;
             self.telemetry.plans += 1;
@@ -370,16 +394,122 @@ impl Trainer {
             let bytes: u64 = self
                 .obs_dims
                 .iter()
-                .map(|&od| {
-                    rows * TransitionLayout::new(od, self.act_dim).row_bytes() as u64
-                })
+                .map(|&od| rows * TransitionLayout::new(od, self.act_dim).row_bytes() as u64)
                 .sum();
             self.telemetry.bytes_gathered += bytes;
-            let raw = self.replay.sample(&plan, self.config.sampling_threads)?;
-            let view = BatchView::from_multi(raw, &self.obs_dims, self.act_dim);
-            self.profile.add(Phase::MiniBatchSampling, t0.elapsed());
+            plans.push(plan);
+        }
+        let views: Vec<BatchView> = self
+            .gather_batches(&plans)?
+            .into_iter()
+            .map(|mb| BatchView::from_multi(mb, &self.obs_dims, self.act_dim))
+            .collect();
+        self.profile.add(Phase::MiniBatchSampling, t0.elapsed());
 
-            self.update_one_trainer(i, &view)?;
+        // --- Phase 2: shared target actions. Every agent's target actor
+        // proposes next actions for each staged batch exactly once (the
+        // N×(N−1) cross-agent reads), instead of once per consuming
+        // trainer; workers then only touch their own networks.
+        let t0 = Instant::now();
+        let noise = if matd3 { cfg.target_noise } else { 0.0 };
+        let update_seed =
+            marl_nn::rng::derive_seed(marl_nn::rng::derive_seed(cfg.seed, 2), self.updates);
+        let mut noise_streams: Vec<StdRng> = (0..n)
+            .map(|j| StdRng::seed_from_u64(marl_nn::rng::derive_seed(update_seed, j as u64)))
+            .collect();
+        let agents = &self.agents;
+        let joint_nexts: Vec<Matrix> = views
+            .iter()
+            .map(|view| {
+                let parts: Vec<Matrix> = agents
+                    .iter()
+                    .zip(&view.next_obs)
+                    .zip(&mut noise_streams)
+                    .map(|((a, next_obs), stream)| {
+                        a.target_actions(next_obs, cfg.temperature, noise, cfg.noise_clip, stream)
+                            .value
+                    })
+                    .collect();
+                let mut refs: Vec<&Matrix> = Vec::with_capacity(2 * n);
+                refs.extend(view.next_obs.iter());
+                refs.extend(parts.iter());
+                Matrix::hstack(&refs)
+            })
+            .collect();
+        self.telemetry.target_action_passes += views.len() as u64;
+        self.profile.add(Phase::TargetQ, t0.elapsed());
+
+        // --- Phase 3: per-agent updates on the worker pool.
+        let threads = cfg.update_threads.clamp(1, n);
+        let total_obs_dim = self.total_obs_dim;
+        let act_dim = self.act_dim;
+        let updates = self.updates;
+        let tds: Vec<Vec<f32>> = if threads == 1 {
+            let profile = &mut self.profile;
+            self.agents
+                .iter_mut()
+                .zip(views.iter().zip(&joint_nexts))
+                .enumerate()
+                .map(|(i, (agent, (view, joint_next)))| {
+                    update_agent(
+                        agent,
+                        i,
+                        view,
+                        joint_next,
+                        &cfg,
+                        total_obs_dim,
+                        act_dim,
+                        updates,
+                        profile,
+                    )
+                })
+                .collect()
+        } else {
+            let chunk = n.div_ceil(threads);
+            let worker_profiles = parking_lot::Mutex::new(PhaseProfile::new());
+            let agents = &mut self.agents;
+            let results: Vec<Vec<Vec<f32>>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = agents
+                    .chunks_mut(chunk)
+                    .zip(views.chunks(chunk).zip(joint_nexts.chunks(chunk)))
+                    .enumerate()
+                    .map(|(c, (agent_chunk, (view_chunk, jn_chunk)))| {
+                        let worker_profiles = &worker_profiles;
+                        scope.spawn(move || {
+                            let mut local = PhaseProfile::new();
+                            let base = c * chunk;
+                            let out: Vec<Vec<f32>> = agent_chunk
+                                .iter_mut()
+                                .enumerate()
+                                .map(|(k, agent)| {
+                                    update_agent(
+                                        agent,
+                                        base + k,
+                                        &view_chunk[k],
+                                        &jn_chunk[k],
+                                        &cfg,
+                                        total_obs_dim,
+                                        act_dim,
+                                        updates,
+                                        &mut local,
+                                    )
+                                })
+                                .collect();
+                            worker_profiles.lock().merge(&local);
+                            out
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("update worker panicked")).collect()
+            });
+            self.profile.merge(&worker_profiles.into_inner());
+            results.into_iter().flatten().collect()
+        };
+
+        // Priority refreshes happen in agent order after the pool drains,
+        // matching the serial path exactly.
+        for (view, td) in views.iter().zip(&tds) {
+            self.sampler.update_priorities(&view.indices, td);
         }
 
         // --- Target-network soft updates ---
@@ -396,113 +526,19 @@ impl Trainer {
         Ok(())
     }
 
-    /// Target-Q + critic/actor update for one agent trainer.
-    fn update_one_trainer(&mut self, i: usize, view: &BatchView) -> Result<(), TrainError> {
-        let cfg = self.config;
-        let batch = view.batch;
-        let matd3 = cfg.algorithm == Algorithm::Matd3;
-
-        // --- Target Q calculation ---
-        let t0 = Instant::now();
-        // Each agent's target actor proposes the next action from its own
-        // next observation: N×(N−1) cross-agent reads in spirit.
-        let noise = if matd3 { cfg.target_noise } else { 0.0 };
-        let mut next_action_parts: Vec<Matrix> = Vec::with_capacity(self.agents.len());
-        for (a, next_obs) in self.agents.iter().zip(&view.next_obs) {
-            let s = a.target_actions(next_obs, cfg.temperature, noise, cfg.noise_clip, &mut self.rng);
-            next_action_parts.push(s.value);
-        }
-        let mut joint_next_parts: Vec<&Matrix> = Vec::with_capacity(2 * self.agents.len());
-        joint_next_parts.extend(view.next_obs.iter());
-        joint_next_parts.extend(next_action_parts.iter());
-        let joint_next = Matrix::hstack(&joint_next_parts);
-        let tq = {
-            let q1 = self.agents[i].target_critic.forward_inference(&joint_next);
-            if let Some((_, t2)) = &self.agents[i].critic2 {
-                let q2 = t2.forward_inference(&joint_next);
-                // Twin-critic minimum combats overestimation bias.
-                let mut m = q1.clone();
-                for (a, b) in m.as_mut_slice().iter_mut().zip(q2.as_slice()) {
-                    *a = a.min(*b);
-                }
-                m
-            } else {
-                q1
+    /// Gathers one staged mini-batch per plan. With the worker pool
+    /// enabled and per-agent buffers, whole-plan gathers fan out over
+    /// `update_threads`; otherwise plans gather serially, each through the
+    /// per-plan path (which has its own `sampling_threads` knob).
+    fn gather_batches(&self, plans: &[SamplePlan]) -> Result<Vec<MultiBatch>, ReplayError> {
+        match &self.replay {
+            ReplayBackend::PerAgent(r) if self.config.update_threads > 1 => {
+                r.sample_many(plans, self.config.update_threads)
             }
-        };
-        let mut y = Matrix::zeros(batch, 1);
-        for r in 0..batch {
-            let not_done = 1.0 - view.dones[r];
-            *y.at_mut(r, 0) = view.rewards[i][r] + cfg.gamma * not_done * tq.at(r, 0);
-        }
-        self.profile.add(Phase::TargetQ, t0.elapsed());
-
-        // --- Q loss (critic) + P loss (actor) ---
-        let t0 = Instant::now();
-        let mut joint_parts: Vec<&Matrix> = Vec::with_capacity(2 * self.agents.len());
-        joint_parts.extend(view.obs.iter());
-        joint_parts.extend(view.actions.iter());
-        let joint = Matrix::hstack(&joint_parts);
-
-        // Critic 1.
-        let agent = &mut self.agents[i];
-        agent.critic.zero_grad();
-        let q = agent.critic.forward(&joint);
-        let (_loss, grad) = match &view.weights {
-            Some(w) => weighted_mse(&q, &y, w),
-            None => mse(&q, &y),
-        };
-        agent.critic.backward(&grad);
-        agent.critic_opt.step(&mut agent.critic);
-
-        // Twin critic (MATD3).
-        if let Some((c2, _)) = &mut agent.critic2 {
-            c2.zero_grad();
-            let q2 = c2.forward(&joint);
-            let (_l2, g2) = match &view.weights {
-                Some(w) => weighted_mse(&q2, &y, w),
-                None => mse(&q2, &y),
-            };
-            c2.backward(&g2);
-            agent.critic2_opt.as_mut().expect("twin optimizer").step(c2);
-        }
-
-        // Refresh priorities from the TD errors of this trainer's batch.
-        let td = td_errors(&q, &y);
-        self.sampler.update_priorities(&view.indices, &td);
-
-        // Policy update (delayed for MATD3).
-        let do_policy = !matd3 || self.updates.is_multiple_of(cfg.policy_delay as u64);
-        if do_policy {
-            let agent = &mut self.agents[i];
-            let logits = agent.actor.forward(&view.obs[i]);
-            let sample = softmax_relaxation(&logits, cfg.temperature);
-            // Joint input with agent i's action replaced by its relaxed
-            // current-policy action.
-            let mut pol_parts: Vec<&Matrix> = Vec::with_capacity(2 * self.obs_dims.len());
-            pol_parts.extend(view.obs.iter());
-            for (j, act) in view.actions.iter().enumerate() {
-                if j == i {
-                    pol_parts.push(&sample.value);
-                } else {
-                    pol_parts.push(act);
-                }
+            _ => {
+                plans.iter().map(|p| self.replay.sample(p, self.config.sampling_threads)).collect()
             }
-            let joint_pol = Matrix::hstack(&pol_parts);
-            agent.critic.zero_grad();
-            agent.critic.forward(&joint_pol);
-            // Maximize Q ⇒ gradient −1/B on every Q output.
-            let grad_q = Matrix::full(batch, 1, -1.0 / batch as f32);
-            let grad_joint = agent.critic.backward(&grad_q);
-            let act_off = self.total_obs_dim + i * self.act_dim;
-            let grad_action = grad_joint.columns(act_off, self.act_dim);
-            let grad_logits = sample.backward(&grad_action);
-            agent.actor.zero_grad();
-            agent.actor.backward(&grad_logits);
-            agent.actor_opt.step(&mut agent.actor);
         }
-        self.profile.add(Phase::QLossPLoss, t0.elapsed());
-        Ok(())
     }
 
     /// Sampling-phase telemetry so far.
@@ -552,12 +588,8 @@ impl Trainer {
         for _ in 0..episodes {
             let mut obs = self.env.reset();
             loop {
-                let actions: Vec<usize> = self
-                    .agents
-                    .iter()
-                    .zip(&obs)
-                    .map(|(a, o)| a.act_greedy(o))
-                    .collect();
+                let actions: Vec<usize> =
+                    self.agents.iter().zip(&obs).map(|(a, o)| a.act_greedy(o)).collect();
                 let step = self.env.step(&actions)?;
                 total += step.rewards.iter().sum::<f32>() as f64 / n as f64;
                 obs = step.observations;
@@ -568,6 +600,116 @@ impl Trainer {
         }
         Ok((total / episodes.max(1) as f64) as f32)
     }
+}
+
+/// Target-Q tail plus critic/actor update for one agent trainer.
+///
+/// Pure per-agent work: it reads the staged mini-batch and precomputed
+/// joint next-state input and mutates only `agent`, so the N calls of one
+/// iteration produce bitwise-identical results on any worker layout.
+/// Phase timings accumulate into `profile` (worker-local under the pool).
+/// Returns the batch TD errors for the sampler's priority refresh, which
+/// stays on the coordinating thread.
+#[allow(clippy::too_many_arguments)]
+fn update_agent(
+    agent: &mut AgentNets,
+    i: usize,
+    view: &BatchView,
+    joint_next: &Matrix,
+    cfg: &TrainConfig,
+    total_obs_dim: usize,
+    act_dim: usize,
+    updates: u64,
+    profile: &mut PhaseProfile,
+) -> Vec<f32> {
+    let batch = view.batch;
+    let matd3 = cfg.algorithm == Algorithm::Matd3;
+
+    // --- Target Q calculation (per-agent tail) ---
+    let t0 = Instant::now();
+    let tq = {
+        let q1 = agent.target_critic.forward_inference(joint_next);
+        if let Some((_, t2)) = &agent.critic2 {
+            let q2 = t2.forward_inference(joint_next);
+            // Twin-critic minimum combats overestimation bias.
+            let mut m = q1.clone();
+            for (a, b) in m.as_mut_slice().iter_mut().zip(q2.as_slice()) {
+                *a = a.min(*b);
+            }
+            m
+        } else {
+            q1
+        }
+    };
+    let mut y = Matrix::zeros(batch, 1);
+    for r in 0..batch {
+        let not_done = 1.0 - view.dones[r];
+        *y.at_mut(r, 0) = view.rewards[i][r] + cfg.gamma * not_done * tq.at(r, 0);
+    }
+    profile.add(Phase::TargetQ, t0.elapsed());
+
+    // --- Q loss (critic) + P loss (actor) ---
+    let t0 = Instant::now();
+    let mut joint_parts: Vec<&Matrix> = Vec::with_capacity(2 * view.obs.len());
+    joint_parts.extend(view.obs.iter());
+    joint_parts.extend(view.actions.iter());
+    let joint = Matrix::hstack(&joint_parts);
+
+    // Critic 1.
+    agent.critic.zero_grad();
+    let q = agent.critic.forward(&joint);
+    let (_loss, grad) = match &view.weights {
+        Some(w) => weighted_mse(&q, &y, w),
+        None => mse(&q, &y),
+    };
+    agent.critic.backward(&grad);
+    agent.critic_opt.step(&mut agent.critic);
+
+    // Twin critic (MATD3).
+    if let Some((c2, _)) = &mut agent.critic2 {
+        c2.zero_grad();
+        let q2 = c2.forward(&joint);
+        let (_l2, g2) = match &view.weights {
+            Some(w) => weighted_mse(&q2, &y, w),
+            None => mse(&q2, &y),
+        };
+        c2.backward(&g2);
+        agent.critic2_opt.as_mut().expect("twin optimizer").step(c2);
+    }
+
+    let td = td_errors(&q, &y);
+
+    // Policy update (delayed for MATD3).
+    let do_policy = !matd3 || updates.is_multiple_of(cfg.policy_delay as u64);
+    if do_policy {
+        let logits = agent.actor.forward(&view.obs[i]);
+        let sample = softmax_relaxation(&logits, cfg.temperature);
+        // Joint input with agent i's action replaced by its relaxed
+        // current-policy action.
+        let mut pol_parts: Vec<&Matrix> = Vec::with_capacity(2 * view.obs.len());
+        pol_parts.extend(view.obs.iter());
+        for (j, act) in view.actions.iter().enumerate() {
+            if j == i {
+                pol_parts.push(&sample.value);
+            } else {
+                pol_parts.push(act);
+            }
+        }
+        let joint_pol = Matrix::hstack(&pol_parts);
+        agent.critic.zero_grad();
+        agent.critic.forward(&joint_pol);
+        // Maximize Q ⇒ gradient −1/B on every Q output.
+        let grad_q = Matrix::full(batch, 1, -1.0 / batch as f32);
+        let grad_joint = agent.critic.backward(&grad_q);
+        let act_off = total_obs_dim + i * act_dim;
+        let grad_action = grad_joint.columns(act_off, act_dim);
+        let grad_logits = sample.backward(&grad_action);
+        agent.actor.zero_grad();
+        agent.actor.backward(&grad_logits);
+        agent.actor_opt.step(&mut agent.actor);
+    }
+    profile.add(Phase::QLossPLoss, t0.elapsed());
+    td
 }
 
 /// Mini-batch reshaped into per-agent matrices.
@@ -600,7 +742,16 @@ impl BatchView {
                 dones = ab.dones;
             }
         }
-        BatchView { batch, obs, actions, next_obs, rewards, dones, weights: mb.weights, indices: mb.indices }
+        BatchView {
+            batch,
+            obs,
+            actions,
+            next_obs,
+            rewards,
+            dones,
+            weights: mb.weights,
+            indices: mb.indices,
+        }
     }
 }
 
@@ -616,8 +767,7 @@ pub fn train(config: TrainConfig) -> Result<TrainReport, TrainError> {
 /// Convenience: the PER-MADDPG baseline of the paper (MADDPG + PER
 /// sampler).
 pub fn per_maddpg_config(task: Task, agents: usize) -> TrainConfig {
-    TrainConfig::paper_defaults(Algorithm::Maddpg, task, agents)
-        .with_sampler(SamplerConfig::Per)
+    TrainConfig::paper_defaults(Algorithm::Maddpg, task, agents).with_sampler(SamplerConfig::Per)
 }
 
 /// Convenience: the information-prioritized MADDPG variant (IP-MADDPG).
@@ -659,6 +809,9 @@ mod tests {
         assert_eq!(t.rows_gathered, t.plans * 32 * 3);
         assert!(t.bytes_gathered > t.rows_gathered);
         assert!(t.random_jumps > 0 && t.random_jumps <= t.plans * 32);
+        // The staged pipeline shares each batch's cross-agent target
+        // actions: exactly one pass per plan, not one per consuming agent.
+        assert_eq!(t.target_action_passes, t.plans);
     }
 
     #[test]
@@ -739,6 +892,54 @@ mod tests {
             t.train().unwrap().curve.values().to_vec()
         };
         assert_eq!(run(1), run(3), "gather parallelism must not change results");
+    }
+
+    #[test]
+    fn parallel_updates_match_serial_training() {
+        for algorithm in [Algorithm::Maddpg, Algorithm::Matd3] {
+            let mut cfg = quick_config(algorithm, Task::PredatorPrey, 3);
+            cfg.warmup = 40;
+            cfg.update_every = 25;
+            let run = |threads: usize| {
+                let mut t = Trainer::new(cfg.with_update_threads(threads)).unwrap();
+                t.train().unwrap().curve.values().to_vec()
+            };
+            let serial = run(1);
+            for threads in [2usize, 4, 16] {
+                assert_eq!(
+                    run(threads),
+                    serial,
+                    "{algorithm:?}: update parallelism must not change results (threads={threads})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_updates_match_on_interleaved_layout() {
+        let mut cfg = quick_config(Algorithm::Maddpg, Task::PredatorPrey, 3)
+            .with_layout(LayoutMode::Interleaved);
+        cfg.warmup = 40;
+        cfg.update_every = 25;
+        let run = |threads: usize| {
+            let mut t = Trainer::new(cfg.with_update_threads(threads)).unwrap();
+            t.train().unwrap().curve.values().to_vec()
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn prioritized_parallel_updates_match_serial() {
+        // PER exercises the priority-refresh ordering after the pool.
+        let mut cfg =
+            quick_config(Algorithm::Maddpg, Task::PredatorPrey, 3).with_sampler(SamplerConfig::Per);
+        cfg.warmup = 40;
+        cfg.update_every = 25;
+        let run = |threads: usize| {
+            let mut t = Trainer::new(cfg.with_update_threads(threads)).unwrap();
+            t.train().unwrap().curve.values().to_vec()
+        };
+        assert_eq!(run(1), run(4));
     }
 
     #[test]

@@ -49,9 +49,7 @@ fn bench_episode(c: &mut Criterion) {
     let mut group = c.benchmark_group("end-to-end/episode");
     group.sample_size(10);
     let mut t = trainer(Algorithm::Maddpg, 3, SamplerConfig::Uniform);
-    group.bench_function("maddpg-3-episode", |b| {
-        b.iter(|| t.run_episode().expect("episode"))
-    });
+    group.bench_function("maddpg-3-episode", |b| b.iter(|| t.run_episode().expect("episode")));
     group.finish();
 }
 

@@ -116,10 +116,10 @@ fn bench_sumtree_vs_linear(c: &mut Criterion) {
     let mut tree = SumTree::new(ROWS);
     let mut priorities = vec![0.0f64; ROWS];
     let mut rng = StdRng::seed_from_u64(0);
-    for i in 0..ROWS {
+    for (i, slot) in priorities.iter_mut().enumerate().take(ROWS) {
         let p: f64 = rng.gen_range(0.1..2.0);
         tree.update(i, p);
-        priorities[i] = p;
+        *slot = p;
     }
     let total: f64 = priorities.iter().sum();
     let mut group = c.benchmark_group("sampler/prefix-lookup");

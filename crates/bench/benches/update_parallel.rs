@@ -1,0 +1,45 @@
+//! Criterion benchmarks of the parallel update-all-trainers pipeline:
+//! one full update iteration on cooperative navigation (`simple_spread`),
+//! sweeping the agent count against the update worker-pool size.
+//!
+//! The per-agent critic/actor updates dominate the iteration (critic
+//! inputs grow with the joint dimension, so update work scales ~N² while
+//! the staged phases scale ~N), which is what makes the fan-out pay off
+//! as agents increase.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use marl_algo::{Algorithm, Task, TrainConfig, Trainer};
+
+fn trainer(agents: usize, update_threads: usize) -> Trainer {
+    let config =
+        TrainConfig::paper_defaults(Algorithm::Maddpg, Task::CooperativeNavigation, agents)
+            .with_batch_size(256)
+            .with_buffer_capacity(20_000)
+            .with_update_threads(update_threads)
+            .with_seed(0);
+    let mut t = Trainer::new(config).expect("trainer");
+    t.prefill(5_000).expect("prefill");
+    t
+}
+
+fn bench_update_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update-parallel/agents-x-threads");
+    group.sample_size(10);
+    for agents in [3usize, 6, 12, 24] {
+        for threads in [1usize, 2, 4, 8] {
+            let mut t = trainer(agents, threads);
+            let label = format!("maddpg-spread-{agents}agents-{threads}threads");
+            group.bench_function(BenchmarkId::from_parameter(label), |b| {
+                b.iter(|| t.update_all_trainers().expect("update"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_update_threads
+}
+criterion_main!(benches);

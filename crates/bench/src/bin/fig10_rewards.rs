@@ -48,11 +48,8 @@ fn main() {
             let window = (report.curve.len() / 5).max(1);
             let series = report.curve.series(window, points);
             let final_score = report.curve.final_score(window);
-            let curve_str = series
-                .iter()
-                .map(|(e, v)| format!("{e}:{v:.0}"))
-                .collect::<Vec<_>>()
-                .join(" ");
+            let curve_str =
+                series.iter().map(|(e, v)| format!("{e}:{v:.0}")).collect::<Vec<_>>().join(" ");
             table.row_owned(vec![vname.into(), format!("{final_score:.1}"), curve_str]);
             curves.push(Curve {
                 scenario: name.into(),

@@ -47,11 +47,8 @@ fn main() {
             let series = report.curve.series(window, points);
             let final_score = report.curve.final_score(window);
             let sampling = report.profile.get(Phase::MiniBatchSampling).as_secs_f64();
-            let curve_str = series
-                .iter()
-                .map(|(e, v)| format!("{e}:{v:.0}"))
-                .collect::<Vec<_>>()
-                .join(" ");
+            let curve_str =
+                series.iter().map(|(e, v)| format!("{e}:{v:.0}")).collect::<Vec<_>>().join(" ");
             table.row_owned(vec![
                 vname.into(),
                 format!("{final_score:.1}"),

@@ -72,22 +72,44 @@ fn main() {
     let platform = PlatformSpec::i7_9700k();
     let agents = env_agents(&[3, 6, 12]);
     let iters = env_usize("MARL_ITERS", 3);
-    let mut table = Table::new(&["agents", "MBS n16/r64", "MBS n64/r16", "TT n16/r64", "TT n64/r16"]);
+    let mut table =
+        Table::new(&["agents", "MBS n16/r64", "MBS n64/r16", "TT n16/r64", "TT n64/r16"]);
     let mut out = Vec::new();
     for &n in &agents {
-        let base = simulated_sampling_time(&platform, Task::PredatorPrey, n, SamplerConfig::Uniform, iters);
-        let n16 =
-            simulated_sampling_time(&platform, Task::PredatorPrey, n, SamplerConfig::LocalityN16R64, iters);
-        let n64 =
-            simulated_sampling_time(&platform, Task::PredatorPrey, n, SamplerConfig::LocalityN64R16, iters);
+        let base = simulated_sampling_time(
+            &platform,
+            Task::PredatorPrey,
+            n,
+            SamplerConfig::Uniform,
+            iters,
+        );
+        let n16 = simulated_sampling_time(
+            &platform,
+            Task::PredatorPrey,
+            n,
+            SamplerConfig::LocalityN16R64,
+            iters,
+        );
+        let n64 = simulated_sampling_time(
+            &platform,
+            Task::PredatorPrey,
+            n,
+            SamplerConfig::LocalityN64R16,
+            iters,
+        );
         let mbs16 = (1.0 - n16.as_secs_f64() / base.as_secs_f64()) * 100.0;
         let mbs64 = (1.0 - n64.as_secs_f64() / base.as_secs_f64()) * 100.0;
 
         // Sampling share of total from a measured scaled run on this host,
         // reinterpreted on a CPU-only framework substrate (network math on
         // the host CPU keeps the sampling share moderate, as on the i7).
-        let report =
-            run_scaled_training(Algorithm::Maddpg, Task::PredatorPrey, n, SamplerConfig::Uniform, 3);
+        let report = run_scaled_training(
+            Algorithm::Maddpg,
+            Task::PredatorPrey,
+            n,
+            SamplerConfig::Uniform,
+            3,
+        );
         let m = GpuModeledBreakdown::from_report(&report);
         let _ = Phase::MiniBatchSampling;
         let share = m.sampling / m.total();
@@ -100,7 +122,13 @@ fn main() {
             format!("{tt16:.1}%"),
             format!("{tt64:.1}%"),
         ]);
-        out.push(Row { agents: n, mbs_n16_r64: mbs16, mbs_n64_r16: mbs64, tt_n16_r64: tt16, tt_n64_r16: tt64 });
+        out.push(Row {
+            agents: n,
+            mbs_n16_r64: mbs16,
+            mbs_n64_r16: mbs64,
+            tt_n16_r64: tt16,
+            tt_n64_r16: tt64,
+        });
     }
     println!("{table}");
     maybe_json("fig12", &out);

@@ -81,7 +81,8 @@ fn main() {
     let gpu = ExecutionTarget::CpuGpu { transfer: TransferModel::pcie3_x16(), gpu_speedup: 5.0 };
     let agents = env_agents(&[3, 6, 12]);
     let iters = env_usize("MARL_ITERS", 3);
-    let mut table = Table::new(&["agents", "MBS n16/r64", "MBS n64/r16", "TT n16/r64", "TT n64/r16"]);
+    let mut table =
+        Table::new(&["agents", "MBS n16/r64", "MBS n64/r16", "TT n16/r64", "TT n64/r16"]);
     let mut out = Vec::new();
     for &n in &agents {
         let base = simulated_sampling_time(&platform, n, SamplerConfig::Uniform, iters);
@@ -93,16 +94,20 @@ fn main() {
         // Model the CPU+GPU total: start from the TF/GPU-modeled phases,
         // then add the GTX-1070-era transfer penalty on each update's
         // batch upload (slower link + weaker GPU than the primary host).
-        let report =
-            run_scaled_training(Algorithm::Maddpg, Task::PredatorPrey, n, SamplerConfig::Uniform, 3);
+        let report = run_scaled_training(
+            Algorithm::Maddpg,
+            Task::PredatorPrey,
+            n,
+            SamplerConfig::Uniform,
+            3,
+        );
         let m = GpuModeledBreakdown::from_report(&report);
         let od = obs_dim(Task::PredatorPrey, n);
         let batch_bytes = PAPER_BATCH * n * (od + 5) * 4;
-        let extra_transfer = gpu
-            .network_phase_time(std::time::Duration::ZERO, batch_bytes)
-            .as_secs_f64()
-            * report.update_iterations as f64
-            * n as f64;
+        let extra_transfer =
+            gpu.network_phase_time(std::time::Duration::ZERO, batch_bytes).as_secs_f64()
+                * report.update_iterations as f64
+                * n as f64;
         let _ = Phase::MiniBatchSampling;
         let sampling = m.sampling;
         let total_gpu = m.total() + extra_transfer;
@@ -115,7 +120,13 @@ fn main() {
             format!("{tt16:.1}%"),
             format!("{tt64:.1}%"),
         ]);
-        out.push(Row { agents: n, mbs_n16_r64: mbs16, mbs_n64_r16: mbs64, tt_n16_r64: tt16, tt_n64_r16: tt64 });
+        out.push(Row {
+            agents: n,
+            mbs_n16_r64: mbs16,
+            mbs_n64_r16: mbs64,
+            tt_n16_r64: tt16,
+            tt_n64_r16: tt64,
+        });
     }
     println!("{table}");
     maybe_json("fig13", &out);

@@ -96,8 +96,7 @@ fn main() {
             });
 
             let with_reshape = layout + reshape;
-            let improvement =
-                (1.0 - with_reshape.as_secs_f64() / baseline.as_secs_f64()) * 100.0;
+            let improvement = (1.0 - with_reshape.as_secs_f64() / baseline.as_secs_f64()) * 100.0;
             let speedup = baseline.as_secs_f64() / layout.as_secs_f64();
             table.row_owned(vec![
                 task.label().into(),

@@ -39,8 +39,7 @@ fn main() {
                 "other (TF/GPU model)",
             ]);
             for &n in &agents {
-                let report =
-                    run_scaled_training(algorithm, task, n, SamplerConfig::Uniform, 0);
+                let report = run_scaled_training(algorithm, task, n, SamplerConfig::Uniform, 0);
                 let p = &report.profile;
                 let total = p.total().as_secs_f64();
                 let update = p.update_all_trainers().as_secs_f64() / total;
@@ -83,10 +82,8 @@ fn main() {
     // 36% -> 76%+ from 3 to 24 agents).
     for algorithm in ["MADDPG", "MATD3"] {
         for task in ["predator-prey", "cooperative-navigation"] {
-            let series: Vec<&Row> = rows
-                .iter()
-                .filter(|r| r.algorithm == algorithm && r.task == task)
-                .collect();
+            let series: Vec<&Row> =
+                rows.iter().filter(|r| r.algorithm == algorithm && r.task == task).collect();
             if let (Some(first), Some(last)) = (series.first(), series.last()) {
                 println!(
                     "{algorithm} {task}: update share {} -> {} (measured) | {} -> {} (TF/GPU model, paper: 36% -> 76%+) {}",

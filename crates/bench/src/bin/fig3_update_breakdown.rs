@@ -39,16 +39,14 @@ fn main() {
                 "Q/P-loss (TF/GPU model)",
             ]);
             for &n in &agents {
-                let report =
-                    run_scaled_training(algorithm, task, n, SamplerConfig::Uniform, 0);
+                let report = run_scaled_training(algorithm, task, n, SamplerConfig::Uniform, 0);
                 let p = &report.profile;
                 let sampling = p.fraction_of_update(Phase::MiniBatchSampling);
                 let target_q = p.fraction_of_update(Phase::TargetQ);
                 let qp = p.fraction_of_update(Phase::QLossPLoss);
                 let m = GpuModeledBreakdown::from_report(&report);
                 let mu = m.update_all_trainers();
-                let (ms, mtq, mqp) =
-                    (m.sampling / mu, m.target_q / mu, m.q_loss_p_loss / mu);
+                let (ms, mtq, mqp) = (m.sampling / mu, m.target_q / mu, m.q_loss_p_loss / mu);
                 table.row_owned(vec![
                     n.to_string(),
                     percent(sampling),
@@ -80,8 +78,7 @@ fn main() {
     let dominant = rows
         .iter()
         .filter(|r| {
-            r.modeled_sampling > r.modeled_target_q
-                && r.modeled_sampling > r.modeled_q_loss_p_loss
+            r.modeled_sampling > r.modeled_target_q && r.modeled_sampling > r.modeled_q_loss_p_loss
         })
         .count();
     println!(

@@ -103,9 +103,8 @@ fn main() {
 
     // Shape checks against the paper: instructions grow 3–4x, cache misses
     // 2.5–4.5x, dTLB misses 3–4x per agent doubling (super-linear: > 2x).
-    let ok = rows
-        .iter()
-        .all(|r| r.instructions > 2.0 && r.cache_misses > 2.0 && r.dtlb_misses > 2.0);
+    let ok =
+        rows.iter().all(|r| r.instructions > 2.0 && r.cache_misses > 2.0 && r.dtlb_misses > 2.0);
     println!(
         "all counters grow super-linearly (>2x per agent doubling): {}",
         if ok { "✓" } else { "✗" }

@@ -37,8 +37,13 @@ fn main() {
     ]);
     let mut rows = Vec::new();
     for &n in &agents {
-        let report =
-            run_scaled_training(Algorithm::Maddpg, Task::PredatorPrey, n, SamplerConfig::Uniform, 0);
+        let report = run_scaled_training(
+            Algorithm::Maddpg,
+            Task::PredatorPrey,
+            n,
+            SamplerConfig::Uniform,
+            0,
+        );
         let p = &report.profile;
         let total = p.total().as_secs_f64();
         let update = p.update_all_trainers().as_secs_f64() / total;

@@ -66,17 +66,16 @@ fn main() {
     println!("{table}");
     maybe_json("fig8", &out);
 
-    let positive = out.iter().filter(|r| r.reduction_n16_r64 > 0.0 && r.reduction_n64_r16 > 0.0).count();
+    let positive =
+        out.iter().filter(|r| r.reduction_n16_r64 > 0.0 && r.reduction_n64_r16 > 0.0).count();
     println!(
         "locality-aware sampling faster than baseline in {}/{} configs (paper: ~28-38% reductions) {}",
         positive,
         out.len(),
         if positive == out.len() { "✓" } else { "" }
     );
-    let more_locality_wins = out
-        .iter()
-        .filter(|r| r.reduction_n64_r16 >= r.reduction_n16_r64)
-        .count();
+    let more_locality_wins =
+        out.iter().filter(|r| r.reduction_n64_r16 >= r.reduction_n16_r64).count();
     println!(
         "n64/r16 (max locality) ≥ n16/r64 in {}/{} configs (paper shows the same ordering)",
         more_locality_wins,

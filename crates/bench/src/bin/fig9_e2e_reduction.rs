@@ -20,13 +20,8 @@ struct Row {
 fn main() {
     println!("== Figure 9: end-to-end training-time reduction (MADDPG) ==\n");
     let agents = env_agents(&[3, 6, 12]);
-    let mut table = Table::new(&[
-        "task",
-        "agents",
-        "baseline (s)",
-        "n16/r64 reduction",
-        "n64/r16 reduction",
-    ]);
+    let mut table =
+        Table::new(&["task", "agents", "baseline (s)", "n16/r64 reduction", "n64/r16 reduction"]);
     let mut out = Vec::new();
     for task in [Task::PredatorPrey, Task::CooperativeNavigation] {
         for &n in &agents {

@@ -14,6 +14,7 @@ struct Row {
     sampler: String,
     agents: usize,
     plans: u64,
+    target_action_passes: u64,
     rows_gathered: u64,
     mib_gathered: f64,
     random_jumps: u64,
@@ -27,6 +28,7 @@ fn main() {
         "sampler",
         "agents",
         "plans",
+        "target passes",
         "rows gathered",
         "MiB gathered",
         "random jumps",
@@ -47,6 +49,7 @@ fn main() {
                 sampler.label(),
                 n.to_string(),
                 t.plans.to_string(),
+                t.target_action_passes.to_string(),
                 t.rows_gathered.to_string(),
                 format!("{:.1}", t.bytes_gathered as f64 / (1024.0 * 1024.0)),
                 t.random_jumps.to_string(),
@@ -56,6 +59,7 @@ fn main() {
                 sampler: sampler.label(),
                 agents: n,
                 plans: t.plans,
+                target_action_passes: t.target_action_passes,
                 rows_gathered: t.rows_gathered,
                 mib_gathered: t.bytes_gathered as f64 / (1024.0 * 1024.0),
                 random_jumps: t.random_jumps,
@@ -66,5 +70,6 @@ fn main() {
     println!("{table}");
     maybe_json("sampling_telemetry", &out);
     println!("expected: baseline jumps/plan == batch size; n16/r64 -> 64; n64/r16 -> 16;");
-    println!("bytes gathered scale with N x row-width while jumps depend only on the strategy.");
+    println!("bytes gathered scale with N x row-width while jumps depend only on the strategy;");
+    println!("target passes == plans (one shared cross-agent pass per plan, not one per trainer).");
 }

@@ -64,8 +64,7 @@ fn main() {
     for algorithm in [Algorithm::Maddpg, Algorithm::Matd3] {
         for task in [Task::PredatorPrey, Task::CooperativeNavigation] {
             for &n in &agents {
-                let report =
-                    run_scaled_training(algorithm, task, n, SamplerConfig::Uniform, 0);
+                let report = run_scaled_training(algorithm, task, n, SamplerConfig::Uniform, 0);
                 let measured = report.wall_time.as_secs_f64();
                 let extrapolated = measured * 60_000.0 / report.curve.len().max(1) as f64;
                 let paper = paper_seconds(algorithm, task, n);
@@ -95,10 +94,8 @@ fn main() {
 
     // Shape checks the paper's Table I exhibits.
     for algorithm in ["MADDPG", "MATD3"] {
-        let series: Vec<&Row> = rows
-            .iter()
-            .filter(|r| r.algorithm == algorithm && r.task == "predator-prey")
-            .collect();
+        let series: Vec<&Row> =
+            rows.iter().filter(|r| r.algorithm == algorithm && r.task == "predator-prey").collect();
         for pair in series.windows(2) {
             // Normalize per episode: the scaled runs shrink the episode
             // budget as N grows.

@@ -126,10 +126,7 @@ pub fn time_sampling_iterations(
 /// Converts a core sample plan into perf gather segments for the cache
 /// simulator.
 pub fn plan_to_segments(plan: &SamplePlan) -> Vec<GatherSegment> {
-    plan.segments
-        .iter()
-        .map(|s| GatherSegment { start_row: s.start, rows: s.len })
-        .collect()
+    plan.segments.iter().map(|s| GatherSegment { start_row: s.start, rows: s.len }).collect()
 }
 
 /// Percentage reduction of `optimized` relative to `baseline`
@@ -158,9 +155,7 @@ pub fn estimated_access_time(c: &marl_perf::cache::CacheCounters) -> Duration {
     let l2_hits = c.l1_misses.saturating_sub(c.l2_misses) as f64;
     let l3_hits = c.l2_misses.saturating_sub(c.l3_misses) as f64;
     let dram = c.l3_misses as f64;
-    Duration::from_secs_f64(
-        (l1_hits * 1.0 + l2_hits * 3.5 + l3_hits * 12.5 + dram * 62.5) * 1e-9,
-    )
+    Duration::from_secs_f64((l1_hits * 1.0 + l2_hits * 3.5 + l3_hits * 12.5 + dram * 62.5) * 1e-9)
 }
 
 /// Runs a scaled-down training run with the harness defaults
@@ -265,14 +260,13 @@ impl GpuModeledBreakdown {
         let od = obs_dim(report.config.task, report.config.agents) as f64;
         let batch_bytes = (batch * n * (od + 5.0) * 4.0) as usize;
         // One upload per agent trainer per update.
-        let per_update_transfer =
-            transfer.transfer_time(batch_bytes).as_secs_f64() * n;
+        let per_update_transfer = transfer.transfer_time(batch_bytes).as_secs_f64() * n;
         let action_selection = p.get(Phase::ActionSelection).as_secs_f64() / speedup
             + report.env_steps as f64 * n * launch_us * 1e-6;
         // Sampling stays on the CPU; the framework pays per-row dispatch
         // over the N buffers of each of the N trainers.
-        let sampling = p.get(Phase::MiniBatchSampling).as_secs_f64()
-            + updates * n * n * batch * row_us * 1e-6;
+        let sampling =
+            p.get(Phase::MiniBatchSampling).as_secs_f64() + updates * n * n * batch * row_us * 1e-6;
         let target_q = p.get(Phase::TargetQ).as_secs_f64() / speedup
             + updates * n * n * net_call_us * 1e-6 // N trainers × N target actors
             + updates * per_update_transfer * 0.5;
@@ -328,8 +322,7 @@ mod tests {
         let d = time_sampling_iterations(&r, s.as_mut(), 3, 256, 2, 0);
         assert!(d > Duration::ZERO);
         assert!(
-            (reduction_percent(Duration::from_secs(2), Duration::from_secs(1)) - 50.0).abs()
-                < 1e-9
+            (reduction_percent(Duration::from_secs(2), Duration::from_secs(1)) - 50.0).abs() < 1e-9
         );
         assert_eq!(reduction_percent(Duration::ZERO, Duration::from_secs(1)), 0.0);
     }
@@ -363,8 +356,7 @@ mod tests {
         assert!(big.sampling > small.sampling);
         assert!(big.target_q > small.target_q);
         // Update share rises with agent count at fixed steps/updates.
-        let share =
-            |m: &GpuModeledBreakdown| m.update_all_trainers() / m.total();
+        let share = |m: &GpuModeledBreakdown| m.update_all_trainers() / m.total();
         assert!(share(&big) > share(&small));
         // And with update frequency at fixed agents.
         let busy = GpuModeledBreakdown::from_report(&report(3, 1000, 40));

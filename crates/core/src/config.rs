@@ -48,8 +48,12 @@ impl SamplerConfig {
     pub fn build(self, capacity: usize) -> Box<dyn Sampler> {
         match self {
             SamplerConfig::Uniform => Box::new(UniformSampler::new()),
-            SamplerConfig::LocalityN16R64 => Box::new(LocalitySampler::new(LocalityConfig::N16_R64)),
-            SamplerConfig::LocalityN64R16 => Box::new(LocalitySampler::new(LocalityConfig::N64_R16)),
+            SamplerConfig::LocalityN16R64 => {
+                Box::new(LocalitySampler::new(LocalityConfig::N16_R64))
+            }
+            SamplerConfig::LocalityN64R16 => {
+                Box::new(LocalitySampler::new(LocalityConfig::N64_R16))
+            }
             SamplerConfig::Locality { neighbors } => {
                 Box::new(LocalitySampler::new(LocalityConfig::new(neighbors)))
             }
@@ -57,10 +61,12 @@ impl SamplerConfig {
             SamplerConfig::IpLocality => {
                 Box::new(IpLocalitySampler::new(IpLocalityConfig::with_capacity(capacity)))
             }
-            SamplerConfig::PerReuse { window } => Box::new(crate::sampler::ReuseWindowSampler::new(
-                Box::new(PerSampler::new(PerConfig::with_capacity(capacity))),
-                crate::sampler::ReuseConfig::new(window),
-            )),
+            SamplerConfig::PerReuse { window } => {
+                Box::new(crate::sampler::ReuseWindowSampler::new(
+                    Box::new(PerSampler::new(PerConfig::with_capacity(capacity))),
+                    crate::sampler::ReuseConfig::new(window),
+                ))
+            }
         }
     }
 

@@ -119,10 +119,8 @@ mod tests {
 
     #[test]
     fn runs_flatten_in_order() {
-        let p = SamplePlan {
-            segments: vec![Segment::run(10, 3), Segment::single(2)],
-            weights: None,
-        };
+        let p =
+            SamplePlan { segments: vec![Segment::run(10, 3), Segment::single(2)], weights: None };
         assert_eq!(p.batch_len(), 4);
         assert_eq!(p.flatten(), vec![10, 11, 12, 2]);
         assert_eq!(p.random_jumps(), 2);

@@ -181,11 +181,8 @@ impl InterleavedStore {
     /// Returns an index-range error if the plan references unstored rows.
     pub fn sample(&self, plan: &SamplePlan) -> Result<MultiBatch, ReplayError> {
         let batch = plan.batch_len();
-        let mut agents: Vec<AgentBatch> = self
-            .layouts
-            .iter()
-            .map(|&l| AgentBatch::with_capacity(l, batch))
-            .collect();
+        let mut agents: Vec<AgentBatch> =
+            self.layouts.iter().map(|&l| AgentBatch::with_capacity(l, batch)).collect();
         for seg in &plan.segments {
             for idx in seg.iter() {
                 if idx >= self.len {
@@ -287,8 +284,11 @@ mod tests {
 
     #[test]
     fn fat_width_sums_agent_rows() {
-        let layouts =
-            vec![TransitionLayout::new(4, 2), TransitionLayout::new(3, 2), TransitionLayout::new(2, 1)];
+        let layouts = vec![
+            TransitionLayout::new(4, 2),
+            TransitionLayout::new(3, 2),
+            TransitionLayout::new(2, 1),
+        ];
         let store = InterleavedStore::new(&layouts, 4);
         let expect: usize = layouts.iter().map(|l| l.row_width()).sum();
         assert_eq!(store.fat_row_width(), expect);

@@ -232,6 +232,42 @@ impl MultiAgentReplay {
         }
         Ok(MultiBatch { agents, indices: plan.flatten(), weights: plan.weights.clone() })
     }
+
+    /// Gathers one full mini-batch per plan, fanning the *plans* out over
+    /// up to `threads` scoped worker threads.
+    ///
+    /// This is the gather shape of the parallel update-all-trainers
+    /// pipeline: each trainer's plan is independent, so whole-batch
+    /// gathers parallelize without any cross-thread coordination. Results
+    /// come back in plan order and are bitwise identical to calling
+    /// [`MultiAgentReplay::sample`] per plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index-range errors from the underlying storage.
+    pub fn sample_many(
+        &self,
+        plans: &[SamplePlan],
+        threads: usize,
+    ) -> Result<Vec<MultiBatch>, ReplayError> {
+        let threads = threads.clamp(1, plans.len().max(1));
+        if threads == 1 || plans.len() <= 1 {
+            return plans.iter().map(|p| self.sample(p)).collect();
+        }
+        let chunk = plans.len().div_ceil(threads);
+        let results: Vec<Result<Vec<MultiBatch>, ReplayError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = plans
+                .chunks(chunk)
+                .map(|ps| scope.spawn(move || ps.iter().map(|p| self.sample(p)).collect()))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("gather worker panicked")).collect()
+        });
+        let mut batches = Vec::with_capacity(plans.len());
+        for r in results {
+            batches.extend(r?);
+        }
+        Ok(batches)
+    }
 }
 
 #[cfg(test)]
@@ -253,9 +289,8 @@ mod tests {
         let layouts = vec![TransitionLayout::new(3, 2); agents];
         let mut r = MultiAgentReplay::new(&layouts, rows * 2);
         for t in 0..rows {
-            let ts: Vec<Transition> = (0..agents)
-                .map(|a| transition(&layouts[a], (t * 10 + a) as f32))
-                .collect();
+            let ts: Vec<Transition> =
+                (0..agents).map(|a| transition(&layouts[a], (t * 10 + a) as f32)).collect();
             r.push_step(&ts).unwrap();
         }
         r
@@ -349,5 +384,30 @@ mod tests {
         plan.weights = Some(vec![0.5, 1.0]);
         let mb = r.sample(&plan).unwrap();
         assert_eq!(mb.weights, Some(vec![0.5, 1.0]));
+    }
+
+    #[test]
+    fn sample_many_equals_per_plan_sample() {
+        let r = filled(3, 40);
+        let plans: Vec<SamplePlan> = vec![
+            SamplePlan::from_indices(&[0, 5, 39]),
+            SamplePlan { segments: vec![Segment::run(10, 3)], weights: None },
+            SamplePlan::from_indices(&[7, 7, 2]),
+            SamplePlan::from_indices(&[21]),
+            SamplePlan::from_indices(&[3, 14, 15, 9]),
+        ];
+        let seq: Vec<MultiBatch> = plans.iter().map(|p| r.sample(p).unwrap()).collect();
+        for threads in [1usize, 2, 3, 8, 100] {
+            let par = r.sample_many(&plans, threads).unwrap();
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sample_many_handles_empty_and_errors() {
+        let r = filled(2, 4);
+        assert_eq!(r.sample_many(&[], 4).unwrap(), Vec::<MultiBatch>::new());
+        let plans = vec![SamplePlan::from_indices(&[0]), SamplePlan::from_indices(&[10])];
+        assert!(r.sample_many(&plans, 2).is_err());
     }
 }

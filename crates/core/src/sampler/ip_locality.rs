@@ -95,7 +95,12 @@ impl Sampler for IpLocalitySampler {
         "ip-locality".to_owned()
     }
 
-    fn plan(&mut self, len: usize, batch: usize, rng: &mut StdRng) -> Result<SamplePlan, ReplayError> {
+    fn plan(
+        &mut self,
+        len: usize,
+        batch: usize,
+        rng: &mut StdRng,
+    ) -> Result<SamplePlan, ReplayError> {
         check_batch(len, batch)?;
         if self.core.total_mass() <= 0.0 {
             return Err(ReplayError::InvalidBatch {

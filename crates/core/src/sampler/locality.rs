@@ -47,10 +47,7 @@ impl LocalityConfig {
     pub fn refs_for_batch(&self, batch: usize) -> Result<usize, ReplayError> {
         if !batch.is_multiple_of(self.neighbors) {
             return Err(ReplayError::InvalidBatch {
-                reason: format!(
-                    "batch {batch} not divisible by neighbor count {}",
-                    self.neighbors
-                ),
+                reason: format!("batch {batch} not divisible by neighbor count {}", self.neighbors),
             });
         }
         Ok(batch / self.neighbors)
@@ -94,7 +91,12 @@ impl Sampler for LocalitySampler {
         format!("locality-n{}", self.config.neighbors)
     }
 
-    fn plan(&mut self, len: usize, batch: usize, rng: &mut StdRng) -> Result<SamplePlan, ReplayError> {
+    fn plan(
+        &mut self,
+        len: usize,
+        batch: usize,
+        rng: &mut StdRng,
+    ) -> Result<SamplePlan, ReplayError> {
         check_batch(len, batch)?;
         let refs = self.config.refs_for_batch(batch)?;
         let n = self.config.neighbors;
@@ -103,9 +105,7 @@ impl Sampler for LocalitySampler {
         }
         // Reference points are uniform over positions where a full run of
         // `n` neighbors fits, keeping `D[idx : idx + neighbors]` in-bounds.
-        let segments = (0..refs)
-            .map(|_| Segment::run(rng.gen_range(0..=len - n), n))
-            .collect();
+        let segments = (0..refs).map(|_| Segment::run(rng.gen_range(0..=len - n), n)).collect();
         Ok(SamplePlan { segments, weights: None })
     }
 }

@@ -36,7 +36,12 @@ pub trait Sampler: std::fmt::Debug + Send {
     ///
     /// Returns an error if the buffer is empty, too small for the batch, or
     /// the batch is incompatible with the strategy configuration.
-    fn plan(&mut self, len: usize, batch: usize, rng: &mut StdRng) -> Result<SamplePlan, ReplayError>;
+    fn plan(
+        &mut self,
+        len: usize,
+        batch: usize,
+        rng: &mut StdRng,
+    ) -> Result<SamplePlan, ReplayError>;
 
     /// Notifies the strategy that a new transition landed in `slot`
     /// (prioritized strategies give fresh transitions maximal priority).

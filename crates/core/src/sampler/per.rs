@@ -164,11 +164,8 @@ impl PriorityCore {
     pub fn max_weight(&self, len: usize) -> f64 {
         let beta = self.current_beta();
         let n = len.max(1) as f64;
-        let min_prob = self
-            .tree
-            .min_priority(len)
-            .map(|p| p / self.tree.total())
-            .unwrap_or(1.0 / n);
+        let min_prob =
+            self.tree.min_priority(len).map(|p| p / self.tree.total()).unwrap_or(1.0 / n);
         (1.0 / (n * min_prob.max(1e-12))).powf(beta)
     }
 
@@ -222,7 +219,12 @@ impl Sampler for PerSampler {
         "per".to_owned()
     }
 
-    fn plan(&mut self, len: usize, batch: usize, rng: &mut StdRng) -> Result<SamplePlan, ReplayError> {
+    fn plan(
+        &mut self,
+        len: usize,
+        batch: usize,
+        rng: &mut StdRng,
+    ) -> Result<SamplePlan, ReplayError> {
         check_batch(len, batch)?;
         if self.core.total_mass() <= 0.0 {
             return Err(ReplayError::InvalidBatch {
@@ -238,7 +240,8 @@ impl Sampler for PerSampler {
         let mut indices = Vec::with_capacity(batch);
         let mut weights = Vec::with_capacity(batch);
         for b in 0..batch {
-            let (idx, prob) = self.core.sample_stratum(b as f64 * stratum, (b + 1) as f64 * stratum, rng);
+            let (idx, prob) =
+                self.core.sample_stratum(b as f64 * stratum, (b + 1) as f64 * stratum, rng);
             let idx = idx.min(len - 1);
             indices.push(idx);
             weights.push(self.core.importance_weight(prob, len, w_max));
@@ -307,18 +310,9 @@ mod tests {
         let idx = p.flatten();
         let w = p.weights.unwrap();
         // Weight of the dominant index must be far below any rare one.
-        let w7: Vec<f32> = idx
-            .iter()
-            .zip(&w)
-            .filter(|(&i, _)| i == 7)
-            .map(|(_, &w)| w)
-            .collect();
-        let w_other: Vec<f32> = idx
-            .iter()
-            .zip(&w)
-            .filter(|(&i, _)| i != 7)
-            .map(|(_, &w)| w)
-            .collect();
+        let w7: Vec<f32> = idx.iter().zip(&w).filter(|(&i, _)| i == 7).map(|(_, &w)| w).collect();
+        let w_other: Vec<f32> =
+            idx.iter().zip(&w).filter(|(&i, _)| i != 7).map(|(_, &w)| w).collect();
         assert!(!w7.is_empty());
         if !w_other.is_empty() {
             assert!(w7[0] < w_other[0]);

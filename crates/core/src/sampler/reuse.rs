@@ -75,7 +75,12 @@ impl Sampler for ReuseWindowSampler {
         format!("{}-reuse{}", self.inner.name(), self.config.window)
     }
 
-    fn plan(&mut self, len: usize, batch: usize, rng: &mut StdRng) -> Result<SamplePlan, ReplayError> {
+    fn plan(
+        &mut self,
+        len: usize,
+        batch: usize,
+        rng: &mut StdRng,
+    ) -> Result<SamplePlan, ReplayError> {
         if let Some((plan, plan_len, uses)) = &mut self.cached {
             // Reuse only while the batch shape matches and the buffer has
             // not shrunk below what the plan references.

@@ -42,7 +42,12 @@ impl Sampler for UniformSampler {
         "uniform".to_owned()
     }
 
-    fn plan(&mut self, len: usize, batch: usize, rng: &mut StdRng) -> Result<SamplePlan, ReplayError> {
+    fn plan(
+        &mut self,
+        len: usize,
+        batch: usize,
+        rng: &mut StdRng,
+    ) -> Result<SamplePlan, ReplayError> {
         check_batch(len, batch)?;
         let indices: Vec<usize> = (0..batch).map(|_| rng.gen_range(0..len)).collect();
         Ok(SamplePlan::from_indices(&indices))

@@ -140,7 +140,12 @@ impl ReplayStorage {
     ///
     /// Returns [`ReplayError::IndexOutOfRange`] if the run exceeds the
     /// stored length.
-    pub fn gather_run(&self, start: usize, count: usize, out: &mut Vec<f32>) -> Result<(), ReplayError> {
+    pub fn gather_run(
+        &self,
+        start: usize,
+        count: usize,
+        out: &mut Vec<f32>,
+    ) -> Result<(), ReplayError> {
         if start + count > self.len {
             return Err(ReplayError::IndexOutOfRange {
                 index: start + count.saturating_sub(1),

@@ -148,8 +148,7 @@ impl AgentBatch {
         self.obs.extend_from_slice(&row[..l.obs_dim]);
         self.actions.extend_from_slice(&row[l.act_offset()..l.act_offset() + l.act_dim]);
         self.rewards.push(row[l.reward_offset()]);
-        self.next_obs
-            .extend_from_slice(&row[l.next_obs_offset()..l.next_obs_offset() + l.obs_dim]);
+        self.next_obs.extend_from_slice(&row[l.next_obs_offset()..l.next_obs_offset() + l.obs_dim]);
         self.dones.push(row[l.done_offset()]);
     }
 }

@@ -99,10 +99,7 @@ impl ParticleEnv {
 
     /// Observation space of each trained agent.
     pub fn observation_spaces(&self) -> Vec<BoxSpace> {
-        self.trained
-            .iter()
-            .map(|&i| self.scenario.observation_space(&self.world, i))
-            .collect()
+        self.trained.iter().map(|&i| self.scenario.observation_space(&self.world, i)).collect()
     }
 
     /// The shared discrete action space.
@@ -150,11 +147,7 @@ impl ParticleEnv {
         }
         self.world.step();
         self.t += 1;
-        let rewards = self
-            .trained
-            .iter()
-            .map(|&i| self.scenario.reward(&self.world, i))
-            .collect();
+        let rewards = self.trained.iter().map(|&i| self.scenario.reward(&self.world, i)).collect();
         Ok(StepResult {
             observations: self.observe(),
             rewards,
@@ -163,10 +156,7 @@ impl ParticleEnv {
     }
 
     fn observe(&self) -> Vec<Vec<f32>> {
-        self.trained
-            .iter()
-            .map(|&i| self.scenario.observation(&self.world, i))
-            .collect()
+        self.trained.iter().map(|&i| self.scenario.observation(&self.world, i)).collect()
     }
 }
 

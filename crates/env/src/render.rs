@@ -93,11 +93,8 @@ pub fn render_svg(world: &World, options: &RenderOptions) -> String {
 pub fn render_strip(frames: &[&World], options: &RenderOptions) -> String {
     let n = frames.len().max(1) as u32;
     let w = options.size_px;
-    let mut out = format!(
-        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}">"#,
-        w * n,
-        w
-    );
+    let mut out =
+        format!(r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}">"#, w * n, w);
     for (i, world) in frames.iter().enumerate() {
         let inner = render_svg(world, options);
         let _ = write!(out, r#"<g transform="translate({},0)">{}</g>"#, i as u32 * w, inner);
@@ -150,7 +147,8 @@ mod tests {
         for _ in 0..3 {
             env.step(&[2, 2, 2]).unwrap();
         }
-        let with = render_svg(env.world(), &RenderOptions { velocities: true, ..Default::default() });
+        let with =
+            render_svg(env.world(), &RenderOptions { velocities: true, ..Default::default() });
         let without =
             render_svg(env.world(), &RenderOptions { velocities: false, ..Default::default() });
         assert!(with.matches("<line").count() > without.matches("<line").count());

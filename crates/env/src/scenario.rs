@@ -33,7 +33,12 @@ pub trait Scenario: std::fmt::Debug + Send {
     ///
     /// Only called for agents whose role is not trained; the default keeps
     /// scripted agents static.
-    fn scripted_action(&self, _world: &World, _agent_idx: usize, _rng: &mut StdRng) -> DiscreteAction {
+    fn scripted_action(
+        &self,
+        _world: &World,
+        _agent_idx: usize,
+        _rng: &mut StdRng,
+    ) -> DiscreteAction {
         DiscreteAction::Stay
     }
 

@@ -70,21 +70,11 @@ impl PredatorPrey {
     }
 
     fn prey_indices(world: &World) -> impl Iterator<Item = usize> + '_ {
-        world
-            .agents
-            .iter()
-            .enumerate()
-            .filter(|(_, a)| a.role == Role::Prey)
-            .map(|(i, _)| i)
+        world.agents.iter().enumerate().filter(|(_, a)| a.role == Role::Prey).map(|(i, _)| i)
     }
 
     fn predator_indices(world: &World) -> impl Iterator<Item = usize> + '_ {
-        world
-            .agents
-            .iter()
-            .enumerate()
-            .filter(|(_, a)| a.role == Role::Cooperator)
-            .map(|(i, _)| i)
+        world.agents.iter().enumerate().filter(|(_, a)| a.role == Role::Cooperator).map(|(i, _)| i)
     }
 }
 
@@ -203,7 +193,12 @@ impl Scenario for PredatorPrey {
     /// Prey flee the nearest predators (inverse-square repulsion) and avoid
     /// the arena boundary; the resulting desired direction is projected onto
     /// the discrete action set.
-    fn scripted_action(&self, world: &World, agent_idx: usize, _rng: &mut StdRng) -> DiscreteAction {
+    fn scripted_action(
+        &self,
+        world: &World,
+        agent_idx: usize,
+        _rng: &mut StdRng,
+    ) -> DiscreteAction {
         let me = &world.agents[agent_idx];
         debug_assert_eq!(me.role, Role::Prey, "scripted_action on a trained agent");
         let mut desired = Vec2::ZERO;

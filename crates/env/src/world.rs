@@ -106,8 +106,8 @@ impl World {
 
         // Agent-landmark contact forces (landmarks are immovable; only the
         // agent receives the reaction).
-        for i in 0..n {
-            if !self.agents[i].collide {
+        for (agent, force) in self.agents.iter().zip(forces.iter_mut()).take(n) {
+            if !agent.collide {
                 continue;
             }
             for l in &self.landmarks {
@@ -115,11 +115,11 @@ impl World {
                     continue;
                 }
                 let (fi, _) = self.contact_force_between(
-                    self.agents[i].state.position,
+                    agent.state.position,
                     l.state.position,
-                    self.agents[i].size + l.size,
+                    agent.size + l.size,
                 );
-                forces[i] += fi;
+                *force += fi;
             }
         }
 

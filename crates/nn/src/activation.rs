@@ -7,8 +7,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// The paper's networks are "two-layer ReLU MLPs with 64 units per layer";
 /// `Tanh` and `Identity` are provided for output heads and tests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum Activation {
     /// Rectified linear unit.
     #[default]
@@ -18,7 +17,6 @@ pub enum Activation {
     /// Pass-through (linear output head).
     Identity,
 }
-
 
 impl Activation {
     /// Applies the activation element-wise, returning the activated output.

@@ -145,11 +145,7 @@ mod tests {
         let y = x.map(|v| 2.0 * v);
         let loss_of = |net: &Mlp| {
             let p = net.forward_inference(&x);
-            p.as_slice()
-                .iter()
-                .zip(y.as_slice())
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f32>()
+            p.as_slice().iter().zip(y.as_slice()).map(|(a, b)| (a - b) * (a - b)).sum::<f32>()
                 / x.rows() as f32
         };
         let initial = loss_of(&net);

@@ -4,8 +4,7 @@ use crate::matrix::Matrix;
 use rand::Rng;
 
 /// Initialization scheme applied to a freshly created [`crate::linear::Linear`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Init {
     /// Glorot/Xavier uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
     #[default]
@@ -15,7 +14,6 @@ pub enum Init {
     /// All-zero weights (useful for tests and bias-only layers).
     Zeros,
 }
-
 
 impl Init {
     /// Builds a `fan_in × fan_out` weight matrix under this scheme.

@@ -91,10 +91,7 @@ impl Linear {
     ///
     /// Panics if called before any [`Linear::forward`].
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("Linear::backward called before forward");
+        let input = self.cached_input.as_ref().expect("Linear::backward called before forward");
         assert_eq!(grad_out.rows(), input.rows(), "backward batch mismatch");
         self.grad_weight.add_assign(&input.transpose_matmul(grad_out));
         for (gb, s) in self.grad_bias.iter_mut().zip(grad_out.column_sums()) {
@@ -125,12 +122,7 @@ impl Linear {
     /// Panics if shapes differ.
     pub fn soft_update_from(&mut self, source: &Linear, tau: f32) {
         assert_eq!(self.weight.shape(), source.weight.shape(), "soft update shape mismatch");
-        for (t, s) in self
-            .weight
-            .as_mut_slice()
-            .iter_mut()
-            .zip(source.weight.as_slice())
-        {
+        for (t, s) in self.weight.as_mut_slice().iter_mut().zip(source.weight.as_slice()) {
             *t = tau * s + (1.0 - tau) * *t;
         }
         for (t, s) in self.bias.iter_mut().zip(source.bias.iter()) {

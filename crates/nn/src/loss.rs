@@ -37,8 +37,7 @@ pub fn weighted_mse(pred: &Matrix, target: &Matrix, weights: &[f32]) -> (f32, Ma
     grad.sub_assign(target);
     let cols = pred.cols();
     let mut loss = 0.0;
-    for r in 0..pred.rows() {
-        let w = weights[r];
+    for (r, &w) in weights.iter().enumerate().take(pred.rows()) {
         let row = grad.row_mut(r);
         for d in row.iter_mut() {
             loss += w * *d * *d;
@@ -56,11 +55,7 @@ pub fn td_errors(pred: &Matrix, target: &Matrix) -> Vec<f32> {
     assert_eq!(pred.shape(), target.shape(), "td_errors shape mismatch");
     (0..pred.rows())
         .map(|r| {
-            pred.row(r)
-                .iter()
-                .zip(target.row(r))
-                .map(|(a, b)| (a - b).abs())
-                .sum::<f32>()
+            pred.row(r).iter().zip(target.row(r)).map(|(a, b)| (a - b).abs()).sum::<f32>()
                 / pred.cols().max(1) as f32
         })
         .collect()

@@ -179,7 +179,11 @@ impl Matrix {
 
     /// Matrix product `self · rhs`.
     ///
-    /// Uses the cache-friendly `i,k,j` loop order.
+    /// Small shapes use the cache-friendly `i,k,j` loop order; above
+    /// [`BLOCK_THRESHOLD`] multiply-adds the register-blocked 4×4 kernel
+    /// takes over. Both paths accumulate each output element in the same
+    /// `k` order, so the result is bitwise identical regardless of which
+    /// kernel runs.
     ///
     /// # Panics
     ///
@@ -191,13 +195,14 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
+        if self.rows * self.cols * rhs.cols >= BLOCK_THRESHOLD {
+            matmul_blocked(&self.data, &rhs.data, &mut out.data, self.rows, self.cols, rhs.cols);
+            return out;
+        }
         for i in 0..self.rows {
             let arow = &self.data[i * self.cols..(i + 1) * self.cols];
             let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
             for (k, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
                 let brow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
                 for (o, &b) in orow.iter_mut().zip(brow.iter()) {
                     *o += a * b;
@@ -215,13 +220,21 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.cols, rhs.cols);
+        if self.rows * self.cols * rhs.cols >= BLOCK_THRESHOLD {
+            transpose_matmul_blocked(
+                &self.data,
+                &rhs.data,
+                &mut out.data,
+                self.rows,
+                self.cols,
+                rhs.cols,
+            );
+            return out;
+        }
         for r in 0..self.rows {
             let arow = &self.data[r * self.cols..(r + 1) * self.cols];
             let brow = &rhs.data[r * rhs.cols..(r + 1) * rhs.cols];
             for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
                 let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
                 for (o, &b) in orow.iter_mut().zip(brow.iter()) {
                     *o += a * b;
@@ -239,6 +252,17 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.rows, rhs.rows);
+        if self.rows * self.cols * rhs.rows >= BLOCK_THRESHOLD {
+            matmul_transpose_blocked(
+                &self.data,
+                &rhs.data,
+                &mut out.data,
+                self.rows,
+                self.cols,
+                rhs.rows,
+            );
+            return out;
+        }
         for i in 0..self.rows {
             let arow = &self.data[i * self.cols..(i + 1) * self.cols];
             for j in 0..rhs.rows {
@@ -301,11 +325,7 @@ impl Matrix {
 
     /// Returns a new matrix with `f` applied element-wise.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Adds a broadcast row vector `bias` (len == cols) to every row.
@@ -408,6 +428,144 @@ impl Matrix {
     }
 }
 
+/// Side length of the register-blocked micro-kernel tile.
+const TILE: usize = 4;
+
+/// Multiply-add count above which the blocked kernels dispatch; below it
+/// the simple loops win (no tile bookkeeping) and tiny test matrices stay
+/// on the historically exact path.
+const BLOCK_THRESHOLD: usize = 4096;
+
+/// `C = A · B` with a 4×4 register tile: the 16 partial sums live in
+/// registers across the whole `k` sweep, so `C` sees no memory traffic in
+/// the inner loop and each `a` load feeds four FMAs.
+///
+/// Each output element accumulates in ascending-`k` order — the same order
+/// as the naive `i,k,j` loop — so the two paths agree bitwise.
+fn matmul_blocked(a: &[f32], b: &[f32], c: &mut [f32], m: usize, kd: usize, n: usize) {
+    let mut i0 = 0;
+    while i0 < m {
+        let ib = TILE.min(m - i0);
+        let mut j0 = 0;
+        while j0 < n {
+            let jb = TILE.min(n - j0);
+            let mut acc = [[0.0f32; TILE]; TILE];
+            if ib == TILE && jb == TILE {
+                for k in 0..kd {
+                    let brow = &b[k * n + j0..k * n + j0 + TILE];
+                    for di in 0..TILE {
+                        let av = a[(i0 + di) * kd + k];
+                        for dj in 0..TILE {
+                            acc[di][dj] += av * brow[dj];
+                        }
+                    }
+                }
+            } else {
+                for k in 0..kd {
+                    let brow = &b[k * n + j0..k * n + j0 + jb];
+                    for (di, row) in acc.iter_mut().enumerate().take(ib) {
+                        let av = a[(i0 + di) * kd + k];
+                        for (dj, &bv) in brow.iter().enumerate() {
+                            row[dj] += av * bv;
+                        }
+                    }
+                }
+            }
+            for (di, row) in acc.iter().enumerate().take(ib) {
+                let off = (i0 + di) * n + j0;
+                c[off..off + jb].copy_from_slice(&row[..jb]);
+            }
+            j0 += jb;
+        }
+        i0 += ib;
+    }
+}
+
+/// `C = Aᵀ · B` (`A` is `m×kd` traversed column-wise, output `kd×n`) with
+/// the same 4×4 register tile; the reduction runs over the shared row axis
+/// `r` in ascending order, matching the naive loop bitwise.
+fn transpose_matmul_blocked(a: &[f32], b: &[f32], c: &mut [f32], m: usize, kd: usize, n: usize) {
+    let mut i0 = 0;
+    while i0 < kd {
+        let ib = TILE.min(kd - i0);
+        let mut j0 = 0;
+        while j0 < n {
+            let jb = TILE.min(n - j0);
+            let mut acc = [[0.0f32; TILE]; TILE];
+            if ib == TILE && jb == TILE {
+                for r in 0..m {
+                    let arow = &a[r * kd + i0..r * kd + i0 + TILE];
+                    let brow = &b[r * n + j0..r * n + j0 + TILE];
+                    for di in 0..TILE {
+                        let av = arow[di];
+                        for dj in 0..TILE {
+                            acc[di][dj] += av * brow[dj];
+                        }
+                    }
+                }
+            } else {
+                for r in 0..m {
+                    let arow = &a[r * kd + i0..r * kd + i0 + ib];
+                    let brow = &b[r * n + j0..r * n + j0 + jb];
+                    for (di, row) in acc.iter_mut().enumerate().take(ib) {
+                        let av = arow[di];
+                        for (dj, &bv) in brow.iter().enumerate() {
+                            row[dj] += av * bv;
+                        }
+                    }
+                }
+            }
+            for (di, row) in acc.iter().enumerate().take(ib) {
+                let off = (i0 + di) * n + j0;
+                c[off..off + jb].copy_from_slice(&row[..jb]);
+            }
+            j0 += jb;
+        }
+        i0 += ib;
+    }
+}
+
+/// `C = A · Bᵀ` (both operands `…×kd` row-major, output `m×n` where `n` is
+/// `B`'s row count): 16 dot products advance together over `k`, reusing
+/// each loaded `a`/`b` value four times. Ascending-`k` accumulation keeps
+/// the result bitwise equal to the naive dot-product loop.
+fn matmul_transpose_blocked(a: &[f32], b: &[f32], c: &mut [f32], m: usize, kd: usize, n: usize) {
+    let mut i0 = 0;
+    while i0 < m {
+        let ib = TILE.min(m - i0);
+        let mut j0 = 0;
+        while j0 < n {
+            let jb = TILE.min(n - j0);
+            let mut acc = [[0.0f32; TILE]; TILE];
+            if ib == TILE && jb == TILE {
+                for k in 0..kd {
+                    for di in 0..TILE {
+                        let av = a[(i0 + di) * kd + k];
+                        for dj in 0..TILE {
+                            acc[di][dj] += av * b[(j0 + dj) * kd + k];
+                        }
+                    }
+                }
+            } else {
+                for k in 0..kd {
+                    for (di, row) in acc.iter_mut().enumerate().take(ib) {
+                        let av = a[(i0 + di) * kd + k];
+                        for (dj, cell) in row.iter_mut().enumerate().take(jb) {
+                            *cell += av * b[(j0 + dj) * kd + k];
+                        }
+                    }
+                }
+            }
+            for (di, row) in acc.iter().enumerate().take(ib) {
+                let off = (i0 + di) * n + j0;
+                c[off..off + jb].copy_from_slice(&row[..jb]);
+            }
+            j0 += jb;
+        }
+        i0 += ib;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -492,5 +650,98 @@ mod tests {
         assert_eq!(a.as_slice(), &[-1.0, 0.5, 1.0]);
         a.scale(2.0);
         assert_eq!(a.as_slice(), &[-2.0, 1.0, 2.0]);
+    }
+
+    /// Triple-loop reference with ascending-`k` accumulation; every kernel
+    /// must match it bitwise.
+    fn reference_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0f32;
+                for k in 0..a.cols() {
+                    acc += a.at(i, k) * b.at(k, j);
+                }
+                *out.at_mut(i, j) = acc;
+            }
+        }
+        out
+    }
+
+    /// Deterministic non-trivial fill covering signs and magnitudes.
+    fn patterned(rows: usize, cols: usize, salt: u32) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let x = (r * cols + c) as u32 ^ salt;
+                // Small integers: every product and partial sum is exact,
+                // so reorderings would be visible as bitwise differences.
+                *m.at_mut(r, c) = (x % 17) as f32 - 8.0;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn blocked_matmul_matches_reference_bitwise() {
+        // 17·19·23 multiply-adds exceed BLOCK_THRESHOLD, and the odd
+        // dimensions exercise every remainder-tile path.
+        let a = patterned(17, 19, 3);
+        let b = patterned(19, 23, 7);
+        const { assert!(17 * 19 * 23 >= super::BLOCK_THRESHOLD) };
+        assert_eq!(a.matmul(&b).as_slice(), reference_matmul(&a, &b).as_slice());
+    }
+
+    #[test]
+    fn blocked_transpose_matmul_matches_reference_bitwise() {
+        let a = patterned(23, 17, 5);
+        let b = patterned(23, 19, 11);
+        let expect = reference_matmul(&a.transpose(), &b);
+        assert_eq!(a.transpose_matmul(&b).as_slice(), expect.as_slice());
+    }
+
+    #[test]
+    fn blocked_matmul_transpose_matches_reference_bitwise() {
+        let a = patterned(17, 23, 13);
+        let b = patterned(19, 23, 17);
+        let expect = reference_matmul(&a, &b.transpose());
+        assert_eq!(a.matmul_transpose(&b).as_slice(), expect.as_slice());
+    }
+
+    #[test]
+    fn exact_tile_multiple_shapes_match_reference() {
+        let a = patterned(16, 16, 23);
+        let b = patterned(16, 16, 29);
+        assert_eq!(a.matmul(&b).as_slice(), reference_matmul(&a, &b).as_slice());
+        assert_eq!(
+            a.transpose_matmul(&b).as_slice(),
+            reference_matmul(&a.transpose(), &b).as_slice()
+        );
+        assert_eq!(
+            a.matmul_transpose(&b).as_slice(),
+            reference_matmul(&a, &b.transpose()).as_slice()
+        );
+    }
+
+    #[test]
+    fn zero_times_nan_propagates() {
+        // The old kernels skipped zero multiplicands, silently swallowing
+        // NaN/Inf in the other operand; 0·NaN must poison the output.
+        let a = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 0.0]]);
+        let mut b = Matrix::from_rows(&[&[f32::NAN, 2.0], &[3.0, f32::INFINITY]]);
+        let c = a.matmul(&b);
+        assert!(c.as_slice().iter().all(|x| x.is_nan()));
+        let t = a.transpose_matmul(&b);
+        assert!(t.at(0, 0).is_nan() && t.at(1, 1).is_nan());
+        // Same contract on the blocked path.
+        let mut big_a = Matrix::full(32, 32, 0.0);
+        *big_a.at_mut(0, 0) = 0.0;
+        let mut big_b = Matrix::full(32, 32, 1.0);
+        *big_b.at_mut(0, 0) = f32::NAN;
+        assert!(big_a.matmul(&big_b).at(0, 0).is_nan());
+        // Inf: 1·Inf reaches the output even when paired with zeros.
+        *b.at_mut(0, 0) = 1.0;
+        let c = a.matmul(&b);
+        assert!(!c.at(1, 1).is_finite());
     }
 }

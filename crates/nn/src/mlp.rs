@@ -43,10 +43,7 @@ impl Mlp {
         rng: &mut R,
     ) -> Self {
         assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
-        let layers = sizes
-            .windows(2)
-            .map(|w| Linear::new(w[0], w[1], init, rng))
-            .collect();
+        let layers = sizes.windows(2).map(|w| Linear::new(w[0], w[1], init, rng)).collect();
         Mlp { layers, hidden_activation, activations: Vec::new() }
     }
 

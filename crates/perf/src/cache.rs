@@ -53,12 +53,7 @@ pub struct CacheLevel {
 impl CacheLevel {
     /// Creates an empty (cold) cache.
     pub fn new(config: CacheConfig) -> Self {
-        CacheLevel {
-            config,
-            tags: vec![u64::MAX; config.sets() * config.ways],
-            hits: 0,
-            misses: 0,
-        }
+        CacheLevel { config, tags: vec![u64::MAX; config.sets() * config.ways], hits: 0, misses: 0 }
     }
 
     /// The level's geometry.

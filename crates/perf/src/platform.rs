@@ -131,7 +131,8 @@ mod tests {
 
     #[test]
     fn gpu_helps_big_compute_hurts_small_batches() {
-        let gpu = ExecutionTarget::CpuGpu { transfer: TransferModel::pcie3_x16(), gpu_speedup: 10.0 };
+        let gpu =
+            ExecutionTarget::CpuGpu { transfer: TransferModel::pcie3_x16(), gpu_speedup: 10.0 };
         // big compute, small data: GPU wins
         let big = gpu.network_phase_time(Duration::from_millis(100), 1024);
         assert!(big < Duration::from_millis(100));

@@ -121,10 +121,7 @@ impl Table {
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
-        out.push_str(&format!(
-            "|{}\n",
-            self.headers.iter().map(|_| " --- |").collect::<String>()
-        ));
+        out.push_str(&format!("|{}\n", self.headers.iter().map(|_| " --- |").collect::<String>()));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }

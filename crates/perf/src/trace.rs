@@ -36,9 +36,7 @@ impl BufferGeometry {
     /// page of padding, mimicking separately allocated NumPy/Vec storage.
     pub fn layout(agents: usize, capacity: usize, row_bytes: usize) -> Vec<BufferGeometry> {
         let stride = (capacity * row_bytes + 4096) as u64;
-        (0..agents)
-            .map(|a| BufferGeometry { base_addr: a as u64 * stride, row_bytes })
-            .collect()
+        (0..agents).map(|a| BufferGeometry { base_addr: a as u64 * stride, row_bytes }).collect()
     }
 }
 
@@ -60,8 +58,7 @@ impl MemoryModel {
     /// prefetcher is enabled by default") with 50 % timeliness coverage.
     pub fn new(platform: &PlatformSpec) -> Self {
         MemoryModel {
-            cache: CacheHierarchy::new(platform.l1, platform.l2, platform.l3)
-                .with_prefetcher(50),
+            cache: CacheHierarchy::new(platform.l1, platform.l2, platform.l3).with_prefetcher(50),
             tlb: Tlb::new(platform.dtlb),
             instructions: 0,
             branches: 0,

@@ -23,23 +23,16 @@ fn run(sampler: SamplerConfig) -> Result<(String, f64, f64, f32), Box<dyn std::e
     let mut trainer = Trainer::new(config)?;
     let report = trainer.train()?;
     let sampling_s = report.profile.get(Phase::MiniBatchSampling).as_secs_f64();
-    Ok((
-        sampler.label(),
-        report.wall_time.as_secs_f64(),
-        sampling_s,
-        report.curve.final_score(30),
-    ))
+    Ok((sampler.label(), report.wall_time.as_secs_f64(), sampling_s, report.curve.final_score(30)))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("cooperative navigation, 6 agents, MADDPG, 150 episodes per config\n");
     let mut table = Table::new(&["sampler", "total (s)", "sampling (s)", "final score"]);
     let mut baseline_total = None;
-    for sampler in [
-        SamplerConfig::Uniform,
-        SamplerConfig::LocalityN16R64,
-        SamplerConfig::LocalityN64R16,
-    ] {
+    for sampler in
+        [SamplerConfig::Uniform, SamplerConfig::LocalityN16R64, SamplerConfig::LocalityN64R16]
+    {
         let (label, total, sampling, score) = run(sampler)?;
         let base = *baseline_total.get_or_insert(total);
         table.row_owned(vec![
@@ -49,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{score:.1}"),
         ]);
         if total != base {
-            println!("{sampler:?}: end-to-end change vs baseline: {:+.1}%", (1.0 - total / base) * 100.0);
+            println!(
+                "{sampler:?}: end-to-end change vs baseline: {:+.1}%",
+                (1.0 - total / base) * 100.0
+            );
         }
     }
     println!("\n{table}");

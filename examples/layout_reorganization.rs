@@ -31,8 +31,7 @@ fn run(layout: LayoutMode, agents: usize) -> Result<(f64, f64, f32), Box<dyn std
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("MADDPG predator-prey with per-agent vs interleaved transition layout\n");
-    let mut table =
-        Table::new(&["agents", "layout", "total (s)", "sampling (s)", "final score"]);
+    let mut table = Table::new(&["agents", "layout", "total (s)", "sampling (s)", "final score"]);
     for agents in [3usize, 6] {
         for (label, layout) in
             [("per-agent", LayoutMode::PerAgent), ("interleaved", LayoutMode::Interleaved)]

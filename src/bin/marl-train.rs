@@ -4,8 +4,8 @@
 //! marl-train [--algo maddpg|matd3] [--task pp|cn|pd] [--agents N]
 //!            [--sampler baseline|n16r64|n64r16|per|ip|per-reuse:W]
 //!            [--layout per-agent|interleaved] [--episodes E] [--batch B]
-//!            [--capacity C] [--threads T] [--seed S] [--eval-episodes K]
-//!            [--checkpoint-out FILE]
+//!            [--capacity C] [--threads T] [--update-threads U] [--seed S]
+//!            [--eval-episodes K] [--checkpoint-out FILE]
 //! ```
 //!
 //! Prints the phase breakdown and reward summary; optionally writes a JSON
@@ -38,9 +38,8 @@ fn parse_sampler(v: &str) -> Result<SamplerConfig, CliError> {
                     .map_err(|_| CliError(format!("bad reuse window in --sampler {other}")))?;
                 SamplerConfig::PerReuse { window }
             } else if let Some(n) = other.strip_prefix("n") {
-                let neighbors: usize = n
-                    .parse()
-                    .map_err(|_| CliError(format!("unknown sampler {other}")))?;
+                let neighbors: usize =
+                    n.parse().map_err(|_| CliError(format!("unknown sampler {other}")))?;
                 SamplerConfig::Locality { neighbors }
             } else {
                 return Err(CliError(format!("unknown sampler {other}")));
@@ -59,6 +58,7 @@ fn parse_args(args: &[String]) -> Result<(TrainConfig, usize, Option<String>), C
     let mut batch = 256usize;
     let mut capacity = 50_000usize;
     let mut threads = 1usize;
+    let mut update_threads = 1usize;
     let mut seed = 0u64;
     let mut eval_episodes = 10usize;
     let mut checkpoint_out = None;
@@ -97,6 +97,7 @@ fn parse_args(args: &[String]) -> Result<(TrainConfig, usize, Option<String>), C
             "--batch" => batch = parse_num(value("--batch")?)?,
             "--capacity" => capacity = parse_num(value("--capacity")?)?,
             "--threads" => threads = parse_num(value("--threads")?)?,
+            "--update-threads" => update_threads = parse_num(value("--update-threads")?)?,
             "--seed" => seed = parse_num(value("--seed")?)? as u64,
             "--eval-episodes" => eval_episodes = parse_num(value("--eval-episodes")?)?,
             "--checkpoint-out" => checkpoint_out = Some(value("--checkpoint-out")?.clone()),
@@ -113,6 +114,7 @@ fn parse_args(args: &[String]) -> Result<(TrainConfig, usize, Option<String>), C
         .with_batch_size(batch)
         .with_buffer_capacity(capacity)
         .with_sampling_threads(threads)
+        .with_update_threads(update_threads)
         .with_seed(seed);
     // Keep the warmup proportionate to the run so short CLI runs still
     // perform updates.
@@ -129,8 +131,12 @@ fn usage() {
         "usage: marl-train [--algo maddpg|matd3] [--task pp|cn|pd] [--agents N]\n\
          \x20                 [--sampler baseline|n16r64|n64r16|nK|per|ip|per-reuse:W]\n\
          \x20                 [--layout per-agent|interleaved] [--episodes E] [--batch B]\n\
-         \x20                 [--capacity C] [--threads T] [--seed S] [--eval-episodes K]\n\
-         \x20                 [--checkpoint-out FILE]"
+         \x20                 [--capacity C] [--threads T] [--update-threads U] [--seed S]\n\
+         \x20                 [--eval-episodes K] [--checkpoint-out FILE]\n\
+         \n\
+         \x20 --threads T          worker threads for each mini-batch gather (default 1)\n\
+         \x20 --update-threads U   worker threads for the per-agent critic/actor updates\n\
+         \x20                      (default 1; results are identical for any value)"
     );
 }
 
@@ -170,8 +176,10 @@ fn main() -> ExitCode {
         }
     };
 
-    println!("\nwall time: {:?} | env steps: {} | update iterations: {}",
-        report.wall_time, report.env_steps, report.update_iterations);
+    println!(
+        "\nwall time: {:?} | env steps: {} | update iterations: {}",
+        report.wall_time, report.env_steps, report.update_iterations
+    );
     if report.update_iterations == 0 {
         eprintln!(
             "warning: no network updates ran — increase --episodes or lower --batch \

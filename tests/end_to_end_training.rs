@@ -43,13 +43,9 @@ fn every_algorithm_task_sampler_combination_trains() {
 
 #[test]
 fn phase_profile_covers_all_training_phases() {
-    let mut trainer = Trainer::new(quick(
-        Algorithm::Maddpg,
-        Task::PredatorPrey,
-        3,
-        SamplerConfig::Uniform,
-    ))
-    .unwrap();
+    let mut trainer =
+        Trainer::new(quick(Algorithm::Maddpg, Task::PredatorPrey, 3, SamplerConfig::Uniform))
+            .unwrap();
     let report = trainer.train().unwrap();
     for phase in [
         Phase::ActionSelection,
@@ -75,8 +71,9 @@ fn training_reduces_or_maintains_loss_signal() {
     // Cooperative navigation with a longer run: the smoothed reward of the
     // last quarter should not be dramatically worse than the first quarter
     // (learning sanity, not a performance claim).
-    let mut config = quick(Algorithm::Maddpg, Task::CooperativeNavigation, 3, SamplerConfig::Uniform)
-        .with_episodes(30);
+    let mut config =
+        quick(Algorithm::Maddpg, Task::CooperativeNavigation, 3, SamplerConfig::Uniform)
+            .with_episodes(30);
     config.warmup = 256;
     let mut trainer = Trainer::new(config).unwrap();
     let report = trainer.train().unwrap();
@@ -84,21 +81,14 @@ fn training_reduces_or_maintains_loss_signal() {
     let quarter = vals.len() / 4;
     let first: f32 = vals[..quarter].iter().sum::<f32>() / quarter as f32;
     let last: f32 = vals[vals.len() - quarter..].iter().sum::<f32>() / quarter as f32;
-    assert!(
-        last > first - 200.0,
-        "reward collapsed: first quarter {first}, last quarter {last}"
-    );
+    assert!(last > first - 200.0, "reward collapsed: first quarter {first}, last quarter {last}");
 }
 
 #[test]
 fn replay_stays_aligned_with_environment_dimensions() {
-    let mut trainer = Trainer::new(quick(
-        Algorithm::Maddpg,
-        Task::PredatorPrey,
-        6,
-        SamplerConfig::Uniform,
-    ))
-    .unwrap();
+    let mut trainer =
+        Trainer::new(quick(Algorithm::Maddpg, Task::PredatorPrey, 6, SamplerConfig::Uniform))
+            .unwrap();
     trainer.prefill(300).unwrap();
     let replay = trainer.replay().expect("per-agent layout exposes the replay");
     assert_eq!(replay.agent_count(), 6);

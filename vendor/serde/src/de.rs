@@ -1,0 +1,233 @@
+//! JSON cursor used by [`crate::Deserialize`] implementations.
+
+use std::fmt;
+
+/// A deserialization failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Builds an error from any message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        Error { message: message.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A byte cursor over JSON text with the token-level helpers derived
+/// implementations need.
+#[derive(Debug)]
+pub struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    /// Starts parsing at the beginning of `input`.
+    pub fn new(input: &'a str) -> Self {
+        Parser { bytes: input.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The next non-whitespace byte without consuming it.
+    pub fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| Error::msg("unexpected end of JSON input"))
+    }
+
+    /// Consumes `c` or errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the next non-whitespace byte differs from `c`.
+    pub fn expect_char(&mut self, c: char) -> Result<(), Error> {
+        let got = self.peek()?;
+        if got == c as u8 {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!("expected `{c}` at byte {}, found `{}`", self.pos, got as char)))
+        }
+    }
+
+    /// Consumes `c` if it is next; reports whether it did.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only at end of input.
+    pub fn try_char(&mut self, c: char) -> Result<bool, Error> {
+        if self.peek()? == c as u8 {
+            self.pos += 1;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Consumes a `null` literal if it is next; reports whether it did.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error at end of input.
+    pub fn try_null(&mut self) -> Result<bool, Error> {
+        if self.peek()? == b'n' {
+            self.keyword("null")?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn keyword(&mut self, word: &str) -> Result<(), Error> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(Error::msg(format!("expected `{word}` at byte {}", self.pos)))
+        }
+    }
+
+    /// Parses `true` or `false`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when neither literal is next.
+    pub fn parse_bool(&mut self) -> Result<bool, Error> {
+        match self.peek()? {
+            b't' => self.keyword("true").map(|()| true),
+            b'f' => self.keyword("false").map(|()| false),
+            other => Err(Error::msg(format!("expected boolean, found `{}`", other as char))),
+        }
+    }
+
+    /// Returns the maximal number token (sign, digits, point, exponent) as
+    /// a string slice, consuming it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no number starts here.
+    pub fn number_token(&mut self) -> Result<&'a str, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(Error::msg(format!("expected number at byte {start}")));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::msg("non-UTF-8 number token"))
+    }
+
+    /// Parses a JSON string literal with escapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on a malformed literal.
+    pub fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect_char('"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos).ok_or_else(|| Error::msg("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error::msg("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::msg("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::msg("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::msg("invalid \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::msg(format!("unknown escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode multi-byte UTF-8 sequences from the source.
+                    let len = utf8_len(b);
+                    let bytes = self
+                        .bytes
+                        .get(self.pos - 1..self.pos - 1 + len)
+                        .ok_or_else(|| Error::msg("truncated UTF-8 sequence"))?;
+                    let s = std::str::from_utf8(bytes)
+                        .map_err(|_| Error::msg("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.pos += len - 1;
+                }
+            }
+        }
+    }
+
+    /// Asserts that only whitespace remains.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when trailing content exists.
+    pub fn expect_end(&mut self) -> Result<(), Error> {
+        self.skip_ws();
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(Error::msg(format!("trailing characters at byte {}", self.pos)))
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}

@@ -1,0 +1,366 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The real serde's visitor-based data model is far more general than this
+//! workspace needs; with no registry access, this crate provides the same
+//! surface syntax — `#[derive(Serialize, Deserialize)]`, `#[serde(skip)]`,
+//! `serde::Serialize` bounds — over a direct-to-JSON implementation. The
+//! companion `serde_json` crate supplies `to_string`/`from_str` on top of
+//! the [`Serialize`]/[`Deserialize`] traits defined here.
+//!
+//! Supported shapes (everything this workspace derives): structs with
+//! named fields, unit structs, enums with unit/tuple/struct variants, and
+//! the primitive/collection impls below. Non-finite floats serialize as
+//! `null` and deserialize back to `NaN`, keeping round-trips total.
+
+pub mod de;
+pub mod ser;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use de::{Error, Parser};
+use ser::Writer;
+
+/// Types that can write themselves as JSON.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn serialize(&self, out: &mut Writer);
+}
+
+/// Types that can parse themselves back from JSON.
+pub trait Deserialize: Sized {
+    /// Parses one value from the cursor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive [`Error`] on malformed or mistyped input.
+    fn deserialize(parser: &mut Parser<'_>) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, out: &mut Writer) {
+        (**self).serialize(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self, out: &mut Writer) {
+        (**self).serialize(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(parser: &mut Parser<'_>) -> Result<Self, Error> {
+        T::deserialize(parser).map(Box::new)
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, out: &mut Writer) {
+                out.raw_display(self);
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(parser: &mut Parser<'_>) -> Result<Self, Error> {
+                let token = parser.number_token()?;
+                token.parse().map_err(|_| Error::msg(format!(
+                    "invalid {} literal `{token}`", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, out: &mut Writer) {
+                if self.is_finite() {
+                    out.raw_display(self);
+                } else {
+                    // serde_json refuses non-finite floats; encoding them
+                    // as null keeps checkpoint round-trips total.
+                    out.raw("null");
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(parser: &mut Parser<'_>) -> Result<Self, Error> {
+                if parser.try_null()? {
+                    return Ok(<$t>::NAN);
+                }
+                let token = parser.number_token()?;
+                token.parse().map_err(|_| Error::msg(format!(
+                    "invalid {} literal `{token}`", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self, out: &mut Writer) {
+        out.raw(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(parser: &mut Parser<'_>) -> Result<Self, Error> {
+        parser.parse_bool()
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, out: &mut Writer) {
+        out.string(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, out: &mut Writer) {
+        out.string(self);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(parser: &mut Parser<'_>) -> Result<Self, Error> {
+        parser.parse_string()
+    }
+}
+
+impl Deserialize for &'static str {
+    fn deserialize(parser: &mut Parser<'_>) -> Result<Self, Error> {
+        // Static-string fields (platform names) only round-trip in tests;
+        // leaking the handful of parsed strings is the price of skipping
+        // real serde's borrowed-lifetime machinery.
+        Ok(Box::leak(parser.parse_string()?.into_boxed_str()))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, out: &mut Writer) {
+        match self {
+            Some(v) => v.serialize(out),
+            None => out.raw("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(parser: &mut Parser<'_>) -> Result<Self, Error> {
+        if parser.try_null()? {
+            Ok(None)
+        } else {
+            T::deserialize(parser).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, out: &mut Writer) {
+        self.as_slice().serialize(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, out: &mut Writer) {
+        out.raw("[");
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.raw(",");
+            }
+            v.serialize(out);
+        }
+        out.raw("]");
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(parser: &mut Parser<'_>) -> Result<Self, Error> {
+        parser.expect_char('[')?;
+        let mut items = Vec::new();
+        if parser.try_char(']')? {
+            return Ok(items);
+        }
+        loop {
+            items.push(T::deserialize(parser)?);
+            if parser.try_char(',')? {
+                continue;
+            }
+            parser.expect_char(']')?;
+            return Ok(items);
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, out: &mut Writer) {
+        self.as_slice().serialize(out);
+    }
+}
+
+impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+    fn deserialize(parser: &mut Parser<'_>) -> Result<Self, Error> {
+        let items = Vec::<T>::deserialize(parser)?;
+        if items.len() != N {
+            return Err(Error::msg(format!("expected array of length {N}, got {}", items.len())));
+        }
+        let mut out = [T::default(); N];
+        out.copy_from_slice(&items);
+        Ok(out)
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn serialize(&self, out: &mut Writer) {
+        // Matches real serde's encoding: {"secs":u64,"nanos":u32}.
+        out.raw("{");
+        out.key("secs");
+        self.as_secs().serialize(out);
+        out.raw(",");
+        out.key("nanos");
+        self.subsec_nanos().serialize(out);
+        out.raw("}");
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn deserialize(parser: &mut Parser<'_>) -> Result<Self, Error> {
+        parser.expect_char('{')?;
+        let mut secs = None;
+        let mut nanos = None;
+        loop {
+            let key = parser.parse_string()?;
+            parser.expect_char(':')?;
+            match key.as_str() {
+                "secs" => secs = Some(u64::deserialize(parser)?),
+                "nanos" => nanos = Some(u32::deserialize(parser)?),
+                other => return Err(Error::msg(format!("unknown Duration field `{other}`"))),
+            }
+            if parser.try_char(',')? {
+                continue;
+            }
+            parser.expect_char('}')?;
+            break;
+        }
+        match (secs, nanos) {
+            (Some(s), Some(n)) => Ok(std::time::Duration::new(s, n)),
+            _ => Err(Error::msg("Duration requires `secs` and `nanos`")),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self, out: &mut Writer) {
+                out.raw("[");
+                let mut first = true;
+                $(
+                    if !first { out.raw(","); }
+                    first = false;
+                    self.$idx.serialize(out);
+                )+
+                let _ = first;
+                out.raw("]");
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(parser: &mut Parser<'_>) -> Result<Self, Error> {
+                parser.expect_char('[')?;
+                let mut first = true;
+                let value = ($(
+                    {
+                        if !first { parser.expect_char(',')?; }
+                        first = false;
+                        let v: $name = Deserialize::deserialize(parser)?;
+                        v
+                    },
+                )+);
+                let _ = first;
+                parser.expect_char(']')?;
+                Ok(value)
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_json<T: Serialize>(v: &T) -> String {
+        let mut w = Writer::new();
+        v.serialize(&mut w);
+        w.into_string()
+    }
+
+    fn from_json<T: Deserialize>(s: &str) -> T {
+        let mut p = Parser::new(s);
+        let v = T::deserialize(&mut p).expect("parse");
+        p.expect_end().expect("trailing");
+        v
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(to_json(&42u64), "42");
+        assert_eq!(from_json::<u64>("42"), 42);
+        assert_eq!(to_json(&-7i32), "-7");
+        assert_eq!(from_json::<i32>("-7"), -7);
+        assert_eq!(to_json(&true), "true");
+        assert!(!from_json::<bool>("false"));
+        assert_eq!(to_json(&1.5f32), "1.5");
+        assert_eq!(from_json::<f32>("1.5"), 1.5);
+        let x: f64 = from_json(&to_json(&0.1f64));
+        assert_eq!(x, 0.1);
+    }
+
+    #[test]
+    fn nan_round_trips_as_null() {
+        assert_eq!(to_json(&f32::NAN), "null");
+        assert!(from_json::<f32>("null").is_nan());
+        assert_eq!(to_json(&f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(to_json(&"a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(from_json::<String>(r#""a\"b\\c\nd""#), "a\"b\\c\nd");
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(to_json(&v), "[1,2,3]");
+        assert_eq!(from_json::<Vec<u32>>("[1,2,3]"), v);
+        assert_eq!(from_json::<Vec<u32>>("[]"), Vec::<u32>::new());
+        let o: Option<u8> = None;
+        assert_eq!(to_json(&o), "null");
+        assert_eq!(from_json::<Option<u8>>("5"), Some(5));
+        let t = (1u8, 2.5f32);
+        assert_eq!(to_json(&t), "[1,2.5]");
+        assert_eq!(from_json::<(u8, f32)>("[1,2.5]"), t);
+        let a = [1u128, 2, 3];
+        assert_eq!(to_json(&a), "[1,2,3]");
+        assert_eq!(from_json::<[u128; 3]>("[1,2,3]"), a);
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        assert_eq!(from_json::<Vec<u32>>(" [ 1 , 2 ] "), vec![1, 2]);
+    }
+}

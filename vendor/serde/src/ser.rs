@@ -1,0 +1,62 @@
+//! JSON output writer used by [`crate::Serialize`] implementations.
+
+use std::fmt::Display;
+
+/// An append-only JSON text buffer.
+///
+/// Derived implementations call [`Writer::key`]/[`Writer::raw`] to manage
+/// object punctuation themselves; all string content goes through
+/// [`Writer::string`] for escaping.
+#[derive(Debug, Default)]
+pub struct Writer {
+    out: String,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Consumes the writer, returning the accumulated JSON.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+
+    /// Appends raw JSON punctuation or literals.
+    pub fn raw(&mut self, s: &str) {
+        self.out.push_str(s);
+    }
+
+    /// Appends a value through its `Display` impl (numbers).
+    pub fn raw_display<T: Display>(&mut self, v: &T) {
+        use std::fmt::Write;
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Appends `"key":`.
+    pub fn key(&mut self, key: &str) {
+        self.string(key);
+        self.out.push(':');
+    }
+
+    /// Appends an escaped JSON string literal.
+    pub fn string(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    use std::fmt::Write;
+                    let _ = write!(self.out, "\\u{:04x}", c as u32);
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}

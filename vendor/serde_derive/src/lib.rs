@@ -1,0 +1,511 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the vendored serde.
+//!
+//! With no registry access there is no `syn`/`quote`; this macro parses the
+//! item's token stream directly. It supports exactly the shapes the
+//! workspace derives: non-generic structs with named fields (including
+//! `#[serde(skip)]`), unit/tuple structs, and non-generic enums with unit,
+//! tuple, and struct variants, using serde's externally-tagged JSON
+//! encoding (`"Variant"`, `{"Variant":[..]}`, `{"Variant":{..}}`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == c {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consumes leading attributes, reporting whether any was
+    /// `#[serde(skip)]`.
+    fn eat_attrs(&mut self) -> bool {
+        let mut skip = false;
+        while self.eat_punct('#') {
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    skip |= attr_is_serde_skip(&g.stream());
+                }
+                other => panic!("expected `[...]` after `#`, found {other:?}"),
+            }
+        }
+        skip
+    }
+
+    /// Consumes `pub`, `pub(...)`, or nothing.
+    fn eat_visibility(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Skips a type (or expression) until a top-level comma, tracking
+    /// `<...>` nesting; the comma itself is not consumed.
+    fn skip_until_top_level_comma(&mut self) {
+        let mut angle_depth = 0usize;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    self.pos += 1;
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                    self.pos += 1;
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+                _ => self.pos += 1,
+            }
+        }
+    }
+}
+
+fn attr_is_serde_skip(stream: &TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    cur.eat_attrs();
+    cur.eat_visibility();
+    if cur.eat_ident("struct") {
+        let name = cur.expect_ident("struct name");
+        reject_generics(&cur, &name);
+        match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                Item::Struct { name, fields: Fields::Named(fields) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(g.stream());
+                Item::Struct { name, fields: Fields::Tuple(count) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Item::Struct { name, fields: Fields::Unit }
+            }
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        }
+    } else if cur.eat_ident("enum") {
+        let name = cur.expect_ident("enum name");
+        reject_generics(&cur, &name);
+        match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            other => panic!("expected enum body for `{name}`, found {other:?}"),
+        }
+    } else {
+        panic!("serde derive supports only structs and enums");
+    }
+}
+
+fn reject_generics(cur: &Cursor, name: &str) {
+    if let Some(TokenTree::Punct(p)) = cur.peek() {
+        if p.as_char() == '<' {
+            panic!("vendored serde derive does not support generics (type `{name}`)");
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        let skip = cur.eat_attrs();
+        if cur.peek().is_none() {
+            break;
+        }
+        cur.eat_visibility();
+        let name = cur.expect_ident("field name");
+        assert!(cur.eat_punct(':'), "expected `:` after field `{name}`");
+        cur.skip_until_top_level_comma();
+        cur.eat_punct(',');
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    if cur.peek().is_none() {
+        return 0;
+    }
+    let mut count = 0;
+    loop {
+        cur.eat_attrs();
+        cur.eat_visibility();
+        if cur.peek().is_none() {
+            break;
+        }
+        cur.skip_until_top_level_comma();
+        count += 1;
+        if !cur.eat_punct(',') {
+            break;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        cur.eat_attrs();
+        if cur.peek().is_none() {
+            break;
+        }
+        let name = cur.expect_ident("variant name");
+        let fields = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                cur.pos += 1;
+                Fields::Named(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                cur.pos += 1;
+                Fields::Tuple(n)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant if present.
+        if cur.eat_punct('=') {
+            cur.skip_until_top_level_comma();
+        }
+        cur.eat_punct(',');
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fields) => ser_named_fields(fields, "self.", ""),
+                Fields::Tuple(count) => ser_tuple_fields(*count, "self.", ""),
+                Fields::Unit => "__out.raw(\"null\");".to_owned(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self, __out: &mut ::serde::ser::Writer) {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!("{name}::{vn} => {{ __out.string(\"{vn}\"); }}\n"));
+                    }
+                    Fields::Tuple(count) => {
+                        let binds: Vec<String> = (0..*count).map(|i| format!("__v{i}")).collect();
+                        let body = ser_tuple_binds(&binds);
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{ __out.raw(\"{{\"); __out.key(\"{vn}\"); {body} __out.raw(\"}}\"); }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let body = ser_named_fields(fields, "", "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ __out.raw(\"{{\"); __out.key(\"{vn}\"); {body} __out.raw(\"}}\"); }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self, __out: &mut ::serde::ser::Writer) {{\n\
+                 match self {{ {arms} }}\n\
+                 }}\n}}"
+            )
+        }
+    }
+}
+
+/// Serializes named fields as a JSON object. `prefix` is `self.` for
+/// structs and empty for destructured enum variants (where `name` binds a
+/// reference already).
+fn ser_named_fields(fields: &[Field], prefix: &str, _suffix: &str) -> String {
+    let mut out = String::from("__out.raw(\"{\");\n");
+    let mut first = true;
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        if !first {
+            out.push_str("__out.raw(\",\");\n");
+        }
+        first = false;
+        let access = format!("{}{}", prefix, f.name);
+        out.push_str(&format!(
+            "__out.key(\"{}\"); ::serde::Serialize::serialize(&{access}, __out);\n",
+            f.name
+        ));
+    }
+    out.push_str("__out.raw(\"}\");");
+    out
+}
+
+fn ser_tuple_fields(count: usize, prefix: &str, _suffix: &str) -> String {
+    let binds: Vec<String> = (0..count).map(|i| format!("{prefix}{i}")).collect();
+    ser_tuple_binds(&binds)
+}
+
+fn ser_tuple_binds(binds: &[String]) -> String {
+    if binds.len() == 1 {
+        // Newtype convention: serialize the inner value directly.
+        return format!("::serde::Serialize::serialize(&{}, __out);", binds[0]);
+    }
+    let mut out = String::from("__out.raw(\"[\");\n");
+    for (i, b) in binds.iter().enumerate() {
+        if i > 0 {
+            out.push_str("__out.raw(\",\");\n");
+        }
+        out.push_str(&format!("::serde::Serialize::serialize(&{b}, __out);\n"));
+    }
+    out.push_str("__out.raw(\"]\");");
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fields) => de_named_fields(fields, name),
+                Fields::Tuple(count) => de_tuple_fields(*count, name),
+                Fields::Unit => format!("__p.try_null()?; ::core::result::Result::Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(__p: &mut ::serde::de::Parser<'_>) -> ::core::result::Result<Self, ::serde::de::Error> {{\n\
+                 {body}\n}}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Fields::Tuple(count) => {
+                        let body = de_tuple_fields(*count, &format!("{name}::{vn}"));
+                        data_arms.push_str(&format!("\"{vn}\" => {{ {body} }}\n"));
+                    }
+                    Fields::Named(fields) => {
+                        let body = de_named_fields(fields, &format!("{name}::{vn}"));
+                        data_arms.push_str(&format!("\"{vn}\" => {{ {body} }}\n"));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(__p: &mut ::serde::de::Parser<'_>) -> ::core::result::Result<Self, ::serde::de::Error> {{\n\
+                 if __p.peek()? == b'\"' {{\n\
+                   let __tag = __p.parse_string()?;\n\
+                   match __tag.as_str() {{\n{unit_arms}\
+                     __other => ::core::result::Result::Err(::serde::de::Error::msg(\
+                        format!(\"unknown unit variant `{{__other}}` of {name}\"))),\n\
+                   }}\n\
+                 }} else {{\n\
+                   __p.expect_char('{{')?;\n\
+                   let __tag = __p.parse_string()?;\n\
+                   __p.expect_char(':')?;\n\
+                   let __value = match __tag.as_str() {{\n{data_arms}\
+                     __other => ::core::result::Result::Err(::serde::de::Error::msg(\
+                        format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                   }}?;\n\
+                   __p.expect_char('}}')?;\n\
+                   ::core::result::Result::Ok(__value)\n\
+                 }}\n}}\n}}"
+            )
+        }
+    }
+}
+
+/// Parses a JSON object into named fields in any key order, then builds
+/// `ctor { ... }`. Skipped fields take their `Default`.
+fn de_named_fields(fields: &[Field], ctor: &str) -> String {
+    let mut decls = String::new();
+    let mut arms = String::new();
+    let mut build = String::new();
+    let mut any_active = false;
+    for f in fields {
+        let fname = &f.name;
+        if f.skip {
+            build.push_str(&format!("{fname}: ::core::default::Default::default(),\n"));
+            continue;
+        }
+        any_active = true;
+        decls.push_str(&format!("let mut __f_{fname} = ::core::option::Option::None;\n"));
+        arms.push_str(&format!(
+            "\"{fname}\" => {{ __f_{fname} = ::core::option::Option::Some(::serde::Deserialize::deserialize(__p)?); }}\n"
+        ));
+        build.push_str(&format!(
+            "{fname}: match __f_{fname} {{\n\
+               ::core::option::Option::Some(__v) => __v,\n\
+               ::core::option::Option::None => return ::core::result::Result::Err(\
+                  ::serde::de::Error::msg(\"missing field `{fname}`\")),\n\
+             }},\n"
+        ));
+    }
+    let loop_body = if any_active {
+        format!(
+            "if !__p.try_char('}}')? {{\n\
+               loop {{\n\
+                 let __key = __p.parse_string()?;\n\
+                 __p.expect_char(':')?;\n\
+                 match __key.as_str() {{\n{arms}\
+                   __other => return ::core::result::Result::Err(::serde::de::Error::msg(\
+                      format!(\"unknown field `{{__other}}`\"))),\n\
+                 }}\n\
+                 if __p.try_char(',')? {{ continue; }}\n\
+                 __p.expect_char('}}')?;\n\
+                 break;\n\
+               }}\n\
+             }}"
+        )
+    } else {
+        "__p.expect_char('}')?;".to_owned()
+    };
+    format!(
+        "__p.expect_char('{{')?;\n\
+         {decls}\
+         {loop_body}\n\
+         ::core::result::Result::Ok({ctor} {{\n{build}}})"
+    )
+}
+
+fn de_tuple_fields(count: usize, ctor: &str) -> String {
+    if count == 1 {
+        return format!(
+            "::core::result::Result::Ok({ctor}(::serde::Deserialize::deserialize(__p)?))"
+        );
+    }
+    let mut decls = String::new();
+    let mut args = Vec::new();
+    for i in 0..count {
+        if i == 0 {
+            decls.push_str(&format!("let __v{i} = ::serde::Deserialize::deserialize(__p)?;\n"));
+        } else {
+            decls.push_str(&format!(
+                "__p.expect_char(',')?;\nlet __v{i} = ::serde::Deserialize::deserialize(__p)?;\n"
+            ));
+        }
+        args.push(format!("__v{i}"));
+    }
+    format!(
+        "__p.expect_char('[')?;\n\
+         {decls}\
+         __p.expect_char(']')?;\n\
+         ::core::result::Result::Ok({ctor}({}))",
+        args.join(", ")
+    )
+}

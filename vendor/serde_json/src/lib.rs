@@ -1,0 +1,54 @@
+//! Offline vendored stand-in for `serde_json`.
+//!
+//! The vendored `serde` traits already speak JSON directly, so this crate
+//! is a thin facade providing the `to_string`/`from_str` entry points the
+//! workspace calls.
+
+use serde::de::Parser;
+use serde::ser::Writer;
+use serde::{Deserialize, Serialize};
+
+pub use serde::de::Error;
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never fails for the vendored data model; the `Result` keeps call sites
+/// source-compatible with real serde_json.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = Writer::new();
+    value.serialize(&mut out);
+    Ok(out.into_string())
+}
+
+/// Parses a value from a JSON string, rejecting trailing content.
+///
+/// # Errors
+///
+/// Returns an [`Error`] describing the first malformed token.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut parser = Parser::new(s);
+    let value = T::deserialize(&mut parser)?;
+    parser.expect_end()?;
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_values() {
+        let v = vec![1.5f32, -2.0, 0.25];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[1.5,-2,0.25]");
+        let back: Vec<f32> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<u32>("7 junk").is_err());
+    }
+}
