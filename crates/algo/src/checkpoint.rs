@@ -1,13 +1,37 @@
-//! Checkpointing: serializable snapshots of all agents' networks and
-//! optimizer state, so long characterization runs can be resumed and
-//! trained policies shipped.
+//! Checkpointing: serializable snapshots of the complete resumable run
+//! state — networks, optimizers, counters, RNG streams, sampler state,
+//! and the replay buffer — persisted crash-safely so long
+//! characterization runs can be killed and resumed bitwise-identically.
+//!
+//! ## On-disk format (version 2)
+//!
+//! ```text
+//! magic  u32 LE = 0x4D41_5243 ("MARC")
+//! version u16 LE = 2 | reserved u16 = 0
+//! crc32  u32 LE over the payload
+//! payload:
+//!   json_len   u64 LE | json bytes   (serde_json of [`Checkpoint`])
+//!   replay_len u64 LE | replay bytes ([`marl_core::snapshot`] V2 frame)
+//! ```
+//!
+//! Persistence is atomic: the frame is written to `<path>.tmp`, fsynced,
+//! the previous live file is rotated to `<path>.prev`, and the temp file
+//! renamed over `<path>`. A torn write therefore never destroys the last
+//! good checkpoint, and [`load_checkpoint_with_fallback`] recovers from
+//! `.prev` when the live file is corrupt.
 
 use crate::agent::AgentNets;
 use crate::config::TrainConfig;
 use crate::error::TrainError;
+use crate::trainer::SamplingTelemetry;
+use marl_core::crc32::crc32;
+use marl_core::sampler::SamplerState;
 use marl_nn::adam::Adam;
 use marl_nn::mlp::Mlp;
+use marl_perf::phase::PhaseProfile;
 use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::{Path, PathBuf};
 
 /// Serializable state of one agent's networks + optimizers.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -94,6 +118,211 @@ pub struct Checkpoint {
     pub agents: Vec<AgentState>,
     /// Update iterations completed when captured.
     pub update_iterations: u64,
+    /// The remaining run state (counters, RNG streams, sampler state,
+    /// reward curve). `None` for weights-only checkpoints, which restore
+    /// the policy but cannot resume training bitwise-identically.
+    pub run: Option<RunState>,
+}
+
+/// Everything beyond the networks that a bitwise-identical resume needs.
+///
+/// Checkpoints are captured at episode boundaries, where the
+/// environment's world is regenerated from its RNG on `reset()`; the env
+/// RNG state plus these counters therefore fully determine every future
+/// rollout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunState {
+    /// Environment steps executed (also drives the exploration schedule,
+    /// which is a pure function of this counter).
+    pub env_steps: u64,
+    /// Samples pushed since the last update round.
+    pub samples_since_update: usize,
+    /// State of the master RNG (action exploration + sampling plans).
+    pub master_rng: [u64; 4],
+    /// State of the environment's RNG (resets + scripted agents).
+    pub env_rng: [u64; 4],
+    /// Per-episode mean rewards so far (its length is the episode count).
+    pub curve: Vec<f32>,
+    /// Sampling-phase telemetry so far.
+    pub telemetry: SamplingTelemetry,
+    /// Mutable sampler state (PER priorities, annealing clock, reuse
+    /// window).
+    pub sampler: SamplerState,
+    /// Accumulated phase timings (restored so resumed reports keep the
+    /// whole run's breakdown).
+    pub profile: PhaseProfile,
+}
+
+/// Magic prefix of a checkpoint file ("MARC").
+pub const CHECKPOINT_MAGIC: u32 = 0x4D41_5243;
+/// Current checkpoint file version.
+pub const CHECKPOINT_VERSION: u16 = 2;
+
+/// Derives the sibling path used by the rotation scheme (`.tmp`/`.prev`).
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".");
+    os.push(suffix);
+    PathBuf::from(os)
+}
+
+/// Serializes a checkpoint + replay snapshot into the framed binary
+/// format (header, CRC-32, length-prefixed JSON and replay sections).
+///
+/// # Errors
+///
+/// Returns [`TrainError::Checkpoint`] if JSON serialization fails.
+pub fn encode_checkpoint_file(ckpt: &Checkpoint, replay: &[u8]) -> Result<Vec<u8>, TrainError> {
+    let json = serde_json::to_string(ckpt)
+        .map_err(|e| TrainError::Checkpoint(format!("serialize: {e}")))?;
+    let mut payload = Vec::with_capacity(16 + json.len() + replay.len());
+    payload.extend_from_slice(&(json.len() as u64).to_le_bytes());
+    payload.extend_from_slice(json.as_bytes());
+    payload.extend_from_slice(&(replay.len() as u64).to_le_bytes());
+    payload.extend_from_slice(replay);
+    let mut out = Vec::with_capacity(12 + payload.len());
+    out.extend_from_slice(&CHECKPOINT_MAGIC.to_le_bytes());
+    out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes()); // reserved
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+/// Decodes a checkpoint file frame, verifying magic, version, and CRC.
+///
+/// # Errors
+///
+/// Returns [`TrainError::Checkpoint`] describing exactly what is wrong
+/// (never panics on malformed input).
+pub fn decode_checkpoint_file(bytes: &[u8]) -> Result<(Checkpoint, Vec<u8>), TrainError> {
+    let err = |what: &str| TrainError::Checkpoint(format!("decode: {what}"));
+    if bytes.len() < 12 {
+        return Err(err("file shorter than the 12-byte header"));
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+    if magic != CHECKPOINT_MAGIC {
+        return Err(err("bad magic (not a checkpoint file)"));
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+    if version != CHECKPOINT_VERSION {
+        return Err(TrainError::Checkpoint(format!("decode: unsupported version {version}")));
+    }
+    let expected = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    let payload = &bytes[12..];
+    let actual = crc32(payload);
+    if actual != expected {
+        return Err(TrainError::Checkpoint(format!(
+            "decode: checksum mismatch (expected {expected:#010x}, got {actual:#010x})"
+        )));
+    }
+    // Checksum verified: the lengths below are trustworthy, but still
+    // bounds-checked so a CRC collision cannot cause a panic.
+    let mut off = 0usize;
+    let take_u64 = |off: &mut usize| -> Result<usize, TrainError> {
+        if payload.len() - *off < 8 {
+            return Err(TrainError::Checkpoint("decode: truncated length field".into()));
+        }
+        let v = u64::from_le_bytes(payload[*off..*off + 8].try_into().expect("8 bytes"));
+        *off += 8;
+        usize::try_from(v).map_err(|_| TrainError::Checkpoint("decode: length overflow".into()))
+    };
+    let json_len = take_u64(&mut off)?;
+    if payload.len() - off < json_len {
+        return Err(err("truncated JSON section"));
+    }
+    let json = std::str::from_utf8(&payload[off..off + json_len])
+        .map_err(|_| err("checkpoint JSON is not UTF-8"))?;
+    off += json_len;
+    let ckpt: Checkpoint =
+        serde_json::from_str(json).map_err(|e| TrainError::Checkpoint(format!("decode: {e}")))?;
+    let replay_len = take_u64(&mut off)?;
+    if payload.len() - off < replay_len {
+        return Err(err("truncated replay section"));
+    }
+    let replay = payload[off..off + replay_len].to_vec();
+    Ok((ckpt, replay))
+}
+
+/// Writes a checkpoint atomically: temp file + fsync + rotation
+/// (live → `.prev`) + rename. A crash at any point leaves either the old
+/// live file or the new one — never a torn frame under the live name.
+///
+/// # Errors
+///
+/// Returns [`TrainError::Checkpoint`] on serialization or I/O failure.
+pub fn write_checkpoint_file(
+    path: &Path,
+    ckpt: &Checkpoint,
+    replay: &[u8],
+) -> Result<(), TrainError> {
+    #[allow(unused_mut)]
+    let mut bytes = encode_checkpoint_file(ckpt, replay)?;
+    #[cfg(feature = "failpoints")]
+    if let Some(fault) = crate::failpoint::take("checkpoint::write") {
+        if fault == crate::failpoint::Fault::Io {
+            return Err(TrainError::Checkpoint("injected I/O error".into()));
+        }
+        // Truncation / bit flips corrupt the bytes but let the write
+        // "succeed", simulating silent on-disk corruption.
+        crate::failpoint::corrupt(&mut bytes, fault);
+    }
+    let tmp = sibling(path, "tmp");
+    let io = |stage: &str, e: std::io::Error| {
+        TrainError::Checkpoint(format!("{stage} {}: {e}", path.display()))
+    };
+    let mut f = std::fs::File::create(&tmp).map_err(|e| io("create temp for", e))?;
+    f.write_all(&bytes).map_err(|e| io("write temp for", e))?;
+    f.sync_all().map_err(|e| io("fsync temp for", e))?;
+    drop(f);
+    if path.exists() {
+        std::fs::rename(path, sibling(path, "prev")).map_err(|e| io("rotate", e))?;
+    }
+    std::fs::rename(&tmp, path).map_err(|e| io("publish", e))?;
+    Ok(())
+}
+
+/// Reads and decodes one checkpoint file.
+///
+/// # Errors
+///
+/// Returns [`TrainError::Checkpoint`] on I/O or decode failure.
+pub fn read_checkpoint_file(path: &Path) -> Result<(Checkpoint, Vec<u8>), TrainError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| TrainError::Checkpoint(format!("read {}: {e}", path.display())))?;
+    decode_checkpoint_file(&bytes)
+}
+
+/// Loads the live checkpoint, falling back to the rotated `.prev` file if
+/// the live one is missing, truncated, or corrupt. Returns the decoded
+/// state and whether the fallback was used.
+///
+/// # Errors
+///
+/// Returns [`TrainError::Checkpoint`] describing *both* failures when
+/// neither file is loadable.
+pub fn load_checkpoint_with_fallback(
+    path: &Path,
+) -> Result<(Checkpoint, Vec<u8>, bool), TrainError> {
+    // Strips the variant's own "checkpoint error:" Display prefix so the
+    // combined two-failure message reads cleanly.
+    let inner = |e: TrainError| match e {
+        TrainError::Checkpoint(msg) => msg,
+        other => other.to_string(),
+    };
+    let primary = match read_checkpoint_file(path) {
+        Ok((ckpt, replay)) => return Ok((ckpt, replay, false)),
+        Err(e) => inner(e),
+    };
+    let prev = sibling(path, "prev");
+    match read_checkpoint_file(&prev) {
+        Ok((ckpt, replay)) => Ok((ckpt, replay, true)),
+        Err(fallback) => Err(TrainError::Checkpoint(format!(
+            "{primary}; fallback to {} also failed: {}",
+            prev.display(),
+            inner(fallback)
+        ))),
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +377,7 @@ mod tests {
             config,
             agents: vec![AgentState::capture(&nets(false))],
             update_iterations: 42,
+            run: None,
         };
         let json = serde_json::to_string(&ckpt).unwrap();
         let back: Checkpoint = serde_json::from_str(&json).unwrap();

@@ -113,6 +113,14 @@ pub struct TrainConfig {
     /// once mini-batches and target actions are staged, so the update
     /// phase fans out without changing results.
     pub update_threads: usize,
+    /// Autosave a full run-state checkpoint every this many episodes
+    /// (0 = no autosave). Checkpoints are taken at episode boundaries,
+    /// where the environment's world state is fully determined by its RNG
+    /// stream, so a resumed run is bitwise-identical to an uninterrupted
+    /// one.
+    pub checkpoint_every: usize,
+    /// Divergence sentinel thresholds and retry budget.
+    pub sentinel: crate::sentinel::SentinelConfig,
     /// Experiment seed.
     pub seed: u64,
 }
@@ -144,6 +152,8 @@ impl TrainConfig {
             noise_clip: 0.5,
             sampling_threads: 1,
             update_threads: 1,
+            checkpoint_every: 0,
+            sentinel: crate::sentinel::SentinelConfig::default(),
             seed: 0,
         }
     }
@@ -197,6 +207,19 @@ impl TrainConfig {
         self
     }
 
+    /// Overrides the autosave cadence in episodes (builder style;
+    /// 0 disables autosave).
+    pub fn with_checkpoint_every(mut self, episodes: usize) -> Self {
+        self.checkpoint_every = episodes;
+        self
+    }
+
+    /// Overrides the divergence sentinel settings (builder style).
+    pub fn with_sentinel(mut self, sentinel: crate::sentinel::SentinelConfig) -> Self {
+        self.sentinel = sentinel;
+        self
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
@@ -229,6 +252,14 @@ impl TrainConfig {
         }
         if self.update_threads == 0 {
             return Err("update threads must be >= 1".into());
+        }
+        if self.sentinel.enabled
+            && (!self.sentinel.max_abs_td.is_finite()
+                || self.sentinel.max_abs_td <= 0.0
+                || !self.sentinel.max_abs_param.is_finite()
+                || self.sentinel.max_abs_param <= 0.0)
+        {
+            return Err("sentinel thresholds must be finite and positive".into());
         }
         Ok(())
     }
@@ -293,6 +324,21 @@ mod tests {
         c = base;
         c.update_threads = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn checkpoint_and_sentinel_defaults() {
+        let c = TrainConfig::paper_defaults(Algorithm::Maddpg, Task::PredatorPrey, 3);
+        assert_eq!(c.checkpoint_every, 0, "autosave is opt-in");
+        assert!(c.sentinel.enabled, "sentinel is on by default");
+        let c = c.with_checkpoint_every(50);
+        assert_eq!(c.checkpoint_every, 50);
+        assert!(c.validate().is_ok());
+        let mut bad = c;
+        bad.sentinel.max_abs_td = f32::NAN;
+        assert!(bad.validate().is_err());
+        bad.sentinel.enabled = false;
+        assert!(bad.validate().is_ok(), "disabled sentinel skips threshold checks");
     }
 
     #[test]

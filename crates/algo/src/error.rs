@@ -1,5 +1,6 @@
 //! Error type of the training crate.
 
+use crate::sentinel::DivergenceReport;
 use marl_core::error::ReplayError;
 use marl_env::error::EnvError;
 use std::error::Error;
@@ -14,6 +15,17 @@ pub enum TrainError {
     Env(EnvError),
     /// The replay buffer or sampler failed.
     Replay(ReplayError),
+    /// Checkpoint persistence, decoding, or restoration failed (I/O
+    /// errors, checksum mismatches, incompatible state).
+    Checkpoint(String),
+    /// The divergence sentinel tripped and the retry budget is exhausted.
+    Diverged(DivergenceReport),
+    /// The run was interrupted (fault injection / simulated kill) after
+    /// completing this many episodes; resumable from the last autosave.
+    Interrupted {
+        /// Episodes fully completed before the interrupt.
+        episodes_done: usize,
+    },
 }
 
 impl fmt::Display for TrainError {
@@ -22,6 +34,11 @@ impl fmt::Display for TrainError {
             TrainError::InvalidConfig(msg) => write!(f, "invalid training config: {msg}"),
             TrainError::Env(e) => write!(f, "environment error: {e}"),
             TrainError::Replay(e) => write!(f, "replay error: {e}"),
+            TrainError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            TrainError::Diverged(report) => write!(f, "training diverged: {report}"),
+            TrainError::Interrupted { episodes_done } => {
+                write!(f, "training interrupted after {episodes_done} episodes")
+            }
         }
     }
 }
@@ -31,7 +48,10 @@ impl Error for TrainError {
         match self {
             TrainError::Env(e) => Some(e),
             TrainError::Replay(e) => Some(e),
-            TrainError::InvalidConfig(_) => None,
+            TrainError::InvalidConfig(_)
+            | TrainError::Checkpoint(_)
+            | TrainError::Diverged(_)
+            | TrainError::Interrupted { .. } => None,
         }
     }
 }
@@ -61,5 +81,22 @@ mod tests {
         assert!(e.to_string().contains("replay error"));
         let e = TrainError::InvalidConfig("bad".into());
         assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn new_variants_display_their_context() {
+        let e = TrainError::Checkpoint("torn write".into());
+        assert!(e.to_string().contains("torn write"));
+        let e = TrainError::Diverged(DivergenceReport {
+            update_iteration: 9,
+            agent: 1,
+            what: "TD error".into(),
+            value: f32::INFINITY,
+            threshold: 1e6,
+        });
+        assert!(e.to_string().contains("diverged"));
+        assert!(e.to_string().contains("agent 1"));
+        let e = TrainError::Interrupted { episodes_done: 12 };
+        assert!(e.to_string().contains("12 episodes"));
     }
 }

@@ -1,0 +1,136 @@
+//! Fault-injection failpoints (compiled only with the `failpoints`
+//! feature).
+//!
+//! Recovery code is only trustworthy if it is *exercised*: this module
+//! lets integration tests arm named program points with faults — torn
+//! checkpoint writes, bit flips, I/O errors, mid-update NaNs, and hard
+//! aborts — and the runtime consumes them via [`take`]. Without the
+//! feature the module does not exist and every call site is compiled out
+//! behind `#[cfg(feature = "failpoints")]`, so production builds pay
+//! nothing.
+//!
+//! Faults are one-shot: [`take`] removes the armed entry when its skip
+//! count reaches zero, so a retry after recovery proceeds cleanly.
+//!
+//! The registry is process-global; tests that arm failpoints must not
+//! assume exclusive ownership of a *site* across threads (the integration
+//! tests here use distinct sites or serialize on a lock).
+
+use std::sync::Mutex;
+
+/// A fault to inject at an armed site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Fail the operation with an injected I/O error.
+    Io,
+    /// Truncate the written payload to this many bytes (torn write).
+    Truncate(usize),
+    /// Flip one bit: the value is `byte_index * 8 + bit_index`.
+    BitFlip(usize),
+    /// Poison a computed value with NaN.
+    Nan,
+    /// Abort the surrounding operation (simulated kill).
+    Abort,
+}
+
+#[derive(Debug)]
+struct Armed {
+    site: &'static str,
+    fault: Fault,
+    /// Number of [`take`] hits on this site to let pass before firing.
+    skip: u32,
+}
+
+static SITES: Mutex<Vec<Armed>> = Mutex::new(Vec::new());
+
+/// Arms `site` to fire `fault` on its next [`take`].
+pub fn arm(site: &'static str, fault: Fault) {
+    arm_after(site, fault, 0);
+}
+
+/// Arms `site` to fire `fault` after letting `skip` hits pass — e.g.
+/// "abort on the third autosave".
+pub fn arm_after(site: &'static str, fault: Fault, skip: u32) {
+    SITES.lock().expect("failpoint registry poisoned").push(Armed { site, fault, skip });
+}
+
+/// Consumes the fault armed at `site`, if any. Armed entries with a
+/// positive skip count are decremented instead of fired.
+pub fn take(site: &'static str) -> Option<Fault> {
+    let mut sites = SITES.lock().expect("failpoint registry poisoned");
+    for i in 0..sites.len() {
+        if sites[i].site == site {
+            if sites[i].skip > 0 {
+                sites[i].skip -= 1;
+                return None;
+            }
+            let armed = sites.remove(i);
+            return Some(armed.fault);
+        }
+    }
+    None
+}
+
+/// Disarms every failpoint (test teardown).
+pub fn clear() {
+    SITES.lock().expect("failpoint registry poisoned").clear();
+}
+
+/// Applies a write-corruption fault to a serialized payload: truncation
+/// and bit flips transform the bytes (simulating a torn or corrupted
+/// write that still reaches disk); other faults leave them untouched.
+pub fn corrupt(bytes: &mut Vec<u8>, fault: Fault) {
+    match fault {
+        Fault::Truncate(n) => bytes.truncate(n.min(bytes.len())),
+        Fault::BitFlip(pos) => {
+            if !bytes.is_empty() {
+                let byte = (pos / 8) % bytes.len();
+                bytes[byte] ^= 1 << (pos % 8);
+            }
+        }
+        Fault::Io | Fault::Nan | Fault::Abort => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shot_arm_and_take() {
+        clear();
+        assert_eq!(take("t::a"), None);
+        arm("t::a", Fault::Io);
+        assert_eq!(take("t::a"), Some(Fault::Io));
+        assert_eq!(take("t::a"), None, "faults are one-shot");
+    }
+
+    #[test]
+    fn skip_counts_delay_firing() {
+        clear();
+        arm_after("t::b", Fault::Abort, 2);
+        assert_eq!(take("t::b"), None);
+        assert_eq!(take("t::b"), None);
+        assert_eq!(take("t::b"), Some(Fault::Abort));
+    }
+
+    #[test]
+    fn distinct_sites_are_independent() {
+        clear();
+        arm("t::c", Fault::Nan);
+        assert_eq!(take("t::d"), None);
+        assert_eq!(take("t::c"), Some(Fault::Nan));
+    }
+
+    #[test]
+    fn corrupt_truncates_and_flips() {
+        let mut b = vec![0xFFu8; 8];
+        corrupt(&mut b, Fault::Truncate(3));
+        assert_eq!(b.len(), 3);
+        corrupt(&mut b, Fault::BitFlip(9)); // byte 1, bit 1
+        assert_eq!(b[1], 0xFF ^ 0x02);
+        let before = b.clone();
+        corrupt(&mut b, Fault::Io);
+        assert_eq!(b, before, "Io does not transform bytes");
+    }
+}

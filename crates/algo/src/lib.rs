@@ -39,12 +39,19 @@ pub mod config;
 pub mod error;
 pub mod eval;
 pub mod explore;
+#[cfg(feature = "failpoints")]
+pub mod failpoint;
+pub mod sentinel;
 pub mod trainer;
 
 pub use agent::AgentNets;
-pub use checkpoint::{AgentState, Checkpoint};
+pub use checkpoint::{
+    load_checkpoint_with_fallback, read_checkpoint_file, write_checkpoint_file, AgentState,
+    Checkpoint, RunState,
+};
 pub use config::{Algorithm, LayoutMode, Task, TrainConfig};
 pub use error::TrainError;
 pub use eval::RewardCurve;
 pub use explore::{ExplorationSchedule, LinearSchedule};
+pub use sentinel::{DivergenceReport, SentinelConfig};
 pub use trainer::{train, SamplingTelemetry, TrainReport, Trainer};

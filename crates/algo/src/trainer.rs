@@ -7,6 +7,7 @@
 //! Q-loss/P-loss backpropagation, followed by target soft updates.
 
 use crate::agent::AgentNets;
+use crate::checkpoint::{write_checkpoint_file, Checkpoint, RunState};
 use crate::config::{Algorithm, LayoutMode, Task, TrainConfig};
 use crate::error::TrainError;
 use crate::eval::RewardCurve;
@@ -25,11 +26,13 @@ use marl_nn::matrix::Matrix;
 use marl_perf::phase::{Phase, PhaseProfile};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// Aggregate statistics of the mini-batch sampling phase over a run —
 /// the measured counterpart of the paper's access-pattern analysis.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SamplingTelemetry {
     /// Plans drawn (one per agent trainer per update iteration).
     pub plans: u64,
@@ -213,6 +216,12 @@ impl Trainer {
         self.updates
     }
 
+    /// Episodes completed so far (continues from the restored count after
+    /// [`Trainer::restore_full`]).
+    pub fn episodes_done(&self) -> usize {
+        self.curve.len()
+    }
+
     /// Read access to the per-agent replay buffers; `None` when training
     /// with the interleaved layout (diagnostics/benches).
     pub fn replay(&self) -> Option<&MultiAgentReplay> {
@@ -222,16 +231,70 @@ impl Trainer {
         }
     }
 
-    /// Trains for the configured number of episodes.
+    /// Trains until the configured number of episodes is reached. On a
+    /// resumed trainer this continues from the restored episode count.
     ///
     /// # Errors
     ///
     /// Propagates environment and replay failures.
     pub fn train(&mut self) -> Result<TrainReport, TrainError> {
+        self.train_with_autosave(None)
+    }
+
+    /// Trains like [`Trainer::train`], additionally autosaving a full
+    /// checkpoint every [`TrainConfig::checkpoint_every`] episodes — to
+    /// `checkpoint_out` atomically when given, and always to an in-memory
+    /// *last good* copy that backs divergence recovery.
+    ///
+    /// When the sentinel trips ([`TrainError::Diverged`]), the trainer
+    /// rolls back to the last good checkpoint and retries, up to
+    /// [`crate::sentinel::SentinelConfig::max_retries`] times; with no
+    /// checkpoint yet (or the budget exhausted) the report is returned.
+    /// Capture, write, and rollback time lands in [`Phase::Checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment, replay, and checkpoint-persistence
+    /// failures; returns [`TrainError::Diverged`] when recovery fails.
+    pub fn train_with_autosave(
+        &mut self,
+        checkpoint_out: Option<&Path>,
+    ) -> Result<TrainReport, TrainError> {
         let t0 = Instant::now();
-        for _ in 0..self.config.episodes {
-            let mean_reward = self.run_episode()?;
-            self.curve.push(mean_reward);
+        let mut last_good: Option<(Checkpoint, Vec<u8>)> = None;
+        let mut retries_left = self.config.sentinel.max_retries;
+        while self.curve.len() < self.config.episodes {
+            #[cfg(feature = "failpoints")]
+            if crate::failpoint::take("train::episode") == Some(crate::failpoint::Fault::Abort) {
+                return Err(TrainError::Interrupted { episodes_done: self.curve.len() });
+            }
+            match self.run_episode() {
+                Ok(mean_reward) => self.curve.push(mean_reward),
+                Err(TrainError::Diverged(report)) => {
+                    let tc = Instant::now();
+                    let rollback = match (&last_good, retries_left) {
+                        (Some(state), n) if n > 0 => state.clone(),
+                        _ => return Err(TrainError::Diverged(report)),
+                    };
+                    retries_left -= 1;
+                    self.restore_full(rollback.0, &rollback.1)?;
+                    self.profile.add(Phase::Checkpoint, tc.elapsed());
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+            let every = self.config.checkpoint_every;
+            if every > 0 && self.curve.len().is_multiple_of(every) {
+                let tc = Instant::now();
+                let (ckpt, replay) = self.checkpoint_full()?;
+                if let Some(path) = checkpoint_out {
+                    write_checkpoint_file(path, &ckpt, &replay)?;
+                }
+                last_good = Some((ckpt, replay));
+                // A good save refreshes the divergence retry budget.
+                retries_left = self.config.sentinel.max_retries;
+                self.profile.add(Phase::Checkpoint, tc.elapsed());
+            }
         }
         Ok(TrainReport {
             config: self.config,
@@ -506,6 +569,21 @@ impl Trainer {
             results.into_iter().flatten().collect()
         };
 
+        #[cfg(feature = "failpoints")]
+        let tds = {
+            let mut tds = tds;
+            if crate::failpoint::take("update::tds") == Some(crate::failpoint::Fault::Nan) {
+                tds[0][0] = f32::NAN;
+            }
+            tds
+        };
+
+        // The sentinel vets TD errors *before* the priority refresh: a
+        // NaN reaching a prioritized sampler's sum tree would abort the
+        // process, whereas a Diverged error is recoverable.
+        crate::sentinel::check_tds(&tds, &cfg.sentinel, self.updates)
+            .map_err(TrainError::Diverged)?;
+
         // Priority refreshes happen in agent order after the pool drains,
         // matching the serial path exactly.
         for (view, td) in views.iter().zip(&tds) {
@@ -522,6 +600,8 @@ impl Trainer {
             }
         }
         self.profile.add(Phase::SoftUpdate, t0.elapsed());
+        crate::sentinel::check_agents(&self.agents, &cfg.sentinel, self.updates)
+            .map_err(TrainError::Diverged)?;
         self.updates += 1;
         Ok(())
     }
@@ -546,13 +626,95 @@ impl Trainer {
         self.telemetry
     }
 
-    /// Captures a checkpoint of all agents' networks and optimizer state.
-    pub fn checkpoint(&self) -> crate::checkpoint::Checkpoint {
-        crate::checkpoint::Checkpoint {
+    /// Captures a weights-only checkpoint of all agents' networks and
+    /// optimizer state (no run state; see [`Trainer::checkpoint_full`]).
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
             config: self.config,
             agents: self.agents.iter().map(crate::checkpoint::AgentState::capture).collect(),
             update_iterations: self.updates,
+            run: None,
         }
+    }
+
+    /// Captures the complete resumable state: networks/optimizers plus
+    /// counters, RNG streams, sampler state, reward curve, phase timings,
+    /// and an encoded snapshot of the replay buffer. Restoring this via
+    /// [`Trainer::restore_full`] resumes training bitwise-identically to
+    /// a run that never stopped.
+    ///
+    /// Intended for episode boundaries (where [`Trainer::train`]
+    /// autosaves): there the env world is regenerated from its RNG on the
+    /// next `reset()`, so no mid-episode environment state is needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::Replay`] if the interleaved layout cannot be
+    /// de-interleaved for snapshotting.
+    pub fn checkpoint_full(&self) -> Result<(Checkpoint, Vec<u8>), TrainError> {
+        let replay = match &self.replay {
+            ReplayBackend::PerAgent(r) => marl_core::snapshot::encode_replay(r),
+            ReplayBackend::Interleaved(s) => marl_core::snapshot::encode_replay(&s.deinterleave()?),
+        };
+        let mut ckpt = self.checkpoint();
+        ckpt.run = Some(RunState {
+            env_steps: self.env_steps,
+            samples_since_update: self.samples_since_update,
+            master_rng: self.rng.state(),
+            env_rng: self.env.rng_state(),
+            curve: self.curve.values().to_vec(),
+            telemetry: self.telemetry,
+            sampler: self.sampler.export_state(),
+            profile: self.profile.clone(),
+        });
+        Ok((ckpt, replay.as_ref().to_vec()))
+    }
+
+    /// Restores the complete resumable state captured by
+    /// [`Trainer::checkpoint_full`] (or loaded from a checkpoint file)
+    /// into this trainer. The trainer must have been built from a
+    /// compatible configuration (same task, agents, capacity, layout).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::Checkpoint`] for weights-only checkpoints or
+    /// mismatched replay geometry, [`TrainError::InvalidConfig`] for
+    /// architecture mismatches, and [`TrainError::Replay`] when the
+    /// sampler rejects the recorded state.
+    pub fn restore_full(
+        &mut self,
+        ckpt: Checkpoint,
+        replay_bytes: &[u8],
+    ) -> Result<(), TrainError> {
+        let run = ckpt.run.clone().ok_or_else(|| {
+            TrainError::Checkpoint("checkpoint is weights-only and cannot resume a run".into())
+        })?;
+        let decoded = marl_core::snapshot::decode_replay(replay_bytes.into())
+            .map_err(|e| TrainError::Checkpoint(format!("replay snapshot: {e}")))?;
+        let expected: Vec<TransitionLayout> =
+            self.obs_dims.iter().map(|&od| TransitionLayout::new(od, self.act_dim)).collect();
+        if decoded.layouts() != expected || decoded.capacity() != self.config.buffer_capacity {
+            return Err(TrainError::Checkpoint(
+                "replay snapshot geometry does not match the trainer".into(),
+            ));
+        }
+        self.restore(ckpt)?;
+        self.sampler.import_state(&run.sampler)?;
+        match &mut self.replay {
+            ReplayBackend::PerAgent(r) => *r = decoded,
+            ReplayBackend::Interleaved(s) => *s = InterleavedStore::reorganize_from(&decoded).0,
+        }
+        self.rng = StdRng::from_state(run.master_rng);
+        self.env.set_rng_state(run.env_rng);
+        self.env_steps = run.env_steps;
+        self.samples_since_update = run.samples_since_update;
+        self.curve = RewardCurve::new();
+        for v in run.curve {
+            self.curve.push(v);
+        }
+        self.telemetry = run.telemetry;
+        self.profile = run.profile;
+        Ok(())
     }
 
     /// Restores all agents' networks/optimizers from a checkpoint.
@@ -1015,6 +1177,54 @@ mod tests {
         for (x, y) in a.agents.iter().zip(&b.agents) {
             assert_eq!(x.act_greedy(&obs), y.act_greedy(&obs));
         }
+    }
+
+    #[test]
+    fn full_checkpoint_resumes_bitwise_identically() {
+        // Straight run vs. run → full checkpoint → restore into a fresh
+        // trainer → finish: curves and weights must match bitwise.
+        for sampler in [SamplerConfig::Uniform, SamplerConfig::IpLocality] {
+            let mut cfg =
+                quick_config(Algorithm::Maddpg, Task::PredatorPrey, 3).with_sampler(sampler);
+            cfg.warmup = 40;
+            cfg.update_every = 25;
+            cfg.episodes = 6;
+            let mut straight = Trainer::new(cfg).unwrap();
+            let full = straight.train().unwrap();
+
+            let mut first = Trainer::new(cfg.with_episodes(3)).unwrap();
+            first.train().unwrap();
+            let (ckpt, replay) = first.checkpoint_full().unwrap();
+
+            let mut resumed = Trainer::new(cfg).unwrap();
+            resumed.restore_full(ckpt, &replay).unwrap();
+            let rest = resumed.train().unwrap();
+            assert_eq!(rest.curve.values(), full.curve.values(), "{sampler:?}");
+            assert_eq!(rest.env_steps, full.env_steps);
+            assert_eq!(rest.update_iterations, full.update_iterations);
+            let weights = |t: &Trainer| serde_json::to_string(&t.checkpoint().agents).unwrap();
+            assert_eq!(weights(&resumed), weights(&straight), "{sampler:?}");
+        }
+    }
+
+    #[test]
+    fn restore_full_rejects_weights_only_checkpoints() {
+        let cfg = quick_config(Algorithm::Maddpg, Task::PredatorPrey, 3);
+        let mut t = Trainer::new(cfg).unwrap();
+        let (_, replay) = t.checkpoint_full().unwrap();
+        let weights_only = t.checkpoint();
+        assert!(matches!(t.restore_full(weights_only, &replay), Err(TrainError::Checkpoint(_))));
+    }
+
+    #[test]
+    fn restore_full_rejects_mismatched_replay_geometry() {
+        let cfg = quick_config(Algorithm::Maddpg, Task::PredatorPrey, 3);
+        let other =
+            quick_config(Algorithm::Maddpg, Task::PredatorPrey, 3).with_buffer_capacity(2048);
+        let a = Trainer::new(cfg).unwrap();
+        let (ckpt, replay) = a.checkpoint_full().unwrap();
+        let mut b = Trainer::new(other).unwrap();
+        assert!(matches!(b.restore_full(ckpt, &replay), Err(TrainError::Checkpoint(_))));
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! CRC-32 (IEEE 802.3) checksums for snapshot/checkpoint integrity.
+//!
+//! Crash-safe persistence needs to distinguish "file ended early" from
+//! "file silently corrupted"; the length fields in the snapshot framing
+//! catch the former, this checksum catches the latter (bit rot, torn
+//! sector writes, buggy copies). Implemented locally — the offline build
+//! has no `crc32fast` — as a table-driven byte-at-a-time loop, which is
+//! plenty for checkpoint-sized payloads.
+
+/// The reflected CRC-32 polynomial used by zlib, PNG, and Ethernet.
+const POLY: u32 = 0xEDB8_8320;
+
+/// Lazily built lookup table (256 entries, one per byte value).
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        t
+    })
+}
+
+/// Computes the CRC-32 of `data` (zlib-compatible: init `0xFFFF_FFFF`,
+/// final xor `0xFFFF_FFFF`).
+///
+/// # Examples
+///
+/// ```
+/// // The canonical check value for the ASCII string "123456789".
+/// assert_eq!(marl_core::crc32::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = vec![0xA5u8; 1024];
+        let base = crc32(&data);
+        for byte in [0usize, 100, 1023] {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), base, "flip at byte {byte} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        let base = crc32(&data);
+        assert_ne!(crc32(&data[..4095]), base);
+        assert_ne!(crc32(&data[..1]), base);
+    }
+}

@@ -35,6 +35,12 @@ pub enum ReplayError {
         /// Transitions supplied.
         got: usize,
     },
+    /// A checkpointed sampler state does not fit the sampler it is being
+    /// restored into (wrong variant, capacity, or invalid values).
+    BadSamplerState {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ReplayError {
@@ -50,6 +56,9 @@ impl fmt::Display for ReplayError {
             ReplayError::InvalidBatch { reason } => write!(f, "invalid batch request: {reason}"),
             ReplayError::AgentCountMismatch { expected, got } => {
                 write!(f, "expected {expected} per-agent transitions but received {got}")
+            }
+            ReplayError::BadSamplerState { reason } => {
+                write!(f, "sampler state cannot be restored: {reason}")
             }
         }
     }

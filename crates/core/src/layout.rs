@@ -103,7 +103,10 @@ impl InterleavedStore {
             }
         }
         store.len = rows;
-        store.next = rows % store.capacity;
+        // Adopt the source ring's cursor, not `rows % capacity`: once the
+        // source has wrapped, `len == capacity` while the write cursor sits
+        // anywhere, and subsequent pushes must overwrite the *oldest* slot.
+        store.next = replay.next_slot();
         let report = ReorganizeReport {
             rows,
             agents: layouts.len(),
@@ -135,6 +138,40 @@ impl InterleavedStore {
     /// Width of a fat row in `f32` elements (all agents).
     pub fn fat_row_width(&self) -> usize {
         self.fat_width
+    }
+
+    /// The ring slot the next [`InterleavedStore::push_step`] writes to.
+    pub fn next_slot(&self) -> usize {
+        self.next
+    }
+
+    /// Splits the interleaved table back into per-agent ring buffers — the
+    /// inverse of [`InterleavedStore::reorganize_from`], used to express
+    /// the store in the common snapshot format when checkpointing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplayError::InvalidBatch`] if the store's bookkeeping is
+    /// inconsistent (cannot happen through the public API).
+    pub fn deinterleave(&self) -> Result<MultiAgentReplay, ReplayError> {
+        let mut storages = Vec::with_capacity(self.layouts.len());
+        for (a, l) in self.layouts.iter().enumerate() {
+            let w = l.row_width();
+            let off = self.offsets[a];
+            let mut rows = Vec::with_capacity(self.len * w);
+            for t in 0..self.len {
+                let base = t * self.fat_width + off;
+                rows.extend_from_slice(&self.data[base..base + w]);
+            }
+            storages.push(crate::storage::ReplayStorage::from_raw_parts(
+                *l,
+                self.capacity,
+                self.len,
+                self.next,
+                &rows,
+            )?);
+        }
+        MultiAgentReplay::from_storages(storages)
     }
 
     /// Appends one step (one transition per agent) directly in interleaved
@@ -263,6 +300,57 @@ mod tests {
         // slot 0 overwritten by t=2
         let plan = SamplePlan::from_indices(&[0, 1]);
         let mb = store.sample(&plan).unwrap();
+        assert_eq!(mb.agents[0].rewards, vec![20.0, 10.0]);
+    }
+
+    #[test]
+    fn reorganize_preserves_wrapped_ring_cursor() {
+        let layouts = vec![TransitionLayout::new(2, 1); 2];
+        let mut replay = MultiAgentReplay::new(&layouts, 4);
+        for t in 0..6 {
+            // wraps: cursor ends at slot 2
+            let ts: Vec<Transition> =
+                (0..2).map(|a| transition(&layouts[a], (t * 10 + a) as f32)).collect();
+            replay.push_step(&ts).unwrap();
+        }
+        assert_eq!(replay.next_slot(), 2);
+        let (mut store, _) = InterleavedStore::reorganize_from(&replay);
+        assert_eq!(store.next_slot(), 2, "cursor must survive the reshape");
+        // The next push overwrites the *oldest* row (slot 2 = t=2), exactly
+        // as it would have in the per-agent buffers.
+        let ts: Vec<Transition> =
+            (0..2).map(|a| transition(&layouts[a], (60 + a) as f32)).collect();
+        let slot = store.push_step(&ts).unwrap();
+        assert_eq!(slot, 2);
+        let mb = store.sample(&SamplePlan::from_indices(&[2])).unwrap();
+        assert_eq!(mb.agents[0].rewards, vec![60.0]);
+    }
+
+    #[test]
+    fn deinterleave_roundtrips_to_per_agent_buffers() {
+        let replay = filled_replay(3, 25);
+        let (store, _) = InterleavedStore::reorganize_from(&replay);
+        let back = store.deinterleave().unwrap();
+        assert_eq!(back.len(), replay.len());
+        assert_eq!(back.capacity(), replay.capacity());
+        assert_eq!(back.next_slot(), replay.next_slot());
+        let plan = SamplePlan::from_indices(&(0..25).collect::<Vec<_>>());
+        assert_eq!(back.sample(&plan).unwrap().agents, replay.sample(&plan).unwrap().agents);
+    }
+
+    #[test]
+    fn deinterleave_preserves_wrapped_state() {
+        let layouts = vec![TransitionLayout::new(1, 1); 2];
+        let mut store = InterleavedStore::new(&layouts, 2);
+        for t in 0..3 {
+            let ts: Vec<Transition> =
+                (0..2).map(|a| transition(&layouts[a], (t * 10 + a) as f32)).collect();
+            store.push_step(&ts).unwrap();
+        }
+        let back = store.deinterleave().unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.next_slot(), 1);
+        let mb = back.sample(&SamplePlan::from_indices(&[0, 1])).unwrap();
         assert_eq!(mb.agents[0].rewards, vec![20.0, 10.0]);
     }
 

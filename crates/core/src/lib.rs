@@ -55,6 +55,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod config;
+pub mod crc32;
 pub mod error;
 pub mod indices;
 pub mod layout;
@@ -71,6 +72,6 @@ pub use error::ReplayError;
 pub use indices::{SamplePlan, Segment};
 pub use layout::InterleavedStore;
 pub use multi::MultiAgentReplay;
-pub use sampler::Sampler;
+pub use sampler::{Sampler, SamplerState};
 pub use storage::ReplayStorage;
 pub use transition::{AgentBatch, MultiBatch, Transition, TransitionLayout};

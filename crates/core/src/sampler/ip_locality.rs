@@ -12,7 +12,7 @@
 use crate::error::ReplayError;
 use crate::indices::{SamplePlan, Segment};
 use crate::sampler::per::{PerConfig, PriorityCore};
-use crate::sampler::{check_batch, Sampler};
+use crate::sampler::{check_batch, Sampler, SamplerState};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
@@ -140,6 +140,14 @@ impl Sampler for IpLocalitySampler {
 
     fn update_priorities(&mut self, indices: &[usize], td_errors: &[f32]) {
         self.core.update_priorities(indices, td_errors);
+    }
+
+    fn export_state(&self) -> SamplerState {
+        self.core.export_state()
+    }
+
+    fn import_state(&mut self, state: &SamplerState) -> Result<(), ReplayError> {
+        self.core.import_state(state)
     }
 }
 

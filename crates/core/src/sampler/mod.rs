@@ -13,12 +13,58 @@ pub mod uniform;
 use crate::error::ReplayError;
 use crate::indices::SamplePlan;
 use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
 
 pub use ip_locality::{IpLocalityConfig, IpLocalitySampler};
 pub use locality::{LocalityConfig, LocalitySampler};
 pub use per::{PerConfig, PerSampler};
 pub use reuse::{ReuseConfig, ReuseWindowSampler};
 pub use uniform::UniformSampler;
+
+/// A mini-batch plan cached by the reuse-window wrapper, captured as part
+/// of [`SamplerState`] so a resumed run replays the identical reuse
+/// schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CachedPlan {
+    /// The cached plan.
+    pub plan: SamplePlan,
+    /// Buffer length when the plan was drawn.
+    pub len: usize,
+    /// Remaining uses before a replan.
+    pub uses_left: usize,
+}
+
+/// Serializable snapshot of a sampler's mutable state.
+///
+/// Checkpointing must capture prioritized samplers' sum-tree priorities
+/// and annealing clocks (and the reuse wrapper's cached plan) — otherwise
+/// a resumed run draws different mini-batches than the uninterrupted run
+/// and bitwise reproducibility is lost. Stateless strategies (uniform,
+/// locality) export [`SamplerState::Stateless`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SamplerState {
+    /// The sampler carries no mutable state.
+    Stateless,
+    /// State of a [`per::PriorityCore`] (PER and ip-locality samplers).
+    Priority {
+        /// α-exponentiated sum-tree leaf priorities, in slot order
+        /// (length = tree capacity).
+        priorities: Vec<f64>,
+        /// Largest raw (pre-α) priority observed so far.
+        max_priority: f64,
+        /// Number of slots that have ever received a priority.
+        len: usize,
+        /// Plans drawn so far (the β-annealing clock).
+        plans: u64,
+    },
+    /// State of a reuse-window wrapper around an inner sampler.
+    Reuse {
+        /// The wrapped sampler's state.
+        inner: Box<SamplerState>,
+        /// The active cached plan, if any.
+        cached: Option<CachedPlan>,
+    },
+}
 
 /// A mini-batch sampling strategy over a replay buffer of growing length.
 ///
@@ -50,6 +96,41 @@ pub trait Sampler: std::fmt::Debug + Send {
     /// Feeds back TD errors for previously sampled `indices` so priorities
     /// can be refreshed. Non-prioritized strategies ignore this.
     fn update_priorities(&mut self, _indices: &[usize], _td_errors: &[f32]) {}
+
+    /// Exports the sampler's mutable state for checkpointing. Stateless
+    /// strategies return [`SamplerState::Stateless`].
+    fn export_state(&self) -> SamplerState {
+        SamplerState::Stateless
+    }
+
+    /// Restores state previously captured by [`Sampler::export_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplayError::BadSamplerState`] if the state's variant or
+    /// shape does not match this sampler — a checkpoint taken under a
+    /// different sampler configuration must be rejected, not half-applied.
+    fn import_state(&mut self, state: &SamplerState) -> Result<(), ReplayError> {
+        match state {
+            SamplerState::Stateless => Ok(()),
+            other => Err(ReplayError::BadSamplerState {
+                reason: format!(
+                    "{} sampler is stateless but the checkpoint holds {}",
+                    self.name(),
+                    variant_name(other)
+                ),
+            }),
+        }
+    }
+}
+
+/// Short variant tag for error messages.
+fn variant_name(state: &SamplerState) -> &'static str {
+    match state {
+        SamplerState::Stateless => "Stateless",
+        SamplerState::Priority { .. } => "Priority",
+        SamplerState::Reuse { .. } => "Reuse",
+    }
 }
 
 /// Validates common preconditions shared by all strategies.

@@ -8,7 +8,7 @@
 
 use crate::error::ReplayError;
 use crate::indices::SamplePlan;
-use crate::sampler::Sampler;
+use crate::sampler::{CachedPlan, Sampler, SamplerState};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
@@ -101,6 +101,28 @@ impl Sampler for ReuseWindowSampler {
     fn update_priorities(&mut self, indices: &[usize], td_errors: &[f32]) {
         self.inner.update_priorities(indices, td_errors);
     }
+
+    fn export_state(&self) -> SamplerState {
+        SamplerState::Reuse {
+            inner: Box::new(self.inner.export_state()),
+            cached: self.cached.as_ref().map(|(plan, len, uses)| CachedPlan {
+                plan: plan.clone(),
+                len: *len,
+                uses_left: *uses,
+            }),
+        }
+    }
+
+    fn import_state(&mut self, state: &SamplerState) -> Result<(), ReplayError> {
+        let SamplerState::Reuse { inner, cached } = state else {
+            return Err(ReplayError::BadSamplerState {
+                reason: "reuse-window sampler requires Reuse checkpoint state".into(),
+            });
+        };
+        self.inner.import_state(inner)?;
+        self.cached = cached.as_ref().map(|c| (c.plan.clone(), c.len, c.uses_left));
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -157,6 +179,29 @@ mod tests {
         let hits = plan.flatten().iter().filter(|&&i| i == 5).count();
         assert!(hits >= 1, "inner PER must see the priority update");
         assert!(plan.weights.is_some());
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_reuse_schedule() {
+        let mut per = PerSampler::new(PerConfig::with_capacity(128));
+        for i in 0..128 {
+            per.observe_push(i);
+        }
+        let mut a = ReuseWindowSampler::new(Box::new(per), ReuseConfig::new(3));
+        let mut r = rng();
+        let plan = a.plan(128, 16, &mut r).unwrap(); // window active, 2 uses left
+        let state = a.export_state();
+
+        let mut per_b = PerSampler::new(PerConfig::with_capacity(128));
+        let mut b = ReuseWindowSampler::new(Box::new(per_b.clone()), ReuseConfig::new(3));
+        b.import_state(&state).unwrap();
+        assert_eq!(b.export_state(), state);
+        // The restored sampler continues the same window: next plan is the
+        // cached one, regardless of RNG.
+        let mut other_rng = StdRng::seed_from_u64(999);
+        assert_eq!(b.plan(128, 16, &mut other_rng).unwrap(), plan);
+        // Wrong variant is rejected and leaves the inner sampler coherent.
+        assert!(per_b.import_state(&state).is_err());
     }
 
     #[test]

@@ -99,6 +99,34 @@ impl SumTree {
         (node - size).min(self.capacity - 1)
     }
 
+    /// The raw leaf priorities (all `capacity` of them), in slot order —
+    /// the serializable state of the tree for checkpointing.
+    pub fn leaves(&self) -> Vec<f64> {
+        let size = self.tree.len() / 2;
+        self.tree[size..size + self.capacity].to_vec()
+    }
+
+    /// Replaces every leaf priority at once, rebuilding the internal sums
+    /// bottom-up in `O(capacity)` — the restore path for
+    /// [`SumTree::leaves`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves.len() != capacity` or any value is
+    /// negative/non-finite (callers restoring untrusted state must
+    /// validate first).
+    pub fn set_leaves(&mut self, leaves: &[f64]) {
+        assert_eq!(leaves.len(), self.capacity, "leaf count mismatch");
+        let size = self.tree.len() / 2;
+        for (i, &p) in leaves.iter().enumerate() {
+            assert!(p.is_finite() && p >= 0.0, "priority must be finite and >= 0");
+            self.tree[size + i] = p;
+        }
+        for node in (1..size).rev() {
+            self.tree[node] = self.tree[2 * node] + self.tree[2 * node + 1];
+        }
+    }
+
     /// Minimum non-zero priority among the first `len` leaves, used for the
     /// max-weight normalization in importance sampling. Returns `None` if
     /// all are zero.
@@ -172,6 +200,30 @@ mod tests {
         t.update(3, 2.0);
         assert_eq!(t.min_priority(4), Some(2.0));
         assert_eq!(t.min_priority(2), Some(5.0)); // leaf 3 outside len
+    }
+
+    #[test]
+    fn leaves_roundtrip_through_set_leaves() {
+        let mut t = SumTree::new(6);
+        for i in 0..6 {
+            t.update(i, (i * i) as f64);
+        }
+        let leaves = t.leaves();
+        assert_eq!(leaves.len(), 6);
+        let mut fresh = SumTree::new(6);
+        fresh.set_leaves(&leaves);
+        assert_eq!(fresh.total(), t.total());
+        for i in 0..6 {
+            assert_eq!(fresh.priority(i), t.priority(i));
+        }
+        assert_eq!(fresh.find_prefix(12.0), t.find_prefix(12.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf count mismatch")]
+    fn set_leaves_rejects_wrong_length() {
+        let mut t = SumTree::new(4);
+        t.set_leaves(&[1.0; 3]);
     }
 
     #[test]

@@ -112,6 +112,19 @@ impl ParticleEnv {
         &self.world
     }
 
+    /// The raw state of the environment's random stream, captured for
+    /// checkpointing. At an episode boundary this state (plus the seed-built
+    /// scenario) fully determines every future rollout, so restoring it
+    /// makes a resumed run bitwise-identical to an uninterrupted one.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restores the random stream captured by [`ParticleEnv::rng_state`].
+    pub fn set_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = StdRng::from_state(state);
+    }
+
     /// Starts a new episode; returns the initial observation per trained
     /// agent.
     pub fn reset(&mut self) -> Vec<Vec<f32>> {

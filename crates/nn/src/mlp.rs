@@ -135,6 +135,22 @@ impl Mlp {
         }
     }
 
+    /// Largest absolute parameter value across every layer, or `NaN` as
+    /// soon as any weight or bias is non-finite — a cheap health probe for
+    /// divergence sentinels (one linear scan, no allocation).
+    pub fn max_abs_param(&self) -> f32 {
+        let mut m = 0.0f32;
+        for l in &self.layers {
+            for &x in l.weight().as_slice().iter().chain(l.bias()) {
+                if !x.is_finite() {
+                    return f32::NAN;
+                }
+                m = m.max(x.abs());
+            }
+        }
+        m
+    }
+
     /// Polyak-averages parameters toward `source` with rate `tau`.
     ///
     /// # Panics
@@ -171,6 +187,23 @@ mod tests {
         assert_eq!(net.layer_count(), 3);
         let y = net.forward(&Matrix::zeros(6, 10));
         assert_eq!(y.shape(), (6, 4));
+    }
+
+    #[test]
+    fn max_abs_param_flags_poisoned_weights() {
+        let mut r = rng::seeded(1);
+        let mut net = Mlp::new(&[3, 8, 2], Activation::Relu, Init::XavierUniform, &mut r);
+        let healthy = net.max_abs_param();
+        assert!(healthy.is_finite() && healthy > 0.0);
+        // Poison one weight; the probe must report NaN, not mask it.
+        let mut poisoned = false;
+        net.visit_params(|p, _| {
+            if !poisoned {
+                p[0] = f32::NAN;
+                poisoned = true;
+            }
+        });
+        assert!(net.max_abs_param().is_nan());
     }
 
     #[test]

@@ -25,11 +25,15 @@ pub enum Phase {
     QLossPLoss,
     /// Target-network soft updates.
     SoftUpdate,
+    /// Checkpoint capture + serialization + atomic write (autosave), so
+    /// crash-safety overhead is visible in the breakdown instead of
+    /// silently inflating "other".
+    Checkpoint,
 }
 
 impl Phase {
     /// All phases in display order.
-    pub const ALL: [Phase; 7] = [
+    pub const ALL: [Phase; 8] = [
         Phase::ActionSelection,
         Phase::EnvironmentStep,
         Phase::Bookkeeping,
@@ -37,6 +41,7 @@ impl Phase {
         Phase::TargetQ,
         Phase::QLossPLoss,
         Phase::SoftUpdate,
+        Phase::Checkpoint,
     ];
 
     /// Whether the phase belongs to the paper's *update all trainers*
@@ -58,6 +63,7 @@ impl Phase {
             Phase::TargetQ => "target-q",
             Phase::QLossPLoss => "q-loss-p-loss",
             Phase::SoftUpdate => "soft-update",
+            Phase::Checkpoint => "checkpoint",
         }
     }
 
@@ -81,7 +87,7 @@ impl Phase {
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PhaseProfile {
-    nanos: [u128; 7],
+    nanos: [u128; 8],
 }
 
 impl PhaseProfile {
@@ -185,6 +191,7 @@ mod tests {
         assert!(Phase::SoftUpdate.in_update_all_trainers());
         assert!(!Phase::ActionSelection.in_update_all_trainers());
         assert!(!Phase::EnvironmentStep.in_update_all_trainers());
+        assert!(!Phase::Checkpoint.in_update_all_trainers());
     }
 
     #[test]

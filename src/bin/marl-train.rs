@@ -6,13 +6,19 @@
 //!            [--layout per-agent|interleaved] [--episodes E] [--batch B]
 //!            [--capacity C] [--threads T] [--update-threads U] [--seed S]
 //!            [--eval-episodes K] [--checkpoint-out FILE]
+//!            [--checkpoint-every N] [--resume FILE]
 //! ```
 //!
-//! Prints the phase breakdown and reward summary; optionally writes a JSON
-//! checkpoint of the trained networks.
+//! Prints the phase breakdown and reward summary. `--checkpoint-out`
+//! writes crash-safe full checkpoints (atomic rename + CRC + `.prev`
+//! rotation); with `--checkpoint-every N` the run autosaves every N
+//! episodes, and `--resume` continues a run bitwise-identically from such
+//! a file (falling back to `.prev` when the live file is corrupt).
 
+use marl_repro::algo::checkpoint::{load_checkpoint_with_fallback, write_checkpoint_file};
 use marl_repro::algo::{Algorithm, LayoutMode, Task, TrainConfig, Trainer};
 use marl_repro::core::SamplerConfig;
+use std::path::Path;
 use std::process::ExitCode;
 
 #[derive(Debug)]
@@ -48,7 +54,16 @@ fn parse_sampler(v: &str) -> Result<SamplerConfig, CliError> {
     })
 }
 
-fn parse_args(args: &[String]) -> Result<(TrainConfig, usize, Option<String>), CliError> {
+/// Everything `main` needs from the command line.
+#[derive(Debug)]
+struct Cli {
+    config: TrainConfig,
+    eval_episodes: usize,
+    checkpoint_out: Option<String>,
+    resume: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, CliError> {
     let mut algorithm = Algorithm::Maddpg;
     let mut task = Task::PredatorPrey;
     let mut agents = 3usize;
@@ -62,6 +77,8 @@ fn parse_args(args: &[String]) -> Result<(TrainConfig, usize, Option<String>), C
     let mut seed = 0u64;
     let mut eval_episodes = 10usize;
     let mut checkpoint_out = None;
+    let mut checkpoint_every = 0usize;
+    let mut resume = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -101,6 +118,8 @@ fn parse_args(args: &[String]) -> Result<(TrainConfig, usize, Option<String>), C
             "--seed" => seed = parse_num(value("--seed")?)? as u64,
             "--eval-episodes" => eval_episodes = parse_num(value("--eval-episodes")?)?,
             "--checkpoint-out" => checkpoint_out = Some(value("--checkpoint-out")?.clone()),
+            "--checkpoint-every" => checkpoint_every = parse_num(value("--checkpoint-every")?)?,
+            "--resume" => resume = Some(value("--resume")?.clone()),
             "--help" | "-h" => {
                 return Err(CliError("help".into()));
             }
@@ -115,11 +134,15 @@ fn parse_args(args: &[String]) -> Result<(TrainConfig, usize, Option<String>), C
         .with_buffer_capacity(capacity)
         .with_sampling_threads(threads)
         .with_update_threads(update_threads)
-        .with_seed(seed);
+        .with_seed(seed)
+        .with_checkpoint_every(checkpoint_every);
     // Keep the warmup proportionate to the run so short CLI runs still
     // perform updates.
     config.warmup = (2 * batch).clamp(batch, capacity / 2).max(batch);
-    Ok((config, eval_episodes, checkpoint_out))
+    if checkpoint_every > 0 && checkpoint_out.is_none() {
+        return Err(CliError("--checkpoint-every requires --checkpoint-out".into()));
+    }
+    Ok(Cli { config, eval_episodes, checkpoint_out, resume })
 }
 
 fn parse_num(v: &str) -> Result<usize, CliError> {
@@ -133,16 +156,23 @@ fn usage() {
          \x20                 [--layout per-agent|interleaved] [--episodes E] [--batch B]\n\
          \x20                 [--capacity C] [--threads T] [--update-threads U] [--seed S]\n\
          \x20                 [--eval-episodes K] [--checkpoint-out FILE]\n\
+         \x20                 [--checkpoint-every N] [--resume FILE]\n\
          \n\
          \x20 --threads T          worker threads for each mini-batch gather (default 1)\n\
          \x20 --update-threads U   worker threads for the per-agent critic/actor updates\n\
-         \x20                      (default 1; results are identical for any value)"
+         \x20                      (default 1; results are identical for any value)\n\
+         \x20 --checkpoint-out F   write a crash-safe full checkpoint to F (atomic rename\n\
+         \x20                      + CRC-32 + .prev rotation) when the run finishes\n\
+         \x20 --checkpoint-every N additionally autosave to F every N episodes (0 = off;\n\
+         \x20                      requires --checkpoint-out)\n\
+         \x20 --resume F           resume bitwise-identically from a checkpoint file,\n\
+         \x20                      falling back to F.prev when F is corrupt"
     );
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (config, eval_episodes, checkpoint_out) = match parse_args(&args) {
+    let Cli { config, eval_episodes, checkpoint_out, resume } = match parse_args(&args) {
         Ok(v) => v,
         Err(CliError(msg)) => {
             if msg != "help" {
@@ -168,7 +198,25 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let report = match trainer.train() {
+    if let Some(path) = &resume {
+        let loaded =
+            load_checkpoint_with_fallback(Path::new(path)).and_then(|(ckpt, replay, from_prev)| {
+                trainer.restore_full(ckpt, &replay).map(|()| from_prev)
+            });
+        match loaded {
+            Ok(from_prev) => {
+                if from_prev {
+                    eprintln!("warning: {path} was unreadable; resumed from {path}.prev");
+                }
+                println!("resumed from {path} at episode {}", trainer.episodes_done());
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let report = match trainer.train_with_autosave(checkpoint_out.as_deref().map(Path::new)) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -196,11 +244,17 @@ fn main() -> ExitCode {
         }
     }
     if let Some(path) = checkpoint_out {
-        let ckpt = trainer.checkpoint();
-        match serde_json::to_string(&ckpt).map(|json| std::fs::write(&path, json)) {
-            Ok(Ok(())) => println!("checkpoint written to {path}"),
-            Ok(Err(e)) => eprintln!("failed to write checkpoint: {e}"),
-            Err(e) => eprintln!("failed to serialize checkpoint: {e}"),
+        // A checkpoint the user asked for must actually be durable: any
+        // serialization or I/O failure is fatal, not a warning.
+        let written = trainer
+            .checkpoint_full()
+            .and_then(|(ckpt, replay)| write_checkpoint_file(Path::new(&path), &ckpt, &replay));
+        match written {
+            Ok(()) => println!("checkpoint written to {path}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     ExitCode::SUCCESS

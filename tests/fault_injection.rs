@@ -1,0 +1,165 @@
+//! Fault-injection tests of the crash-safe runtime (run with
+//! `cargo test --features failpoints`).
+//!
+//! These drive the recovery machinery end-to-end: a simulated kill mid-run
+//! resumes bitwise-identically from the autosave, an injected NaN trips
+//! the divergence sentinel and rolls back to the last good checkpoint,
+//! and injected write corruption exercises the `.prev` fallback.
+#![cfg(feature = "failpoints")]
+
+use marl_repro::algo::failpoint::{self, Fault};
+use marl_repro::algo::{
+    checkpoint::{load_checkpoint_with_fallback, write_checkpoint_file},
+    Algorithm, Task, TrainConfig, TrainError, Trainer,
+};
+use marl_repro::core::SamplerConfig;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// The failpoint registry is process-global, so tests serialize on this
+/// lock and clear the registry on entry.
+static FAILPOINTS: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    let guard = FAILPOINTS.lock().unwrap_or_else(|e| e.into_inner());
+    failpoint::clear();
+    guard
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("marl_fault_injection_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn config(sampler: SamplerConfig) -> TrainConfig {
+    let mut c = TrainConfig::paper_defaults(Algorithm::Maddpg, Task::PredatorPrey, 3)
+        .with_sampler(sampler)
+        .with_episodes(6)
+        .with_batch_size(32)
+        .with_buffer_capacity(1024)
+        .with_seed(55)
+        .with_checkpoint_every(2);
+    c.warmup = 64;
+    c.update_every = 25;
+    c
+}
+
+/// The acceptance scenario: interrupt a run via the failpoint after four
+/// episodes, resume from the on-disk autosave, and finish — the final
+/// weights and reward curve are bitwise identical to a run that was never
+/// interrupted.
+#[test]
+fn kill_and_resume_is_bitwise_identical() {
+    let guard = locked();
+    let cfg = config(SamplerConfig::IpLocality);
+
+    let mut straight = Trainer::new(cfg).unwrap();
+    let full = straight.train().unwrap();
+
+    let path = tmp_path("kill_resume.bin");
+    let mut victim = Trainer::new(cfg).unwrap();
+    failpoint::arm_after("train::episode", Fault::Abort, 4);
+    let err = victim.train_with_autosave(Some(&path)).unwrap_err();
+    assert_eq!(err, TrainError::Interrupted { episodes_done: 4 });
+    drop(victim); // the "killed" process
+
+    let (ckpt, replay, from_prev) = load_checkpoint_with_fallback(&path).unwrap();
+    assert!(!from_prev);
+    let mut resumed = Trainer::new(cfg).unwrap();
+    resumed.restore_full(ckpt, &replay).unwrap();
+    assert_eq!(resumed.episodes_done(), 4, "autosave fired at the last even episode");
+    let rest = resumed.train_with_autosave(Some(&path)).unwrap();
+
+    assert_eq!(rest.curve.values(), full.curve.values(), "rewards must match bitwise");
+    let weights = |t: &Trainer| serde_json::to_string(&t.checkpoint().agents).unwrap();
+    assert_eq!(weights(&resumed), weights(&straight), "weights must match bitwise");
+    drop(guard);
+}
+
+/// An injected NaN TD error trips the sentinel; the runtime rolls back to
+/// the in-memory last-good checkpoint and the retry — no longer faulted —
+/// completes the run with exactly the un-faulted result.
+#[test]
+fn transient_nan_recovers_via_rollback() {
+    let guard = locked();
+    let cfg = config(SamplerConfig::Uniform);
+
+    let mut straight = Trainer::new(cfg).unwrap();
+    let full = straight.train().unwrap();
+
+    let path = tmp_path("nan_rollback.bin");
+    let mut faulted = Trainer::new(cfg).unwrap();
+    // Fire on the second update round: by then the episode-2 autosave
+    // exists, so the rollback has a checkpoint to return to.
+    failpoint::arm_after("update::tds", Fault::Nan, 1);
+    let report = faulted.train_with_autosave(Some(&path)).unwrap();
+
+    assert_eq!(report.curve.values(), full.curve.values(), "recovery must be exact");
+    let weights = |t: &Trainer| serde_json::to_string(&t.checkpoint().agents).unwrap();
+    assert_eq!(weights(&faulted), weights(&straight));
+    drop(guard);
+}
+
+/// With no checkpoint to roll back to, the sentinel's report surfaces as
+/// a structured `Diverged` error instead of a panic or a poisoned sum
+/// tree.
+#[test]
+fn divergence_without_checkpoint_aborts_with_report() {
+    let guard = locked();
+    let mut cfg = config(SamplerConfig::Per);
+    cfg.checkpoint_every = 0; // no autosaves, no rollback target
+    let mut t = Trainer::new(cfg).unwrap();
+    failpoint::arm("update::tds", Fault::Nan);
+    let err = t.train().unwrap_err();
+    let TrainError::Diverged(report) = err else { panic!("wrong variant: {err:?}") };
+    assert!(report.value.is_nan());
+    assert_eq!(report.what, "TD error");
+    drop(guard);
+}
+
+/// An injected I/O failure during the checkpoint write surfaces as a
+/// structured error and leaves any previous live file untouched.
+#[test]
+fn injected_io_error_fails_the_write_cleanly() {
+    let guard = locked();
+    let path = tmp_path("io_error.bin");
+    let mut t = Trainer::new(config(SamplerConfig::Uniform)).unwrap();
+    t.prefill(80).unwrap();
+    let (ckpt, replay) = t.checkpoint_full().unwrap();
+    write_checkpoint_file(&path, &ckpt, &replay).unwrap();
+
+    failpoint::arm("checkpoint::write", Fault::Io);
+    let err = write_checkpoint_file(&path, &ckpt, &replay).unwrap_err();
+    assert!(matches!(err, TrainError::Checkpoint(_)));
+    // The previous good file is still live and loadable.
+    let (_, _, from_prev) = load_checkpoint_with_fallback(&path).unwrap();
+    assert!(!from_prev);
+    drop(guard);
+}
+
+/// Injected write corruption (torn write, bit flip) reaches the live file
+/// but is caught by the CRC on load, which falls back to `.prev`.
+#[test]
+fn injected_corruption_is_caught_and_prev_restores() {
+    let guard = locked();
+    for fault in [Fault::Truncate(64), Fault::BitFlip(12_345)] {
+        let path = tmp_path(&format!("corrupt_{fault:?}.bin"));
+        let mut t = Trainer::new(config(SamplerConfig::Uniform)).unwrap();
+        t.prefill(100).unwrap();
+        let (ckpt, replay) = t.checkpoint_full().unwrap();
+        write_checkpoint_file(&path, &ckpt, &replay).unwrap();
+
+        failpoint::arm("checkpoint::write", fault);
+        t.prefill(20).unwrap();
+        let (ckpt2, replay2) = t.checkpoint_full().unwrap();
+        write_checkpoint_file(&path, &ckpt2, &replay2).unwrap();
+
+        let (loaded, loaded_replay, from_prev) = load_checkpoint_with_fallback(&path).unwrap();
+        assert!(from_prev, "{fault:?}: corruption must trigger the fallback");
+        let mut fresh = Trainer::new(config(SamplerConfig::Uniform)).unwrap();
+        fresh.restore_full(loaded, &loaded_replay).unwrap();
+        assert_eq!(fresh.replay_len(), 100);
+    }
+    drop(guard);
+}

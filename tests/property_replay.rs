@@ -159,6 +159,46 @@ proptest! {
         let _ = decode_replay(bytes::Bytes::from(bad));
     }
 
+    /// With V2 framing (CRC-32 over the body), *every* single-bit flip in
+    /// a snapshot is detected: decode returns a structured error and
+    /// never silently loads corrupted transitions.
+    #[test]
+    fn snapshot_single_bit_flip_is_detected(
+        pos in 0.0f64..1.0,
+        bit in 0u8..8,
+        pushes in 1usize..20,
+    ) {
+        use marl_repro::core::snapshot::{decode_replay, encode_replay};
+        let layouts = vec![TransitionLayout::new(4, 2); 2];
+        let mut replay = MultiAgentReplay::new(&layouts, 32);
+        for t in 0..pushes {
+            let step: Vec<Transition> =
+                (0..2).map(|a| transition(&layouts[a], (t * 10 + a) as f32)).collect();
+            replay.push_step(&step).unwrap();
+        }
+        let mut bad = encode_replay(&replay).to_vec();
+        let i = ((bad.len() - 1) as f64 * pos) as usize;
+        bad[i] ^= 1 << bit;
+        prop_assert!(decode_replay(bytes::Bytes::from(bad)).is_err());
+    }
+
+    /// Truncating a snapshot anywhere before its end is always rejected —
+    /// a torn write can never decode into a shorter-but-plausible buffer.
+    #[test]
+    fn snapshot_truncation_is_detected(cut in 0.0f64..1.0, pushes in 1usize..20) {
+        use marl_repro::core::snapshot::{decode_replay, encode_replay};
+        let layouts = vec![TransitionLayout::new(4, 2); 2];
+        let mut replay = MultiAgentReplay::new(&layouts, 32);
+        for t in 0..pushes {
+            let step: Vec<Transition> =
+                (0..2).map(|a| transition(&layouts[a], (t * 10 + a) as f32)).collect();
+            replay.push_step(&step).unwrap();
+        }
+        let good = encode_replay(&replay).to_vec();
+        let len = ((good.len() - 1) as f64 * cut) as usize;
+        prop_assert!(decode_replay(bytes::Bytes::from(good[..len].to_vec())).is_err());
+    }
+
     /// Transition serialization roundtrips for arbitrary payloads.
     #[test]
     fn transition_row_roundtrip(

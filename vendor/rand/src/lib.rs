@@ -282,6 +282,31 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl StdRng {
+        /// Exposes the raw xoshiro256++ state for checkpointing.
+        ///
+        /// Together with [`StdRng::from_state`] this lets long-running
+        /// experiments persist and bitwise-restore their random streams —
+        /// the upstream `rand` crate offers the same capability through
+        /// serde on its rng types.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by [`StdRng::state`].
+        ///
+        /// An all-zero state (a xoshiro fixed point, never produced by a
+        /// live generator) is nudged exactly as in `from_seed`.
+        pub fn from_state(state: [u64; 4]) -> Self {
+            if state == [0; 4] {
+                let mut seed = [0u8; 32];
+                seed.fill(0);
+                return <StdRng as SeedableRng>::from_seed(seed);
+            }
+            StdRng { s: state }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
