@@ -106,7 +106,39 @@ impl AgentNets {
         noise_clip: f32,
         rng: &mut StdRng,
     ) -> GumbelSample {
-        let mut logits = self.target_actor.forward_inference(next_obs);
+        let mut logits = Matrix::default();
+        let mut value = Matrix::default();
+        let mut scratch = marl_nn::scratch::Scratch::new();
+        self.target_actions_into(
+            next_obs,
+            temperature,
+            target_noise,
+            noise_clip,
+            rng,
+            &mut logits,
+            &mut value,
+            &mut scratch,
+        );
+        GumbelSample { value, temperature }
+    }
+
+    /// [`AgentNets::target_actions`] writing the relaxed actions into
+    /// `value`, with `logits` and `scratch` as reusable working storage
+    /// (allocation-free once warmed). Consumes RNG draws identically to
+    /// the allocating variant.
+    #[allow(clippy::too_many_arguments)]
+    pub fn target_actions_into(
+        &self,
+        next_obs: &Matrix,
+        temperature: f32,
+        target_noise: f32,
+        noise_clip: f32,
+        rng: &mut StdRng,
+        logits: &mut Matrix,
+        value: &mut Matrix,
+        scratch: &mut marl_nn::scratch::Scratch,
+    ) {
+        self.target_actor.forward_inference_into(next_obs, logits, scratch);
         if target_noise > 0.0 {
             for x in logits.as_mut_slice() {
                 let n = (marl_nn::rng::standard_normal(rng) * target_noise)
@@ -114,7 +146,7 @@ impl AgentNets {
                 *x += n;
             }
         }
-        marl_nn::gumbel::softmax_relaxation(&logits, temperature)
+        marl_nn::gumbel::softmax_relaxation_into(logits, temperature, value);
     }
 
     /// Polyak-averages all target networks toward the live networks.

@@ -121,6 +121,11 @@ pub struct TrainConfig {
     pub checkpoint_every: usize,
     /// Divergence sentinel thresholds and retry budget.
     pub sentinel: crate::sentinel::SentinelConfig,
+    /// NN kernel selection (`auto` resolves to SIMD when the host supports
+    /// AVX2+FMA, scalar otherwise). Defaults to `auto`, so checkpoints
+    /// written before this field existed deserialize unchanged.
+    #[serde(default)]
+    pub kernel: marl_nn::kernels::KernelChoice,
     /// Experiment seed.
     pub seed: u64,
 }
@@ -154,6 +159,7 @@ impl TrainConfig {
             update_threads: 1,
             checkpoint_every: 0,
             sentinel: crate::sentinel::SentinelConfig::default(),
+            kernel: marl_nn::kernels::KernelChoice::Auto,
             seed: 0,
         }
     }
@@ -217,6 +223,12 @@ impl TrainConfig {
     /// Overrides the divergence sentinel settings (builder style).
     pub fn with_sentinel(mut self, sentinel: crate::sentinel::SentinelConfig) -> Self {
         self.sentinel = sentinel;
+        self
+    }
+
+    /// Overrides the NN kernel selection (builder style).
+    pub fn with_kernel(mut self, kernel: marl_nn::kernels::KernelChoice) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -348,6 +360,23 @@ mod tests {
         let c = c.with_layout(LayoutMode::Interleaved);
         assert_eq!(c.layout, LayoutMode::Interleaved);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn kernel_defaults_to_auto_and_tolerates_old_configs() {
+        use marl_nn::kernels::KernelChoice;
+        let c = TrainConfig::paper_defaults(Algorithm::Maddpg, Task::PredatorPrey, 3);
+        assert_eq!(c.kernel, KernelChoice::Auto);
+        let c = c.with_kernel(KernelChoice::Scalar);
+        assert_eq!(c.kernel, KernelChoice::Scalar);
+        // A config serialized before the `kernel` field existed must still
+        // deserialize (old checkpoints carry their TrainConfig verbatim).
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("\"kernel\":\"Scalar\""));
+        let legacy = json.replace(",\"kernel\":\"Scalar\"", "");
+        assert!(!legacy.contains("kernel"));
+        let back: TrainConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.kernel, KernelChoice::Auto);
     }
 
     #[test]

@@ -110,17 +110,18 @@ pub fn check_agents(
         return Ok(());
     }
     for (i, a) in agents.iter().enumerate() {
-        let mut nets = vec![
-            ("actor", a.actor.max_abs_param()),
-            ("target actor", a.target_actor.max_abs_param()),
-            ("critic", a.critic.max_abs_param()),
-            ("target critic", a.target_critic.max_abs_param()),
+        // Fixed-size check list: this runs after every update round and
+        // must stay allocation-free on the healthy path.
+        let nets: [(&str, Option<f32>); 6] = [
+            ("actor", Some(a.actor.max_abs_param())),
+            ("target actor", Some(a.target_actor.max_abs_param())),
+            ("critic", Some(a.critic.max_abs_param())),
+            ("target critic", Some(a.target_critic.max_abs_param())),
+            ("twin critic", a.critic2.as_ref().map(|(c2, _)| c2.max_abs_param())),
+            ("twin target critic", a.critic2.as_ref().map(|(_, t2)| t2.max_abs_param())),
         ];
-        if let Some((c2, t2)) = &a.critic2 {
-            nets.push(("twin critic", c2.max_abs_param()));
-            nets.push(("twin target critic", t2.max_abs_param()));
-        }
         for (name, m) in nets {
+            let Some(m) = m else { continue };
             if !m.is_finite() || m > config.max_abs_param {
                 return Err(DivergenceReport {
                     update_iteration,

@@ -20,9 +20,10 @@ use marl_core::sampler::Sampler;
 use marl_core::transition::{MultiBatch, Transition, TransitionLayout};
 use marl_env::entity::DiscreteAction;
 use marl_env::env::ParticleEnv;
-use marl_nn::gumbel::softmax_relaxation;
-use marl_nn::loss::{mse, td_errors, weighted_mse};
+use marl_nn::gumbel::{relaxation_backward_into, softmax_relaxation_into};
+use marl_nn::loss::{mse_into, td_errors_into, weighted_mse_into};
 use marl_nn::matrix::Matrix;
+use marl_nn::scratch::Scratch;
 use marl_perf::phase::{Phase, PhaseProfile};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -92,12 +93,23 @@ impl ReplayBackend {
         }
     }
 
-    fn sample(&self, plan: &SamplePlan, threads: usize) -> Result<MultiBatch, ReplayError> {
+    /// Gathers `plan` into `out`, reusing its storage. With per-agent
+    /// buffers and `threads > 1` the gather fans out over a scoped pool
+    /// (allocating); the serial paths are allocation-free once warmed.
+    fn sample_into(
+        &self,
+        plan: &SamplePlan,
+        threads: usize,
+        out: &mut MultiBatch,
+    ) -> Result<(), ReplayError> {
         match self {
-            ReplayBackend::PerAgent(r) if threads > 1 => r.sample_parallel(plan, threads),
-            ReplayBackend::PerAgent(r) => r.sample(plan),
+            ReplayBackend::PerAgent(r) if threads > 1 => {
+                *out = r.sample_parallel(plan, threads)?;
+                Ok(())
+            }
+            ReplayBackend::PerAgent(r) => r.sample_into(plan, out),
             // The interleaved layout's single pass is already one stream.
-            ReplayBackend::Interleaved(s) => s.sample(plan),
+            ReplayBackend::Interleaved(s) => s.sample_into(plan, out),
         }
     }
 }
@@ -135,6 +147,7 @@ pub struct Trainer {
     updates: u64,
     samples_since_update: usize,
     telemetry: SamplingTelemetry,
+    scratch: UpdateScratch,
 }
 
 impl Trainer {
@@ -145,6 +158,8 @@ impl Trainer {
     /// Returns [`TrainError::InvalidConfig`] for inconsistent settings.
     pub fn new(config: TrainConfig) -> Result<Self, TrainError> {
         config.validate().map_err(TrainError::InvalidConfig)?;
+        // Install the requested compute kernel before any NN work runs.
+        marl_nn::kernels::configure(config.kernel);
         let env = match config.task {
             Task::PredatorPrey => {
                 marl_env::predator_prey(config.agents, config.max_episode_len, config.seed)
@@ -177,6 +192,7 @@ impl Trainer {
             }
         };
         let sampler = config.sampler.build(config.buffer_capacity);
+        let scratch = UpdateScratch::new(obs_dims.len(), &layouts, config.batch_size);
         Ok(Trainer {
             config,
             env,
@@ -193,6 +209,7 @@ impl Trainer {
             updates: 0,
             samples_since_update: 0,
             telemetry: SamplingTelemetry::default(),
+            scratch,
         })
     }
 
@@ -337,7 +354,7 @@ impl Trainer {
 
             // --- Environment execution ---
             let t0 = Instant::now();
-            let step = self.env.step(&action_idx)?;
+            let mut step = self.env.step(&action_idx)?;
             self.profile.add(Phase::EnvironmentStep, t0.elapsed());
             self.env_steps += 1;
 
@@ -349,7 +366,9 @@ impl Trainer {
                     obs: std::mem::take(&mut obs[i]),
                     action: std::mem::take(&mut action_onehot[i]),
                     reward: step.rewards[i],
-                    next_obs: step.observations[i].clone(),
+                    // Moved, not cloned: the buffer is handed back as the
+                    // next iteration's observation below.
+                    next_obs: std::mem::take(&mut step.observations[i]),
                     done: done_flag,
                 })
                 .collect();
@@ -359,9 +378,11 @@ impl Trainer {
             for (er, r) in episode_reward.iter_mut().zip(&step.rewards) {
                 *er += r;
             }
+            // The stored next observations become the next step's inputs.
+            for (o, t) in obs.iter_mut().zip(transitions) {
+                *o = t.next_obs;
+            }
             self.profile.add(Phase::Bookkeeping, t0.elapsed());
-
-            obs = step.observations;
 
             // --- Update all trainers ---
             if self.replay.len() >= self.config.warmup
@@ -392,7 +413,7 @@ impl Trainer {
         while filled < rows {
             let actions: Vec<usize> =
                 (0..n).map(|_| rand::Rng::gen_range(&mut self.rng, 0..self.act_dim)).collect();
-            let step = self.env.step(&actions)?;
+            let mut step = self.env.step(&actions)?;
             let transitions: Vec<Transition> = (0..n)
                 .map(|i| {
                     let mut onehot = vec![0.0; self.act_dim];
@@ -401,7 +422,7 @@ impl Trainer {
                         obs: std::mem::take(&mut obs[i]),
                         action: onehot,
                         reward: step.rewards[i],
-                        next_obs: step.observations[i].clone(),
+                        next_obs: std::mem::take(&mut step.observations[i]),
                         done: if step.done { 1.0 } else { 0.0 },
                     }
                 })
@@ -409,7 +430,13 @@ impl Trainer {
             let slot = self.replay.push_step(&transitions)?;
             self.sampler.observe_push(slot);
             filled += 1;
-            obs = if step.done { self.env.reset() } else { step.observations };
+            if step.done {
+                obs = self.env.reset();
+            } else {
+                for (o, t) in obs.iter_mut().zip(transitions) {
+                    *o = t.next_obs;
+                }
+            }
         }
         Ok(())
     }
@@ -433,6 +460,11 @@ impl Trainer {
     ///
     /// Results are bitwise identical for every `update_threads` value.
     ///
+    /// All working storage (plans, staged batches, matrix views, joint
+    /// inputs, per-agent scratch) lives in a persistent [`UpdateScratch`]
+    /// arena: after the first iteration sizes every buffer, steady-state
+    /// iterations perform no heap allocations on the serial path.
+    ///
     /// # Errors
     ///
     /// Propagates replay/sampler failures.
@@ -446,10 +478,15 @@ impl Trainer {
         // trainer, O(N²·B) for the full iteration). All N plans are drawn
         // up front so the gathers become embarrassingly parallel.
         let t0 = Instant::now();
-        let mut plans = Vec::with_capacity(n);
-        for _ in 0..n {
-            let plan =
-                self.sampler.plan(self.replay.len(), self.config.batch_size, &mut self.rng)?;
+        let replay_len = self.replay.len();
+        for k in 0..n {
+            self.sampler.plan_into(
+                replay_len,
+                cfg.batch_size,
+                &mut self.rng,
+                &mut self.scratch.plans[k],
+            )?;
+            let plan = &self.scratch.plans[k];
             self.telemetry.plans += 1;
             self.telemetry.random_jumps += plan.random_jumps() as u64;
             let rows = plan.batch_len() as u64;
@@ -460,13 +497,24 @@ impl Trainer {
                 .map(|&od| rows * TransitionLayout::new(od, self.act_dim).row_bytes() as u64)
                 .sum();
             self.telemetry.bytes_gathered += bytes;
-            plans.push(plan);
         }
-        let views: Vec<BatchView> = self
-            .gather_batches(&plans)?
-            .into_iter()
-            .map(|mb| BatchView::from_multi(mb, &self.obs_dims, self.act_dim))
-            .collect();
+        {
+            let scratch = &mut self.scratch;
+            match &self.replay {
+                // Whole-plan gathers fan out over the update worker pool.
+                ReplayBackend::PerAgent(r) if cfg.update_threads > 1 => {
+                    r.sample_many_into(&scratch.plans, &mut scratch.batches, cfg.update_threads)?;
+                }
+                backend => {
+                    for (plan, out) in scratch.plans.iter().zip(scratch.batches.iter_mut()) {
+                        backend.sample_into(plan, cfg.sampling_threads, out)?;
+                    }
+                }
+            }
+            for (view, mb) in scratch.views.iter_mut().zip(&scratch.batches) {
+                view.refill(mb, &self.obs_dims, self.act_dim);
+            }
+        }
         self.profile.add(Phase::MiniBatchSampling, t0.elapsed());
 
         // --- Phase 2: shared target actions. Every agent's target actor
@@ -477,116 +525,141 @@ impl Trainer {
         let noise = if matd3 { cfg.target_noise } else { 0.0 };
         let update_seed =
             marl_nn::rng::derive_seed(marl_nn::rng::derive_seed(cfg.seed, 2), self.updates);
-        let mut noise_streams: Vec<StdRng> = (0..n)
-            .map(|j| StdRng::seed_from_u64(marl_nn::rng::derive_seed(update_seed, j as u64)))
-            .collect();
+        let total_obs_dim = self.total_obs_dim;
+        let act_dim = self.act_dim;
+        let joint_dim = total_obs_dim + n * act_dim;
         let agents = &self.agents;
-        let joint_nexts: Vec<Matrix> = views
-            .iter()
-            .map(|view| {
-                let parts: Vec<Matrix> = agents
-                    .iter()
-                    .zip(&view.next_obs)
-                    .zip(&mut noise_streams)
-                    .map(|((a, next_obs), stream)| {
-                        a.target_actions(next_obs, cfg.temperature, noise, cfg.noise_clip, stream)
-                            .value
-                    })
-                    .collect();
-                let mut refs: Vec<&Matrix> = Vec::with_capacity(2 * n);
-                refs.extend(view.next_obs.iter());
-                refs.extend(parts.iter());
-                Matrix::hstack(&refs)
-            })
-            .collect();
-        self.telemetry.target_action_passes += views.len() as u64;
+        let UpdateScratch {
+            views,
+            joint_nexts,
+            noise_streams,
+            ta_logits,
+            ta_value,
+            ta_scratch,
+            ..
+        } = &mut self.scratch;
+        for (j, stream) in noise_streams.iter_mut().enumerate() {
+            // Reseeding in place draws the same sequence as a freshly
+            // constructed stream, without allocating.
+            *stream = StdRng::seed_from_u64(marl_nn::rng::derive_seed(update_seed, j as u64));
+        }
+        for (view, joint_next) in views.iter().zip(joint_nexts.iter_mut()) {
+            joint_next.resize(view.batch, joint_dim);
+            let mut obs_col = 0;
+            for (j, ((a, next_obs), stream)) in
+                agents.iter().zip(&view.next_obs).zip(noise_streams.iter_mut()).enumerate()
+            {
+                joint_next.copy_columns_from(next_obs, obs_col);
+                obs_col += next_obs.cols();
+                a.target_actions_into(
+                    next_obs,
+                    cfg.temperature,
+                    noise,
+                    cfg.noise_clip,
+                    stream,
+                    ta_logits,
+                    ta_value,
+                    ta_scratch,
+                );
+                joint_next.copy_columns_from(ta_value, total_obs_dim + j * act_dim);
+            }
+        }
+        self.telemetry.target_action_passes += n as u64;
         self.profile.add(Phase::TargetQ, t0.elapsed());
 
         // --- Phase 3: per-agent updates on the worker pool.
         let threads = cfg.update_threads.clamp(1, n);
-        let total_obs_dim = self.total_obs_dim;
-        let act_dim = self.act_dim;
         let updates = self.updates;
-        let tds: Vec<Vec<f32>> = if threads == 1 {
+        let UpdateScratch { views, joint_nexts, tds, agents: agent_scratch, .. } =
+            &mut self.scratch;
+        if threads == 1 {
             let profile = &mut self.profile;
-            self.agents
+            for (i, ((agent, ascr), ((view, joint_next), td))) in self
+                .agents
                 .iter_mut()
-                .zip(views.iter().zip(&joint_nexts))
+                .zip(agent_scratch.iter_mut())
+                .zip(views.iter().zip(joint_nexts.iter()).zip(tds.iter_mut()))
                 .enumerate()
-                .map(|(i, (agent, (view, joint_next)))| {
-                    update_agent(
-                        agent,
-                        i,
-                        view,
-                        joint_next,
-                        &cfg,
-                        total_obs_dim,
-                        act_dim,
-                        updates,
-                        profile,
-                    )
-                })
-                .collect()
+            {
+                update_agent(
+                    agent,
+                    i,
+                    view,
+                    joint_next,
+                    &cfg,
+                    total_obs_dim,
+                    act_dim,
+                    updates,
+                    profile,
+                    ascr,
+                    td,
+                );
+            }
         } else {
             let chunk = n.div_ceil(threads);
             let worker_profiles = parking_lot::Mutex::new(PhaseProfile::new());
             let agents = &mut self.agents;
-            let results: Vec<Vec<Vec<f32>>> = std::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = agents
                     .chunks_mut(chunk)
-                    .zip(views.chunks(chunk).zip(joint_nexts.chunks(chunk)))
+                    .zip(agent_scratch.chunks_mut(chunk))
+                    .zip(
+                        views
+                            .chunks(chunk)
+                            .zip(joint_nexts.chunks(chunk))
+                            .zip(tds.chunks_mut(chunk)),
+                    )
                     .enumerate()
-                    .map(|(c, (agent_chunk, (view_chunk, jn_chunk)))| {
+                    .map(|(c, ((agent_chunk, scr_chunk), ((view_chunk, jn_chunk), td_chunk)))| {
                         let worker_profiles = &worker_profiles;
                         scope.spawn(move || {
                             let mut local = PhaseProfile::new();
                             let base = c * chunk;
-                            let out: Vec<Vec<f32>> = agent_chunk
+                            for (k, ((agent, ascr), td)) in agent_chunk
                                 .iter_mut()
+                                .zip(scr_chunk.iter_mut())
+                                .zip(td_chunk.iter_mut())
                                 .enumerate()
-                                .map(|(k, agent)| {
-                                    update_agent(
-                                        agent,
-                                        base + k,
-                                        &view_chunk[k],
-                                        &jn_chunk[k],
-                                        &cfg,
-                                        total_obs_dim,
-                                        act_dim,
-                                        updates,
-                                        &mut local,
-                                    )
-                                })
-                                .collect();
+                            {
+                                update_agent(
+                                    agent,
+                                    base + k,
+                                    &view_chunk[k],
+                                    &jn_chunk[k],
+                                    &cfg,
+                                    total_obs_dim,
+                                    act_dim,
+                                    updates,
+                                    &mut local,
+                                    ascr,
+                                    td,
+                                );
+                            }
                             worker_profiles.lock().merge(&local);
-                            out
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("update worker panicked")).collect()
+                for h in handles {
+                    h.join().expect("update worker panicked");
+                }
             });
             self.profile.merge(&worker_profiles.into_inner());
-            results.into_iter().flatten().collect()
-        };
+        }
 
         #[cfg(feature = "failpoints")]
-        let tds = {
-            let mut tds = tds;
-            if crate::failpoint::take("update::tds") == Some(crate::failpoint::Fault::Nan) {
-                tds[0][0] = f32::NAN;
-            }
-            tds
-        };
+        if crate::failpoint::take("update::tds") == Some(crate::failpoint::Fault::Nan) {
+            tds[0][0] = f32::NAN;
+        }
 
         // The sentinel vets TD errors *before* the priority refresh: a
         // NaN reaching a prioritized sampler's sum tree would abort the
         // process, whereas a Diverged error is recoverable.
-        crate::sentinel::check_tds(&tds, &cfg.sentinel, self.updates)
+        crate::sentinel::check_tds(tds, &cfg.sentinel, self.updates)
             .map_err(TrainError::Diverged)?;
 
         // Priority refreshes happen in agent order after the pool drains,
         // matching the serial path exactly.
-        for (view, td) in views.iter().zip(&tds) {
+        for (view, td) in views.iter().zip(tds.iter()) {
             self.sampler.update_priorities(&view.indices, td);
         }
 
@@ -604,21 +677,6 @@ impl Trainer {
             .map_err(TrainError::Diverged)?;
         self.updates += 1;
         Ok(())
-    }
-
-    /// Gathers one staged mini-batch per plan. With the worker pool
-    /// enabled and per-agent buffers, whole-plan gathers fan out over
-    /// `update_threads`; otherwise plans gather serially, each through the
-    /// per-plan path (which has its own `sampling_threads` knob).
-    fn gather_batches(&self, plans: &[SamplePlan]) -> Result<Vec<MultiBatch>, ReplayError> {
-        match &self.replay {
-            ReplayBackend::PerAgent(r) if self.config.update_threads > 1 => {
-                r.sample_many(plans, self.config.update_threads)
-            }
-            _ => {
-                plans.iter().map(|p| self.replay.sample(p, self.config.sampling_threads)).collect()
-            }
-        }
     }
 
     /// Sampling-phase telemetry so far.
@@ -767,11 +825,14 @@ impl Trainer {
 /// Target-Q tail plus critic/actor update for one agent trainer.
 ///
 /// Pure per-agent work: it reads the staged mini-batch and precomputed
-/// joint next-state input and mutates only `agent`, so the N calls of one
-/// iteration produce bitwise-identical results on any worker layout.
-/// Phase timings accumulate into `profile` (worker-local under the pool).
-/// Returns the batch TD errors for the sampler's priority refresh, which
-/// stays on the coordinating thread.
+/// joint next-state input and mutates only `agent` and its scratch, so
+/// the N calls of one iteration produce bitwise-identical results on any
+/// worker layout. Phase timings accumulate into `profile` (worker-local
+/// under the pool). The batch TD errors for the sampler's priority
+/// refresh land in `td`; the refresh stays on the coordinating thread.
+///
+/// Every temporary lives in the per-agent [`AgentScratch`], so a warmed
+/// call touches no heap.
 #[allow(clippy::too_many_arguments)]
 fn update_agent(
     agent: &mut AgentNets,
@@ -783,98 +844,160 @@ fn update_agent(
     act_dim: usize,
     updates: u64,
     profile: &mut PhaseProfile,
-) -> Vec<f32> {
+    s: &mut AgentScratch,
+    td: &mut Vec<f32>,
+) {
     let batch = view.batch;
     let matd3 = cfg.algorithm == Algorithm::Matd3;
 
     // --- Target Q calculation (per-agent tail) ---
     let t0 = Instant::now();
-    let tq = {
-        let q1 = agent.target_critic.forward_inference(joint_next);
-        if let Some((_, t2)) = &agent.critic2 {
-            let q2 = t2.forward_inference(joint_next);
-            // Twin-critic minimum combats overestimation bias.
-            let mut m = q1.clone();
-            for (a, b) in m.as_mut_slice().iter_mut().zip(q2.as_slice()) {
-                *a = a.min(*b);
-            }
-            m
-        } else {
-            q1
+    agent.target_critic.forward_inference_into(joint_next, &mut s.tq, &mut s.nn);
+    if let Some((_, t2)) = &agent.critic2 {
+        t2.forward_inference_into(joint_next, &mut s.tq2, &mut s.nn);
+        // Twin-critic minimum combats overestimation bias.
+        for (a, b) in s.tq.as_mut_slice().iter_mut().zip(s.tq2.as_slice()) {
+            *a = a.min(*b);
         }
-    };
-    let mut y = Matrix::zeros(batch, 1);
+    }
+    s.y.resize(batch, 1);
     for r in 0..batch {
         let not_done = 1.0 - view.dones[r];
-        *y.at_mut(r, 0) = view.rewards[i][r] + cfg.gamma * not_done * tq.at(r, 0);
+        *s.y.at_mut(r, 0) = view.rewards[i][r] + cfg.gamma * not_done * s.tq.at(r, 0);
     }
     profile.add(Phase::TargetQ, t0.elapsed());
 
     // --- Q loss (critic) + P loss (actor) ---
     let t0 = Instant::now();
-    let mut joint_parts: Vec<&Matrix> = Vec::with_capacity(2 * view.obs.len());
-    joint_parts.extend(view.obs.iter());
-    joint_parts.extend(view.actions.iter());
-    let joint = Matrix::hstack(&joint_parts);
+    // Joint critic input [obs_1..obs_N, act_1..act_N], column-assembled
+    // in place (same layout the old hstack produced).
+    let joint_dim = total_obs_dim + view.actions.len() * act_dim;
+    s.joint.resize(batch, joint_dim);
+    let mut col = 0;
+    for m in view.obs.iter().chain(view.actions.iter()) {
+        s.joint.copy_columns_from(m, col);
+        col += m.cols();
+    }
 
     // Critic 1.
     agent.critic.zero_grad();
-    let q = agent.critic.forward(&joint);
-    let (_loss, grad) = match &view.weights {
-        Some(w) => weighted_mse(&q, &y, w),
-        None => mse(&q, &y),
+    agent.critic.forward_into(&s.joint, &mut s.q);
+    let _loss = match &view.weights {
+        Some(w) => weighted_mse_into(&s.q, &s.y, w, &mut s.grad),
+        None => mse_into(&s.q, &s.y, &mut s.grad),
     };
-    agent.critic.backward(&grad);
+    agent.critic.backward_into(&s.grad, &mut s.grad_joint, &mut s.nn);
     agent.critic_opt.step(&mut agent.critic);
 
     // Twin critic (MATD3).
     if let Some((c2, _)) = &mut agent.critic2 {
         c2.zero_grad();
-        let q2 = c2.forward(&joint);
-        let (_l2, g2) = match &view.weights {
-            Some(w) => weighted_mse(&q2, &y, w),
-            None => mse(&q2, &y),
+        c2.forward_into(&s.joint, &mut s.q2);
+        let _l2 = match &view.weights {
+            Some(w) => weighted_mse_into(&s.q2, &s.y, w, &mut s.grad),
+            None => mse_into(&s.q2, &s.y, &mut s.grad),
         };
-        c2.backward(&g2);
+        c2.backward_into(&s.grad, &mut s.grad_joint, &mut s.nn);
         agent.critic2_opt.as_mut().expect("twin optimizer").step(c2);
     }
 
-    let td = td_errors(&q, &y);
+    td_errors_into(&s.q, &s.y, td);
 
     // Policy update (delayed for MATD3).
     let do_policy = !matd3 || updates.is_multiple_of(cfg.policy_delay as u64);
     if do_policy {
-        let logits = agent.actor.forward(&view.obs[i]);
-        let sample = softmax_relaxation(&logits, cfg.temperature);
+        agent.actor.forward_into(&view.obs[i], &mut s.logits);
+        softmax_relaxation_into(&s.logits, cfg.temperature, &mut s.action);
         // Joint input with agent i's action replaced by its relaxed
         // current-policy action.
-        let mut pol_parts: Vec<&Matrix> = Vec::with_capacity(2 * view.obs.len());
-        pol_parts.extend(view.obs.iter());
-        for (j, act) in view.actions.iter().enumerate() {
-            if j == i {
-                pol_parts.push(&sample.value);
-            } else {
-                pol_parts.push(act);
-            }
-        }
-        let joint_pol = Matrix::hstack(&pol_parts);
-        agent.critic.zero_grad();
-        agent.critic.forward(&joint_pol);
-        // Maximize Q ⇒ gradient −1/B on every Q output.
-        let grad_q = Matrix::full(batch, 1, -1.0 / batch as f32);
-        let grad_joint = agent.critic.backward(&grad_q);
         let act_off = total_obs_dim + i * act_dim;
-        let grad_action = grad_joint.columns(act_off, act_dim);
-        let grad_logits = sample.backward(&grad_action);
+        s.joint_pol.copy_from(&s.joint);
+        s.joint_pol.copy_columns_from(&s.action, act_off);
+        agent.critic.zero_grad();
+        agent.critic.forward_into(&s.joint_pol, &mut s.q_pol);
+        // Maximize Q ⇒ gradient −1/B on every Q output.
+        s.grad_q.resize(batch, 1);
+        s.grad_q.fill(-1.0 / batch as f32);
+        agent.critic.backward_into(&s.grad_q, &mut s.grad_joint, &mut s.nn);
+        s.grad_joint.columns_into(act_off, act_dim, &mut s.grad_action);
+        relaxation_backward_into(&s.grad_action, &s.action, cfg.temperature, &mut s.grad_logits);
         agent.actor.zero_grad();
-        agent.actor.backward(&grad_logits);
+        agent.actor.backward_into(&s.grad_logits, &mut s.grad_obs, &mut s.nn);
         agent.actor_opt.step(&mut agent.actor);
     }
     profile.add(Phase::QLossPLoss, t0.elapsed());
-    td
 }
 
-/// Mini-batch reshaped into per-agent matrices.
+/// Persistent working storage for [`Trainer::update_all_trainers`].
+///
+/// Sized once in [`Trainer::new`] and refilled in place every iteration;
+/// steady-state updates reuse all backing buffers instead of allocating.
+#[derive(Debug)]
+struct UpdateScratch {
+    /// One sampling plan per agent trainer.
+    plans: Vec<SamplePlan>,
+    /// One staged mini-batch per plan.
+    batches: Vec<MultiBatch>,
+    /// Per-plan matrix views over the staged batches.
+    views: Vec<BatchView>,
+    /// Per-plan joint next-state critic inputs.
+    joint_nexts: Vec<Matrix>,
+    /// Per-agent target-noise RNG streams, reseeded in place per update.
+    noise_streams: Vec<StdRng>,
+    /// Target-action working buffers (phase 2 runs on the coordinator).
+    ta_logits: Matrix,
+    ta_value: Matrix,
+    ta_scratch: Scratch,
+    /// Per-agent TD errors of the current round.
+    tds: Vec<Vec<f32>>,
+    /// Per-agent update working sets (one per phase-3 worker lane).
+    agents: Vec<AgentScratch>,
+}
+
+impl UpdateScratch {
+    fn new(n: usize, layouts: &[TransitionLayout], batch: usize) -> Self {
+        UpdateScratch {
+            plans: (0..n).map(|_| SamplePlan::new()).collect(),
+            batches: (0..n).map(|_| MultiBatch::preallocate(layouts, batch)).collect(),
+            views: (0..n).map(|_| BatchView::empty(n)).collect(),
+            joint_nexts: (0..n).map(|_| Matrix::default()).collect(),
+            noise_streams: (0..n).map(|_| StdRng::seed_from_u64(0)).collect(),
+            ta_logits: Matrix::default(),
+            ta_value: Matrix::default(),
+            ta_scratch: Scratch::new(),
+            tds: (0..n).map(|_| Vec::new()).collect(),
+            agents: (0..n).map(|_| AgentScratch::default()).collect(),
+        }
+    }
+}
+
+/// Per-agent temporaries of one [`update_agent`] call; each phase-3
+/// worker lane owns exactly one, so the pool shares nothing.
+#[derive(Debug, Default)]
+struct AgentScratch {
+    /// Arena for MLP forward/backward temporaries.
+    nn: Scratch,
+    tq: Matrix,
+    tq2: Matrix,
+    y: Matrix,
+    joint: Matrix,
+    q: Matrix,
+    q2: Matrix,
+    grad: Matrix,
+    grad_joint: Matrix,
+    logits: Matrix,
+    action: Matrix,
+    joint_pol: Matrix,
+    q_pol: Matrix,
+    grad_q: Matrix,
+    grad_action: Matrix,
+    grad_logits: Matrix,
+    /// Actor input gradient — computed by `backward_into`, unused.
+    grad_obs: Matrix,
+}
+
+/// Mini-batch reshaped into per-agent matrices. Persistent: refilled in
+/// place from the staged [`MultiBatch`] each iteration.
 #[derive(Debug)]
 struct BatchView {
     batch: usize,
@@ -888,32 +1011,46 @@ struct BatchView {
 }
 
 impl BatchView {
-    fn from_multi(mb: MultiBatch, obs_dims: &[usize], act_dim: usize) -> Self {
-        let batch = mb.len();
-        let mut obs = Vec::with_capacity(mb.agents.len());
-        let mut actions = Vec::with_capacity(mb.agents.len());
-        let mut next_obs = Vec::with_capacity(mb.agents.len());
-        let mut rewards = Vec::with_capacity(mb.agents.len());
-        let mut dones = Vec::new();
-        for (ab, &od) in mb.agents.into_iter().zip(obs_dims) {
-            obs.push(Matrix::from_vec(batch, od, ab.obs));
-            actions.push(Matrix::from_vec(batch, act_dim, ab.actions));
-            next_obs.push(Matrix::from_vec(batch, od, ab.next_obs));
-            rewards.push(ab.rewards);
-            if dones.is_empty() {
-                dones = ab.dones;
-            }
-        }
+    /// An empty view with `agents` lanes, ready for [`BatchView::refill`].
+    fn empty(agents: usize) -> Self {
         BatchView {
-            batch,
-            obs,
-            actions,
-            next_obs,
-            rewards,
-            dones,
-            weights: mb.weights,
-            indices: mb.indices,
+            batch: 0,
+            obs: (0..agents).map(|_| Matrix::default()).collect(),
+            actions: (0..agents).map(|_| Matrix::default()).collect(),
+            next_obs: (0..agents).map(|_| Matrix::default()).collect(),
+            rewards: (0..agents).map(|_| Vec::new()).collect(),
+            dones: Vec::new(),
+            weights: None,
+            indices: Vec::new(),
         }
+    }
+
+    /// Refills every lane from a staged batch, reusing all storage.
+    fn refill(&mut self, mb: &MultiBatch, obs_dims: &[usize], act_dim: usize) {
+        debug_assert_eq!(self.obs.len(), mb.agents.len(), "agent count is fixed at build time");
+        let batch = mb.len();
+        self.batch = batch;
+        for (j, (ab, &od)) in mb.agents.iter().zip(obs_dims).enumerate() {
+            self.obs[j].assign_from_slice(batch, od, &ab.obs);
+            self.actions[j].assign_from_slice(batch, act_dim, &ab.actions);
+            self.next_obs[j].assign_from_slice(batch, od, &ab.next_obs);
+            self.rewards[j].clear();
+            self.rewards[j].extend_from_slice(&ab.rewards);
+        }
+        self.dones.clear();
+        if let Some(first) = mb.agents.first() {
+            self.dones.extend_from_slice(&first.dones);
+        }
+        match (&mb.weights, &mut self.weights) {
+            (None, w) => *w = None,
+            (Some(src), Some(dst)) => {
+                dst.clear();
+                dst.extend_from_slice(src);
+            }
+            (Some(src), w @ None) => *w = Some(src.clone()),
+        }
+        self.indices.clear();
+        self.indices.extend_from_slice(&mb.indices);
     }
 }
 

@@ -1,0 +1,151 @@
+//! `bench_summary` — scalar-vs-SIMD kernel comparison for the NN update
+//! pipeline, written as machine-readable JSON (`BENCH_pr3.json`).
+//!
+//! Measures ns/op for a raw matmul kernel, one staged mini-batch gather,
+//! one full `update_all_trainers` iteration, and one end-to-end training
+//! episode, each under the scalar and SIMD kernels, and records the
+//! speedups plus the kernel auto-detection would pick on this host.
+//!
+//! Without AVX2+FMA the SIMD legs are skipped gracefully: the scalar
+//! numbers are reported for both columns with `simd_available: false`.
+//!
+//! Environment knobs: `MARL_BENCH_ITERS` (timed iterations, default 20),
+//! `MARL_BENCH_OUT` (output path, default `BENCH_pr3.json`).
+
+use marl_algo::{Algorithm, Task, TrainConfig, Trainer};
+use marl_bench::env_usize;
+use marl_core::config::SamplerConfig;
+use marl_core::transition::MultiBatch;
+use marl_nn::kernels::{self, KernelChoice, KernelKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One benchmark under both kernels.
+#[derive(Debug, Serialize)]
+struct KernelPair {
+    scalar_ns_per_op: u64,
+    simd_ns_per_op: u64,
+    speedup: f64,
+}
+
+impl KernelPair {
+    fn measure(mut op: impl FnMut(KernelChoice) -> u64) -> Self {
+        let scalar = op(KernelChoice::Scalar);
+        let simd = if kernels::simd_available() { op(KernelChoice::Simd) } else { scalar };
+        KernelPair {
+            scalar_ns_per_op: scalar,
+            simd_ns_per_op: simd,
+            speedup: scalar as f64 / simd.max(1) as f64,
+        }
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct Summary {
+    /// Whether this host supports the AVX2+FMA kernels.
+    simd_available: bool,
+    /// The kernel `KernelChoice::Auto` resolves to on this host.
+    auto_kernel: String,
+    /// Raw 256×192 · 192×128 matmul.
+    matmul: KernelPair,
+    /// One staged mini-batch gather (kernel-independent; sanity floor).
+    sampler_gather: KernelPair,
+    /// One full `update_all_trainers` iteration (3 agents, batch 256).
+    update_all_trainers: KernelPair,
+    /// One training episode including scheduled updates.
+    end_to_end_episode: KernelPair,
+}
+
+/// Times `iters` calls of `f` after one warm-up call; returns ns/call.
+fn time_ns(iters: usize, mut f: impl FnMut()) -> u64 {
+    f();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    (t0.elapsed().as_nanos() / iters.max(1) as u128) as u64
+}
+
+fn bench_matmul(iters: usize, choice: KernelChoice) -> u64 {
+    let kind = kernels::configure(choice);
+    let (m, kd, n) = (256, 192, 128);
+    let a: Vec<f32> = (0..m * kd).map(|i| (i % 13) as f32 * 0.25 - 1.5).collect();
+    let b: Vec<f32> = (0..kd * n).map(|i| (i % 7) as f32 * 0.5 - 1.0).collect();
+    let mut c = vec![0.0f32; m * n];
+    time_ns(iters * 4, || kernels::matmul_with(kind, &a, &b, &mut c, m, kd, n))
+}
+
+fn bench_sampler(iters: usize, choice: KernelChoice) -> u64 {
+    kernels::configure(choice);
+    let replay = marl_bench::synthetic_replay(Task::PredatorPrey, 3, 40_000);
+    let mut sampler = SamplerConfig::Uniform.build(40_000);
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut out = MultiBatch::preallocate(&replay.layouts(), 1024);
+    let mut plan = marl_core::indices::SamplePlan::new();
+    time_ns(iters * 8, || {
+        sampler.plan_into(replay.len(), 1024, &mut rng, &mut plan).expect("plan");
+        replay.sample_into(&plan, &mut out).expect("gather");
+    })
+}
+
+fn update_trainer(choice: KernelChoice) -> Trainer {
+    let mut cfg = TrainConfig::paper_defaults(Algorithm::Maddpg, Task::PredatorPrey, 3)
+        .with_batch_size(256)
+        .with_buffer_capacity(16_384)
+        .with_seed(5)
+        .with_kernel(choice);
+    cfg.warmup = 512;
+    let mut t = Trainer::new(cfg).expect("valid bench config");
+    t.prefill(4096).expect("prefill");
+    t
+}
+
+fn bench_update(iters: usize, choice: KernelChoice) -> u64 {
+    let mut t = update_trainer(choice);
+    time_ns(iters, || t.update_all_trainers().expect("update"))
+}
+
+fn bench_episode(iters: usize, choice: KernelChoice) -> u64 {
+    let mut t = update_trainer(choice);
+    time_ns(iters.div_ceil(4), || {
+        t.run_episode().expect("episode");
+    })
+}
+
+fn main() {
+    let iters = env_usize("MARL_BENCH_ITERS", 20);
+    let out_path = std::env::var("MARL_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr3.json".to_string());
+
+    println!("== bench_summary: scalar vs SIMD kernels ({iters} iters) ==\n");
+    let summary = Summary {
+        simd_available: kernels::simd_available(),
+        auto_kernel: format!("{:?}", kernels::configure(KernelChoice::Auto)),
+        matmul: KernelPair::measure(|c| bench_matmul(iters, c)),
+        sampler_gather: KernelPair::measure(|c| bench_sampler(iters, c)),
+        update_all_trainers: KernelPair::measure(|c| bench_update(iters, c)),
+        end_to_end_episode: KernelPair::measure(|c| bench_episode(iters, c)),
+    };
+    // Leave the process-global kernel back on auto-detection.
+    kernels::set_active(if kernels::simd_available() {
+        KernelKind::Simd
+    } else {
+        KernelKind::Scalar
+    });
+
+    let report = |name: &str, p: &KernelPair| {
+        println!(
+            "{name:>22}: scalar {:>12} ns/op | simd {:>12} ns/op | speedup {:.2}x",
+            p.scalar_ns_per_op, p.simd_ns_per_op, p.speedup
+        );
+    };
+    report("matmul 256x192x128", &summary.matmul);
+    report("sampler gather", &summary.sampler_gather);
+    report("update_all_trainers", &summary.update_all_trainers);
+    report("episode end-to-end", &summary.end_to_end_episode);
+
+    let json = serde_json::to_string(&summary).expect("summary serializes");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write bench summary");
+    println!("\nwrote {out_path}");
+}

@@ -74,10 +74,17 @@ impl SamplePlan {
     /// Flattens into the per-row index list (the literal indices array).
     pub fn flatten(&self) -> Vec<usize> {
         let mut out = Vec::with_capacity(self.batch_len());
+        self.flatten_into(&mut out);
+        out
+    }
+
+    /// [`SamplePlan::flatten`] writing into a cleared, caller-owned vector
+    /// (allocation-free once the vector has capacity).
+    pub fn flatten_into(&self, out: &mut Vec<usize>) {
+        out.clear();
         for s in &self.segments {
             out.extend(s.iter());
         }
-        out
     }
 
     /// Number of *random jumps* the gather performs: one per segment

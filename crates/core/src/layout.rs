@@ -217,21 +217,44 @@ impl InterleavedStore {
     ///
     /// Returns an index-range error if the plan references unstored rows.
     pub fn sample(&self, plan: &SamplePlan) -> Result<MultiBatch, ReplayError> {
+        let mut out = MultiBatch::preallocate(&self.layouts, plan.batch_len());
+        self.sample_into(plan, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`InterleavedStore::sample`] gathering into a caller-owned
+    /// [`MultiBatch`], reusing its column storage: once `out` has seen a
+    /// batch of this shape, the gather performs zero heap allocations.
+    ///
+    /// `out` is reshaped on first use (or agent-count change); its contents
+    /// are unspecified if an error is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns an index-range error if the plan references unstored rows.
+    pub fn sample_into(&self, plan: &SamplePlan, out: &mut MultiBatch) -> Result<(), ReplayError> {
         let batch = plan.batch_len();
-        let mut agents: Vec<AgentBatch> =
-            self.layouts.iter().map(|&l| AgentBatch::with_capacity(l, batch)).collect();
+        if out.agents.len() != self.layouts.len() {
+            out.agents.clear();
+            out.agents.extend(self.layouts.iter().map(|&l| AgentBatch::with_capacity(l, batch)));
+        }
+        out.set_plan_meta(plan);
+        for (ab, &l) in out.agents.iter_mut().zip(&self.layouts) {
+            ab.layout = l;
+            ab.reset(batch);
+        }
         for seg in &plan.segments {
             for idx in seg.iter() {
                 if idx >= self.len {
                     return Err(ReplayError::IndexOutOfRange { index: idx, len: self.len });
                 }
                 let fat = &self.data[idx * self.fat_width..(idx + 1) * self.fat_width];
-                for ((ab, l), &off) in agents.iter_mut().zip(&self.layouts).zip(&self.offsets) {
+                for ((ab, l), &off) in out.agents.iter_mut().zip(&self.layouts).zip(&self.offsets) {
                     ab.push_row(&fat[off..off + l.row_width()]);
                 }
             }
         }
-        Ok(MultiBatch { agents, indices: plan.flatten(), weights: plan.weights.clone() })
+        Ok(())
     }
 }
 

@@ -149,27 +149,48 @@ impl MultiAgentReplay {
     ///
     /// Propagates index-range errors from the underlying storage.
     pub fn sample(&self, plan: &SamplePlan) -> Result<MultiBatch, ReplayError> {
+        let mut out = MultiBatch::preallocate(&self.layouts(), plan.batch_len());
+        self.sample_into(plan, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`MultiAgentReplay::sample`] gathering into a caller-owned
+    /// [`MultiBatch`], reusing its column storage: once `out` has seen a
+    /// batch of this shape, the gather performs zero heap allocations.
+    ///
+    /// `out` is reshaped on first use (or agent-count change); its contents
+    /// are unspecified if an error is returned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index-range errors from the underlying storage.
+    pub fn sample_into(&self, plan: &SamplePlan, out: &mut MultiBatch) -> Result<(), ReplayError> {
         let batch = plan.batch_len();
-        let mut agents = Vec::with_capacity(self.buffers.len());
-        // Scratch reused across agents.
-        let mut rows: Vec<f32> = Vec::new();
-        for b in &self.buffers {
-            rows.clear();
-            let w = b.layout().row_width();
+        if out.agents.len() != self.buffers.len() {
+            out.agents.clear();
+            out.agents
+                .extend(self.buffers.iter().map(|b| AgentBatch::with_capacity(*b.layout(), batch)));
+        }
+        out.set_plan_meta(plan);
+        for (b, ab) in self.buffers.iter().zip(&mut out.agents) {
+            ab.layout = *b.layout();
+            ab.reset(batch);
             for seg in &plan.segments {
-                if seg.len == 1 {
-                    b.gather(std::slice::from_ref(&seg.start), &mut rows)?;
-                } else {
-                    b.gather_run(seg.start, seg.len, &mut rows)?;
+                if seg.start + seg.len > b.len() {
+                    return Err(ReplayError::IndexOutOfRange {
+                        index: seg.start + seg.len - 1,
+                        len: b.len(),
+                    });
+                }
+                // Rows within a segment stream sequentially; the segment
+                // start is the one unpredictable address — the same access
+                // pattern the gather()/gather_run() split models.
+                for idx in seg.iter() {
+                    ab.push_row(b.row(idx));
                 }
             }
-            let mut ab = AgentBatch::with_capacity(*b.layout(), batch);
-            for r in 0..batch {
-                ab.push_row(&rows[r * w..(r + 1) * w]);
-            }
-            agents.push(ab);
         }
-        Ok(MultiBatch { agents, indices: plan.flatten(), weights: plan.weights.clone() })
+        Ok(())
     }
 
     /// Parallel variant of [`MultiAgentReplay::sample`]: agents' gathers
@@ -250,23 +271,54 @@ impl MultiAgentReplay {
         plans: &[SamplePlan],
         threads: usize,
     ) -> Result<Vec<MultiBatch>, ReplayError> {
+        let layouts = self.layouts();
+        let mut outs: Vec<MultiBatch> =
+            plans.iter().map(|p| MultiBatch::preallocate(&layouts, p.batch_len())).collect();
+        self.sample_many_into(plans, &mut outs, threads)?;
+        Ok(outs)
+    }
+
+    /// [`MultiAgentReplay::sample_many`] gathering into caller-owned
+    /// batches (one per plan), reusing their storage across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plans.len() != outs.len()`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index-range errors from the underlying storage; the
+    /// contents of `outs` are unspecified on error.
+    pub fn sample_many_into(
+        &self,
+        plans: &[SamplePlan],
+        outs: &mut [MultiBatch],
+        threads: usize,
+    ) -> Result<(), ReplayError> {
+        assert_eq!(plans.len(), outs.len(), "one output batch per plan");
         let threads = threads.clamp(1, plans.len().max(1));
         if threads == 1 || plans.len() <= 1 {
-            return plans.iter().map(|p| self.sample(p)).collect();
+            for (p, o) in plans.iter().zip(outs.iter_mut()) {
+                self.sample_into(p, o)?;
+            }
+            return Ok(());
         }
         let chunk = plans.len().div_ceil(threads);
-        let results: Vec<Result<Vec<MultiBatch>, ReplayError>> = std::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = plans
                 .chunks(chunk)
-                .map(|ps| scope.spawn(move || ps.iter().map(|p| self.sample(p)).collect()))
+                .zip(outs.chunks_mut(chunk))
+                .map(|(ps, os)| {
+                    scope.spawn(move || {
+                        for (p, o) in ps.iter().zip(os.iter_mut()) {
+                            self.sample_into(p, o)?;
+                        }
+                        Ok(())
+                    })
+                })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("gather worker panicked")).collect()
-        });
-        let mut batches = Vec::with_capacity(plans.len());
-        for r in results {
-            batches.extend(r?);
-        }
-        Ok(batches)
+            handles.into_iter().try_for_each(|h| h.join().expect("gather worker panicked"))
+        })
     }
 }
 
@@ -400,6 +452,42 @@ mod tests {
         for threads in [1usize, 2, 3, 8, 100] {
             let par = r.sample_many(&plans, threads).unwrap();
             assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sample_into_reuses_batch_storage() {
+        let r = filled(3, 32);
+        let mut out = MultiBatch::preallocate(&r.layouts(), 8);
+        let plan_a = SamplePlan::from_indices(&(0..8).collect::<Vec<_>>());
+        r.sample_into(&plan_a, &mut out).unwrap();
+        assert_eq!(out, r.sample(&plan_a).unwrap());
+        let ptrs: Vec<_> = out.agents.iter().map(|a| a.obs.as_ptr()).collect();
+        // A smaller follow-up batch reuses the same allocations and leaves
+        // no stale rows behind.
+        let plan_b = SamplePlan::from_indices(&[31, 2, 15]);
+        r.sample_into(&plan_b, &mut out).unwrap();
+        assert_eq!(out, r.sample(&plan_b).unwrap());
+        for (a, &p) in out.agents.iter().zip(&ptrs) {
+            assert_eq!(a.obs.as_ptr(), p, "obs storage must be reused");
+            assert_eq!(a.rewards.len(), 3);
+        }
+    }
+
+    #[test]
+    fn sample_many_into_matches_sample_many() {
+        let r = filled(3, 40);
+        let plans: Vec<SamplePlan> = vec![
+            SamplePlan::from_indices(&[0, 5, 39]),
+            SamplePlan { segments: vec![Segment::run(10, 3)], weights: None },
+            SamplePlan::from_indices(&[7, 7, 2]),
+        ];
+        let expect = r.sample_many(&plans, 1).unwrap();
+        let mut outs: Vec<MultiBatch> =
+            plans.iter().map(|p| MultiBatch::preallocate(&r.layouts(), p.batch_len())).collect();
+        for threads in [1usize, 2, 3] {
+            r.sample_many_into(&plans, &mut outs, threads).unwrap();
+            assert_eq!(outs, expect, "threads={threads}");
         }
     }
 

@@ -89,6 +89,29 @@ pub trait Sampler: std::fmt::Debug + Send {
         rng: &mut StdRng,
     ) -> Result<SamplePlan, ReplayError>;
 
+    /// [`Sampler::plan`] writing into a caller-owned plan whose segment and
+    /// weight storage is reused across calls.
+    ///
+    /// The default implementation allocates a fresh plan and moves it into
+    /// `out`; allocation-sensitive strategies (e.g.
+    /// [`uniform::UniformSampler`]) override it to refill `out` in place.
+    /// Both paths consume identical RNG draws, so plans are bitwise equal
+    /// either way.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Sampler::plan`]; `out` is unchanged on error.
+    fn plan_into(
+        &mut self,
+        len: usize,
+        batch: usize,
+        rng: &mut StdRng,
+        out: &mut SamplePlan,
+    ) -> Result<(), ReplayError> {
+        *out = self.plan(len, batch, rng)?;
+        Ok(())
+    }
+
     /// Notifies the strategy that a new transition landed in `slot`
     /// (prioritized strategies give fresh transitions maximal priority).
     fn observe_push(&mut self, _slot: usize) {}

@@ -1,7 +1,7 @@
 //! Baseline uniform random sampling (the default in MADDPG/MATD3).
 
 use crate::error::ReplayError;
-use crate::indices::SamplePlan;
+use crate::indices::{SamplePlan, Segment};
 use crate::sampler::{check_batch, Sampler};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -48,9 +48,25 @@ impl Sampler for UniformSampler {
         batch: usize,
         rng: &mut StdRng,
     ) -> Result<SamplePlan, ReplayError> {
+        let mut out = SamplePlan::new();
+        self.plan_into(len, batch, rng, &mut out)?;
+        Ok(out)
+    }
+
+    fn plan_into(
+        &mut self,
+        len: usize,
+        batch: usize,
+        rng: &mut StdRng,
+        out: &mut SamplePlan,
+    ) -> Result<(), ReplayError> {
         check_batch(len, batch)?;
-        let indices: Vec<usize> = (0..batch).map(|_| rng.gen_range(0..len)).collect();
-        Ok(SamplePlan::from_indices(&indices))
+        out.segments.clear();
+        out.weights = None;
+        for _ in 0..batch {
+            out.segments.push(Segment::single(rng.gen_range(0..len)));
+        }
+        Ok(())
     }
 }
 

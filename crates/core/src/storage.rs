@@ -289,6 +289,76 @@ mod tests {
     }
 
     #[test]
+    fn gather_appends_after_existing_contents() {
+        let mut s = storage(8);
+        for i in 0..8 {
+            s.push(&t(i as f32));
+        }
+        let w = s.layout().row_width();
+        // A reused buffer may arrive non-empty: gather must append after
+        // the existing prefix, not clobber it.
+        let mut out = vec![-1.0f32; 3];
+        s.gather(&[2, 5], &mut out).unwrap();
+        assert_eq!(&out[..3], &[-1.0, -1.0, -1.0]);
+        assert_eq!(&out[3..3 + w], s.row(2));
+        assert_eq!(&out[3 + w..], s.row(5));
+    }
+
+    #[test]
+    fn gather_into_cleared_larger_buffer_reuses_capacity() {
+        let mut s = storage(8);
+        for i in 0..8 {
+            s.push(&t(i as f32));
+        }
+        let w = s.layout().row_width();
+        // Warm the buffer with a *larger* gather, then clear and regather
+        // fewer rows: the allocation must be reused (pointer-stable) and
+        // no stale tail may leak into the result.
+        let mut out = Vec::new();
+        s.gather(&[0, 1, 2, 3, 4, 5], &mut out).unwrap();
+        let ptr = out.as_ptr();
+        out.clear();
+        s.gather(&[7, 6], &mut out).unwrap();
+        assert_eq!(out.as_ptr(), ptr, "capacity must be reused");
+        assert_eq!(out.len(), 2 * w, "no stale rows beyond the new gather");
+        assert_eq!(&out[..w], s.row(7));
+        assert_eq!(&out[w..], s.row(6));
+    }
+
+    #[test]
+    fn gather_run_into_cleared_larger_buffer_reuses_capacity() {
+        let mut s = storage(16);
+        for i in 0..16 {
+            s.push(&t(i as f32));
+        }
+        let w = s.layout().row_width();
+        let mut out = Vec::new();
+        s.gather_run(0, 12, &mut out).unwrap();
+        let ptr = out.as_ptr();
+        out.clear();
+        s.gather_run(3, 4, &mut out).unwrap();
+        assert_eq!(out.as_ptr(), ptr, "capacity must be reused");
+        assert_eq!(out.len(), 4 * w);
+        for (r, idx) in (3..7).enumerate() {
+            assert_eq!(&out[r * w..(r + 1) * w], s.row(idx));
+        }
+    }
+
+    #[test]
+    fn gather_run_appends_after_existing_contents() {
+        let mut s = storage(8);
+        for i in 0..8 {
+            s.push(&t(i as f32));
+        }
+        let w = s.layout().row_width();
+        let mut out = Vec::new();
+        s.gather_run(0, 2, &mut out).unwrap();
+        s.gather_run(5, 1, &mut out).unwrap();
+        assert_eq!(out.len(), 3 * w);
+        assert_eq!(&out[2 * w..], s.row(5), "second gather appends");
+    }
+
+    #[test]
     fn clear_resets_but_keeps_capacity() {
         let mut s = storage(4);
         s.push(&t(0.0));

@@ -142,6 +142,17 @@ impl AgentBatch {
         }
     }
 
+    /// Clears the column vectors and sets the expected batch size, keeping
+    /// every vector's capacity so refills are allocation-free.
+    pub fn reset(&mut self, len: usize) {
+        self.len = len;
+        self.obs.clear();
+        self.actions.clear();
+        self.rewards.clear();
+        self.next_obs.clear();
+        self.dones.clear();
+    }
+
     /// Appends one serialized row.
     pub fn push_row(&mut self, row: &[f32]) {
         let l = &self.layout;
@@ -177,6 +188,43 @@ impl MultiBatch {
     /// Whether the batch is empty.
     pub fn is_empty(&self) -> bool {
         self.indices.is_empty()
+    }
+
+    /// Allocates an empty batch container with capacity for `batch` rows
+    /// per agent, for reuse across `sample_into` calls.
+    pub fn preallocate(layouts: &[TransitionLayout], batch: usize) -> Self {
+        let mut agents: Vec<AgentBatch> =
+            layouts.iter().map(|&l| AgentBatch::with_capacity(l, batch)).collect();
+        for a in &mut agents {
+            a.reset(0);
+        }
+        MultiBatch { agents, indices: Vec::with_capacity(batch), weights: None }
+    }
+
+    /// Clears the rows of every agent batch (capacity retained).
+    pub fn clear(&mut self) {
+        for a in &mut self.agents {
+            a.reset(0);
+        }
+        self.indices.clear();
+        if let Some(w) = &mut self.weights {
+            w.clear();
+        }
+    }
+
+    /// Copies a plan's indices and weights into this batch, reusing the
+    /// existing buffers (allocation-free in steady state when the plan's
+    /// weight variant is stable across calls).
+    pub fn set_plan_meta(&mut self, plan: &crate::indices::SamplePlan) {
+        plan.flatten_into(&mut self.indices);
+        match (&plan.weights, &mut self.weights) {
+            (None, w) => *w = None,
+            (Some(src), Some(dst)) => {
+                dst.clear();
+                dst.extend_from_slice(src);
+            }
+            (Some(src), w @ None) => *w = Some(src.clone()),
+        }
     }
 }
 

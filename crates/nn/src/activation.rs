@@ -21,10 +21,22 @@ pub enum Activation {
 impl Activation {
     /// Applies the activation element-wise, returning the activated output.
     pub fn forward(self, z: &Matrix) -> Matrix {
+        let mut out = z.clone();
+        self.forward_inplace(&mut out);
+        out
+    }
+
+    /// Applies the activation in place (allocation-free; ReLU dispatches to
+    /// the active kernel).
+    pub fn forward_inplace(self, z: &mut Matrix) {
         match self {
-            Activation::Relu => z.map(|x| if x > 0.0 { x } else { 0.0 }),
-            Activation::Tanh => z.map(f32::tanh),
-            Activation::Identity => z.clone(),
+            Activation::Relu => crate::kernels::relu_forward(z.as_mut_slice()),
+            Activation::Tanh => {
+                for x in z.as_mut_slice() {
+                    *x = x.tanh();
+                }
+            }
+            Activation::Identity => {}
         }
     }
 
@@ -33,23 +45,22 @@ impl Activation {
     /// All three activations admit a backward pass expressed in terms of
     /// their own output, which avoids caching pre-activations.
     pub fn backward(self, grad_out: &Matrix, activated: &Matrix) -> Matrix {
+        let mut g = grad_out.clone();
+        self.backward_inplace(&mut g, activated);
+        g
+    }
+
+    /// Transforms `dL/da` into `dL/dz` in place given the activated output.
+    pub fn backward_inplace(self, grad: &mut Matrix, activated: &Matrix) {
         match self {
-            Activation::Identity => grad_out.clone(),
+            Activation::Identity => {}
             Activation::Relu => {
-                let mut g = grad_out.clone();
-                for (g, &a) in g.as_mut_slice().iter_mut().zip(activated.as_slice()) {
-                    if a <= 0.0 {
-                        *g = 0.0;
-                    }
-                }
-                g
+                crate::kernels::relu_backward(grad.as_mut_slice(), activated.as_slice());
             }
             Activation::Tanh => {
-                let mut g = grad_out.clone();
-                for (g, &a) in g.as_mut_slice().iter_mut().zip(activated.as_slice()) {
+                for (g, &a) in grad.as_mut_slice().iter_mut().zip(activated.as_slice()) {
                     *g *= 1.0 - a * a;
                 }
-                g
             }
         }
     }
@@ -66,6 +77,12 @@ impl Activation {
 /// ```
 pub fn softmax(logits: &Matrix) -> Matrix {
     let mut out = logits.clone();
+    softmax_inplace(&mut out);
+    out
+}
+
+/// Row-wise softmax applied in place (allocation-free).
+pub fn softmax_inplace(out: &mut Matrix) {
     let cols = out.cols();
     for r in 0..out.rows() {
         let row = out.row_mut(r);
@@ -85,14 +102,20 @@ pub fn softmax(logits: &Matrix) -> Matrix {
             }
         }
     }
-    out
 }
 
 /// Backward pass of row-wise softmax: given `y = softmax(z)` and `dL/dy`,
 /// returns `dL/dz = y ⊙ (dL/dy − (dL/dy · y))`.
 pub fn softmax_backward(grad_out: &Matrix, softmax_out: &Matrix) -> Matrix {
-    assert_eq!(grad_out.shape(), softmax_out.shape(), "softmax backward shape mismatch");
     let mut grad_in = Matrix::zeros(grad_out.rows(), grad_out.cols());
+    softmax_backward_into(grad_out, softmax_out, &mut grad_in);
+    grad_in
+}
+
+/// [`softmax_backward`] writing into a caller-owned buffer.
+pub fn softmax_backward_into(grad_out: &Matrix, softmax_out: &Matrix, grad_in: &mut Matrix) {
+    assert_eq!(grad_out.shape(), softmax_out.shape(), "softmax backward shape mismatch");
+    grad_in.resize(grad_out.rows(), grad_out.cols());
     for r in 0..grad_out.rows() {
         let g = grad_out.row(r);
         let y = softmax_out.row(r);
@@ -102,7 +125,6 @@ pub fn softmax_backward(grad_out: &Matrix, softmax_out: &Matrix) -> Matrix {
             *o = yi * (gi - dot);
         }
     }
-    grad_in
 }
 
 #[cfg(test)]

@@ -108,18 +108,24 @@ impl Adam {
         let bc2 = 1.0 - beta2.powi(self.t as i32);
         let mut off = 0;
         let (m, v) = (&mut self.m, &mut self.v);
+        // The element-wise update runs on the dispatched kernel; scalar and
+        // SIMD paths are bitwise identical (no FMA reassociation).
         net.visit_params(|p, g| {
-            for (i, (pi, &gi0)) in p.iter_mut().zip(g.iter()).enumerate() {
-                let gi = gi0 * scale;
-                let mi = &mut m[off + i];
-                let vi = &mut v[off + i];
-                *mi = beta1 * *mi + (1.0 - beta1) * gi;
-                *vi = beta2 * *vi + (1.0 - beta2) * gi * gi;
-                let mhat = *mi / bc1;
-                let vhat = *vi / bc2;
-                *pi -= learning_rate * mhat / (vhat.sqrt() + epsilon);
-            }
-            off += p.len();
+            let len = p.len();
+            crate::kernels::adam_step(
+                p,
+                g,
+                &mut m[off..off + len],
+                &mut v[off..off + len],
+                scale,
+                learning_rate,
+                beta1,
+                beta2,
+                epsilon,
+                bc1,
+                bc2,
+            );
+            off += len;
         });
     }
 }

@@ -5,7 +5,7 @@
 //! over the actor's logits, keeping the action differentiable for the
 //! deterministic policy-gradient update.
 
-use crate::activation::{softmax, softmax_backward};
+use crate::activation::{softmax, softmax_backward, softmax_backward_into, softmax_inplace};
 use crate::matrix::Matrix;
 use crate::rng::standard_gumbel;
 use rand::Rng;
@@ -29,6 +29,19 @@ impl GumbelSample {
     }
 }
 
+/// Backward of the softmax relaxation expressed on raw buffers: given the
+/// relaxed sample `value` and `dL/dvalue`, writes `dL/dlogits` into
+/// `grad_logits` (allocation-free).
+pub fn relaxation_backward_into(
+    grad_out: &Matrix,
+    value: &Matrix,
+    temperature: f32,
+    grad_logits: &mut Matrix,
+) {
+    softmax_backward_into(grad_out, value, grad_logits);
+    grad_logits.scale(1.0 / temperature);
+}
+
 /// Draws a Gumbel-softmax sample `softmax((logits + g) / temperature)`.
 ///
 /// # Panics
@@ -49,10 +62,22 @@ pub fn gumbel_softmax_sample<R: Rng + ?Sized>(
 
 /// Deterministic relaxation (no Gumbel noise): `softmax(logits / temperature)`.
 pub fn softmax_relaxation(logits: &Matrix, temperature: f32) -> GumbelSample {
+    let mut value = Matrix::default();
+    softmax_relaxation_into(logits, temperature, &mut value);
+    GumbelSample { value, temperature }
+}
+
+/// [`softmax_relaxation`] writing the relaxed sample into a caller-owned
+/// buffer (allocation-free).
+///
+/// # Panics
+///
+/// Panics if `temperature <= 0`.
+pub fn softmax_relaxation_into(logits: &Matrix, temperature: f32, value: &mut Matrix) {
     assert!(temperature > 0.0, "temperature must be positive");
-    let mut scaled = logits.clone();
-    scaled.scale(1.0 / temperature);
-    GumbelSample { value: softmax(&scaled), temperature }
+    value.copy_from(logits);
+    value.scale(1.0 / temperature);
+    softmax_inplace(value);
 }
 
 /// Converts relaxed samples to hard one-hot rows (straight-through

@@ -34,15 +34,19 @@ pub mod activation;
 pub mod adam;
 pub mod gumbel;
 pub mod init;
+pub mod kernels;
 pub mod linear;
 pub mod loss;
 pub mod matrix;
 pub mod mlp;
 pub mod rng;
+pub mod scratch;
 
 pub use activation::Activation;
 pub use adam::{Adam, AdamConfig};
 pub use init::Init;
+pub use kernels::{KernelChoice, KernelKind};
 pub use linear::Linear;
 pub use matrix::Matrix;
 pub use mlp::Mlp;
+pub use scratch::Scratch;

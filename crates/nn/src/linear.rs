@@ -71,18 +71,35 @@ impl Linear {
 
     /// Forward pass, caching the input for the subsequent backward pass.
     pub fn forward(&mut self, input: &Matrix) -> Matrix {
-        let mut out = input.matmul(&self.weight);
-        out.add_row_broadcast(&self.bias);
-        self.cached_input = Some(input.clone());
+        let mut out = Matrix::default();
+        self.forward_into(input, &mut out);
         out
+    }
+
+    /// Forward pass writing into `out`, caching the input (into a reused
+    /// buffer) for the subsequent backward pass. Allocation-free once the
+    /// cache and `out` have steady-state capacity.
+    pub fn forward_into(&mut self, input: &Matrix, out: &mut Matrix) {
+        input.matmul_into(&self.weight, out);
+        crate::kernels::add_bias(out.as_mut_slice(), &self.bias);
+        match &mut self.cached_input {
+            Some(c) => c.copy_from(input),
+            None => self.cached_input = Some(input.clone()),
+        }
     }
 
     /// Forward pass without caching (inference only; `backward` afterwards
     /// would panic).
     pub fn forward_inference(&self, input: &Matrix) -> Matrix {
-        let mut out = input.matmul(&self.weight);
-        out.add_row_broadcast(&self.bias);
+        let mut out = Matrix::default();
+        self.forward_inference_into(input, &mut out);
         out
+    }
+
+    /// Inference forward pass writing into `out` (no cache, no allocation).
+    pub fn forward_inference_into(&self, input: &Matrix, out: &mut Matrix) {
+        input.matmul_into(&self.weight, out);
+        crate::kernels::add_bias(out.as_mut_slice(), &self.bias);
     }
 
     /// Backward pass: accumulates `dL/dW`, `dL/db` and returns `dL/dx`.
@@ -91,13 +108,30 @@ impl Linear {
     ///
     /// Panics if called before any [`Linear::forward`].
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut grad_in = Matrix::default();
+        self.backward_into(grad_out, &mut grad_in);
+        grad_in
+    }
+
+    /// Backward pass writing `dL/dx` into `grad_in`; `dL/dW` accumulates
+    /// through the fused [`Matrix::transpose_matmul_acc_into`] kernel (no
+    /// temporary product matrix) and `dL/db` sums straight into the stored
+    /// gradient, so the steady state performs zero heap allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before any forward pass cached an input.
+    pub fn backward_into(&mut self, grad_out: &Matrix, grad_in: &mut Matrix) {
         let input = self.cached_input.as_ref().expect("Linear::backward called before forward");
         assert_eq!(grad_out.rows(), input.rows(), "backward batch mismatch");
-        self.grad_weight.add_assign(&input.transpose_matmul(grad_out));
-        for (gb, s) in self.grad_bias.iter_mut().zip(grad_out.column_sums()) {
-            *gb += s;
+        input.transpose_matmul_acc_into(grad_out, &mut self.grad_weight);
+        let cols = grad_out.cols();
+        for r in 0..grad_out.rows() {
+            for (gb, &g) in self.grad_bias.iter_mut().zip(&grad_out.row(r)[..cols]) {
+                *gb += g;
+            }
         }
-        grad_out.matmul_transpose(&self.weight)
+        grad_out.matmul_transpose_into(&self.weight, grad_in);
     }
 
     /// Clears accumulated gradients.

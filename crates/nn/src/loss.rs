@@ -12,13 +12,20 @@ use crate::matrix::Matrix;
 ///
 /// Panics on shape mismatch.
 pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    let mut grad = Matrix::default();
+    let loss = mse_into(pred, target, &mut grad);
+    (loss, grad)
+}
+
+/// [`mse`] writing `dL/dpred` into a caller-owned buffer; returns the loss.
+pub fn mse_into(pred: &Matrix, target: &Matrix, grad: &mut Matrix) -> f32 {
     assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
     let n = pred.len().max(1) as f32;
-    let mut grad = pred.clone();
+    grad.copy_from(pred);
     grad.sub_assign(target);
     let loss = grad.as_slice().iter().map(|d| d * d).sum::<f32>() / n;
     grad.scale(2.0 / n);
-    (loss, grad)
+    loss
 }
 
 /// Importance-weighted MSE used by prioritized replay (Lemma 1 of the
@@ -30,12 +37,24 @@ pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
 ///
 /// Panics if shapes mismatch or `weights.len() != pred.rows()`.
 pub fn weighted_mse(pred: &Matrix, target: &Matrix, weights: &[f32]) -> (f32, Matrix) {
+    let mut grad = Matrix::default();
+    let loss = weighted_mse_into(pred, target, weights, &mut grad);
+    (loss, grad)
+}
+
+/// [`weighted_mse`] writing `dL/dpred` into a caller-owned buffer; returns
+/// the loss.
+pub fn weighted_mse_into(
+    pred: &Matrix,
+    target: &Matrix,
+    weights: &[f32],
+    grad: &mut Matrix,
+) -> f32 {
     assert_eq!(pred.shape(), target.shape(), "weighted_mse shape mismatch");
     assert_eq!(weights.len(), pred.rows(), "weight/row mismatch");
     let n = pred.len().max(1) as f32;
-    let mut grad = pred.clone();
+    grad.copy_from(pred);
     grad.sub_assign(target);
-    let cols = pred.cols();
     let mut loss = 0.0;
     for (r, &w) in weights.iter().enumerate().take(pred.rows()) {
         let row = grad.row_mut(r);
@@ -43,22 +62,28 @@ pub fn weighted_mse(pred: &Matrix, target: &Matrix, weights: &[f32]) -> (f32, Ma
             loss += w * *d * *d;
             *d *= 2.0 * w;
         }
-        let _ = cols;
     }
     grad.scale(1.0 / n);
-    (loss / n, grad)
+    loss / n
 }
 
 /// Per-row absolute TD error `|pred − target|`, used to refresh priorities
 /// in prioritized replay.
 pub fn td_errors(pred: &Matrix, target: &Matrix) -> Vec<f32> {
+    let mut out = Vec::new();
+    td_errors_into(pred, target, &mut out);
+    out
+}
+
+/// [`td_errors`] appending into a cleared, caller-owned vector.
+pub fn td_errors_into(pred: &Matrix, target: &Matrix, out: &mut Vec<f32>) {
     assert_eq!(pred.shape(), target.shape(), "td_errors shape mismatch");
-    (0..pred.rows())
-        .map(|r| {
-            pred.row(r).iter().zip(target.row(r)).map(|(a, b)| (a - b).abs()).sum::<f32>()
-                / pred.cols().max(1) as f32
-        })
-        .collect()
+    out.clear();
+    for r in 0..pred.rows() {
+        let e = pred.row(r).iter().zip(target.row(r)).map(|(a, b)| (a - b).abs()).sum::<f32>()
+            / pred.cols().max(1) as f32;
+        out.push(e);
+    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 //! small, predictable matrix kernel keeps the actor/critic phases realistic
 //! without pulling in a BLAS dependency.
 
+use crate::kernels;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -177,39 +178,84 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Reshapes in place to `rows × cols`, zero-filling the contents and
+    /// reusing the backing allocation whenever capacity suffices.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Sets every element to `value`.
+    pub fn fill(&mut self, value: f32) {
+        self.data.fill(value);
+    }
+
+    /// Becomes a copy of `src` (shape and contents), reusing storage.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Reshapes to `rows × cols` and copies `data` in, reusing the backing
+    /// allocation whenever capacity suffices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn assign_from_slice(&mut self, rows: usize, cols: usize, data: &[f32]) {
+        assert_eq!(data.len(), rows * cols, "assign_from_slice shape mismatch");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.extend_from_slice(data);
+    }
+
+    /// Copies `src` into the column range `[start, start + src.cols)` of
+    /// `self`; the row counterpart of [`Matrix::hstack`] for preallocated
+    /// destinations.
+    ///
+    /// # Panics
+    ///
+    /// Panics on row mismatch or if the column range overflows.
+    pub fn copy_columns_from(&mut self, src: &Matrix, start: usize) {
+        assert_eq!(self.rows, src.rows, "copy_columns_from row mismatch");
+        assert!(start + src.cols <= self.cols, "copy_columns_from column overflow");
+        for r in 0..self.rows {
+            let dst = &mut self.data[r * self.cols + start..r * self.cols + start + src.cols];
+            dst.copy_from_slice(src.row(r));
+        }
+    }
+
     /// Matrix product `self · rhs`.
     ///
-    /// Small shapes use the cache-friendly `i,k,j` loop order; above
-    /// [`BLOCK_THRESHOLD`] multiply-adds the register-blocked 4×4 kernel
-    /// takes over. Both paths accumulate each output element in the same
-    /// `k` order, so the result is bitwise identical regardless of which
-    /// kernel runs.
+    /// Dispatches to the process-wide kernel selected by
+    /// [`crate::kernels::active`]: the blocked-scalar path accumulates each
+    /// output element in ascending-`k` order (bitwise-stable at every
+    /// size), the SIMD path uses AVX2+FMA and agrees within the documented
+    /// ULP tolerance.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols != rhs.rows`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// `out = self · rhs`, reusing `out`'s backing storage.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} · {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        if self.rows * self.cols * rhs.cols >= BLOCK_THRESHOLD {
-            matmul_blocked(&self.data, &rhs.data, &mut out.data, self.rows, self.cols, rhs.cols);
-            return out;
-        }
-        for i in 0..self.rows {
-            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
-            let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a) in arow.iter().enumerate() {
-                let brow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        out.resize(self.rows, rhs.cols);
+        kernels::matmul(&self.data, &rhs.data, &mut out.data, self.rows, self.cols, rhs.cols);
     }
 
     /// Matrix product `selfᵀ · rhs` without materializing the transpose.
@@ -220,61 +266,66 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.cols, rhs.cols);
-        if self.rows * self.cols * rhs.cols >= BLOCK_THRESHOLD {
-            transpose_matmul_blocked(
-                &self.data,
-                &rhs.data,
-                &mut out.data,
-                self.rows,
-                self.cols,
-                rhs.cols,
-            );
-            return out;
-        }
-        for r in 0..self.rows {
-            let arow = &self.data[r * self.cols..(r + 1) * self.cols];
-            let brow = &rhs.data[r * rhs.cols..(r + 1) * rhs.cols];
-            for (i, &a) in arow.iter().enumerate() {
-                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        kernels::transpose_matmul(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+        );
         out
+    }
+
+    /// `out += selfᵀ · rhs` — the fused gradient accumulation used by
+    /// [`crate::linear::Linear::backward_into`]. Each product element is
+    /// reduced completely before the single add into `out`, so the result
+    /// matches `out.add_assign(&self.transpose_matmul(rhs))` without the
+    /// temporary.
+    ///
+    /// # Panics
+    ///
+    /// Panics on row mismatch or if `out` is not `self.cols × rhs.cols`.
+    pub fn transpose_matmul_acc_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "transpose_matmul shape mismatch: {}x{} vs {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        assert_eq!(out.shape(), (self.cols, rhs.cols), "transpose_matmul_acc output shape");
+        kernels::transpose_matmul_acc(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+        );
     }
 
     /// Matrix product `self · rhsᵀ` without materializing the transpose.
     pub fn matmul_transpose(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        self.matmul_transpose_into(rhs, &mut out);
+        out
+    }
+
+    /// `out = self · rhsᵀ`, reusing `out`'s backing storage.
+    pub fn matmul_transpose_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_transpose shape mismatch: {}x{} vs {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
-        if self.rows * self.cols * rhs.rows >= BLOCK_THRESHOLD {
-            matmul_transpose_blocked(
-                &self.data,
-                &rhs.data,
-                &mut out.data,
-                self.rows,
-                self.cols,
-                rhs.rows,
-            );
-            return out;
-        }
-        for i in 0..self.rows {
-            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..rhs.rows {
-                let brow = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
-                let mut acc = 0.0;
-                for (&a, &b) in arow.iter().zip(brow.iter()) {
-                    acc += a * b;
-                }
-                out.data[i * rhs.rows + j] = acc;
-            }
-        }
-        out
+        out.resize(self.rows, rhs.rows);
+        kernels::matmul_transpose(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.rows,
+        );
     }
 
     /// Returns an explicit transpose.
@@ -393,13 +444,20 @@ impl Matrix {
     ///
     /// Panics if the range exceeds the column count.
     pub fn columns(&self, start: usize, width: usize) -> Matrix {
-        assert!(start + width <= self.cols, "column range out of bounds");
         let mut out = Matrix::zeros(self.rows, width);
+        self.columns_into(start, width, &mut out);
+        out
+    }
+
+    /// Extracts the column range `[start, start+width)` into `out`,
+    /// reusing its backing storage.
+    pub fn columns_into(&self, start: usize, width: usize, out: &mut Matrix) {
+        assert!(start + width <= self.cols, "column range out of bounds");
+        out.resize(self.rows, width);
         for r in 0..self.rows {
             out.data[r * width..(r + 1) * width]
                 .copy_from_slice(&self.data[r * self.cols + start..r * self.cols + start + width]);
         }
-        out
     }
 
     /// Vertically stacks matrices that share a column count.
@@ -425,144 +483,6 @@ impl Matrix {
         for x in &mut self.data {
             *x = x.clamp(lo, hi);
         }
-    }
-}
-
-/// Side length of the register-blocked micro-kernel tile.
-const TILE: usize = 4;
-
-/// Multiply-add count above which the blocked kernels dispatch; below it
-/// the simple loops win (no tile bookkeeping) and tiny test matrices stay
-/// on the historically exact path.
-const BLOCK_THRESHOLD: usize = 4096;
-
-/// `C = A · B` with a 4×4 register tile: the 16 partial sums live in
-/// registers across the whole `k` sweep, so `C` sees no memory traffic in
-/// the inner loop and each `a` load feeds four FMAs.
-///
-/// Each output element accumulates in ascending-`k` order — the same order
-/// as the naive `i,k,j` loop — so the two paths agree bitwise.
-fn matmul_blocked(a: &[f32], b: &[f32], c: &mut [f32], m: usize, kd: usize, n: usize) {
-    let mut i0 = 0;
-    while i0 < m {
-        let ib = TILE.min(m - i0);
-        let mut j0 = 0;
-        while j0 < n {
-            let jb = TILE.min(n - j0);
-            let mut acc = [[0.0f32; TILE]; TILE];
-            if ib == TILE && jb == TILE {
-                for k in 0..kd {
-                    let brow = &b[k * n + j0..k * n + j0 + TILE];
-                    for di in 0..TILE {
-                        let av = a[(i0 + di) * kd + k];
-                        for dj in 0..TILE {
-                            acc[di][dj] += av * brow[dj];
-                        }
-                    }
-                }
-            } else {
-                for k in 0..kd {
-                    let brow = &b[k * n + j0..k * n + j0 + jb];
-                    for (di, row) in acc.iter_mut().enumerate().take(ib) {
-                        let av = a[(i0 + di) * kd + k];
-                        for (dj, &bv) in brow.iter().enumerate() {
-                            row[dj] += av * bv;
-                        }
-                    }
-                }
-            }
-            for (di, row) in acc.iter().enumerate().take(ib) {
-                let off = (i0 + di) * n + j0;
-                c[off..off + jb].copy_from_slice(&row[..jb]);
-            }
-            j0 += jb;
-        }
-        i0 += ib;
-    }
-}
-
-/// `C = Aᵀ · B` (`A` is `m×kd` traversed column-wise, output `kd×n`) with
-/// the same 4×4 register tile; the reduction runs over the shared row axis
-/// `r` in ascending order, matching the naive loop bitwise.
-fn transpose_matmul_blocked(a: &[f32], b: &[f32], c: &mut [f32], m: usize, kd: usize, n: usize) {
-    let mut i0 = 0;
-    while i0 < kd {
-        let ib = TILE.min(kd - i0);
-        let mut j0 = 0;
-        while j0 < n {
-            let jb = TILE.min(n - j0);
-            let mut acc = [[0.0f32; TILE]; TILE];
-            if ib == TILE && jb == TILE {
-                for r in 0..m {
-                    let arow = &a[r * kd + i0..r * kd + i0 + TILE];
-                    let brow = &b[r * n + j0..r * n + j0 + TILE];
-                    for di in 0..TILE {
-                        let av = arow[di];
-                        for dj in 0..TILE {
-                            acc[di][dj] += av * brow[dj];
-                        }
-                    }
-                }
-            } else {
-                for r in 0..m {
-                    let arow = &a[r * kd + i0..r * kd + i0 + ib];
-                    let brow = &b[r * n + j0..r * n + j0 + jb];
-                    for (di, row) in acc.iter_mut().enumerate().take(ib) {
-                        let av = arow[di];
-                        for (dj, &bv) in brow.iter().enumerate() {
-                            row[dj] += av * bv;
-                        }
-                    }
-                }
-            }
-            for (di, row) in acc.iter().enumerate().take(ib) {
-                let off = (i0 + di) * n + j0;
-                c[off..off + jb].copy_from_slice(&row[..jb]);
-            }
-            j0 += jb;
-        }
-        i0 += ib;
-    }
-}
-
-/// `C = A · Bᵀ` (both operands `…×kd` row-major, output `m×n` where `n` is
-/// `B`'s row count): 16 dot products advance together over `k`, reusing
-/// each loaded `a`/`b` value four times. Ascending-`k` accumulation keeps
-/// the result bitwise equal to the naive dot-product loop.
-fn matmul_transpose_blocked(a: &[f32], b: &[f32], c: &mut [f32], m: usize, kd: usize, n: usize) {
-    let mut i0 = 0;
-    while i0 < m {
-        let ib = TILE.min(m - i0);
-        let mut j0 = 0;
-        while j0 < n {
-            let jb = TILE.min(n - j0);
-            let mut acc = [[0.0f32; TILE]; TILE];
-            if ib == TILE && jb == TILE {
-                for k in 0..kd {
-                    for di in 0..TILE {
-                        let av = a[(i0 + di) * kd + k];
-                        for dj in 0..TILE {
-                            acc[di][dj] += av * b[(j0 + dj) * kd + k];
-                        }
-                    }
-                }
-            } else {
-                for k in 0..kd {
-                    for (di, row) in acc.iter_mut().enumerate().take(ib) {
-                        let av = a[(i0 + di) * kd + k];
-                        for (dj, cell) in row.iter_mut().enumerate().take(jb) {
-                            *cell += av * b[(j0 + dj) * kd + k];
-                        }
-                    }
-                }
-            }
-            for (di, row) in acc.iter().enumerate().take(ib) {
-                let off = (i0 + di) * n + j0;
-                c[off..off + jb].copy_from_slice(&row[..jb]);
-            }
-            j0 += jb;
-        }
-        i0 += ib;
     }
 }
 
@@ -652,6 +572,52 @@ mod tests {
         assert_eq!(a.as_slice(), &[-2.0, 1.0, 2.0]);
     }
 
+    use crate::kernels::{self, KernelKind};
+
+    /// `A·B` pinned to the scalar kernel, regardless of the process-wide
+    /// dispatch (these bitwise tests must hold under `MARL_KERNEL=simd`).
+    fn matmul_scalar(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        kernels::matmul_with(
+            KernelKind::Scalar,
+            a.as_slice(),
+            b.as_slice(),
+            out.as_mut_slice(),
+            a.rows(),
+            a.cols(),
+            b.cols(),
+        );
+        out
+    }
+
+    fn transpose_matmul_scalar(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.cols(), b.cols());
+        kernels::transpose_matmul_with(
+            KernelKind::Scalar,
+            a.as_slice(),
+            b.as_slice(),
+            out.as_mut_slice(),
+            a.rows(),
+            a.cols(),
+            b.cols(),
+        );
+        out
+    }
+
+    fn matmul_transpose_scalar(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.rows());
+        kernels::matmul_transpose_with(
+            KernelKind::Scalar,
+            a.as_slice(),
+            b.as_slice(),
+            out.as_mut_slice(),
+            a.rows(),
+            a.cols(),
+            b.rows(),
+        );
+        out
+    }
+
     /// Triple-loop reference with ascending-`k` accumulation; every kernel
     /// must match it bitwise.
     fn reference_matmul(a: &Matrix, b: &Matrix) -> Matrix {
@@ -688,8 +654,8 @@ mod tests {
         // dimensions exercise every remainder-tile path.
         let a = patterned(17, 19, 3);
         let b = patterned(19, 23, 7);
-        const { assert!(17 * 19 * 23 >= super::BLOCK_THRESHOLD) };
-        assert_eq!(a.matmul(&b).as_slice(), reference_matmul(&a, &b).as_slice());
+        const { assert!(17 * 19 * 23 >= kernels::BLOCK_THRESHOLD) };
+        assert_eq!(matmul_scalar(&a, &b).as_slice(), reference_matmul(&a, &b).as_slice());
     }
 
     #[test]
@@ -697,7 +663,7 @@ mod tests {
         let a = patterned(23, 17, 5);
         let b = patterned(23, 19, 11);
         let expect = reference_matmul(&a.transpose(), &b);
-        assert_eq!(a.transpose_matmul(&b).as_slice(), expect.as_slice());
+        assert_eq!(transpose_matmul_scalar(&a, &b).as_slice(), expect.as_slice());
     }
 
     #[test]
@@ -705,22 +671,56 @@ mod tests {
         let a = patterned(17, 23, 13);
         let b = patterned(19, 23, 17);
         let expect = reference_matmul(&a, &b.transpose());
-        assert_eq!(a.matmul_transpose(&b).as_slice(), expect.as_slice());
+        assert_eq!(matmul_transpose_scalar(&a, &b).as_slice(), expect.as_slice());
     }
 
     #[test]
     fn exact_tile_multiple_shapes_match_reference() {
         let a = patterned(16, 16, 23);
         let b = patterned(16, 16, 29);
-        assert_eq!(a.matmul(&b).as_slice(), reference_matmul(&a, &b).as_slice());
+        assert_eq!(matmul_scalar(&a, &b).as_slice(), reference_matmul(&a, &b).as_slice());
         assert_eq!(
-            a.transpose_matmul(&b).as_slice(),
+            transpose_matmul_scalar(&a, &b).as_slice(),
             reference_matmul(&a.transpose(), &b).as_slice()
         );
         assert_eq!(
-            a.matmul_transpose(&b).as_slice(),
+            matmul_transpose_scalar(&a, &b).as_slice(),
             reference_matmul(&a, &b.transpose()).as_slice()
         );
+    }
+
+    #[test]
+    fn into_variants_reuse_storage_and_match() {
+        let a = patterned(9, 7, 31);
+        let b = patterned(7, 5, 37);
+        let mut out = Matrix::zeros(40, 40); // larger stale buffer
+        out.fill(f32::NAN);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+
+        let bt = patterned(5, 7, 41);
+        a.matmul_transpose_into(&bt, &mut out);
+        assert_eq!(out, a.matmul_transpose(&bt));
+
+        let g = patterned(9, 4, 43);
+        let mut acc = patterned(7, 4, 47);
+        let mut expect = acc.clone();
+        expect.add_assign(&a.transpose_matmul(&g));
+        a.transpose_matmul_acc_into(&g, &mut acc);
+        assert_eq!(acc, expect);
+    }
+
+    #[test]
+    fn copy_columns_and_columns_into_roundtrip() {
+        let a = patterned(4, 3, 53);
+        let b = patterned(4, 2, 59);
+        let mut joint = Matrix::zeros(4, 5);
+        joint.copy_columns_from(&a, 0);
+        joint.copy_columns_from(&b, 3);
+        assert_eq!(joint, Matrix::hstack(&[&a, &b]));
+        let mut back = Matrix::zeros(1, 1);
+        joint.columns_into(3, 2, &mut back);
+        assert_eq!(back, b);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::activation::Activation;
 use crate::init::Init;
 use crate::linear::Linear;
 use crate::matrix::Matrix;
+use crate::scratch::Scratch;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -75,26 +76,60 @@ impl Mlp {
 
     /// Forward pass that caches intermediate activations for `backward`.
     pub fn forward(&mut self, input: &Matrix) -> Matrix {
-        self.activations.clear();
+        let mut out = Matrix::default();
+        self.forward_into(input, &mut out);
+        out
+    }
+
+    /// Forward pass writing the output into `out`; hidden activations are
+    /// cached into persistent per-layer buffers (reused across calls), so
+    /// the steady state performs zero heap allocations.
+    pub fn forward_into(&mut self, input: &Matrix, out: &mut Matrix) {
         let n = self.layers.len();
-        let mut x = input.clone();
-        for (i, layer) in self.layers.iter_mut().enumerate() {
-            let z = layer.forward(&x);
-            x = if i + 1 < n { self.hidden_activation.forward(&z) } else { z };
-            self.activations.push(x.clone());
+        if self.activations.len() != n - 1 {
+            self.activations.resize_with(n - 1, Matrix::default);
         }
-        x
+        let Mlp { layers, hidden_activation, activations } = self;
+        for i in 0..n - 1 {
+            let (done, rest) = activations.split_at_mut(i);
+            let prev: &Matrix = if i == 0 { input } else { &done[i - 1] };
+            let a = &mut rest[0];
+            layers[i].forward_into(prev, a);
+            hidden_activation.forward_inplace(a);
+        }
+        let prev: &Matrix = if n == 1 { input } else { &activations[n - 2] };
+        layers[n - 1].forward_into(prev, out);
     }
 
     /// Forward pass without caching; usable on `&self` for inference.
     pub fn forward_inference(&self, input: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        let mut scratch = Scratch::new();
+        self.forward_inference_into(input, &mut out, &mut scratch);
+        out
+    }
+
+    /// Inference forward pass writing into `out`, ping-ponging hidden
+    /// activations through two [`Scratch`] buffers (allocation-free once
+    /// the arena is warm).
+    pub fn forward_inference_into(&self, input: &Matrix, out: &mut Matrix, scratch: &mut Scratch) {
         let n = self.layers.len();
-        let mut x = input.clone();
-        for (i, layer) in self.layers.iter().enumerate() {
-            let z = layer.forward_inference(&x);
-            x = if i + 1 < n { self.hidden_activation.forward(&z) } else { z };
+        if n == 1 {
+            self.layers[0].forward_inference_into(input, out);
+            return;
         }
-        x
+        let mut cur = scratch.take();
+        let mut next = scratch.take();
+        self.layers[0].forward_inference_into(input, &mut cur);
+        self.hidden_activation.forward_inplace(&mut cur);
+        for i in 1..n - 1 {
+            self.layers[i].forward_inference_into(&cur, &mut next);
+            self.hidden_activation.forward_inplace(&mut next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        self.layers[n - 1].forward_inference_into(&cur, out);
+        scratch.put(cur);
+        scratch.put(next);
     }
 
     /// Backward pass from `dL/dy`; accumulates parameter gradients and
@@ -104,20 +139,42 @@ impl Mlp {
     ///
     /// Panics if called before [`Mlp::forward`].
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        assert_eq!(
-            self.activations.len(),
-            self.layers.len(),
-            "Mlp::backward called before forward"
-        );
+        let mut grad_in = Matrix::default();
+        let mut scratch = Scratch::new();
+        self.backward_into(grad_out, &mut grad_in, &mut scratch);
+        grad_in
+    }
+
+    /// Backward pass writing `dL/dx` into `grad_in`, ping-ponging the
+    /// inter-layer gradient through two [`Scratch`] buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Mlp::forward_into`] cached activations.
+    pub fn backward_into(
+        &mut self,
+        grad_out: &Matrix,
+        grad_in: &mut Matrix,
+        scratch: &mut Scratch,
+    ) {
         let n = self.layers.len();
-        let mut grad = grad_out.clone();
+        assert_eq!(self.activations.len() + 1, n, "Mlp::backward called before forward");
+        let mut g = scratch.take();
+        let mut g2 = scratch.take();
+        g.copy_from(grad_out);
         for i in (0..n).rev() {
             if i + 1 < n {
-                grad = self.hidden_activation.backward(&grad, &self.activations[i]);
+                self.hidden_activation.backward_inplace(&mut g, &self.activations[i]);
             }
-            grad = self.layers[i].backward(&grad);
+            if i == 0 {
+                self.layers[0].backward_into(&g, grad_in);
+            } else {
+                self.layers[i].backward_into(&g, &mut g2);
+                std::mem::swap(&mut g, &mut g2);
+            }
         }
-        grad
+        scratch.put(g);
+        scratch.put(g2);
     }
 
     /// Clears accumulated gradients on every layer.

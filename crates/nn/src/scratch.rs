@@ -1,0 +1,67 @@
+//! Reusable matrix arena for allocation-free forward/backward passes.
+//!
+//! The zero-allocation update pipeline threads a [`Scratch`] through every
+//! `*_into` API that needs temporaries (e.g. [`crate::mlp::Mlp::backward_into`]).
+//! Ownership rules:
+//!
+//! * [`Scratch::take`] pops a pooled matrix (or creates an empty one on a
+//!   cold pool); the caller resizes it to whatever shape it needs.
+//! * The caller **must** return the matrix with [`Scratch::put`] when done —
+//!   dropping it instead is safe but forfeits the buffer, so the next
+//!   `take` allocates again.
+//! * Buffers keep their backing capacity across `take`/`put` cycles, so a
+//!   warmed-up arena serves steady-state shapes without touching the heap.
+
+use crate::matrix::Matrix;
+
+/// A pool of reusable [`Matrix`] buffers.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    pool: Vec<Matrix>,
+}
+
+impl Scratch {
+    /// An empty arena; buffers are created on first use.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Number of pooled (idle) buffers.
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Pops a buffer from the pool, or returns an empty matrix when the
+    /// pool is dry. Contents are unspecified; resize before use.
+    pub fn take(&mut self) -> Matrix {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn put(&mut self, m: Matrix) {
+        self.pool.push(m);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_recycles_capacity() {
+        let mut s = Scratch::new();
+        let mut m = s.take();
+        m.resize(8, 8);
+        let ptr = m.as_slice().as_ptr();
+        s.put(m);
+        let m2 = s.take();
+        assert_eq!(m2.as_slice().as_ptr(), ptr, "same backing buffer returned");
+        assert_eq!(s.pooled(), 0);
+    }
+
+    #[test]
+    fn dry_pool_yields_empty_matrix() {
+        let mut s = Scratch::new();
+        assert!(s.take().is_empty());
+    }
+}

@@ -4,7 +4,11 @@
 //! Inputs are small-integer-valued floats, so every product and partial
 //! sum is exactly representable in `f32`: any summation reordering or
 //! dropped term in the blocked kernels would surface as a bitwise (0 ULP)
-//! mismatch, not a tolerance failure.
+//! mismatch, not a tolerance failure. Because the arithmetic is exact,
+//! these properties hold under *both* dispatch kernels (scalar and AVX2)
+//! — FMA and lane reassociation cannot change an exact sum — so this file
+//! runs on whatever kernel `MARL_KERNEL` selects. Float-valued
+//! scalar-vs-SIMD tolerance checks live in `kernel_equivalence.rs`.
 
 use marl_nn::matrix::Matrix;
 use proptest::prelude::*;

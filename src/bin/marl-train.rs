@@ -5,8 +5,8 @@
 //!            [--sampler baseline|n16r64|n64r16|per|ip|per-reuse:W]
 //!            [--layout per-agent|interleaved] [--episodes E] [--batch B]
 //!            [--capacity C] [--threads T] [--update-threads U] [--seed S]
-//!            [--eval-episodes K] [--checkpoint-out FILE]
-//!            [--checkpoint-every N] [--resume FILE]
+//!            [--kernel auto|scalar|simd] [--eval-episodes K]
+//!            [--checkpoint-out FILE] [--checkpoint-every N] [--resume FILE]
 //! ```
 //!
 //! Prints the phase breakdown and reward summary. `--checkpoint-out`
@@ -75,6 +75,7 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
     let mut threads = 1usize;
     let mut update_threads = 1usize;
     let mut seed = 0u64;
+    let mut kernel = marl_repro::nn::kernels::KernelChoice::Auto;
     let mut eval_episodes = 10usize;
     let mut checkpoint_out = None;
     let mut checkpoint_every = 0usize;
@@ -116,6 +117,11 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
             "--threads" => threads = parse_num(value("--threads")?)?,
             "--update-threads" => update_threads = parse_num(value("--update-threads")?)?,
             "--seed" => seed = parse_num(value("--seed")?)? as u64,
+            "--kernel" => {
+                let v = value("--kernel")?;
+                kernel = marl_repro::nn::kernels::KernelChoice::parse(v)
+                    .ok_or_else(|| CliError(format!("unknown kernel {v}")))?;
+            }
             "--eval-episodes" => eval_episodes = parse_num(value("--eval-episodes")?)?,
             "--checkpoint-out" => checkpoint_out = Some(value("--checkpoint-out")?.clone()),
             "--checkpoint-every" => checkpoint_every = parse_num(value("--checkpoint-every")?)?,
@@ -135,6 +141,7 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
         .with_sampling_threads(threads)
         .with_update_threads(update_threads)
         .with_seed(seed)
+        .with_kernel(kernel)
         .with_checkpoint_every(checkpoint_every);
     // Keep the warmup proportionate to the run so short CLI runs still
     // perform updates.
@@ -155,12 +162,15 @@ fn usage() {
          \x20                 [--sampler baseline|n16r64|n64r16|nK|per|ip|per-reuse:W]\n\
          \x20                 [--layout per-agent|interleaved] [--episodes E] [--batch B]\n\
          \x20                 [--capacity C] [--threads T] [--update-threads U] [--seed S]\n\
-         \x20                 [--eval-episodes K] [--checkpoint-out FILE]\n\
-         \x20                 [--checkpoint-every N] [--resume FILE]\n\
+         \x20                 [--kernel auto|scalar|simd] [--eval-episodes K]\n\
+         \x20                 [--checkpoint-out FILE] [--checkpoint-every N] [--resume FILE]\n\
          \n\
          \x20 --threads T          worker threads for each mini-batch gather (default 1)\n\
          \x20 --update-threads U   worker threads for the per-agent critic/actor updates\n\
          \x20                      (default 1; results are identical for any value)\n\
+         \x20 --kernel K           NN compute kernels: auto (default; SIMD when the CPU\n\
+         \x20                      has AVX2+FMA), scalar, or simd. The MARL_KERNEL env\n\
+         \x20                      var sets the default when the flag is absent\n\
          \x20 --checkpoint-out F   write a crash-safe full checkpoint to F (atomic rename\n\
          \x20                      + CRC-32 + .prev rotation) when the run finishes\n\
          \x20 --checkpoint-every N additionally autosave to F every N episodes (0 = off;\n\

@@ -1,0 +1,79 @@
+//! Proves the zero-allocation claim of the update pipeline: once the
+//! persistent scratch arena is warmed up, `update_all_trainers` performs
+//! no heap allocations on the serial path.
+//!
+//! A counting wrapper around the system allocator is armed only around
+//! the measured updates, so test-harness and warm-up allocations are not
+//! counted. The parallel paths (`update_threads > 1`,
+//! `sampling_threads > 1`) spawn scoped threads and are exempt by
+//! design; this test pins both to 1.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static REALLOCS: AtomicU64 = AtomicU64::new(0);
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            REALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_update_allocates_nothing() {
+    use marl_repro::algo::{Algorithm, Task, TrainConfig, Trainer};
+    use marl_repro::core::SamplerConfig;
+
+    let mut cfg = TrainConfig::paper_defaults(Algorithm::Maddpg, Task::PredatorPrey, 3)
+        .with_batch_size(32)
+        .with_buffer_capacity(4096)
+        .with_sampler(SamplerConfig::Uniform)
+        .with_update_threads(1)
+        .with_seed(7);
+    cfg.sampling_threads = 1;
+    let mut t = Trainer::new(cfg).unwrap();
+    t.prefill(256).unwrap();
+
+    // Warm-up updates size every scratch buffer and resolve one-time lazy
+    // state (Adam moment matrices, the MARL_KERNEL env read, MLP
+    // activation caches).
+    for _ in 0..3 {
+        t.update_all_trainers().unwrap();
+    }
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    REALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    for _ in 0..5 {
+        t.update_all_trainers().unwrap();
+    }
+    ARMED.store(false, Ordering::SeqCst);
+
+    assert_eq!(
+        (ALLOCS.load(Ordering::SeqCst), REALLOCS.load(Ordering::SeqCst)),
+        (0, 0),
+        "steady-state update_all_trainers must not touch the heap"
+    );
+    assert_eq!(t.update_iterations(), 8);
+}

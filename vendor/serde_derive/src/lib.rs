@@ -3,7 +3,8 @@
 //! With no registry access there is no `syn`/`quote`; this macro parses the
 //! item's token stream directly. It supports exactly the shapes the
 //! workspace derives: non-generic structs with named fields (including
-//! `#[serde(skip)]`), unit/tuple structs, and non-generic enums with unit,
+//! `#[serde(skip)]` and `#[serde(default)]`), unit/tuple structs, and
+//! non-generic enums with unit,
 //! tuple, and struct variants, using serde's externally-tagged JSON
 //! encoding (`"Variant"`, `{"Variant":[..]}`, `{"Variant":{..}}`).
 
@@ -13,6 +14,9 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     skip: bool,
+    /// `#[serde(default)]`: a missing key deserializes via `Default`
+    /// instead of erroring (old-snapshot compatibility).
+    default: bool,
 }
 
 #[derive(Debug)]
@@ -94,19 +98,21 @@ impl Cursor {
         false
     }
 
-    /// Consumes leading attributes, reporting whether any was
-    /// `#[serde(skip)]`.
-    fn eat_attrs(&mut self) -> bool {
+    /// Consumes leading attributes, reporting which of `#[serde(skip)]`
+    /// and `#[serde(default)]` were present as `(skip, default)`.
+    fn eat_attrs(&mut self) -> (bool, bool) {
         let mut skip = false;
+        let mut default = false;
         while self.eat_punct('#') {
             match self.next() {
                 Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
-                    skip |= attr_is_serde_skip(&g.stream());
+                    skip |= serde_attr_has(&g.stream(), "skip");
+                    default |= serde_attr_has(&g.stream(), "default");
                 }
                 other => panic!("expected `[...]` after `#`, found {other:?}"),
             }
         }
-        skip
+        (skip, default)
     }
 
     /// Consumes `pub`, `pub(...)`, or nothing.
@@ -148,13 +154,13 @@ impl Cursor {
     }
 }
 
-fn attr_is_serde_skip(stream: &TokenStream) -> bool {
+fn serde_attr_has(stream: &TokenStream, word: &str) -> bool {
     let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
     match tokens.as_slice() {
         [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
             .stream()
             .into_iter()
-            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == word)),
         _ => false,
     }
 }
@@ -206,7 +212,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut cur = Cursor::new(stream);
     let mut fields = Vec::new();
     loop {
-        let skip = cur.eat_attrs();
+        let (skip, default) = cur.eat_attrs();
         if cur.peek().is_none() {
             break;
         }
@@ -215,7 +221,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         assert!(cur.eat_punct(':'), "expected `:` after field `{name}`");
         cur.skip_until_top_level_comma();
         cur.eat_punct(',');
-        fields.push(Field { name, skip });
+        fields.push(Field { name, skip, default });
     }
     fields
 }
@@ -448,11 +454,18 @@ fn de_named_fields(fields: &[Field], ctor: &str) -> String {
         arms.push_str(&format!(
             "\"{fname}\" => {{ __f_{fname} = ::core::option::Option::Some(::serde::Deserialize::deserialize(__p)?); }}\n"
         ));
+        let on_missing = if f.default {
+            "::core::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::core::result::Result::Err(\
+                 ::serde::de::Error::msg(\"missing field `{fname}`\"))"
+            )
+        };
         build.push_str(&format!(
             "{fname}: match __f_{fname} {{\n\
                ::core::option::Option::Some(__v) => __v,\n\
-               ::core::option::Option::None => return ::core::result::Result::Err(\
-                  ::serde::de::Error::msg(\"missing field `{fname}`\")),\n\
+               ::core::option::Option::None => {on_missing},\n\
              }},\n"
         ));
     }
