@@ -24,11 +24,14 @@ use marl_nn::gumbel::{relaxation_backward_into, softmax_relaxation_into};
 use marl_nn::loss::{mse_into, td_errors_into, weighted_mse_into};
 use marl_nn::matrix::Matrix;
 use marl_nn::scratch::Scratch;
+use marl_obs::metrics::{IS_WEIGHT_SCALE, PRIORITY_SCALE};
+use marl_obs::{KernelTally, SnapshotContext, Telemetry};
 use marl_perf::phase::{Phase, PhaseProfile};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Aggregate statistics of the mini-batch sampling phase over a run —
@@ -83,6 +86,23 @@ impl ReplayBackend {
         match self {
             ReplayBackend::PerAgent(r) => r.len(),
             ReplayBackend::Interleaved(s) => s.len(),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        match self {
+            ReplayBackend::PerAgent(r) => r.capacity(),
+            ReplayBackend::Interleaved(s) => s.capacity(),
+        }
+    }
+
+    /// Fill fraction `len / capacity` in `[0, 1]` (telemetry gauge).
+    fn occupancy(&self) -> f64 {
+        let cap = self.capacity();
+        if cap == 0 {
+            0.0
+        } else {
+            self.len() as f64 / cap as f64
         }
     }
 
@@ -148,6 +168,10 @@ pub struct Trainer {
     samples_since_update: usize,
     telemetry: SamplingTelemetry,
     scratch: UpdateScratch,
+    /// Attached observability runtime ([`Trainer::attach_telemetry`]).
+    /// Never checkpointed: telemetry is a property of the process, not
+    /// of the training state.
+    obs: Option<Arc<Telemetry>>,
 }
 
 impl Trainer {
@@ -210,7 +234,31 @@ impl Trainer {
             samples_since_update: 0,
             telemetry: SamplingTelemetry::default(),
             scratch,
+            obs: None,
         })
+    }
+
+    /// Attaches an observability runtime. From the next step on, spans,
+    /// metrics, and (when configured) hardware-counter windows are
+    /// recorded, and episode boundaries drain the sinks. Telemetry only
+    /// reads clocks and counters — it never touches RNG streams or
+    /// update math, so training output is bitwise-identical with or
+    /// without it.
+    pub fn attach_telemetry(&mut self, tel: Arc<Telemetry>) {
+        tel.name_agent_lanes(self.agents.len());
+        self.obs = Some(tel);
+    }
+
+    /// Detaches the observability runtime; subsequent training records
+    /// nothing. The returned handle (if any) can still be drained with
+    /// [`Telemetry::finish`].
+    pub fn detach_telemetry(&mut self) -> Option<Arc<Telemetry>> {
+        self.obs.take()
+    }
+
+    /// The attached observability runtime, if any.
+    pub fn telemetry_handle(&self) -> Option<&Arc<Telemetry>> {
+        self.obs.as_ref()
     }
 
     /// The configuration in force.
@@ -288,6 +336,9 @@ impl Trainer {
             match self.run_episode() {
                 Ok(mean_reward) => self.curve.push(mean_reward),
                 Err(TrainError::Diverged(report)) => {
+                    if let Some(t) = self.obs.as_deref() {
+                        t.metrics.sentinel_trips.inc();
+                    }
                     let tc = Instant::now();
                     let rollback = match (&last_good, retries_left) {
                         (Some(state), n) if n > 0 => state.clone(),
@@ -310,7 +361,19 @@ impl Trainer {
                 last_good = Some((ckpt, replay));
                 // A good save refreshes the divergence retry budget.
                 retries_left = self.config.sentinel.max_retries;
-                self.profile.add(Phase::Checkpoint, tc.elapsed());
+                let dt = tc.elapsed();
+                self.profile.add(Phase::Checkpoint, dt);
+                if let Some(t) = self.obs.as_deref() {
+                    t.metrics.checkpoint_ns.record(dt.as_nanos() as u64);
+                }
+            }
+            if let Some(t) = self.obs.as_deref() {
+                let (scalar, simd) = marl_nn::kernels::dispatch_tally();
+                t.on_episode_end(&SnapshotContext {
+                    episode: self.curve.len() as u64,
+                    profile: &self.profile,
+                    kernels: KernelTally { scalar, simd },
+                });
             }
         }
         Ok(TrainReport {
@@ -331,6 +394,10 @@ impl Trainer {
     ///
     /// Propagates environment and replay failures.
     pub fn run_episode(&mut self) -> Result<f32, TrainError> {
+        // Arc clone (refcount bump only) so the episode span can coexist
+        // with the `&mut self` calls below.
+        let tel = self.obs.clone();
+        let _episode_span = tel.as_deref().map(|t| t.tracer.span("episode", 0));
         let mut obs = self.env.reset();
         let n = self.agents.len();
         let mut episode_reward = vec![0.0f32; n];
@@ -357,6 +424,9 @@ impl Trainer {
             let mut step = self.env.step(&action_idx)?;
             self.profile.add(Phase::EnvironmentStep, t0.elapsed());
             self.env_steps += 1;
+            if let Some(t) = tel.as_deref() {
+                t.metrics.env_steps.inc();
+            }
 
             // --- Store experiences ---
             let t0 = Instant::now();
@@ -472,12 +542,21 @@ impl Trainer {
         let n = self.agents.len();
         let cfg = self.config;
         let matd3 = cfg.algorithm == Algorithm::Matd3;
+        // Field-level borrow of the telemetry handle: every recording
+        // below is wait-free and allocation-free (span ring + atomics),
+        // preserving the steady-state zero-allocation guarantee.
+        let tel = self.obs.as_deref();
+        let update_start = tel.map(|t| t.tracer.now_ns());
 
         // --- Phase 1: mini-batch sampling. The common indices array of
         // each plan is applied to every agent's buffer (O(N·B) reads per
         // trainer, O(N²·B) for the full iteration). All N plans are drawn
         // up front so the gathers become embarrassingly parallel.
         let t0 = Instant::now();
+        let sampling_start = tel.map(|t| {
+            t.hw_window_begin();
+            t.tracer.now_ns()
+        });
         let replay_len = self.replay.len();
         for k in 0..n {
             self.sampler.plan_into(
@@ -497,6 +576,19 @@ impl Trainer {
                 .map(|&od| rows * TransitionLayout::new(od, self.act_dim).row_bytes() as u64)
                 .sum();
             self.telemetry.bytes_gathered += bytes;
+            if let Some(t) = tel {
+                t.metrics.random_jumps.add(plan.random_jumps() as u64);
+                t.metrics.gather_rows.add(rows * n as u64);
+                t.metrics.gather_bytes.add(bytes);
+                for seg in &plan.segments {
+                    t.metrics.run_length.record(seg.len as u64);
+                }
+                if let Some(weights) = &plan.weights {
+                    for &w in weights {
+                        t.metrics.is_weight.record_scaled(w as f64, IS_WEIGHT_SCALE);
+                    }
+                }
+            }
         }
         {
             let scratch = &mut self.scratch;
@@ -515,6 +607,24 @@ impl Trainer {
                 view.refill(mb, &self.obs_dims, self.act_dim);
             }
         }
+        if let (Some(t), Some(start)) = (tel, sampling_start) {
+            t.hw_window_end();
+            t.metrics.replay_len.set(replay_len as f64);
+            t.metrics.replay_occupancy.set(self.replay.occupancy());
+            // Normalized priorities of the sampled rows (prioritized
+            // strategies only — the first `None` ends the scan).
+            'views: for view in &self.scratch.views {
+                for &idx in &view.indices {
+                    match self.sampler.normalized_priority_of(idx, replay_len) {
+                        Some(p) => {
+                            t.metrics.norm_priority.record_scaled(f64::from(p), PRIORITY_SCALE);
+                        }
+                        None => break 'views,
+                    }
+                }
+            }
+            t.tracer.record("mini-batch-sampling", 0, start, t.tracer.now_ns());
+        }
         self.profile.add(Phase::MiniBatchSampling, t0.elapsed());
 
         // --- Phase 2: shared target actions. Every agent's target actor
@@ -522,6 +632,7 @@ impl Trainer {
         // N×(N−1) cross-agent reads), instead of once per consuming
         // trainer; workers then only touch their own networks.
         let t0 = Instant::now();
+        let targetq_start = tel.map(|t| t.tracer.now_ns());
         let noise = if matd3 { cfg.target_noise } else { 0.0 };
         let update_seed =
             marl_nn::rng::derive_seed(marl_nn::rng::derive_seed(cfg.seed, 2), self.updates);
@@ -565,6 +676,9 @@ impl Trainer {
             }
         }
         self.telemetry.target_action_passes += n as u64;
+        if let (Some(t), Some(start)) = (tel, targetq_start) {
+            t.tracer.record("target-q-shared", 0, start, t.tracer.now_ns());
+        }
         self.profile.add(Phase::TargetQ, t0.elapsed());
 
         // --- Phase 3: per-agent updates on the worker pool.
@@ -593,6 +707,7 @@ impl Trainer {
                     profile,
                     ascr,
                     td,
+                    tel,
                 );
             }
         } else {
@@ -633,6 +748,7 @@ impl Trainer {
                                     &mut local,
                                     ascr,
                                     td,
+                                    tel,
                                 );
                             }
                             worker_profiles.lock().merge(&local);
@@ -665,6 +781,7 @@ impl Trainer {
 
         // --- Target-network soft updates ---
         let t0 = Instant::now();
+        let soft_start = tel.map(|t| t.tracer.now_ns());
         let do_target_update = self.config.algorithm == Algorithm::Maddpg
             || self.updates.is_multiple_of(self.config.policy_delay as u64);
         if do_target_update {
@@ -672,10 +789,19 @@ impl Trainer {
                 a.soft_update_targets(self.config.tau);
             }
         }
+        if let (Some(t), Some(start)) = (tel, soft_start) {
+            t.tracer.record("soft-update", 0, start, t.tracer.now_ns());
+        }
         self.profile.add(Phase::SoftUpdate, t0.elapsed());
         crate::sentinel::check_agents(&self.agents, &cfg.sentinel, self.updates)
             .map_err(TrainError::Diverged)?;
         self.updates += 1;
+        if let (Some(t), Some(start)) = (tel, update_start) {
+            let end = t.tracer.now_ns();
+            t.tracer.record("update-all-trainers", 0, start, end);
+            t.metrics.update_ns.record(end.saturating_sub(start));
+            t.metrics.updates.inc();
+        }
         Ok(())
     }
 
@@ -846,7 +972,10 @@ fn update_agent(
     profile: &mut PhaseProfile,
     s: &mut AgentScratch,
     td: &mut Vec<f32>,
+    tel: Option<&Telemetry>,
 ) {
+    // Per-agent lane span: tid `1 + i` matches the trace lane metadata.
+    let _span = tel.map(|t| t.tracer.span("agent-update", 1 + i as u32));
     let batch = view.batch;
     let matd3 = cfg.algorithm == Algorithm::Matd3;
 

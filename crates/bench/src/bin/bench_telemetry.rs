@@ -1,0 +1,192 @@
+//! `bench_telemetry` — measures the steady-state overhead of the runtime
+//! telemetry layer on the update pipeline, written as machine-readable
+//! JSON (`BENCH_pr4.json`).
+//!
+//! Times `update_all_trainers` three ways on the same configuration:
+//! telemetry detached (baseline), telemetry attached with no sinks (the
+//! pure recording hot path: span ring writes + metric atomics), and
+//! telemetry attached with every sink plus hardware counters requested
+//! (sinks only flush at episode boundaries, so steady-state cost should
+//! match the no-sink case unless `perf_event` is live, which adds two
+//! ioctl+read windows per update).
+//!
+//! The PR-4 acceptance gate is `overhead_pct < 2` for the attached
+//! configurations relative to the detached baseline.
+//!
+//! Environment knobs: `MARL_BENCH_ITERS` (timed iterations, default 40),
+//! `MARL_BENCH_OUT` (output path, default `BENCH_pr4.json`).
+
+use marl_algo::{Algorithm, Task, TrainConfig, Trainer};
+use marl_bench::env_usize;
+use marl_obs::{Telemetry, TelemetryConfig};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One telemetry configuration's steady-state update cost.
+#[derive(Debug, Serialize)]
+struct Leg {
+    ns_per_update: u64,
+    /// Percent over the detached baseline (0 for the baseline itself;
+    /// negative values mean the difference drowned in run-to-run noise).
+    overhead_pct: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Summary {
+    /// Whether live `perf_event` counters opened (affects the sinks leg).
+    hw_counters_live: bool,
+    /// Telemetry detached — the baseline.
+    detached: Leg,
+    /// Telemetry attached, no sinks: span ring + metric atomics only.
+    attached_no_sinks: Leg,
+    /// Telemetry attached with trace/metrics/prometheus sinks and
+    /// hardware counters requested.
+    attached_all_sinks: Leg,
+}
+
+fn bench_trainer() -> Trainer {
+    let mut cfg = TrainConfig::paper_defaults(Algorithm::Maddpg, Task::PredatorPrey, 3)
+        .with_batch_size(256)
+        .with_buffer_capacity(16_384)
+        .with_seed(5);
+    cfg.warmup = 512;
+    let mut t = Trainer::new(cfg).expect("valid bench config");
+    t.prefill(4096).expect("prefill");
+    t
+}
+
+/// Times updates on ONE trainer, swapping the telemetry attachment
+/// between legs. Returns `samples[leg][round]` in ns.
+///
+/// Several noise controls matter for a sub-2% comparison on a shared
+/// host, each found necessary empirically:
+/// * one shared trainer — separate per-leg trainers differ by a
+///   persistent few percent from allocation-layout luck alone;
+/// * interleaved legs — sequential A-then-B timing swings ±20% with
+///   host drift;
+/// * a rotating start position — a fixed round-robin order biases
+///   later positions 2–3% slower;
+/// * paired per-round statistics (see [`paired_overhead_pct`]) — even
+///   the per-leg minimum over 60 interleaved rounds still carries ±2%
+///   of scheduler noise, the size of the effect under test.
+fn time_updates_interleaved(
+    iters: usize,
+    trainer: &mut Trainer,
+    legs: &[Option<Arc<Telemetry>>],
+) -> Vec<Vec<u64>> {
+    for _ in 0..3 {
+        trainer.update_all_trainers().expect("warmup update");
+    }
+    let n = legs.len();
+    let mut samples: Vec<Vec<u64>> = vec![Vec::with_capacity(iters); n];
+    for round in 0..iters.max(1) {
+        for k in 0..n {
+            let leg = (round + k) % n;
+            match &legs[leg] {
+                Some(tel) => trainer.attach_telemetry(Arc::clone(tel)),
+                None => {
+                    trainer.detach_telemetry();
+                }
+            }
+            let t0 = Instant::now();
+            trainer.update_all_trainers().expect("update");
+            samples[leg].push(t0.elapsed().as_nanos() as u64);
+        }
+    }
+    samples
+}
+
+fn median_f64(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.total_cmp(b));
+    v[v.len() / 2]
+}
+
+/// Paired overhead estimate: the three legs of one round run
+/// back-to-back within ~20 ms, so host drift cancels in the per-round
+/// `leg/base` ratio where it does not cancel in any per-leg aggregate.
+/// Rounds are grouped by rotation phase (`round % n` fixes the
+/// execution order), the ratio median is taken per group to shed
+/// preemption outliers, and the group medians are averaged so the
+/// position bias — each leg occupies each position in exactly one
+/// group — cancels instead of shifting the median.
+fn paired_overhead_pct(samples: &[Vec<u64>], leg: usize) -> f64 {
+    let n = samples.len();
+    let per_phase: Vec<f64> = (0..n)
+        .map(|phase| {
+            let ratios: Vec<f64> = samples[leg]
+                .iter()
+                .zip(&samples[0])
+                .enumerate()
+                .filter(|(round, _)| round % n == phase)
+                .map(|(_, (&l, &b))| l as f64 / b.max(1) as f64)
+                .collect();
+            median_f64(ratios)
+        })
+        .collect();
+    (per_phase.iter().sum::<f64>() / n as f64 - 1.0) * 100.0
+}
+
+fn main() {
+    let iters = env_usize("MARL_BENCH_ITERS", 40);
+    let out_path = std::env::var("MARL_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr4.json".to_string());
+
+    println!("== bench_telemetry: update_all_trainers overhead ({iters} iters) ==\n");
+
+    let no_sinks = Arc::new(
+        Telemetry::new(&TelemetryConfig::default()).expect("sink-less telemetry cannot fail"),
+    );
+    let dir = std::env::temp_dir().join(format!("marl_bench_telemetry_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench sink dir");
+    let all_cfg = TelemetryConfig {
+        trace_out: Some(dir.join("trace.json")),
+        metrics_out: Some(dir.join("metrics.jsonl")),
+        metrics_every: 1,
+        prometheus_out: Some(dir.join("metrics.prom")),
+        hw_counters: true,
+        ..TelemetryConfig::default()
+    };
+    let all_sinks = Arc::new(Telemetry::new(&all_cfg).expect("open bench sinks"));
+    let hw_live = all_sinks.hw_live();
+
+    let mut trainer = bench_trainer();
+    let legs = [None, Some(no_sinks), Some(all_sinks)];
+    let samples = time_updates_interleaved(iters, &mut trainer, &legs);
+    drop(trainer);
+    drop(legs);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let min_ns = |leg: usize| samples[leg].iter().copied().min().unwrap_or(0);
+    let summary = Summary {
+        hw_counters_live: hw_live,
+        detached: Leg { ns_per_update: min_ns(0), overhead_pct: 0.0 },
+        attached_no_sinks: Leg {
+            ns_per_update: min_ns(1),
+            overhead_pct: paired_overhead_pct(&samples, 1),
+        },
+        attached_all_sinks: Leg {
+            ns_per_update: min_ns(2),
+            overhead_pct: paired_overhead_pct(&samples, 2),
+        },
+    };
+
+    println!("       detached: {:>12} ns/update (baseline)", summary.detached.ns_per_update);
+    println!(
+        "  attached,bare: {:>12} ns/update ({:+.2}%)",
+        summary.attached_no_sinks.ns_per_update, summary.attached_no_sinks.overhead_pct
+    );
+    println!(
+        " attached,sinks: {:>12} ns/update ({:+.2}%, hw_live: {hw_live})",
+        summary.attached_all_sinks.ns_per_update, summary.attached_all_sinks.overhead_pct
+    );
+
+    let json = serde_json::to_string(&summary).expect("summary serializes");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write bench summary");
+    println!("\nwrote {out_path}");
+
+    let worst = summary.attached_no_sinks.overhead_pct.max(summary.attached_all_sinks.overhead_pct);
+    if worst >= 2.0 {
+        println!("warning: telemetry overhead {worst:.2}% exceeds the 2% budget");
+        std::process::exit(1);
+    }
+}

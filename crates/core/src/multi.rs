@@ -71,6 +71,15 @@ impl MultiAgentReplay {
         self.len() == 0
     }
 
+    /// Fill fraction `len / capacity` in `[0, 1]` (telemetry gauge).
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.len() as f64 / self.capacity as f64
+        }
+    }
+
     /// The slot the next push writes (for priority bookkeeping).
     pub fn next_slot(&self) -> usize {
         self.buffers[0].next_slot()

@@ -142,6 +142,10 @@ impl Sampler for IpLocalitySampler {
         self.core.update_priorities(indices, td_errors);
     }
 
+    fn normalized_priority_of(&self, idx: usize, len: usize) -> Option<f32> {
+        Some(self.core.normalized_priority(idx, len))
+    }
+
     fn export_state(&self) -> SamplerState {
         self.core.export_state()
     }

@@ -120,6 +120,13 @@ pub trait Sampler: std::fmt::Debug + Send {
     /// can be refreshed. Non-prioritized strategies ignore this.
     fn update_priorities(&mut self, _indices: &[usize], _td_errors: &[f32]) {}
 
+    /// Normalized priority of slot `idx` over a buffer of `len` rows, for
+    /// strategies that maintain per-slot priorities; `None` otherwise.
+    /// A telemetry-only read: it must not perturb sampling state.
+    fn normalized_priority_of(&self, _idx: usize, _len: usize) -> Option<f32> {
+        None
+    }
+
     /// Exports the sampler's mutable state for checkpointing. Stateless
     /// strategies return [`SamplerState::Stateless`].
     fn export_state(&self) -> SamplerState {

@@ -102,6 +102,10 @@ impl Sampler for ReuseWindowSampler {
         self.inner.update_priorities(indices, td_errors);
     }
 
+    fn normalized_priority_of(&self, idx: usize, len: usize) -> Option<f32> {
+        self.inner.normalized_priority_of(idx, len)
+    }
+
     fn export_state(&self) -> SamplerState {
         SamplerState::Reuse {
             inner: Box::new(self.inner.export_state()),

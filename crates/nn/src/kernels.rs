@@ -22,7 +22,7 @@
 //!   resume.
 
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 /// Which kernel implementation executes the dense ops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -138,6 +138,34 @@ pub fn configure(choice: KernelChoice) -> KernelKind {
     }
 }
 
+/// Process-wide dispatch tallies (telemetry): how many kernel-op calls
+/// resolved to each path since the last [`reset_dispatch_tally`].
+static DISPATCH_SCALAR: AtomicU64 = AtomicU64::new(0);
+static DISPATCH_SIMD: AtomicU64 = AtomicU64::new(0);
+
+/// Records one dispatched kernel call on its *effective* path (a `Simd`
+/// request without AVX2+FMA executes — and tallies — as scalar).
+#[inline]
+fn tally(kind: KernelKind) {
+    let simd = kind == KernelKind::Simd && simd_available();
+    if simd {
+        DISPATCH_SIMD.fetch_add(1, Ordering::Relaxed);
+    } else {
+        DISPATCH_SCALAR.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Kernel calls dispatched since the last reset, as `(scalar, simd)`.
+pub fn dispatch_tally() -> (u64, u64) {
+    (DISPATCH_SCALAR.load(Ordering::Relaxed), DISPATCH_SIMD.load(Ordering::Relaxed))
+}
+
+/// Zeroes the dispatch tallies (benchmarks and tests).
+pub fn reset_dispatch_tally() {
+    DISPATCH_SCALAR.store(0, Ordering::Relaxed);
+    DISPATCH_SIMD.store(0, Ordering::Relaxed);
+}
+
 /// Multiply-add count above which the blocked scalar kernels dispatch;
 /// below it the simple loops win (no tile bookkeeping) and tiny test
 /// matrices stay on the historically exact path.
@@ -163,6 +191,7 @@ pub fn matmul_with(
     kd: usize,
     n: usize,
 ) {
+    tally(kind);
     debug_assert_eq!(a.len(), m * kd);
     debug_assert_eq!(b.len(), kd * n);
     debug_assert_eq!(c.len(), m * n);
@@ -191,6 +220,7 @@ pub fn matmul_transpose_with(
     kd: usize,
     n: usize,
 ) {
+    tally(kind);
     debug_assert_eq!(a.len(), m * kd);
     debug_assert_eq!(b.len(), n * kd);
     debug_assert_eq!(c.len(), m * n);
@@ -219,6 +249,7 @@ pub fn transpose_matmul_with(
     kd: usize,
     n: usize,
 ) {
+    tally(kind);
     transpose_matmul_impl::<false>(kind, a, b, c, m, kd, n);
 }
 
@@ -240,6 +271,7 @@ pub fn transpose_matmul_acc_with(
     kd: usize,
     n: usize,
 ) {
+    tally(kind);
     transpose_matmul_impl::<true>(kind, a, b, c, m, kd, n);
 }
 
@@ -273,6 +305,7 @@ pub fn add_bias(x: &mut [f32], bias: &[f32]) {
 
 /// Bias-add on an explicit kernel.
 pub fn add_bias_with(kind: KernelKind, x: &mut [f32], bias: &[f32]) {
+    tally(kind);
     debug_assert!(bias.is_empty() || x.len().is_multiple_of(bias.len()));
     #[cfg(target_arch = "x86_64")]
     if kind == KernelKind::Simd && simd_available() {
@@ -292,6 +325,7 @@ pub fn relu_forward(x: &mut [f32]) {
 
 /// ReLU forward on an explicit kernel.
 pub fn relu_forward_with(kind: KernelKind, x: &mut [f32]) {
+    tally(kind);
     #[cfg(target_arch = "x86_64")]
     if kind == KernelKind::Simd && simd_available() {
         // SAFETY: AVX2+FMA verified above.
@@ -310,6 +344,7 @@ pub fn relu_backward(g: &mut [f32], a: &[f32]) {
 
 /// ReLU backward on an explicit kernel.
 pub fn relu_backward_with(kind: KernelKind, g: &mut [f32], a: &[f32]) {
+    tally(kind);
     debug_assert_eq!(g.len(), a.len());
     #[cfg(target_arch = "x86_64")]
     if kind == KernelKind::Simd && simd_available() {
@@ -358,6 +393,7 @@ pub fn adam_step_with(
     bc1: f32,
     bc2: f32,
 ) {
+    tally(kind);
     debug_assert_eq!(p.len(), g.len());
     debug_assert_eq!(p.len(), m.len());
     debug_assert_eq!(p.len(), v.len());
@@ -1161,5 +1197,29 @@ mod tests {
             ps.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
             pv.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn dispatch_tally_counts_effective_path() {
+        // Tallies are process-global; measure deltas so parallel tests
+        // only ever inflate them.
+        let (s0, v0) = dispatch_tally();
+        let a = vec![1.0f32; 4];
+        let b = vec![1.0f32; 4];
+        let mut c = vec![0.0f32; 4];
+        matmul_with(KernelKind::Scalar, &a, &b, &mut c, 2, 2, 2);
+        let (s1, _) = dispatch_tally();
+        assert!(s1 > s0, "scalar dispatch must tally");
+        if simd_available() {
+            matmul_with(KernelKind::Simd, &a, &b, &mut c, 2, 2, 2);
+            let (_, v1) = dispatch_tally();
+            assert!(v1 > v0, "simd dispatch must tally");
+        } else {
+            // Simd request downgrades to scalar — and tallies as scalar.
+            matmul_with(KernelKind::Simd, &a, &b, &mut c, 2, 2, 2);
+            let (s2, v1) = dispatch_tally();
+            assert!(s2 > s1);
+            assert_eq!(v1, v0);
+        }
     }
 }

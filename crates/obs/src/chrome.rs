@@ -1,0 +1,135 @@
+//! Streaming Chrome trace-event JSON writer.
+//!
+//! Emits the `{"traceEvents":[...]}` array format understood by
+//! Perfetto and `chrome://tracing`: one complete-duration (`"ph":"X"`)
+//! event per drained span, with timestamps in fractional microseconds,
+//! plus metadata (`"ph":"M"`) events naming the process and the logical
+//! lanes (tid 0 = trainer, tid `1 + k` = agent `k`'s update lane).
+//!
+//! The writer streams: events are appended as they are drained at
+//! episode boundaries, and [`ChromeTraceWriter::finish`] closes the JSON
+//! array. An unfinished file is still salvageable — the trace viewers
+//! tolerate a truncated event array — but `finish` should normally run.
+
+use crate::span::SpanEvent;
+use std::io::{self, Write};
+
+/// Streaming writer for Chrome trace-event JSON.
+#[derive(Debug)]
+pub struct ChromeTraceWriter<W: Write> {
+    out: W,
+    wrote_event: bool,
+    finished: bool,
+}
+
+impl<W: Write> ChromeTraceWriter<W> {
+    /// Starts a trace, writing the header and process-metadata events.
+    pub fn new(mut out: W) -> io::Result<Self> {
+        out.write_all(b"{\"traceEvents\":[")?;
+        let mut w = ChromeTraceWriter { out, wrote_event: false, finished: false };
+        w.write_raw(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+             \"args\":{\"name\":\"marl-train\"}}",
+        )?;
+        w.write_raw(
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+             \"args\":{\"name\":\"trainer\"}}",
+        )?;
+        Ok(w)
+    }
+
+    /// Emits a thread-name metadata event for an agent lane.
+    pub fn name_agent_lane(&mut self, agent_idx: usize) -> io::Result<()> {
+        let tid = 1 + agent_idx;
+        self.write_raw(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"name\":\"agent-{agent_idx}\"}}}}"
+        ))
+    }
+
+    fn write_raw(&mut self, json: &str) -> io::Result<()> {
+        if self.wrote_event {
+            self.out.write_all(b",\n")?;
+        }
+        self.out.write_all(json.as_bytes())?;
+        self.wrote_event = true;
+        Ok(())
+    }
+
+    /// Appends one complete-duration event. Labels are `&'static str`
+    /// identifiers (no quotes/backslashes), so no JSON escaping is needed.
+    pub fn write_event(&mut self, ev: &SpanEvent) -> io::Result<()> {
+        let ts_us = ev.start_ns as f64 / 1000.0;
+        let dur_us = ev.end_ns.saturating_sub(ev.start_ns) as f64 / 1000.0;
+        self.write_raw(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"marl\",\"ph\":\"X\",\"ts\":{ts_us:.3},\
+             \"dur\":{dur_us:.3},\"pid\":1,\"tid\":{}}}",
+            ev.label, ev.tid
+        ))
+    }
+
+    /// Appends a batch of drained events.
+    pub fn write_events(&mut self, events: &[SpanEvent]) -> io::Result<()> {
+        for ev in events {
+            self.write_event(ev)?;
+        }
+        Ok(())
+    }
+
+    /// Closes the JSON array and flushes. Idempotent.
+    pub fn finish(&mut self) -> io::Result<()> {
+        if self.finished {
+            return Ok(());
+        }
+        self.finished = true;
+        self.out.write_all(b"]}\n")?;
+        self.out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<SpanEvent> {
+        vec![
+            SpanEvent { label: "update-all-trainers", tid: 0, start_ns: 1000, end_ns: 9000 },
+            SpanEvent { label: "agent-update", tid: 1, start_ns: 2500, end_ns: 8000 },
+        ]
+    }
+
+    #[test]
+    fn produces_valid_trace_json() {
+        let mut buf = Vec::new();
+        {
+            let mut w = ChromeTraceWriter::new(&mut buf).unwrap();
+            w.name_agent_lane(0).unwrap();
+            w.write_events(&sample_events()).unwrap();
+            w.finish().unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        // Vendored serde_json parses it end-to-end in tests/telemetry.rs;
+        // here we check the structural pieces.
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(text.trim_end().ends_with("]}"));
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"name\":\"update-all-trainers\""));
+        assert!(text.contains("\"ts\":1.000"));
+        assert!(text.contains("\"dur\":8.000"));
+        assert!(text.contains("\"name\":\"agent-0\""));
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_empty_trace_valid() {
+        let mut buf = Vec::new();
+        {
+            let mut w = ChromeTraceWriter::new(&mut buf).unwrap();
+            w.finish().unwrap();
+            w.finish().unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.matches("]}").count(), 1);
+        // Metadata events only — still a well-formed array.
+        assert!(text.contains("process_name"));
+    }
+}

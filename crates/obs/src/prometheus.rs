@@ -1,0 +1,232 @@
+//! Prometheus text-exposition writer for [`MetricsSnapshot`].
+//!
+//! Renders the standard `# HELP` / `# TYPE` text format: counters and
+//! gauges as single samples, histograms as cumulative `_bucket{le=...}`
+//! series at power-of-two boundaries plus `_sum` and `_count`. Written
+//! whole-file at snapshot time (Prometheus scrapes files via the
+//! node-exporter textfile collector), so there is no server to run.
+
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+use std::fmt::Write as _;
+
+fn sample(out: &mut String, name: &str, help: &str, kind: &str, value: f64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    if value.fract() == 0.0 && value.abs() < 9e15 {
+        let _ = writeln!(out, "{name} {}", value as i64);
+    } else {
+        let _ = writeln!(out, "{name} {value}");
+    }
+}
+
+fn histogram(out: &mut String, name: &str, help: &str, h: &HistogramSnapshot) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    // Cumulative buckets at power-of-two upper bounds; the last finite
+    // bound is the first power of two above the observed max, so every
+    // observation lands below a finite `le`.
+    let top = h.max.max(1);
+    let mut cumulative = 0u64;
+    let mut bound = 1u64;
+    let mut idx = 0;
+    loop {
+        while idx < h.buckets.len() && h.buckets[idx].lo < bound {
+            cumulative += h.buckets[idx].count;
+            idx += 1;
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        if bound > top {
+            break;
+        }
+        match bound.checked_mul(2) {
+            Some(next) => bound = next,
+            None => break,
+        }
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{name}_sum {}", h.sum);
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+/// Renders a snapshot in Prometheus text exposition format.
+pub fn render(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    sample(&mut out, "marl_episodes_total", "Episodes completed.", "counter", snap.episodes as f64);
+    sample(
+        &mut out,
+        "marl_updates_total",
+        "Update-all-trainers iterations.",
+        "counter",
+        snap.updates as f64,
+    );
+    sample(
+        &mut out,
+        "marl_env_steps_total",
+        "Environment steps executed.",
+        "counter",
+        snap.env_steps as f64,
+    );
+    sample(
+        &mut out,
+        "marl_gather_rows_total",
+        "Replay rows gathered for mini-batches.",
+        "counter",
+        snap.gather_rows as f64,
+    );
+    sample(
+        &mut out,
+        "marl_gather_bytes_total",
+        "Bytes gathered for mini-batches.",
+        "counter",
+        snap.gather_bytes as f64,
+    );
+    sample(
+        &mut out,
+        "marl_random_jumps_total",
+        "Random jumps (plan segments) during gathers.",
+        "counter",
+        snap.random_jumps as f64,
+    );
+    sample(
+        &mut out,
+        "marl_sentinel_trips_total",
+        "Divergence-sentinel rollbacks.",
+        "counter",
+        snap.sentinel_trips as f64,
+    );
+    sample(&mut out, "marl_replay_len", "Replay rows currently stored.", "gauge", snap.replay_len);
+    sample(
+        &mut out,
+        "marl_replay_occupancy",
+        "Replay occupancy fraction.",
+        "gauge",
+        snap.replay_occupancy,
+    );
+    sample(
+        &mut out,
+        "marl_spans_dropped_total",
+        "Span-ring events overwritten before drain.",
+        "counter",
+        snap.spans_dropped as f64,
+    );
+    sample(
+        &mut out,
+        "marl_kernel_dispatch_scalar_total",
+        "Kernel calls dispatched to the scalar path.",
+        "counter",
+        snap.kernels.scalar as f64,
+    );
+    sample(
+        &mut out,
+        "marl_kernel_dispatch_simd_total",
+        "Kernel calls dispatched to the SIMD path.",
+        "counter",
+        snap.kernels.simd as f64,
+    );
+    for row in &snap.phases {
+        let metric = format!("marl_phase_ns_total{{phase=\"{}\"}}", row.phase);
+        let _ = writeln!(out, "{metric} {}", row.ns);
+    }
+    histogram(
+        &mut out,
+        "marl_run_length",
+        "Sampler run lengths (rows per contiguous segment).",
+        &snap.run_length,
+    );
+    histogram(
+        &mut out,
+        "marl_norm_priority_micro",
+        "Normalized sample priorities, micro-units.",
+        &snap.norm_priority,
+    );
+    histogram(
+        &mut out,
+        "marl_is_weight_milli",
+        "Importance-sampling weights, milli-units.",
+        &snap.is_weight,
+    );
+    histogram(
+        &mut out,
+        "marl_checkpoint_ns",
+        "Checkpoint durations, nanoseconds.",
+        &snap.checkpoint_ns,
+    );
+    histogram(
+        &mut out,
+        "marl_update_ns",
+        "Update iteration durations, nanoseconds.",
+        &snap.update_ns,
+    );
+    sample(
+        &mut out,
+        "marl_hw_live",
+        "1 when live perf_event counters are attached.",
+        "gauge",
+        if snap.hw_live { 1.0 } else { 0.0 },
+    );
+    sample(
+        &mut out,
+        "marl_hw_sampling_instructions_total",
+        "Instructions retired in the sampling phase (live counters).",
+        "counter",
+        snap.hw_sampling.instructions as f64,
+    );
+    sample(
+        &mut out,
+        "marl_hw_sampling_cache_misses_total",
+        "LLC misses in the sampling phase (live counters).",
+        "counter",
+        snap.hw_sampling.cache_misses as f64,
+    );
+    sample(
+        &mut out,
+        "marl_hw_sampling_dtlb_misses_total",
+        "dTLB misses in the sampling phase (live counters).",
+        "counter",
+        snap.hw_sampling.dtlb_misses as f64,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{KernelTally, MetricsRegistry};
+    use marl_perf::phase::{Phase, PhaseProfile};
+    use std::time::Duration;
+
+    #[test]
+    fn renders_counters_gauges_and_histograms() {
+        let r = MetricsRegistry::new();
+        r.updates.add(7);
+        r.replay_occupancy.set(0.5);
+        r.run_length.record(1);
+        r.run_length.record(16);
+        r.run_length.record(300);
+        let mut profile = PhaseProfile::new();
+        profile.add(Phase::MiniBatchSampling, Duration::from_micros(10));
+        let snap = r.snapshot(3, false, &profile, KernelTally::default(), 0);
+        let text = render(&snap);
+        assert!(text.contains("# TYPE marl_updates_total counter"));
+        assert!(text.contains("marl_updates_total 7"));
+        assert!(text.contains("marl_replay_occupancy 0.5"));
+        assert!(text.contains("marl_phase_ns_total{phase=\"mini-batch-sampling\"} 10000"));
+        assert!(text.contains("# TYPE marl_run_length histogram"));
+        assert!(text.contains("marl_run_length_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("marl_run_length_count 3"));
+        assert!(text.contains("marl_run_length_sum 317"));
+        // le="256" must not yet include the 300 observation; le="512" must.
+        assert!(text.contains("marl_run_length_bucket{le=\"256\"} 2"));
+        assert!(text.contains("marl_run_length_bucket{le=\"512\"} 3"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_without_panic() {
+        let r = MetricsRegistry::new();
+        let profile = PhaseProfile::new();
+        let snap = r.snapshot(0, true, &profile, KernelTally::default(), 0);
+        let text = render(&snap);
+        assert!(text.contains("marl_run_length_count 0"));
+        assert!(text.contains("marl_hw_live 0"));
+    }
+}

@@ -1,0 +1,206 @@
+//! Zero-allocation span tracing.
+//!
+//! A [`SpanTracer`] owns a preallocated ring buffer of
+//! `(label, tid, start_ns, end_ns)` events. Recording a span is a clock
+//! read plus a short critical section over the ring — no heap traffic —
+//! so instrumented hot paths keep the workspace's steady-state
+//! zero-allocation guarantee (`tests/alloc_steady_state.rs`). When the
+//! ring fills, the oldest events are overwritten and counted in
+//! [`SpanTracer::dropped`], bounding memory for arbitrarily long runs.
+//!
+//! Spans are recorded through RAII [`SpanGuard`]s and drained at episode
+//! boundaries (where allocation is permitted) into the Chrome trace-event
+//! writer ([`crate::chrome`]).
+
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// Default ring capacity: 64 Ki events ≈ 2 MiB.
+pub const DEFAULT_SPAN_CAPACITY: usize = 65_536;
+
+/// One completed span. `label` is `&'static` so recording never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Static display label (Chrome trace `name`).
+    pub label: &'static str,
+    /// Logical lane: 0 = the coordinating trainer thread, `1 + k` = the
+    /// per-agent update lane for agent `k`.
+    pub tid: u32,
+    /// Start, nanoseconds since the tracer epoch.
+    pub start_ns: u64,
+    /// End, nanoseconds since the tracer epoch.
+    pub end_ns: u64,
+}
+
+/// Fixed-capacity overwrite-oldest ring of span events.
+#[derive(Debug)]
+struct Ring {
+    buf: Vec<SpanEvent>,
+    /// Next write position once the buffer is at capacity.
+    head: usize,
+    /// Events overwritten before they could be drained.
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, ev: SpanEvent) {
+        let cap = self.buf.capacity();
+        if self.buf.len() < cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.dropped += 1;
+        }
+        self.head = (self.head + 1) % cap;
+    }
+}
+
+/// A preallocated, thread-safe span recorder.
+///
+/// # Examples
+///
+/// ```
+/// use marl_obs::span::SpanTracer;
+///
+/// let tracer = SpanTracer::new(128);
+/// {
+///     let _guard = tracer.span("mini-batch-sampling", 0);
+///     // ... timed work ...
+/// }
+/// let mut events = Vec::new();
+/// tracer.drain_into(&mut events);
+/// assert_eq!(events.len(), 1);
+/// assert_eq!(events[0].label, "mini-batch-sampling");
+/// ```
+#[derive(Debug)]
+pub struct SpanTracer {
+    epoch: Instant,
+    ring: Mutex<Ring>,
+}
+
+impl SpanTracer {
+    /// Creates a tracer with room for `capacity` events (all storage is
+    /// allocated up front).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SpanTracer {
+            epoch: Instant::now(),
+            ring: Mutex::new(Ring { buf: Vec::with_capacity(capacity), head: 0, dropped: 0 }),
+        }
+    }
+
+    /// Nanoseconds since the tracer epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Records one completed span. Allocation-free.
+    pub fn record(&self, label: &'static str, tid: u32, start_ns: u64, end_ns: u64) {
+        self.ring.lock().push(SpanEvent { label, tid, start_ns, end_ns });
+    }
+
+    /// Opens an RAII span that records itself when dropped.
+    pub fn span(&self, label: &'static str, tid: u32) -> SpanGuard<'_> {
+        SpanGuard { tracer: self, label, tid, start_ns: self.now_ns() }
+    }
+
+    /// Moves all buffered events, oldest first, into `out` (appending) and
+    /// empties the ring. `out` may allocate; call this only at episode
+    /// boundaries.
+    pub fn drain_into(&self, out: &mut Vec<SpanEvent>) {
+        let mut ring = self.ring.lock();
+        if ring.buf.len() < ring.buf.capacity() {
+            // Never filled since the last drain: chronological from 0.
+            out.extend_from_slice(&ring.buf);
+        } else {
+            // At capacity: the oldest event lives at `head` (head == 0
+            // for an exact fill, making the split a no-op).
+            let head = ring.head;
+            out.extend_from_slice(&ring.buf[head..]);
+            out.extend_from_slice(&ring.buf[..head]);
+        }
+        ring.buf.clear();
+        ring.head = 0;
+    }
+
+    /// Events overwritten before a drain could save them.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().dropped
+    }
+}
+
+/// RAII guard: records a span on the owning tracer when dropped.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    tracer: &'a SpanTracer,
+    label: &'static str,
+    tid: u32,
+    start_ns: u64,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let end = self.tracer.now_ns();
+        self.tracer.record(self.label, self.tid, self.start_ns, end);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_in_order() {
+        let t = SpanTracer::new(16);
+        t.record("a", 0, 10, 20);
+        t.record("b", 1, 20, 30);
+        let mut out = Vec::new();
+        t.drain_into(&mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].label, "a");
+        assert_eq!(out[1].tid, 1);
+        // Drained: ring is empty again.
+        out.clear();
+        t.drain_into(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn full_ring_overwrites_oldest_and_counts_drops() {
+        let t = SpanTracer::new(4);
+        for i in 0..7u64 {
+            t.record("x", 0, i, i + 1);
+        }
+        assert_eq!(t.dropped(), 3);
+        let mut out = Vec::new();
+        t.drain_into(&mut out);
+        assert_eq!(out.len(), 4);
+        // Oldest surviving event first.
+        assert_eq!(out[0].start_ns, 3);
+        assert_eq!(out[3].start_ns, 6);
+    }
+
+    #[test]
+    fn guard_records_monotone_span() {
+        let t = SpanTracer::new(8);
+        {
+            let _g = t.span("work", 2);
+        }
+        let mut out = Vec::new();
+        t.drain_into(&mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].end_ns >= out[0].start_ns);
+        assert_eq!(out[0].tid, 2);
+    }
+
+    #[test]
+    fn drain_after_exact_fill_is_chronological() {
+        let t = SpanTracer::new(3);
+        for i in 0..3u64 {
+            t.record("x", 0, i, i + 1);
+        }
+        let mut out = Vec::new();
+        t.drain_into(&mut out);
+        assert_eq!(out.iter().map(|e| e.start_ns).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+}

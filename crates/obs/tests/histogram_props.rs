@@ -1,0 +1,83 @@
+//! Property tests: histogram merge is associative, commutative on
+//! counts, and lossless (no observation is lost or double-counted).
+
+use marl_obs::metrics::Histogram;
+use proptest::prelude::*;
+
+fn build(values: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+fn state(h: &Histogram) -> (Vec<u64>, u64, u64, u64) {
+    (h.bucket_counts(), h.count(), h.sum(), h.max())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(0u64..1u64 << 40, 0..64),
+        b in proptest::collection::vec(0u64..1u64 << 40, 0..64),
+        c in proptest::collection::vec(0u64..1u64 << 40, 0..64),
+    ) {
+        // (a ⊕ b) ⊕ c
+        let left = build(&a);
+        left.merge_from(&build(&b));
+        left.merge_from(&build(&c));
+        // a ⊕ (b ⊕ c)
+        let bc = build(&b);
+        bc.merge_from(&build(&c));
+        let right = build(&a);
+        right.merge_from(&bc);
+        prop_assert_eq!(state(&left), state(&right));
+    }
+
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(0u64..1u64 << 40, 0..64),
+        b in proptest::collection::vec(0u64..1u64 << 40, 0..64),
+    ) {
+        let ab = build(&a);
+        ab.merge_from(&build(&b));
+        let ba = build(&b);
+        ba.merge_from(&build(&a));
+        prop_assert_eq!(state(&ab), state(&ba));
+    }
+
+    #[test]
+    fn merge_is_lossless_on_counts(
+        a in proptest::collection::vec(0u64..1u64 << 40, 0..128),
+        b in proptest::collection::vec(0u64..1u64 << 40, 0..128),
+    ) {
+        let merged = build(&a);
+        merged.merge_from(&build(&b));
+        // Merging never loses or invents observations: the merged
+        // histogram is bucket-for-bucket identical to recording the
+        // concatenated stream directly.
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        let direct = build(&both);
+        prop_assert_eq!(state(&merged), state(&direct));
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+        let total: u64 = both.iter().sum();
+        prop_assert_eq!(merged.sum(), total);
+    }
+
+    #[test]
+    fn quantiles_bracket_recorded_values(
+        values in proptest::collection::vec(0u64..1u64 << 40, 1..128),
+    ) {
+        let h = build(&values);
+        let max = *values.iter().max().unwrap();
+        // Quantile estimates are bucket lower bounds: never above the
+        // true value at that rank, and monotone in q.
+        prop_assert!(h.quantile(1.0) <= max);
+        prop_assert!(h.quantile(0.5) <= h.quantile(0.9));
+        prop_assert!(h.quantile(0.9) <= h.quantile(0.99));
+    }
+}

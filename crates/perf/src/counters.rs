@@ -36,6 +36,43 @@ impl HwCounters {
     }
 }
 
+/// A source of live hardware counters bracketing a measured region.
+///
+/// Implemented by `marl-obs`'s `perf_event_open` backend on Linux; the
+/// synthetic model in this crate and the no-op fallback also satisfy it.
+/// Call [`HwCounterSource::reset_and_enable`] before the region and
+/// [`HwCounterSource::disable_and_read`] after; the read returns the
+/// deltas accumulated inside the region.
+pub trait HwCounterSource: std::fmt::Debug + Send {
+    /// Whether real hardware counters back this source (false for
+    /// stubs/fallbacks, whose reads are all-zero).
+    fn is_live(&self) -> bool;
+
+    /// Zeroes and starts the counters.
+    fn reset_and_enable(&mut self);
+
+    /// Stops the counters and returns the counts since the last
+    /// [`HwCounterSource::reset_and_enable`].
+    fn disable_and_read(&mut self) -> HwCounters;
+}
+
+/// A [`HwCounterSource`] that is never live and always reads zero — the
+/// graceful fallback when `perf_event_open` is unavailable.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullCounterSource;
+
+impl HwCounterSource for NullCounterSource {
+    fn is_live(&self) -> bool {
+        false
+    }
+
+    fn reset_and_enable(&mut self) {}
+
+    fn disable_and_read(&mut self) -> HwCounters {
+        HwCounters::default()
+    }
+}
+
 /// Growth rates (×) between two agent scales, the y-axis of Figure 4.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct GrowthRates {
@@ -120,5 +157,97 @@ mod tests {
         let d = c(10, 5, 2).delta(&c(100, 1, 1));
         assert_eq!(d.instructions, 0);
         assert_eq!(d.cache_misses, 4);
+    }
+
+    #[test]
+    fn delta_saturates_every_field_independently() {
+        let later = HwCounters {
+            instructions: 5,
+            cache_misses: 100,
+            l1d_misses: 3,
+            dtlb_misses: 50,
+            itlb_misses: 0,
+            branches: 10,
+            branch_misses: 1,
+        };
+        let earlier = HwCounters {
+            instructions: 10, // larger: saturates
+            cache_misses: 40, // smaller: normal subtraction
+            l1d_misses: 3,    // equal: zero
+            dtlb_misses: 60,  // larger: saturates
+            itlb_misses: 7,   // larger: saturates
+            branches: 2,
+            branch_misses: 0,
+        };
+        let d = later.delta(&earlier);
+        assert_eq!(d.instructions, 0);
+        assert_eq!(d.cache_misses, 60);
+        assert_eq!(d.l1d_misses, 0);
+        assert_eq!(d.dtlb_misses, 0);
+        assert_eq!(d.itlb_misses, 0);
+        assert_eq!(d.branches, 8);
+        assert_eq!(d.branch_misses, 1);
+    }
+
+    #[test]
+    fn delta_of_equal_snapshots_is_zero_and_identity_holds() {
+        let a = c(123, 45, 6);
+        assert_eq!(a.delta(&a), HwCounters::default());
+        // Subtracting zero is the identity.
+        assert_eq!(a.delta(&HwCounters::default()), a);
+    }
+
+    #[test]
+    fn delta_at_u64_extremes() {
+        let max = HwCounters {
+            instructions: u64::MAX,
+            cache_misses: u64::MAX,
+            l1d_misses: u64::MAX,
+            dtlb_misses: u64::MAX,
+            itlb_misses: u64::MAX,
+            branches: u64::MAX,
+            branch_misses: u64::MAX,
+        };
+        assert_eq!(max.delta(&HwCounters::default()), max);
+        assert_eq!(HwCounters::default().delta(&max), HwCounters::default());
+    }
+
+    #[test]
+    fn growth_covers_all_reported_fields() {
+        let small = c(100, 10, 20);
+        let big = c(200, 20, 40);
+        let g = growth_rates(&small, &big);
+        assert!((g.instructions - 2.0).abs() < 1e-9);
+        assert!((g.cache_misses - 2.0).abs() < 1e-9);
+        assert!((g.dtlb_misses - 2.0).abs() < 1e-9);
+        // itlb is fixed at 1 in c(): ratio 1.0.
+        assert!((g.itlb_misses - 1.0).abs() < 1e-9);
+        assert!((g.branch_misses - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn growth_shrinkage_is_fractional_not_saturated() {
+        let g = growth_rates(&c(400, 40, 80), &c(100, 10, 20));
+        assert!((g.instructions - 0.25).abs() < 1e-9);
+        assert!((g.cache_misses - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn growth_zero_numerator_over_zero_denominator_is_unit() {
+        let g = growth_rates(&HwCounters::default(), &HwCounters::default());
+        assert_eq!(g.instructions, 1.0);
+        assert_eq!(g.dtlb_misses, 1.0);
+    }
+
+    #[test]
+    fn null_counter_source_is_inert() {
+        let mut src = NullCounterSource;
+        assert!(!src.is_live());
+        src.reset_and_enable();
+        assert_eq!(src.disable_and_read(), HwCounters::default());
+        // Usable through the trait object the trainer stores.
+        let mut boxed: Box<dyn HwCounterSource> = Box::new(NullCounterSource);
+        boxed.reset_and_enable();
+        assert_eq!(boxed.disable_and_read(), HwCounters::default());
     }
 }

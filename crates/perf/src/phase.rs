@@ -167,6 +167,26 @@ impl PhaseProfile {
         }
         t
     }
+
+    /// Renders the full end-of-training breakdown: accumulated time plus
+    /// percent-of-total per phase (Figure 2's decomposition), with a
+    /// closing `total` row.
+    pub fn breakdown_table(&self) -> crate::report::Table {
+        let mut t = crate::report::Table::new(&["phase", "time", "share"]);
+        for phase in Phase::ALL {
+            t.row_owned(vec![
+                phase.label().to_owned(),
+                crate::report::seconds(self.get(phase).as_secs_f64()),
+                crate::report::percent(self.fraction(phase)),
+            ]);
+        }
+        t.row_owned(vec![
+            "total".to_owned(),
+            crate::report::seconds(self.total().as_secs_f64()),
+            crate::report::percent(if self.total().is_zero() { 0.0 } else { 1.0 }),
+        ]);
+        t
+    }
 }
 
 #[cfg(test)]
@@ -215,6 +235,28 @@ mod tests {
         let rendered = t.to_string();
         assert!(rendered.contains("target-q"));
         assert!(rendered.contains("100.0%"));
+    }
+
+    #[test]
+    fn breakdown_table_has_time_share_and_total() {
+        let mut p = PhaseProfile::new();
+        p.add(Phase::MiniBatchSampling, Duration::from_millis(75));
+        p.add(Phase::TargetQ, Duration::from_millis(25));
+        let t = p.breakdown_table();
+        assert_eq!(t.len(), Phase::ALL.len() + 1);
+        let rendered = t.to_string();
+        assert!(rendered.contains("mini-batch-sampling"));
+        assert!(rendered.contains("75.0%"));
+        assert!(rendered.contains("75.00ms"));
+        assert!(rendered.contains("total"));
+        assert!(rendered.contains("100.0%"));
+    }
+
+    #[test]
+    fn empty_breakdown_table_renders() {
+        let rendered = PhaseProfile::new().breakdown_table().to_string();
+        assert!(rendered.contains("total"));
+        assert!(rendered.contains("0.0%"));
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //!            [--capacity C] [--threads T] [--update-threads U] [--seed S]
 //!            [--kernel auto|scalar|simd] [--eval-episodes K]
 //!            [--checkpoint-out FILE] [--checkpoint-every N] [--resume FILE]
+//!            [--trace-out FILE] [--metrics-out FILE] [--metrics-every N]
+//!            [--prometheus-out FILE] [--hw-counters]
 //! ```
 //!
 //! Prints the phase breakdown and reward summary. `--checkpoint-out`
@@ -14,12 +16,20 @@
 //! rotation); with `--checkpoint-every N` the run autosaves every N
 //! episodes, and `--resume` continues a run bitwise-identically from such
 //! a file (falling back to `.prev` when the live file is corrupt).
+//!
+//! Telemetry: `--trace-out` records a Chrome trace-event JSON (load it in
+//! Perfetto or `chrome://tracing`), `--metrics-out` streams JSONL metric
+//! snapshots every `--metrics-every` episodes plus a final one, and
+//! `--hw-counters` brackets the mini-batch sampling phase with live
+//! `perf_event_open` hardware counters when the kernel permits.
 
 use marl_repro::algo::checkpoint::{load_checkpoint_with_fallback, write_checkpoint_file};
 use marl_repro::algo::{Algorithm, LayoutMode, Task, TrainConfig, Trainer};
 use marl_repro::core::SamplerConfig;
+use marl_repro::obs::{KernelTally, SnapshotContext, Telemetry, TelemetryConfig};
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 #[derive(Debug)]
 struct CliError(String);
@@ -61,6 +71,7 @@ struct Cli {
     eval_episodes: usize,
     checkpoint_out: Option<String>,
     resume: Option<String>,
+    telemetry: TelemetryConfig,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, CliError> {
@@ -80,6 +91,7 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
     let mut checkpoint_out = None;
     let mut checkpoint_every = 0usize;
     let mut resume = None;
+    let mut telemetry = TelemetryConfig::default();
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -126,6 +138,16 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
             "--checkpoint-out" => checkpoint_out = Some(value("--checkpoint-out")?.clone()),
             "--checkpoint-every" => checkpoint_every = parse_num(value("--checkpoint-every")?)?,
             "--resume" => resume = Some(value("--resume")?.clone()),
+            "--trace-out" => telemetry.trace_out = Some(value("--trace-out")?.into()),
+            "--metrics-out" => telemetry.metrics_out = Some(value("--metrics-out")?.into()),
+            "--metrics-every" => {
+                telemetry.metrics_every = parse_num(value("--metrics-every")?)? as u64;
+            }
+            "--prometheus-out" => {
+                telemetry.prometheus_out = Some(value("--prometheus-out")?.into());
+            }
+            "--span-capacity" => telemetry.span_capacity = parse_num(value("--span-capacity")?)?,
+            "--hw-counters" => telemetry.hw_counters = true,
             "--help" | "-h" => {
                 return Err(CliError("help".into()));
             }
@@ -149,7 +171,16 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
     if checkpoint_every > 0 && checkpoint_out.is_none() {
         return Err(CliError("--checkpoint-every requires --checkpoint-out".into()));
     }
-    Ok(Cli { config, eval_episodes, checkpoint_out, resume })
+    // A snapshot cadence without a sink would silently record nothing.
+    if telemetry.metrics_every > 0 && telemetry.metrics_out.is_none() {
+        return Err(CliError("--metrics-every requires --metrics-out".into()));
+    }
+    // Default cadence: with a metrics sink but no explicit cadence,
+    // snapshot every 10 episodes (plus the final snapshot).
+    if telemetry.metrics_out.is_some() && telemetry.metrics_every == 0 {
+        telemetry.metrics_every = 10;
+    }
+    Ok(Cli { config, eval_episodes, checkpoint_out, resume, telemetry })
 }
 
 fn parse_num(v: &str) -> Result<usize, CliError> {
@@ -164,6 +195,8 @@ fn usage() {
          \x20                 [--capacity C] [--threads T] [--update-threads U] [--seed S]\n\
          \x20                 [--kernel auto|scalar|simd] [--eval-episodes K]\n\
          \x20                 [--checkpoint-out FILE] [--checkpoint-every N] [--resume FILE]\n\
+         \x20                 [--trace-out FILE] [--metrics-out FILE] [--metrics-every N]\n\
+         \x20                 [--prometheus-out FILE] [--span-capacity N] [--hw-counters]\n\
          \n\
          \x20 --threads T          worker threads for each mini-batch gather (default 1)\n\
          \x20 --update-threads U   worker threads for the per-agent critic/actor updates\n\
@@ -176,13 +209,22 @@ fn usage() {
          \x20 --checkpoint-every N additionally autosave to F every N episodes (0 = off;\n\
          \x20                      requires --checkpoint-out)\n\
          \x20 --resume F           resume bitwise-identically from a checkpoint file,\n\
-         \x20                      falling back to F.prev when F is corrupt"
+         \x20                      falling back to F.prev when F is corrupt\n\
+         \x20 --trace-out F        record spans to F as Chrome trace-event JSON\n\
+         \x20                      (open in Perfetto or chrome://tracing)\n\
+         \x20 --metrics-out F      stream metric snapshots to F as JSONL\n\
+         \x20 --metrics-every N    episodes between snapshots (default 10 when\n\
+         \x20                      --metrics-out is set; a final snapshot always writes)\n\
+         \x20 --prometheus-out F   rewrite F in Prometheus text format at each snapshot\n\
+         \x20 --span-capacity N    span ring size in events (default 65536)\n\
+         \x20 --hw-counters        read live perf_event hardware counters around the\n\
+         \x20                      sampling phase (falls back gracefully when denied)"
     );
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Cli { config, eval_episodes, checkpoint_out, resume } = match parse_args(&args) {
+    let Cli { config, eval_episodes, checkpoint_out, resume, telemetry } = match parse_args(&args) {
         Ok(v) => v,
         Err(CliError(msg)) => {
             if msg != "help" {
@@ -207,6 +249,33 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
+    };
+    // Attach telemetry when any sink or the hardware counters were
+    // requested; a fully-default config records nothing anyone can read.
+    let telemetry_requested = telemetry.trace_out.is_some()
+        || telemetry.metrics_out.is_some()
+        || telemetry.prometheus_out.is_some()
+        || telemetry.hw_counters;
+    let tel: Option<Arc<Telemetry>> = if telemetry_requested {
+        match Telemetry::new(&telemetry) {
+            Ok(t) => {
+                let t = Arc::new(t);
+                if telemetry.hw_counters && !t.hw_live() {
+                    eprintln!(
+                        "warning: perf_event_open unavailable (permissions/kernel); \
+                         hardware counters disabled"
+                    );
+                }
+                trainer.attach_telemetry(Arc::clone(&t));
+                Some(t)
+            }
+            Err(e) => {
+                eprintln!("error: opening telemetry sinks failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
     };
     if let Some(path) = &resume {
         let loaded =
@@ -244,9 +313,38 @@ fn main() -> ExitCode {
              (warmup is 2x the batch size)"
         );
     }
-    println!("{}", report.profile.as_table());
+    // The Figure-2 phase decomposition: accumulated time and
+    // percent-of-total per phase, always printed.
+    println!("{}", report.profile.breakdown_table());
     let window = (report.curve.len() / 5).max(1);
     println!("final score (smoothed): {:.2}", report.curve.final_score(window));
+    if let Some(t) = &tel {
+        // Final snapshot (fin: true) to every configured sink, then close
+        // the trace file so the JSON array is well-formed.
+        let (scalar, simd) = marl_repro::nn::kernels::dispatch_tally();
+        let snap = t.finish(&SnapshotContext {
+            episode: report.curve.len() as u64,
+            profile: &report.profile,
+            kernels: KernelTally { scalar, simd },
+        });
+        println!(
+            "telemetry: {} updates | replay occupancy {:.1}% | run-length p50 {} | \
+             {} spans dropped",
+            snap.updates,
+            snap.replay_occupancy * 100.0,
+            snap.run_length.p50,
+            snap.spans_dropped
+        );
+        if snap.hw_live {
+            println!(
+                "hw sampling counters over {} windows: {} instr | {} LLC miss | {} dTLB miss",
+                snap.hw_windows,
+                snap.hw_sampling.instructions,
+                snap.hw_sampling.cache_misses,
+                snap.hw_sampling.dtlb_misses
+            );
+        }
+    }
     if eval_episodes > 0 {
         match trainer.evaluate(eval_episodes) {
             Ok(score) => println!("greedy evaluation over {eval_episodes} episodes: {score:.2}"),

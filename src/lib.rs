@@ -14,6 +14,9 @@
 //!   (locality-aware, PER, information-prioritized, layout reorganization);
 //! * [`perf`] — phase timers and the cache/TLB simulator standing in for
 //!   hardware counters;
+//! * [`obs`] — runtime telemetry: zero-allocation span tracing, the
+//!   metrics registry with JSONL/Prometheus exporters, and the live
+//!   `perf_event` counter backend;
 //! * [`algo`] — MADDPG / MATD3 / PER-MADDPG trainers.
 //!
 //! See `examples/` for runnable entry points and `crates/bench` for the
@@ -40,4 +43,5 @@ pub use marl_algo as algo;
 pub use marl_core as core;
 pub use marl_env as env;
 pub use marl_nn as nn;
+pub use marl_obs as obs;
 pub use marl_perf as perf;

@@ -40,8 +40,11 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static ALLOCATOR: CountingAlloc = CountingAlloc;
 
-#[test]
-fn steady_state_update_allocates_nothing() {
+/// Runs warmed-up steady-state updates with the allocator armed and
+/// asserts no heap traffic. `telemetry` optionally attaches a live
+/// [`marl_repro::obs::Telemetry`] first — span recording, metric
+/// atomics, and hardware-counter windows must all stay off the heap.
+fn assert_zero_alloc_updates(telemetry: bool, seed: u64) {
     use marl_repro::algo::{Algorithm, Task, TrainConfig, Trainer};
     use marl_repro::core::SamplerConfig;
 
@@ -50,9 +53,19 @@ fn steady_state_update_allocates_nothing() {
         .with_buffer_capacity(4096)
         .with_sampler(SamplerConfig::Uniform)
         .with_update_threads(1)
-        .with_seed(7);
+        .with_seed(seed);
     cfg.sampling_threads = 1;
     let mut t = Trainer::new(cfg).unwrap();
+    if telemetry {
+        // No sinks: sinks flush only at episode boundaries, which this
+        // test never crosses, but the recording hot path is identical.
+        let cfg = marl_repro::obs::TelemetryConfig {
+            hw_counters: true, // null fallback when perf_event is denied
+            ..marl_repro::obs::TelemetryConfig::default()
+        };
+        let tel = std::sync::Arc::new(marl_repro::obs::Telemetry::new(&cfg).unwrap());
+        t.attach_telemetry(tel);
+    }
     t.prefill(256).unwrap();
 
     // Warm-up updates size every scratch buffer and resolve one-time lazy
@@ -73,7 +86,17 @@ fn steady_state_update_allocates_nothing() {
     assert_eq!(
         (ALLOCS.load(Ordering::SeqCst), REALLOCS.load(Ordering::SeqCst)),
         (0, 0),
-        "steady-state update_all_trainers must not touch the heap"
+        "steady-state update_all_trainers must not touch the heap (telemetry: {telemetry})"
     );
     assert_eq!(t.update_iterations(), 8);
+}
+
+#[test]
+fn steady_state_update_allocates_nothing() {
+    assert_zero_alloc_updates(false, 7);
+}
+
+#[test]
+fn steady_state_update_allocates_nothing_with_telemetry() {
+    assert_zero_alloc_updates(true, 7);
 }
