@@ -42,6 +42,7 @@ pub mod explore;
 #[cfg(feature = "failpoints")]
 pub mod failpoint;
 pub mod sentinel;
+pub mod trace;
 pub mod trainer;
 
 pub use agent::AgentNets;
@@ -54,4 +55,5 @@ pub use error::TrainError;
 pub use eval::RewardCurve;
 pub use explore::{ExplorationSchedule, LinearSchedule};
 pub use sentinel::{DivergenceReport, SentinelConfig};
+pub use trace::{UpdateDigest, UpdateTraceRecorder};
 pub use trainer::{train, SamplingTelemetry, TrainReport, Trainer};

@@ -172,6 +172,11 @@ pub struct Trainer {
     /// Never checkpointed: telemetry is a property of the process, not
     /// of the training state.
     obs: Option<Arc<Telemetry>>,
+    /// Attached conformance trace recorder
+    /// ([`Trainer::attach_trace_recorder`]). Same observer contract as
+    /// `obs`: zero-cost when detached, never checkpointed, never feeds
+    /// back into training state.
+    trace: Option<crate::trace::UpdateTraceRecorder>,
 }
 
 impl Trainer {
@@ -235,6 +240,7 @@ impl Trainer {
             telemetry: SamplingTelemetry::default(),
             scratch,
             obs: None,
+            trace: None,
         })
     }
 
@@ -259,6 +265,21 @@ impl Trainer {
     /// The attached observability runtime, if any.
     pub fn telemetry_handle(&self) -> Option<&Arc<Telemetry>> {
         self.obs.as_ref()
+    }
+
+    /// Attaches a conformance trace recorder: every subsequent update
+    /// iteration is folded into an [`crate::trace::UpdateDigest`]. Like
+    /// telemetry, the recorder only *reads* update state — training is
+    /// bitwise identical with or without it — and it is never
+    /// checkpointed.
+    pub fn attach_trace_recorder(&mut self, rec: crate::trace::UpdateTraceRecorder) {
+        self.trace = Some(rec);
+    }
+
+    /// Detaches the trace recorder (if any), returning it with all
+    /// digests recorded so far.
+    pub fn detach_trace_recorder(&mut self) -> Option<crate::trace::UpdateTraceRecorder> {
+        self.trace.take()
     }
 
     /// The configuration in force.
@@ -346,6 +367,11 @@ impl Trainer {
                     };
                     retries_left -= 1;
                     self.restore_full(rollback.0, &rollback.1)?;
+                    // The aborted iteration's partial trace state must not
+                    // leak into the digest of the replayed iteration.
+                    if let Some(rec) = self.trace.as_mut() {
+                        rec.reset_pending();
+                    }
                     self.profile.add(Phase::Checkpoint, tc.elapsed());
                     continue;
                 }
@@ -607,6 +633,11 @@ impl Trainer {
                 view.refill(mb, &self.obs_dims, self.act_dim);
             }
         }
+        if let Some(rec) = self.trace.as_mut() {
+            for plan in &self.scratch.plans {
+                rec.record_plan(plan);
+            }
+        }
         if let (Some(t), Some(start)) = (tel, sampling_start) {
             t.hw_window_end();
             t.metrics.replay_len.set(replay_len as f64);
@@ -684,15 +715,17 @@ impl Trainer {
         // --- Phase 3: per-agent updates on the worker pool.
         let threads = cfg.update_threads.clamp(1, n);
         let updates = self.updates;
-        let UpdateScratch { views, joint_nexts, tds, agents: agent_scratch, .. } =
+        let UpdateScratch { views, joint_nexts, tds, losses, agents: agent_scratch, .. } =
             &mut self.scratch;
         if threads == 1 {
             let profile = &mut self.profile;
-            for (i, ((agent, ascr), ((view, joint_next), td))) in self
+            for (i, ((agent, ascr), ((view, joint_next), (td, loss)))) in self
                 .agents
                 .iter_mut()
                 .zip(agent_scratch.iter_mut())
-                .zip(views.iter().zip(joint_nexts.iter()).zip(tds.iter_mut()))
+                .zip(
+                    views.iter().zip(joint_nexts.iter()).zip(tds.iter_mut().zip(losses.iter_mut())),
+                )
                 .enumerate()
             {
                 update_agent(
@@ -707,6 +740,7 @@ impl Trainer {
                     profile,
                     ascr,
                     td,
+                    loss,
                     tel,
                 );
             }
@@ -722,38 +756,47 @@ impl Trainer {
                         views
                             .chunks(chunk)
                             .zip(joint_nexts.chunks(chunk))
-                            .zip(tds.chunks_mut(chunk)),
+                            .zip(tds.chunks_mut(chunk).zip(losses.chunks_mut(chunk))),
                     )
                     .enumerate()
-                    .map(|(c, ((agent_chunk, scr_chunk), ((view_chunk, jn_chunk), td_chunk)))| {
-                        let worker_profiles = &worker_profiles;
-                        scope.spawn(move || {
-                            let mut local = PhaseProfile::new();
-                            let base = c * chunk;
-                            for (k, ((agent, ascr), td)) in agent_chunk
-                                .iter_mut()
-                                .zip(scr_chunk.iter_mut())
-                                .zip(td_chunk.iter_mut())
-                                .enumerate()
-                            {
-                                update_agent(
-                                    agent,
-                                    base + k,
-                                    &view_chunk[k],
-                                    &jn_chunk[k],
-                                    &cfg,
-                                    total_obs_dim,
-                                    act_dim,
-                                    updates,
-                                    &mut local,
-                                    ascr,
-                                    td,
-                                    tel,
-                                );
-                            }
-                            worker_profiles.lock().merge(&local);
-                        })
-                    })
+                    .map(
+                        |(
+                            c,
+                            (
+                                (agent_chunk, scr_chunk),
+                                ((view_chunk, jn_chunk), (td_chunk, l_chunk)),
+                            ),
+                        )| {
+                            let worker_profiles = &worker_profiles;
+                            scope.spawn(move || {
+                                let mut local = PhaseProfile::new();
+                                let base = c * chunk;
+                                for (k, ((agent, ascr), (td, loss))) in agent_chunk
+                                    .iter_mut()
+                                    .zip(scr_chunk.iter_mut())
+                                    .zip(td_chunk.iter_mut().zip(l_chunk.iter_mut()))
+                                    .enumerate()
+                                {
+                                    update_agent(
+                                        agent,
+                                        base + k,
+                                        &view_chunk[k],
+                                        &jn_chunk[k],
+                                        &cfg,
+                                        total_obs_dim,
+                                        act_dim,
+                                        updates,
+                                        &mut local,
+                                        ascr,
+                                        td,
+                                        loss,
+                                        tel,
+                                    );
+                                }
+                                worker_profiles.lock().merge(&local);
+                            })
+                        },
+                    )
                     .collect();
                 for h in handles {
                     h.join().expect("update worker panicked");
@@ -772,6 +815,11 @@ impl Trainer {
         // process, whereas a Diverged error is recoverable.
         crate::sentinel::check_tds(tds, &cfg.sentinel, self.updates)
             .map_err(TrainError::Diverged)?;
+
+        if let Some(rec) = self.trace.as_mut() {
+            rec.record_losses(losses);
+            rec.record_tds(tds);
+        }
 
         // Priority refreshes happen in agent order after the pool drains,
         // matching the serial path exactly.
@@ -795,6 +843,10 @@ impl Trainer {
         self.profile.add(Phase::SoftUpdate, t0.elapsed());
         crate::sentinel::check_agents(&self.agents, &cfg.sentinel, self.updates)
             .map_err(TrainError::Diverged)?;
+        if let Some(rec) = self.trace.as_mut() {
+            rec.record_params(&self.agents);
+            rec.end_update(self.updates);
+        }
         self.updates += 1;
         if let (Some(t), Some(start)) = (tel, update_start) {
             let end = t.tracer.now_ns();
@@ -955,7 +1007,8 @@ impl Trainer {
 /// the N calls of one iteration produce bitwise-identical results on any
 /// worker layout. Phase timings accumulate into `profile` (worker-local
 /// under the pool). The batch TD errors for the sampler's priority
-/// refresh land in `td`; the refresh stays on the coordinating thread.
+/// refresh land in `td`, the scalar critic loss (twin included) in
+/// `loss`; the refresh stays on the coordinating thread.
 ///
 /// Every temporary lives in the per-agent [`AgentScratch`], so a warmed
 /// call touches no heap.
@@ -972,6 +1025,7 @@ fn update_agent(
     profile: &mut PhaseProfile,
     s: &mut AgentScratch,
     td: &mut Vec<f32>,
+    loss: &mut f32,
     tel: Option<&Telemetry>,
 ) {
     // Per-agent lane span: tid `1 + i` matches the trace lane metadata.
@@ -1011,7 +1065,7 @@ fn update_agent(
     // Critic 1.
     agent.critic.zero_grad();
     agent.critic.forward_into(&s.joint, &mut s.q);
-    let _loss = match &view.weights {
+    *loss = match &view.weights {
         Some(w) => weighted_mse_into(&s.q, &s.y, w, &mut s.grad),
         None => mse_into(&s.q, &s.y, &mut s.grad),
     };
@@ -1022,10 +1076,11 @@ fn update_agent(
     if let Some((c2, _)) = &mut agent.critic2 {
         c2.zero_grad();
         c2.forward_into(&s.joint, &mut s.q2);
-        let _l2 = match &view.weights {
+        let l2 = match &view.weights {
             Some(w) => weighted_mse_into(&s.q2, &s.y, w, &mut s.grad),
             None => mse_into(&s.q2, &s.y, &mut s.grad),
         };
+        *loss += l2;
         c2.backward_into(&s.grad, &mut s.grad_joint, &mut s.nn);
         agent.critic2_opt.as_mut().expect("twin optimizer").step(c2);
     }
@@ -1079,6 +1134,9 @@ struct UpdateScratch {
     ta_scratch: Scratch,
     /// Per-agent TD errors of the current round.
     tds: Vec<Vec<f32>>,
+    /// Per-agent critic losses of the current round (twin loss summed in
+    /// for MATD3) — written by every update, read by the trace recorder.
+    losses: Vec<f32>,
     /// Per-agent update working sets (one per phase-3 worker lane).
     agents: Vec<AgentScratch>,
 }
@@ -1095,6 +1153,7 @@ impl UpdateScratch {
             ta_value: Matrix::default(),
             ta_scratch: Scratch::new(),
             tds: (0..n).map(|_| Vec::new()).collect(),
+            losses: vec![0.0; n],
             agents: (0..n).map(|_| AgentScratch::default()).collect(),
         }
     }
@@ -1500,6 +1559,38 @@ mod tests {
         let a = Trainer::new(cfg3).unwrap();
         let mut b = Trainer::new(cfg6).unwrap();
         assert!(matches!(b.restore(a.checkpoint()), Err(TrainError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn trace_recorder_observes_without_perturbing() {
+        let mut cfg = quick_config(Algorithm::Matd3, Task::PredatorPrey, 3);
+        cfg.warmup = 40;
+        cfg.update_every = 25;
+        let run = |attach: bool| {
+            let mut t = Trainer::new(cfg).unwrap();
+            if attach {
+                t.attach_trace_recorder(crate::trace::UpdateTraceRecorder::new());
+            }
+            let r = t.train().unwrap();
+            let digests =
+                t.detach_trace_recorder().map(crate::trace::UpdateTraceRecorder::into_digests);
+            let weights = serde_json::to_string(&t.checkpoint().agents).unwrap();
+            (weights, r.update_iterations, digests)
+        };
+        let (w_on, u_on, digests) = run(true);
+        let (w_off, u_off, none) = run(false);
+        assert_eq!(w_on, w_off, "recording must not change the trained model");
+        assert_eq!(u_on, u_off);
+        assert!(none.is_none());
+        let digests = digests.unwrap();
+        assert_eq!(digests.len() as u64, u_on, "one digest per update iteration");
+        for (i, d) in digests.iter().enumerate() {
+            assert_eq!(d.step, i as u64);
+            assert_ne!(d.params, 0, "parameter checksum must cover real data");
+        }
+        // MATD3 delays policy updates but updates critics every iteration:
+        // consecutive digests must differ.
+        assert!(digests.windows(2).all(|w| w[0].chain != w[1].chain));
     }
 
     #[test]

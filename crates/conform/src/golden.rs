@@ -1,0 +1,354 @@
+//! Golden-trace regression: text serialization, parsing, and diffing of
+//! [`UpdateDigest`] chains against committed `results/golden/*.trace`
+//! files.
+//!
+//! A golden trace is a plain-text file — one line per update iteration,
+//! every checksum in fixed-width hex — so behaviour drift shows up as a
+//! readable one-line diff in review. Traces are compared with
+//! [`first_divergence`], which names the earliest disagreeing update
+//! step *and* which digest field drifted (sample indices? run lengths?
+//! IS weights? losses? TD errors? parameters?), turning "the numbers
+//! changed" into "the IS weights changed at update 3".
+//!
+//! Regeneration is explicit: running the golden suite with the
+//! [`BLESS_ENV`] environment variable set (`MARL_BLESS=1`) rewrites the
+//! committed files instead of comparing, which is how an *intended*
+//! numeric change is recorded. CI guards that re-blessed goldens come
+//! with a `CHANGELOG.md` entry.
+
+use marl_algo::config::TrainConfig;
+use marl_algo::error::TrainError;
+use marl_algo::trace::{UpdateDigest, UpdateTraceRecorder, DIGEST_FIELDS};
+use marl_algo::trainer::Trainer;
+use std::path::{Path, PathBuf};
+
+/// First line of every golden trace file.
+pub const TRACE_HEADER: &str = "# marl-conform golden trace v1";
+
+/// Environment variable that switches the golden suite from *compare*
+/// to *regenerate*.
+pub const BLESS_ENV: &str = "MARL_BLESS";
+
+/// Whether the current process was asked to re-bless golden traces
+/// (`MARL_BLESS` set to anything but the empty string or `0`).
+pub fn bless_requested() -> bool {
+    std::env::var(BLESS_ENV).map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+}
+
+/// The committed golden-trace directory (`results/golden/` at the
+/// workspace root), resolved relative to this crate so the suite works
+/// from any working directory.
+pub fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/conform sits two levels below the workspace root")
+        .join("results")
+        .join("golden")
+}
+
+/// A stable one-line description of the configuration a trace was
+/// recorded under, embedded in the file header for review context.
+pub fn describe_config(cfg: &TrainConfig) -> String {
+    format!(
+        "{} {:?} {:?} agents={} episodes={} batch={} capacity={} update_every={} warmup={} \
+         seed={} kernel={:?}",
+        cfg.algorithm.label(),
+        cfg.sampler,
+        cfg.layout,
+        cfg.agents,
+        cfg.episodes,
+        cfg.batch_size,
+        cfg.buffer_capacity,
+        cfg.update_every,
+        cfg.warmup,
+        cfg.seed,
+        cfg.kernel,
+    )
+}
+
+/// Trains `cfg` with an attached [`UpdateTraceRecorder`] and returns the
+/// recorded per-update digests.
+///
+/// Machine-independent traces require a pinned kernel
+/// (`KernelChoice::Scalar`): `Auto` resolves per-host and SIMD kernels
+/// are bitwise-different from scalar ones.
+///
+/// # Errors
+///
+/// Propagates any [`TrainError`] from construction or training.
+pub fn record_run(cfg: TrainConfig) -> Result<Vec<UpdateDigest>, TrainError> {
+    let mut trainer = Trainer::new(cfg)?;
+    trainer.attach_trace_recorder(UpdateTraceRecorder::new());
+    trainer.train()?;
+    Ok(trainer.detach_trace_recorder().expect("recorder attached above").into_digests())
+}
+
+/// Serializes digests into the golden trace text format.
+pub fn serialize_trace(config_line: &str, digests: &[UpdateDigest]) -> String {
+    let mut out = String::with_capacity(80 * (digests.len() + 2));
+    out.push_str(TRACE_HEADER);
+    out.push('\n');
+    out.push_str("# config: ");
+    out.push_str(config_line);
+    out.push('\n');
+    for d in digests {
+        out.push_str(&format!("step={}", d.step));
+        for f in DIGEST_FIELDS {
+            out.push_str(&format!(" {f}={:08x}", d.field(f)));
+        }
+        out.push_str(&format!(" chain={:08x}\n", d.chain));
+    }
+    out
+}
+
+/// Parses a golden trace file back into digests.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line for malformed input.
+pub fn parse_trace(text: &str) -> Result<Vec<UpdateDigest>, String> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = i + 1;
+        let mut d = UpdateDigest {
+            step: 0,
+            indices: 0,
+            runs: 0,
+            weights: 0,
+            losses: 0,
+            tds: 0,
+            params: 0,
+            chain: 0,
+        };
+        let mut seen = 0usize;
+        for tok in line.split_whitespace() {
+            let (key, val) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("line {lineno}: malformed token {tok:?}"))?;
+            let hex = |v: &str| {
+                u32::from_str_radix(v, 16)
+                    .map_err(|e| format!("line {lineno}: bad hex for {key}: {e}"))
+            };
+            match key {
+                "step" => {
+                    d.step =
+                        val.parse().map_err(|e| format!("line {lineno}: bad step {val:?}: {e}"))?;
+                }
+                "indices" => d.indices = hex(val)?,
+                "runs" => d.runs = hex(val)?,
+                "weights" => d.weights = hex(val)?,
+                "losses" => d.losses = hex(val)?,
+                "tds" => d.tds = hex(val)?,
+                "params" => d.params = hex(val)?,
+                "chain" => d.chain = hex(val)?,
+                other => return Err(format!("line {lineno}: unknown field {other:?}")),
+            }
+            seen += 1;
+        }
+        if seen != 2 + DIGEST_FIELDS.len() {
+            return Err(format!(
+                "line {lineno}: expected {} fields, found {seen}",
+                2 + DIGEST_FIELDS.len()
+            ));
+        }
+        out.push(d);
+    }
+    Ok(out)
+}
+
+/// The first point at which two traces disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Divergence {
+    /// The traces disagree at update `step` in digest field `field`.
+    Field {
+        /// Update iteration of the first disagreement.
+        step: u64,
+        /// Which digest field drifted (`"step"`, one of
+        /// [`DIGEST_FIELDS`], or `"chain"`).
+        field: &'static str,
+        /// Golden value.
+        expected: u64,
+        /// Recorded value.
+        actual: u64,
+    },
+    /// Every common update matches but the traces have different lengths.
+    Length {
+        /// Golden update count.
+        expected: usize,
+        /// Recorded update count.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Divergence::Field { step, field, expected, actual } => write!(
+                f,
+                "first divergence at update step {step}: field `{field}` expected \
+                 {expected:#010x}, got {actual:#010x}"
+            ),
+            Divergence::Length { expected, actual } => {
+                write!(f, "trace length mismatch: expected {expected} updates, got {actual}")
+            }
+        }
+    }
+}
+
+/// Finds the first divergence between a golden trace and a recorded one.
+///
+/// Field digests are independent per update while the chain folds in all
+/// history, so the earliest differing update is located by the earliest
+/// pair that differs at all, and within it the named field pinpoints
+/// *which update input or output* drifted.
+pub fn first_divergence(expected: &[UpdateDigest], actual: &[UpdateDigest]) -> Option<Divergence> {
+    for (e, a) in expected.iter().zip(actual.iter()) {
+        if e.step != a.step {
+            return Some(Divergence::Field {
+                step: a.step,
+                field: "step",
+                expected: e.step,
+                actual: a.step,
+            });
+        }
+        for f in DIGEST_FIELDS.into_iter().chain(["chain"]) {
+            if e.field(f) != a.field(f) {
+                return Some(Divergence::Field {
+                    step: e.step,
+                    field: f,
+                    expected: e.field(f) as u64,
+                    actual: a.field(f) as u64,
+                });
+            }
+        }
+    }
+    if expected.len() != actual.len() {
+        return Some(Divergence::Length { expected: expected.len(), actual: actual.len() });
+    }
+    None
+}
+
+/// Compares recorded digests against the committed golden trace `name`
+/// (or rewrites it when [`bless_requested`]).
+///
+/// # Errors
+///
+/// Returns a human-readable report — naming the first divergent update
+/// step and field — when the trace is missing, unparsable, or diverges.
+pub fn check_or_bless(
+    name: &str,
+    config_line: &str,
+    digests: &[UpdateDigest],
+) -> Result<(), String> {
+    let dir = golden_dir();
+    let path = dir.join(format!("{name}.trace"));
+    if bless_requested() {
+        std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        std::fs::write(&path, serialize_trace(config_line, digests))
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        return Ok(());
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "missing golden trace {}: {e}; generate with `MARL_BLESS=1 cargo test -q golden`",
+            path.display()
+        )
+    })?;
+    let expected = parse_trace(&text).map_err(|e| format!("golden trace {name}: {e}"))?;
+    match first_divergence(&expected, digests) {
+        None => Ok(()),
+        Some(d) => Err(format!(
+            "golden trace {name}: {d}. If this change is intended, re-bless with \
+             `MARL_BLESS=1 cargo test -q golden` and record it in CHANGELOG.md."
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(step: u64, salt: u32) -> UpdateDigest {
+        UpdateDigest {
+            step,
+            indices: salt,
+            runs: salt.wrapping_add(1),
+            weights: salt.wrapping_add(2),
+            losses: salt.wrapping_add(3),
+            tds: salt.wrapping_add(4),
+            params: salt.wrapping_add(5),
+            chain: salt.wrapping_add(6),
+        }
+    }
+
+    #[test]
+    fn serialize_parse_roundtrip() {
+        let digests = vec![digest(0, 0xdead_0000), digest(1, 0xbeef_0000)];
+        let text = serialize_trace("MADDPG Uniform PerAgent", &digests);
+        assert!(text.starts_with(TRACE_HEADER));
+        assert!(text.contains("# config: MADDPG Uniform PerAgent"));
+        let back = parse_trace(&text).unwrap();
+        assert_eq!(back, digests);
+    }
+
+    #[test]
+    fn parse_names_the_offending_line() {
+        let err = parse_trace("# header\nstep=0 indices=zz").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = parse_trace("step=0 indices=1 bogus=2").unwrap_err();
+        assert!(err.contains("unknown field"), "{err}");
+        let err = parse_trace("step=0 indices=1").unwrap_err();
+        assert!(err.contains("expected 8 fields"), "{err}");
+    }
+
+    #[test]
+    fn divergence_names_step_and_field() {
+        let a = vec![digest(0, 10), digest(1, 20), digest(2, 30)];
+        let mut b = a.clone();
+        b[1].weights ^= 1;
+        b[1].chain ^= 1;
+        b[2].chain ^= 1;
+        let d = first_divergence(&a, &b).unwrap();
+        assert_eq!(
+            d,
+            Divergence::Field {
+                step: 1,
+                field: "weights",
+                expected: a[1].weights as u64,
+                actual: b[1].weights as u64,
+            }
+        );
+        let msg = d.to_string();
+        assert!(msg.contains("update step 1") && msg.contains("`weights`"), "{msg}");
+    }
+
+    #[test]
+    fn divergence_on_length_and_agreement() {
+        let a = vec![digest(0, 1), digest(1, 2)];
+        assert_eq!(first_divergence(&a, &a), None);
+        let b = vec![digest(0, 1)];
+        assert_eq!(first_divergence(&a, &b), Some(Divergence::Length { expected: 2, actual: 1 }));
+    }
+
+    #[test]
+    fn golden_dir_is_workspace_results() {
+        let dir = golden_dir();
+        assert!(dir.ends_with("results/golden"), "{}", dir.display());
+        assert!(!dir.to_string_lossy().contains("crates"), "{}", dir.display());
+    }
+
+    #[test]
+    fn describe_config_is_stable_and_complete() {
+        use marl_algo::config::{Algorithm, Task};
+        let cfg = TrainConfig::paper_defaults(Algorithm::Matd3, Task::PredatorPrey, 3)
+            .with_seed(4242)
+            .with_kernel(marl_nn::kernels::KernelChoice::Scalar);
+        let line = describe_config(&cfg);
+        assert!(line.contains("MATD3") && line.contains("seed=4242") && line.contains("Scalar"));
+    }
+}

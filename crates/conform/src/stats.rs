@@ -1,0 +1,91 @@
+//! Deterministic statistical gates for the sampler oracles.
+//!
+//! The oracle suites (`tests/statistical_oracle.rs`) draw large seeded
+//! samples from the PER sum-tree and the IP-locality predictor and check
+//! the empirical distributions against what the priorities *promise*.
+//! Those checks gate on a chi-square goodness-of-fit statistic compared
+//! to a fixed high-confidence critical value — not on hand-tuned
+//! per-test tolerances — so a real distribution bug fails loudly while a
+//! seeded run never flakes (the seeds are fixed, so the statistic is a
+//! pure function of the code under test).
+
+/// The standard-normal quantile for p = 0.999 (z such that Φ(z) ≈
+/// 0.999). With fixed seeds the gate never flakes; the loose quantile
+/// just documents how extreme a drift must be before the oracle trips.
+pub const Z_P999: f64 = 3.0902;
+
+/// Pearson's chi-square statistic `Σ (oᵢ − eᵢ)² / eᵢ` between observed
+/// counts and expected counts.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or any expected count is not
+/// strictly positive (merge low-expectation bins before calling — the
+/// chi-square approximation needs eᵢ ≳ 5 anyway).
+pub fn chi_square_statistic(observed: &[u64], expected: &[f64]) -> f64 {
+    assert_eq!(observed.len(), expected.len(), "observed/expected bin counts differ");
+    observed
+        .iter()
+        .zip(expected.iter())
+        .map(|(&o, &e)| {
+            assert!(e > 0.0, "expected count must be positive (got {e})");
+            let d = o as f64 - e;
+            d * d / e
+        })
+        .sum()
+}
+
+/// The chi-square critical value for `df` degrees of freedom at the
+/// upper-tail standard-normal quantile `z`, via the Wilson–Hilferty cube
+/// approximation: `df · (1 − 2/(9·df) + z·√(2/(9·df)))³`.
+///
+/// Within a few percent of the exact quantile for df ≥ 1 — accurate
+/// enough for a pass/fail gate at p = 0.999 ([`Z_P999`]).
+///
+/// # Panics
+///
+/// Panics if `df` is zero.
+pub fn chi_square_critical(df: usize, z: f64) -> f64 {
+    assert!(df > 0, "chi-square needs at least one degree of freedom");
+    let df = df as f64;
+    let t = 2.0 / (9.0 * df);
+    df * (1.0 - t + z * t.sqrt()).powi(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistic_is_zero_on_exact_fit_and_grows_with_drift() {
+        let expected = [100.0, 200.0, 700.0];
+        assert_eq!(chi_square_statistic(&[100, 200, 700], &expected), 0.0);
+        let small = chi_square_statistic(&[110, 195, 695], &expected);
+        let large = chi_square_statistic(&[200, 150, 650], &expected);
+        assert!(small > 0.0 && large > small, "small={small} large={large}");
+    }
+
+    #[test]
+    fn critical_values_track_the_chi_square_table() {
+        // Exact upper-0.001 quantiles: χ²(1)=10.828, χ²(5)=20.515,
+        // χ²(10)=29.588, χ²(511)=627.0 (approx). Wilson–Hilferty is
+        // within ~5% across this range.
+        for (df, exact) in [(1usize, 10.828), (5, 20.515), (10, 29.588)] {
+            let approx = chi_square_critical(df, Z_P999);
+            let rel = (approx - exact).abs() / exact;
+            assert!(rel < 0.05, "df={df}: approx={approx} exact={exact}");
+        }
+    }
+
+    #[test]
+    fn critical_value_grows_with_df_and_z() {
+        assert!(chi_square_critical(20, Z_P999) > chi_square_critical(10, Z_P999));
+        assert!(chi_square_critical(10, 3.0) > chi_square_critical(10, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_expectation_bins_are_rejected() {
+        chi_square_statistic(&[1], &[0.0]);
+    }
+}

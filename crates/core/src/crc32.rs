@@ -37,12 +37,57 @@ fn table() -> &'static [u32; 256] {
 /// assert_eq!(marl_core::crc32::crc32(b"123456789"), 0xCBF4_3926);
 /// ```
 pub fn crc32(data: &[u8]) -> u32 {
-    let t = table();
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in data {
-        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    let mut h = Crc32::new();
+    h.update(data);
+    h.finish()
+}
+
+/// Incremental CRC-32 hasher over the same polynomial as [`crc32`].
+///
+/// Streams data in any chunking — `Crc32::new().update(a).update(b)`
+/// equals `crc32(a ++ b)` — which lets trace digests fold many small
+/// fields (indices, run lengths, weight bits) without assembling an
+/// intermediate byte buffer.
+///
+/// # Examples
+///
+/// ```
+/// let mut h = marl_core::crc32::Crc32::new();
+/// h.update(b"12345");
+/// h.update(b"6789");
+/// assert_eq!(h.finish(), marl_core::crc32::crc32(b"123456789"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
     }
-    c ^ 0xFFFF_FFFF
+}
+
+impl Crc32 {
+    /// A fresh hasher (equivalent to having hashed zero bytes).
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Folds `data` into the running checksum.
+    pub fn update(&mut self, data: &[u8]) -> &mut Self {
+        let t = table();
+        for &b in data {
+            self.state = t[((self.state ^ b as u32) & 0xFF) as usize] ^ (self.state >> 8);
+        }
+        self
+    }
+
+    /// The checksum of everything hashed so far. Non-consuming: more
+    /// `update` calls may follow.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
 }
 
 #[cfg(test)]
@@ -67,6 +112,29 @@ mod tests {
                 assert_ne!(crc32(&corrupted), base, "flip at byte {byte} bit {bit}");
             }
         }
+    }
+
+    #[test]
+    fn incremental_matches_one_shot_for_any_chunking() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let expected = crc32(&data);
+        for chunk in [1usize, 3, 7, 64, 999, 1000] {
+            let mut h = Crc32::new();
+            for piece in data.chunks(chunk) {
+                h.update(piece);
+            }
+            assert_eq!(h.finish(), expected, "chunk size {chunk}");
+        }
+        assert_eq!(Crc32::new().finish(), 0, "empty stream matches crc32(b\"\")");
+    }
+
+    #[test]
+    fn finish_is_non_consuming() {
+        let mut h = Crc32::new();
+        h.update(b"1234");
+        let _mid = h.finish();
+        h.update(b"56789");
+        assert_eq!(h.finish(), crc32(b"123456789"));
     }
 
     #[test]

@@ -103,6 +103,35 @@ impl SamplePlan {
         }
         (total - self.segments.len()) as f64 / total as f64
     }
+
+    /// Folds this plan into three running CRC-32 digests — the drawn row
+    /// indices (flattened, as `u64` little-endian), the segment run
+    /// lengths (`u64` little-endian), and the IS weight bit patterns
+    /// (`f32::to_bits`, little-endian; nothing is hashed when the plan is
+    /// unweighted, so uniform plans digest identically regardless of how
+    /// "no weights" is represented).
+    ///
+    /// This is the sampler-side trace hook of the conformance harness:
+    /// hashing bit patterns (not rounded decimals) makes the digest exact
+    /// and layout/thread-count independent.
+    pub fn digest_into(
+        &self,
+        indices: &mut crate::crc32::Crc32,
+        runs: &mut crate::crc32::Crc32,
+        weights: &mut crate::crc32::Crc32,
+    ) {
+        for s in &self.segments {
+            for i in s.iter() {
+                indices.update(&(i as u64).to_le_bytes());
+            }
+            runs.update(&(s.len as u64).to_le_bytes());
+        }
+        if let Some(w) = &self.weights {
+            for &x in w {
+                weights.update(&x.to_bits().to_le_bytes());
+            }
+        }
+    }
 }
 
 impl Default for SamplePlan {
@@ -146,5 +175,27 @@ mod tests {
     fn long_runs_approach_full_sequentiality() {
         let p = SamplePlan { segments: vec![Segment::run(0, 1024)], weights: None };
         assert!(p.sequential_fraction() > 0.999);
+    }
+
+    #[test]
+    fn digest_distinguishes_indices_runs_and_weights() {
+        use crate::crc32::Crc32;
+        let digest = |p: &SamplePlan| {
+            let (mut i, mut r, mut w) = (Crc32::new(), Crc32::new(), Crc32::new());
+            p.digest_into(&mut i, &mut r, &mut w);
+            (i.finish(), r.finish(), w.finish())
+        };
+        // Same flattened indices, different segmentation: the index digest
+        // matches while the run digest differs.
+        let singles = SamplePlan::from_indices(&[4, 5, 6]);
+        let run = SamplePlan { segments: vec![Segment::run(4, 3)], weights: None };
+        assert_eq!(digest(&singles).0, digest(&run).0);
+        assert_ne!(digest(&singles).1, digest(&run).1);
+        // Unweighted plans hash nothing into the weight digest.
+        assert_eq!(digest(&singles).2, 0);
+        let weighted =
+            SamplePlan { segments: vec![Segment::run(4, 3)], weights: Some(vec![0.5, 0.25, 1.0]) };
+        assert_ne!(digest(&weighted).2, 0);
+        assert_eq!(digest(&weighted).0, digest(&run).0);
     }
 }

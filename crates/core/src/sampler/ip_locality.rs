@@ -40,8 +40,20 @@ impl IpLocalityConfig {
 
     /// The neighbor predictor: neighbor count for a normalized priority
     /// ("more neighbors for more important references").
+    ///
+    /// The input contract matches
+    /// [`PriorityCore::normalized_priority`][per]: a degenerate buffer
+    /// (empty, or all-zero priority mass) normalizes to `0.0` and thus
+    /// lands in the smallest class. Non-finite input — which no in-repo
+    /// caller produces, but a NaN here would previously have fallen
+    /// through every `<` comparison into the *largest* class — is defined
+    /// to mean "no priority information" and also maps to the smallest
+    /// class, keeping the predictor and the normalizer in agreement on
+    /// degenerate buffers.
+    ///
+    /// [per]: crate::sampler::per::PriorityCore::normalized_priority
     pub fn predict_neighbors(&self, normalized_priority: f32) -> usize {
-        if normalized_priority < self.thresholds[0] {
+        if !normalized_priority.is_finite() || normalized_priority < self.thresholds[0] {
             self.neighbor_counts[0]
         } else if normalized_priority < self.thresholds[1] {
             self.neighbor_counts[1]
@@ -143,6 +155,9 @@ impl Sampler for IpLocalitySampler {
     }
 
     fn normalized_priority_of(&self, idx: usize, len: usize) -> Option<f32> {
+        if self.core.is_degenerate(len) {
+            return None;
+        }
         Some(self.core.normalized_priority(idx, len))
     }
 
@@ -246,5 +261,28 @@ mod tests {
         let mut s = IpLocalitySampler::new(IpLocalityConfig::with_capacity(8));
         let mut rng = StdRng::seed_from_u64(4);
         assert!(s.plan(8, 4, &mut rng).is_err());
+    }
+
+    #[test]
+    fn predictor_and_normalizer_agree_on_degenerate_buffers() {
+        let c = IpLocalityConfig::with_capacity(16);
+        // Non-finite "priority" means no information — the smallest class,
+        // not a fall-through into the largest one.
+        assert_eq!(c.predict_neighbors(f32::NAN), 1);
+        assert_eq!(c.predict_neighbors(f32::INFINITY), 1);
+        assert_eq!(c.predict_neighbors(f32::NEG_INFINITY), 1);
+        // A degenerate buffer normalizes to 0.0, which lands in the same
+        // smallest class: both halves of the pipeline tell one story.
+        let s = IpLocalitySampler::new(c.clone());
+        assert!(s.core().is_degenerate(8));
+        assert_eq!(s.normalized_priority_of(3, 8), None);
+        assert_eq!(c.predict_neighbors(s.core().normalized_priority(3, 8)), 1);
+        // With mass in the tree the hook reports a thresholdable value.
+        let mut s = s;
+        for i in 0..8 {
+            s.observe_push(i);
+        }
+        let p = s.normalized_priority_of(3, 8).unwrap();
+        assert!((0.0..=1.0).contains(&p));
     }
 }

@@ -123,6 +123,12 @@ pub trait Sampler: std::fmt::Debug + Send {
     /// Normalized priority of slot `idx` over a buffer of `len` rows, for
     /// strategies that maintain per-slot priorities; `None` otherwise.
     /// A telemetry-only read: it must not perturb sampling state.
+    ///
+    /// Prioritized strategies also answer `None` on *degenerate* buffers
+    /// (`len == 0`, or a priority tree with zero total mass): there the
+    /// normalization `priority / (2 · mean)` is `0/0`, so "undefined" is
+    /// reported as such rather than as an accidental value. The returned
+    /// `Some(p)` is always finite and in `[0, 1]`.
     fn normalized_priority_of(&self, _idx: usize, _len: usize) -> Option<f32> {
         None
     }

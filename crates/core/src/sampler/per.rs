@@ -142,6 +142,16 @@ impl PriorityCore {
         self.tree.priority(idx)
     }
 
+    /// Whether the `(idx, len)` normalization of
+    /// [`PriorityCore::normalized_priority`] is undefined: an empty buffer
+    /// or a sum tree with zero total mass has no mean priority to
+    /// normalize against. Callers that report priorities
+    /// ([`crate::sampler::Sampler::normalized_priority_of`]) must map this
+    /// case to `None` rather than inventing a number.
+    pub fn is_degenerate(&self, len: usize) -> bool {
+        len == 0 || self.tree.total() <= 0.0
+    }
+
     /// Priority of a slot normalized to `[0, 1]` — the "value" the paper's
     /// neighbor predictor thresholds. Normalization is relative to twice
     /// the buffer's **mean** priority (O(1) from the tree total), so a
@@ -149,6 +159,11 @@ impl PriorityCore {
     /// saturates at 1.0; an all-time-max normalization would pin almost
     /// every reference below the lowest threshold once an outlier TD error
     /// appears.
+    ///
+    /// Degenerate buffers ([`PriorityCore::is_degenerate`]) return `0.0`
+    /// by definition — "no priority information" maps to the smallest
+    /// neighbor class, never to NaN (the naive `priority / (2·mean)` would
+    /// be `0/0` here).
     pub fn normalized_priority(&self, idx: usize, len: usize) -> f32 {
         let total = self.tree.total();
         if total <= 0.0 || len == 0 {
@@ -318,6 +333,9 @@ impl Sampler for PerSampler {
     }
 
     fn normalized_priority_of(&self, idx: usize, len: usize) -> Option<f32> {
+        if self.core.is_degenerate(len) {
+            return None;
+        }
         Some(self.core.normalized_priority(idx, len))
     }
 
@@ -484,6 +502,26 @@ mod tests {
             plans: 0,
         };
         assert!(s.import_state(&bad_len).is_err());
+    }
+
+    #[test]
+    fn degenerate_buffer_reports_no_normalized_priority() {
+        // Empty buffer: the normalization (priority / 2·mean) is 0/0, so
+        // the reporting hook must answer None, not a NaN-free accident.
+        let s = PerSampler::new(PerConfig::with_capacity(16));
+        assert!(s.core().is_degenerate(0));
+        assert!(s.core().is_degenerate(4), "zero total mass is degenerate at any len");
+        assert_eq!(s.normalized_priority_of(0, 0), None);
+        assert_eq!(s.normalized_priority_of(3, 4), None);
+        // The core's own defined degenerate value is 0.0 (never NaN).
+        assert_eq!(s.core().normalized_priority(3, 4), 0.0);
+        // One push gives the tree mass and the hook a defined answer.
+        let s = pushed_sampler(1);
+        assert!(!s.core().is_degenerate(1));
+        let p = s.normalized_priority_of(0, 1).unwrap();
+        assert!(p.is_finite() && (0.0..=1.0).contains(&p));
+        // `len == 0` stays undefined even with mass in the tree.
+        assert_eq!(s.normalized_priority_of(0, 0), None);
     }
 
     #[test]

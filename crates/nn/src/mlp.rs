@@ -192,6 +192,16 @@ impl Mlp {
         }
     }
 
+    /// Visits every parameter slice read-only, in the same stable order as
+    /// [`Mlp::visit_params`] (per layer: weights, then bias) — for
+    /// checksumming and fingerprinting without mutable access.
+    pub fn visit_params_ref(&self, mut f: impl FnMut(&[f32])) {
+        for l in &self.layers {
+            f(l.weight().as_slice());
+            f(l.bias());
+        }
+    }
+
     /// Largest absolute parameter value across every layer, or `NaN` as
     /// soon as any weight or bias is non-finite — a cheap health probe for
     /// divergence sentinels (one linear scan, no allocation).
@@ -336,6 +346,18 @@ mod tests {
         for (k, (fd, an)) in fds.iter().zip(analytic.iter()).enumerate() {
             assert!((fd - an).abs() < 2e-2, "param {k}: fd={fd} analytic={an}");
         }
+    }
+
+    #[test]
+    fn visit_params_ref_matches_mutable_visitor_order() {
+        let mut r = rng::seeded(3);
+        let mut net = Mlp::new(&[3, 8, 2], Activation::Relu, Init::XavierUniform, &mut r);
+        let mut via_mut: Vec<f32> = Vec::new();
+        net.visit_params(|p, _| via_mut.extend_from_slice(p));
+        let mut via_ref: Vec<f32> = Vec::new();
+        net.visit_params_ref(|p| via_ref.extend_from_slice(p));
+        assert_eq!(via_ref, via_mut);
+        assert_eq!(via_ref.len(), net.parameter_count());
     }
 
     #[test]

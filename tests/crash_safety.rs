@@ -10,6 +10,8 @@ use marl_repro::core::SamplerConfig;
 use proptest::prelude::*;
 use std::path::PathBuf;
 
+mod common;
+
 fn tmp_path(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("marl_crash_safety_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
@@ -17,13 +19,7 @@ fn tmp_path(name: &str) -> PathBuf {
 }
 
 fn config(algorithm: Algorithm, sampler: SamplerConfig) -> TrainConfig {
-    let mut c = TrainConfig::paper_defaults(algorithm, Task::PredatorPrey, 3)
-        .with_sampler(sampler)
-        .with_episodes(6)
-        .with_batch_size(32)
-        .with_buffer_capacity(1024)
-        .with_seed(77);
-    c.warmup = 64;
+    let mut c = common::seeded_config(algorithm, Task::PredatorPrey, 3, sampler, 6, 32, 1024, 77);
     c.update_every = 25;
     c
 }

@@ -5,14 +5,10 @@ use marl_repro::algo::{Algorithm, Task, TrainConfig, Trainer};
 use marl_repro::core::SamplerConfig;
 use marl_repro::perf::phase::Phase;
 
+mod common;
+
 fn quick(algorithm: Algorithm, task: Task, agents: usize, sampler: SamplerConfig) -> TrainConfig {
-    let mut c = TrainConfig::paper_defaults(algorithm, task, agents)
-        .with_sampler(sampler)
-        .with_episodes(5)
-        .with_batch_size(64)
-        .with_buffer_capacity(4096)
-        .with_seed(99);
-    c.warmup = 64;
+    let mut c = common::seeded_config(algorithm, task, agents, sampler, 5, 64, 4096, 99);
     c.update_every = 30;
     c
 }

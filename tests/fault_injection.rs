@@ -16,6 +16,8 @@ use marl_repro::core::SamplerConfig;
 use std::path::PathBuf;
 use std::sync::Mutex;
 
+mod common;
+
 /// The failpoint registry is process-global, so tests serialize on this
 /// lock and clear the registry on entry.
 static FAILPOINTS: Mutex<()> = Mutex::new(());
@@ -33,14 +35,9 @@ fn tmp_path(name: &str) -> PathBuf {
 }
 
 fn config(sampler: SamplerConfig) -> TrainConfig {
-    let mut c = TrainConfig::paper_defaults(Algorithm::Maddpg, Task::PredatorPrey, 3)
-        .with_sampler(sampler)
-        .with_episodes(6)
-        .with_batch_size(32)
-        .with_buffer_capacity(1024)
-        .with_seed(55)
-        .with_checkpoint_every(2);
-    c.warmup = 64;
+    let mut c =
+        common::seeded_config(Algorithm::Maddpg, Task::PredatorPrey, 3, sampler, 6, 32, 1024, 55)
+            .with_checkpoint_every(2);
     c.update_every = 25;
     c
 }
@@ -98,6 +95,76 @@ fn transient_nan_recovers_via_rollback() {
     assert_eq!(report.curve.values(), full.curve.values(), "recovery must be exact");
     let weights = |t: &Trainer| serde_json::to_string(&t.checkpoint().agents).unwrap();
     assert_eq!(weights(&faulted), weights(&straight));
+    drop(guard);
+}
+
+/// Rollback-with-retry covers *consecutive* divergences while budget
+/// remains: two NaNs in a row (the retried iteration faults again) spend
+/// both default retries, and the third attempt — clean — still finishes
+/// with exactly the un-faulted result.
+#[test]
+fn consecutive_divergences_within_budget_recover_exactly() {
+    let guard = locked();
+    let cfg = config(SamplerConfig::Uniform);
+    assert_eq!(cfg.sentinel.max_retries, 2, "test assumes the default retry budget");
+
+    let mut straight = Trainer::new(cfg).unwrap();
+    let full = straight.train().unwrap();
+
+    let path = tmp_path("double_nan_rollback.bin");
+    let mut faulted = Trainer::new(cfg).unwrap();
+    // Two armed entries on the same site queue up: the first fires on the
+    // second update round (the episode-2 autosave exists by then), the
+    // second fires on the retried iteration right after the rollback.
+    failpoint::arm_after("update::tds", Fault::Nan, 1);
+    failpoint::arm("update::tds", Fault::Nan);
+    let report = faulted.train_with_autosave(Some(&path)).unwrap();
+
+    assert_eq!(report.curve.values(), full.curve.values(), "recovery must be exact");
+    let weights = |t: &Trainer| serde_json::to_string(&t.checkpoint().agents).unwrap();
+    assert_eq!(weights(&faulted), weights(&straight));
+    drop(guard);
+}
+
+/// Exhausting the rollback budget is a structured failure: with
+/// `max_retries = 1`, a divergence on the retried iteration has no budget
+/// left and surfaces as `TrainError::Diverged` carrying the sentinel's
+/// report — even though a good checkpoint exists.
+#[test]
+fn consecutive_divergences_exhaust_the_rollback_budget() {
+    let guard = locked();
+    let mut cfg = config(SamplerConfig::Uniform);
+    cfg.sentinel.max_retries = 1;
+    let path = tmp_path("budget_exhausted.bin");
+    let mut t = Trainer::new(cfg).unwrap();
+    failpoint::arm_after("update::tds", Fault::Nan, 1);
+    failpoint::arm("update::tds", Fault::Nan);
+    let err = t.train_with_autosave(Some(&path)).unwrap_err();
+    let TrainError::Diverged(report) = err else { panic!("wrong variant: {err:?}") };
+    assert!(report.value.is_nan());
+    assert_eq!(report.what, "TD error");
+    drop(guard);
+}
+
+/// A divergence on the very first update: autosaving is *enabled* but has
+/// not fired yet (the first update lands before the first autosave
+/// interval elapses), so there is no prior checkpoint to roll back to and
+/// the full retry budget is irrelevant — the report surfaces immediately.
+#[test]
+fn divergence_on_first_update_with_no_prior_checkpoint_aborts() {
+    let guard = locked();
+    let mut cfg = config(SamplerConfig::Uniform);
+    // Warmup 64 at 25 steps/episode puts the first update in episode 3;
+    // the first autosave would land after episode 5.
+    cfg.checkpoint_every = 5;
+    let path = tmp_path("first_update_divergence.bin");
+    let mut t = Trainer::new(cfg).unwrap();
+    failpoint::arm("update::tds", Fault::Nan);
+    let err = t.train_with_autosave(Some(&path)).unwrap_err();
+    let TrainError::Diverged(report) = err else { panic!("wrong variant: {err:?}") };
+    assert!(report.value.is_nan());
+    assert_eq!(report.what, "TD error");
+    assert!(!path.exists(), "no autosave may have been written before the first update");
     drop(guard);
 }
 

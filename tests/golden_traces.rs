@@ -1,0 +1,107 @@
+//! Golden-trace regression suite (conformance pillar 1).
+//!
+//! Replays one fixed small configuration per algorithm × sampler ×
+//! layout combination with an attached `UpdateTraceRecorder` and diffs
+//! the recorded digest chain against the committed
+//! `results/golden/*.trace` file. A mismatch names the first divergent
+//! update step and digest field.
+//!
+//! Regenerate after an *intended* numeric change with
+//! `MARL_BLESS=1 cargo test -q golden` (and record it in CHANGELOG.md —
+//! CI enforces that pairing).
+
+use marl_conform::golden;
+use marl_repro::algo::{Algorithm, LayoutMode};
+use marl_repro::core::SamplerConfig;
+
+mod common;
+
+const ALGORITHMS: [(Algorithm, &str); 2] =
+    [(Algorithm::Maddpg, "maddpg"), (Algorithm::Matd3, "matd3")];
+const SAMPLERS: [(SamplerConfig, &str); 4] = [
+    (SamplerConfig::Uniform, "uniform"),
+    (SamplerConfig::Per, "per"),
+    (SamplerConfig::LocalityN16R64, "locality"),
+    (SamplerConfig::IpLocality, "ip"),
+];
+const LAYOUTS: [(LayoutMode, &str); 2] =
+    [(LayoutMode::PerAgent, "per_agent"), (LayoutMode::Interleaved, "interleaved")];
+
+/// All 16 committed combinations, replayed and diffed (or re-blessed
+/// under `MARL_BLESS=1`). One test so a bless run regenerates the whole
+/// set atomically; failures accumulate so one report lists every
+/// diverged combination.
+#[test]
+fn golden_traces_match_committed_digests() {
+    let mut failures = Vec::new();
+    for (algorithm, algo_tag) in ALGORITHMS {
+        for (sampler, sampler_tag) in SAMPLERS {
+            for (layout, layout_tag) in LAYOUTS {
+                let name = format!("{algo_tag}_{sampler_tag}_{layout_tag}");
+                let cfg = common::golden_config(algorithm, sampler, layout);
+                let digests = golden::record_run(cfg).expect("training failed");
+                assert!(!digests.is_empty(), "{name}: run recorded no updates");
+                if let Err(report) =
+                    golden::check_or_bless(&name, &golden::describe_config(&cfg), &digests)
+                {
+                    failures.push(report);
+                }
+            }
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+/// Recording twice under one configuration yields identical digest
+/// chains — the trace is a pure function of the config, so the committed
+/// goldens can only fail when behaviour actually changes.
+#[test]
+fn recording_is_deterministic() {
+    let cfg =
+        common::golden_config(Algorithm::Matd3, SamplerConfig::IpLocality, LayoutMode::Interleaved);
+    let a = golden::record_run(cfg).unwrap();
+    let b = golden::record_run(cfg).unwrap();
+    assert!(!a.is_empty());
+    assert_eq!(a, b);
+}
+
+/// Perturbing a hyper-parameter is *pinpointed*: γ enters through the
+/// target-Q computation, so the first divergence is at update step 0 in
+/// the `losses` field — while the drawn indices, run lengths, and IS
+/// weights of that update still match (sampling state cannot depend on
+/// γ before the first priority feedback).
+#[test]
+fn perturbed_gamma_is_named_step_and_field() {
+    let cfg = common::golden_config(Algorithm::Maddpg, SamplerConfig::Per, LayoutMode::PerAgent);
+    let base = golden::record_run(cfg).unwrap();
+    let mut bumped = cfg;
+    bumped.gamma = 0.9;
+    let alt = golden::record_run(bumped).unwrap();
+    let d = golden::first_divergence(&base, &alt).expect("gamma must change the trace");
+    let golden::Divergence::Field { step, field, expected, actual } = d else {
+        panic!("expected a field divergence, got {d:?}");
+    };
+    assert_eq!(step, 0, "gamma bites at the very first update");
+    assert_eq!(field, "losses", "the critic loss is the first digest field gamma touches");
+    assert_ne!(expected, actual);
+    // The report a failing golden run prints carries both coordinates.
+    let msg = d.to_string();
+    assert!(msg.contains("update step 0") && msg.contains("`losses`"), "{msg}");
+}
+
+/// Perturbing the seed diverges immediately too — at the drawn indices,
+/// the first field of the digest, since the sampling RNG stream itself
+/// changed.
+#[test]
+fn perturbed_seed_diverges_at_the_first_update() {
+    let cfg =
+        common::golden_config(Algorithm::Maddpg, SamplerConfig::Uniform, LayoutMode::PerAgent);
+    let base = golden::record_run(cfg).unwrap();
+    let alt = golden::record_run(cfg.with_seed(4243)).unwrap();
+    let d = golden::first_divergence(&base, &alt).expect("seed must change the trace");
+    let golden::Divergence::Field { step, field, .. } = d else {
+        panic!("expected a field divergence, got {d:?}");
+    };
+    assert_eq!(step, 0);
+    assert_eq!(field, "indices");
+}

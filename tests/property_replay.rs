@@ -199,6 +199,79 @@ proptest! {
         prop_assert!(decode_replay(bytes::Bytes::from(good[..len].to_vec())).is_err());
     }
 
+    /// `deinterleave` is the exact inverse of `reorganize_from` for every
+    /// reachable ring state — partially filled, exactly full, and wrapped
+    /// with the write cursor at an arbitrary slot — across agent counts
+    /// and heterogeneous row widths. The checkpoint path leans on this
+    /// inverse (an interleaved trainer snapshots through the common
+    /// per-agent format), so a mismatch at a wrap boundary would silently
+    /// corrupt resumed runs.
+    #[test]
+    fn reorganize_then_deinterleave_is_identity(
+        agents in 1usize..5,
+        obs_dim in 1usize..6,
+        capacity in 2usize..32,
+        wraps in 0usize..3,
+        offset in 0usize..64,
+    ) {
+        let layouts: Vec<TransitionLayout> = (0..agents)
+            // Heterogeneous widths: agent a's rows are wider by a.
+            .map(|a| TransitionLayout::new(obs_dim + a, 2))
+            .collect();
+        let mut replay = MultiAgentReplay::new(&layouts, capacity);
+        // Land the cursor anywhere: 0, 1, or 2 full laps plus a partial one.
+        let pushes = (capacity * wraps + offset % capacity).max(1);
+        for t in 0..pushes {
+            let step: Vec<Transition> =
+                (0..agents).map(|a| transition(&layouts[a], (t * 10 + a) as f32)).collect();
+            replay.push_step(&step).unwrap();
+        }
+
+        let (store, report) = InterleavedStore::reorganize_from(&replay);
+        prop_assert_eq!(report.rows, replay.len());
+        let back = store.deinterleave().unwrap();
+
+        prop_assert_eq!(back.agent_count(), replay.agent_count());
+        for a in 0..replay.agent_count() {
+            let (orig, rt) = (replay.buffer(a), back.buffer(a));
+            prop_assert_eq!(rt.len(), orig.len(), "agent {} length", a);
+            prop_assert_eq!(rt.capacity(), orig.capacity(), "agent {} capacity", a);
+            prop_assert_eq!(rt.next_slot(), orig.next_slot(), "agent {} cursor", a);
+            prop_assert_eq!(rt.raw_rows(), orig.raw_rows(), "agent {} rows", a);
+        }
+    }
+
+    /// The identity also holds after the store keeps running: pushes
+    /// after the reshape must land in the same slots the per-agent rings
+    /// would have used, so the two layouts stay deinterleave-equal
+    /// forever, not just at the handoff.
+    #[test]
+    fn post_reshape_pushes_track_the_per_agent_rings(
+        capacity in 2usize..16,
+        prefill in 1usize..40,
+        extra in 1usize..24,
+    ) {
+        let layouts = vec![TransitionLayout::new(3, 2); 2];
+        let mut replay = MultiAgentReplay::new(&layouts, capacity);
+        for t in 0..prefill {
+            let step: Vec<Transition> =
+                (0..2).map(|a| transition(&layouts[a], (t * 10 + a) as f32)).collect();
+            replay.push_step(&step).unwrap();
+        }
+        let (mut store, _) = InterleavedStore::reorganize_from(&replay);
+        for t in prefill..prefill + extra {
+            let step: Vec<Transition> =
+                (0..2).map(|a| transition(&layouts[a], (t * 10 + a) as f32)).collect();
+            let slot = store.push_step(&step).unwrap();
+            prop_assert_eq!(slot, replay.push_step(&step).unwrap(), "slot at t={}", t);
+        }
+        let back = store.deinterleave().unwrap();
+        for a in 0..2 {
+            prop_assert_eq!(back.buffer(a).raw_rows(), replay.buffer(a).raw_rows());
+            prop_assert_eq!(back.buffer(a).next_slot(), replay.buffer(a).next_slot());
+        }
+    }
+
     /// Transition serialization roundtrips for arbitrary payloads.
     #[test]
     fn transition_row_roundtrip(

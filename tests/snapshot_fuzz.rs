@@ -1,0 +1,227 @@
+//! Structured snapshot fuzzing (conformance pillar 3).
+//!
+//! Draws ≥ 256 structured mutations per on-disk format — MARC checkpoint
+//! frames and V2/V1 replay snapshots — and asserts the decoding oracle:
+//! every mutated frame yields a *typed* error or a structurally valid
+//! value; never a panic, hang, or mis-load. The mutators are format
+//! aware (`marl_conform::fuzz`), so corruption lands both in front of
+//! and *behind* the checksums: truncations, splices, duplicated
+//! sections, hostile length fields with a re-patched CRC, and
+//! CRC-preserving payload swaps.
+//!
+//! A final test drives structured corruption through the crash-safety
+//! path: a checksum-valid-but-hostile live checkpoint must fall back to
+//! the rotated `.prev` file.
+
+use bytes::Bytes;
+use marl_conform::fuzz::{apply_mutation, snapshot_v1_from_v2, Format, Mutation};
+use marl_repro::algo::checkpoint::{
+    decode_checkpoint_file, encode_checkpoint_file, load_checkpoint_with_fallback,
+    write_checkpoint_file, Checkpoint,
+};
+use marl_repro::algo::{Algorithm, Task, TrainError, Trainer};
+use marl_repro::core::multi::MultiAgentReplay;
+use marl_repro::core::snapshot::{decode_replay, encode_replay};
+use marl_repro::core::transition::{Transition, TransitionLayout};
+use marl_repro::core::SamplerConfig;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+mod common;
+
+/// One short prefilled run, captured once: a realistic checkpoint with a
+/// prioritized-sampler run state and a populated replay section.
+fn trained_checkpoint() -> &'static (Checkpoint, Vec<u8>) {
+    static STATE: OnceLock<(Checkpoint, Vec<u8>)> = OnceLock::new();
+    STATE.get_or_init(|| {
+        let cfg = common::seeded_config(
+            Algorithm::Maddpg,
+            Task::PredatorPrey,
+            3,
+            SamplerConfig::Per,
+            2,
+            32,
+            256,
+            4242,
+        );
+        let mut t = Trainer::new(cfg).unwrap();
+        t.prefill(120).unwrap();
+        t.checkpoint_full().unwrap()
+    })
+}
+
+fn checkpoint_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let (ckpt, replay) = trained_checkpoint();
+        encode_checkpoint_file(ckpt, replay).unwrap()
+    })
+}
+
+/// A wrapped multi-agent replay (ring has lapped once) encoded as a V2
+/// snapshot frame.
+fn snapshot_v2_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let layouts = vec![TransitionLayout::new(4, 2); 3];
+        let mut r = MultiAgentReplay::new(&layouts, 16);
+        for t in 0..21 {
+            let step: Vec<Transition> = (0..3)
+                .map(|a| Transition {
+                    obs: vec![(t * 10 + a) as f32; 4],
+                    action: vec![0.25; 2],
+                    reward: t as f32,
+                    next_obs: vec![(t * 10 + a + 1) as f32; 4],
+                    done: f32::from(t % 25 == 24),
+                })
+                .collect();
+            r.push_step(&step).unwrap();
+        }
+        encode_replay(&r).to_vec()
+    })
+}
+
+fn snapshot_v1_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| snapshot_v1_from_v2(snapshot_v2_bytes()))
+}
+
+/// Maps drawn parameters onto one of the five structured mutation kinds
+/// (the stub proptest has no `prop_oneof!`; a drawn discriminant is the
+/// same distribution).
+fn build_mutation(kind: usize, a: usize, b: usize, value: u64, payload: Vec<u8>) -> Mutation {
+    match kind {
+        0 => Mutation::Truncate { keep: a },
+        1 => Mutation::Splice { at: a, bytes: payload },
+        2 => Mutation::DuplicateSection { src: a, len: b, dst: value as usize },
+        3 => Mutation::CorruptLengthField { field: a, value },
+        _ => Mutation::CrcPreservingSwap { a, b },
+    }
+}
+
+/// The snapshot decoding oracle: typed error, or a replay whose
+/// structural invariants hold.
+fn snapshot_oracle(mutated: Vec<u8>) -> Result<(), String> {
+    match decode_replay(Bytes::from(mutated)) {
+        Err(_typed) => Ok(()), // every SnapshotError variant is acceptable
+        Ok(r) => {
+            if r.agent_count() == 0 {
+                return Err("decoded a replay with zero agents".into());
+            }
+            for a in 0..r.agent_count() {
+                let buf = r.buffer(a);
+                if buf.len() > buf.capacity() || buf.next_slot() >= buf.capacity() {
+                    return Err(format!(
+                        "agent {a}: len {} / next {} out of range for capacity {}",
+                        buf.len(),
+                        buf.next_slot(),
+                        buf.capacity()
+                    ));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// MARC checkpoint frames: every structured mutation decodes to a
+    /// typed `TrainError::Checkpoint` or a valid checkpoint whose replay
+    /// section itself decodes totally.
+    #[test]
+    fn checkpoint_mutations_never_panic_or_misload(
+        kind in 0usize..5,
+        a in any::<usize>(),
+        b in any::<usize>(),
+        value in any::<u64>(),
+        payload in prop::collection::vec(any::<u8>(), 1usize..24),
+    ) {
+        let m = build_mutation(kind, a, b, value, payload);
+        let mutated = apply_mutation(checkpoint_bytes(), &m, Format::Checkpoint);
+        match decode_checkpoint_file(&mutated) {
+            Err(TrainError::Checkpoint(msg)) => prop_assert!(!msg.is_empty()),
+            Err(other) => prop_assert!(false, "untyped error variant: {other:?}"),
+            Ok((ckpt, replay)) => {
+                // A CRC-preserving mutation may decode; the embedded
+                // replay section must then decode totally as well.
+                prop_assert!(!ckpt.agents.is_empty(), "checkpoint lost its agents");
+                let inner = snapshot_oracle(replay);
+                prop_assert!(inner.is_ok(), "embedded replay: {}", inner.unwrap_err());
+            }
+        }
+    }
+
+    /// V2 replay snapshots: typed `SnapshotError` or a structurally
+    /// valid replay, for every structured mutation.
+    #[test]
+    fn snapshot_v2_mutations_never_panic_or_misload(
+        kind in 0usize..5,
+        a in any::<usize>(),
+        b in any::<usize>(),
+        value in any::<u64>(),
+        payload in prop::collection::vec(any::<u8>(), 1usize..24),
+    ) {
+        let m = build_mutation(kind, a, b, value, payload);
+        let mutated = apply_mutation(snapshot_v2_bytes(), &m, Format::SnapshotV2);
+        let verdict = snapshot_oracle(mutated);
+        prop_assert!(verdict.is_ok(), "{}", verdict.unwrap_err());
+    }
+
+    /// Legacy V1 snapshots have *no* checksum, so every mutation reaches
+    /// the structural validation directly — the decoder must still be
+    /// total.
+    #[test]
+    fn snapshot_v1_mutations_never_panic_or_misload(
+        kind in 0usize..5,
+        a in any::<usize>(),
+        b in any::<usize>(),
+        value in any::<u64>(),
+        payload in prop::collection::vec(any::<u8>(), 1usize..24),
+    ) {
+        let m = build_mutation(kind, a, b, value, payload);
+        let mutated = apply_mutation(snapshot_v1_bytes(), &m, Format::SnapshotV1);
+        let verdict = snapshot_oracle(mutated);
+        prop_assert!(verdict.is_ok(), "{}", verdict.unwrap_err());
+    }
+}
+
+/// Unmutated baselines decode cleanly — the fuzz fixtures are valid, so
+/// every failure above is attributable to the mutation.
+#[test]
+fn baselines_are_valid() {
+    let (ckpt, replay) = decode_checkpoint_file(checkpoint_bytes()).unwrap();
+    assert_eq!(ckpt.agents.len(), 3);
+    assert!(!replay.is_empty());
+    assert_eq!(decode_replay(Bytes::from(snapshot_v2_bytes().to_vec())).unwrap().len(), 16);
+    assert_eq!(decode_replay(Bytes::from(snapshot_v1_bytes().to_vec())).unwrap().len(), 16);
+}
+
+/// Structured corruption through the crash-safety path: a hostile
+/// length field with a *valid* checksum in the live file must be caught
+/// by the decoder's bounds checks and fall back to `.prev`.
+#[test]
+fn crc_valid_hostile_live_file_falls_back_to_prev() {
+    let dir = std::env::temp_dir().join(format!("marl_snapshot_fuzz_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("hostile.bin");
+    let (ckpt, replay) = trained_checkpoint();
+    write_checkpoint_file(&path, ckpt, replay).unwrap();
+    write_checkpoint_file(&path, ckpt, replay).unwrap(); // rotates to .prev
+
+    let live = std::fs::read(&path).unwrap();
+    let hostile = apply_mutation(
+        &live,
+        &Mutation::CorruptLengthField { field: 0, value: u64::MAX / 2 },
+        Format::Checkpoint,
+    );
+    assert_ne!(hostile, live);
+    std::fs::write(&path, &hostile).unwrap();
+
+    let (recovered, recovered_replay, from_prev) = load_checkpoint_with_fallback(&path).unwrap();
+    assert!(from_prev, "hostile live frame must be rejected in favour of .prev");
+    assert_eq!(recovered.agents.len(), 3);
+    assert_eq!(recovered_replay, *replay);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,266 @@
+//! Statistical oracle suite (conformance pillar 2).
+//!
+//! Large seeded draws from the prioritized samplers, checked against the
+//! distributions their priorities *promise*:
+//!
+//! * the sum tree's prefix lookup draws leaves proportional to priority;
+//! * `PerSampler::plan` preserves that proportionality end-to-end
+//!   through stratification;
+//! * the IP neighbor predictor emits run lengths 1/2/4 in exactly the
+//!   proportions implied by the priority distribution;
+//! * Lemma-1 IS weights de-bias prioritized draws back to the uniform
+//!   ground truth — and the same estimate *without* the weights fails.
+//!
+//! All gates are chi-square statistics against a fixed Wilson–Hilferty
+//! critical value (p = 0.999) or seeded tolerance bounds — seeds are
+//! pinned, so every statistic is a pure function of the code under test
+//! and the suite cannot flake.
+
+use marl_conform::stats::{chi_square_critical, chi_square_statistic, Z_P999};
+use marl_repro::core::sampler::{
+    IpLocalityConfig, IpLocalitySampler, PerConfig, PerSampler, Sampler,
+};
+use marl_repro::core::sumtree::SumTree;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Raw sum-tree proportionality: `find_prefix` over uniformly drawn
+/// prefixes visits each leaf in proportion to its priority.
+#[test]
+fn sum_tree_draws_match_leaf_priorities() {
+    const LEAVES: usize = 64;
+    const DRAWS: usize = 100_000;
+    let mut tree = SumTree::new(LEAVES);
+    // Known non-uniform priorities: leaf i gets 1 + (i mod 4).
+    for i in 0..LEAVES {
+        tree.update(i, 1.0 + (i % 4) as f64);
+    }
+    let total = tree.total();
+    assert_eq!(total, (1 + 2 + 3 + 4) as f64 * (LEAVES / 4) as f64);
+
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    let mut observed = vec![0u64; LEAVES];
+    for _ in 0..DRAWS {
+        observed[tree.find_prefix(rng.gen_range(0.0..total))] += 1;
+    }
+    let expected: Vec<f64> = (0..LEAVES).map(|i| tree.priority(i) / total * DRAWS as f64).collect();
+    let chi2 = chi_square_statistic(&observed, &expected);
+    let crit = chi_square_critical(LEAVES - 1, Z_P999);
+    assert!(chi2 < crit, "sum-tree draw frequencies drifted: chi2={chi2:.1} critical={crit:.1}");
+}
+
+/// A PER config with exact arithmetic for oracle math: α = 1 (priorities
+/// used as-is), ε = 0 (priority = |TD|), β pinned (no annealing).
+fn exact_per(capacity: usize, beta: f64) -> PerConfig {
+    let mut cfg = PerConfig::with_capacity(capacity);
+    cfg.alpha = 1.0;
+    cfg.epsilon = 0.0;
+    cfg.beta = beta;
+    cfg.beta_final = beta;
+    cfg.beta_anneal_plans = 0;
+    cfg
+}
+
+/// End-to-end `PerSampler::plan` frequencies: stratified proportional
+/// sampling still draws each slot with probability `p_i / Σp` when
+/// counts are aggregated over the batch (the strata partition the mass).
+#[test]
+fn per_sampler_empirical_frequencies_match_priorities() {
+    const N: usize = 64;
+    let mut s = PerSampler::new(exact_per(N, 1.0));
+    for i in 0..N {
+        s.observe_push(i);
+    }
+    // Three priority classes: |TD| of 1, 2, or 4 ⇒ masses 32·1 + 16·2 +
+    // 16·4 = 128, slot probabilities 1/128, 2/128, 4/128.
+    let tds: Vec<f32> = (0..N)
+        .map(|i| {
+            if i < 32 {
+                1.0
+            } else if i < 48 {
+                2.0
+            } else {
+                4.0
+            }
+        })
+        .collect();
+    let indices: Vec<usize> = (0..N).collect();
+    s.update_priorities(&indices, &tds);
+
+    const PLANS: usize = 200;
+    const BATCH: usize = 32;
+    let mut rng = StdRng::seed_from_u64(0xBEE);
+    let mut observed = vec![0u64; N];
+    for _ in 0..PLANS {
+        for i in s.plan(N, BATCH, &mut rng).unwrap().flatten() {
+            observed[i] += 1;
+        }
+    }
+    let draws = (PLANS * BATCH) as f64;
+    let expected: Vec<f64> = (0..N).map(|i| tds[i] as f64 / 128.0 * draws).collect();
+    let chi2 = chi_square_statistic(&observed, &expected);
+    let crit = chi_square_critical(N - 1, Z_P999);
+    assert!(chi2 < crit, "PER draw frequencies drifted: chi2={chi2:.1} critical={crit:.1}");
+}
+
+/// The IP neighbor predictor's run-length mix: with three priority
+/// classes placed around the thresholds, references land in the 1-, 2-,
+/// and 4-neighbor classes in proportion to each class's priority-mass
+/// share.
+#[test]
+fn ip_run_length_proportions_match_the_priority_distribution() {
+    const N: usize = 512;
+    let mut cfg = IpLocalityConfig::with_capacity(N);
+    cfg.per = exact_per(N, 1.0);
+    let mut s = IpLocalitySampler::new(cfg);
+    for i in 0..N {
+        s.observe_push(i);
+    }
+    // |TD| classes 1 / 2 / 10 over 400 / 62 / 50 slots: total mass
+    // 400 + 124 + 500 = 1024, mean 2. Normalized priority = p / (2·mean)
+    // = p/4 ⇒ 0.25 (< T1 → 1 neighbor), 0.5 (→ 2), 2.5 clamped to 1.0
+    // (→ 4). Expected reference shares = mass shares.
+    let tds: Vec<f32> = (0..N)
+        .map(|i| {
+            if i < 400 {
+                1.0
+            } else if i < 462 {
+                2.0
+            } else {
+                10.0
+            }
+        })
+        .collect();
+    let indices: Vec<usize> = (0..N).collect();
+    s.update_priorities(&indices, &tds);
+
+    const PLANS: usize = 500;
+    const BATCH: usize = 256;
+    let mut rng = StdRng::seed_from_u64(0xCAB);
+    let mut observed = [0u64; 3]; // run lengths 1, 2, 4
+    for _ in 0..PLANS {
+        let plan = s.plan(N, BATCH, &mut rng).unwrap();
+        // The final segment of a plan may be truncated to fit the batch
+        // (and only it can be — a clamped run always fills the batch), so
+        // tally interior segments, whose lengths are the predictor's.
+        for seg in &plan.segments[..plan.segments.len() - 1] {
+            match seg.len {
+                1 => observed[0] += 1,
+                2 => observed[1] += 1,
+                4 => observed[2] += 1,
+                other => panic!("interior run length {other} is not a predictor class"),
+            }
+        }
+    }
+    let refs: u64 = observed.iter().sum();
+    assert!(refs > 10_000, "draw more references for a stable gate (got {refs})");
+    let shares = [400.0 / 1024.0, 124.0 / 1024.0, 500.0 / 1024.0];
+    let expected: Vec<f64> = shares.iter().map(|p| p * refs as f64).collect();
+    let chi2 = chi_square_statistic(&observed, &expected);
+    let crit = chi_square_critical(2, Z_P999);
+    assert!(
+        chi2 < crit,
+        "run-length mix drifted: observed={observed:?} chi2={chi2:.1} critical={crit:.1}"
+    );
+}
+
+/// Lemma 1 over PER draws: the IS-weighted estimator of a fixed buffer's
+/// mean recovers the uniform ground truth; the unweighted estimator is
+/// biased by construction and must fail the same bound.
+#[test]
+fn lemma1_weights_debias_per_draws() {
+    const N: usize = 256;
+    let mut s = PerSampler::new(exact_per(N, 1.0));
+    for i in 0..N {
+        s.observe_push(i);
+    }
+    // "Replay buffer" of values v_i = i, uniform mean 127.5. Priorities
+    // correlate with value (the adversarial case): top-quarter slots get
+    // 50× the mass, so unweighted draws over-represent large values.
+    let tds: Vec<f32> = (0..N).map(|i| if i < 192 { 0.1 } else { 5.0 }).collect();
+    let indices: Vec<usize> = (0..N).collect();
+    s.update_priorities(&indices, &tds);
+    let truth = (0..N).map(|i| i as f64).sum::<f64>() / N as f64; // 127.5
+
+    const PLANS: usize = 400;
+    const BATCH: usize = 64;
+    let mut rng = StdRng::seed_from_u64(0xD1CE);
+    let (mut weighted_sum, mut unweighted_sum, mut draws) = (0.0f64, 0.0f64, 0u64);
+    // With β = 1 the stored weight is (1/(N·P(i)))/w_max, so scaling by
+    // w_max recovers the exact Lemma-1 correction 1/(N·P(i)), which makes
+    // E[w·v] the uniform mean.
+    let w_max = s.core().max_weight(N);
+    for _ in 0..PLANS {
+        let plan = s.plan(N, BATCH, &mut rng).unwrap();
+        let idx = plan.flatten();
+        let w = plan.weights.as_ref().expect("PER plans are weighted");
+        for (&i, &wi) in idx.iter().zip(w) {
+            weighted_sum += wi as f64 * w_max * i as f64;
+            unweighted_sum += i as f64;
+            draws += 1;
+        }
+    }
+    let weighted = weighted_sum / draws as f64;
+    let unweighted = unweighted_sum / draws as f64;
+    // ~25.6 k draws, estimator SE ≈ 2.1 ⇒ ±10 is a ≈5σ deterministic gate.
+    assert!(
+        (weighted - truth).abs() < 10.0,
+        "weighted estimate {weighted:.2} missed the uniform truth {truth}"
+    );
+    assert!(
+        (unweighted - truth).abs() > 50.0,
+        "unweighted estimate {unweighted:.2} should be badly biased (truth {truth})"
+    );
+}
+
+/// Lemma 1 over IP-locality draws, per reference: each drawn reference
+/// carries weight 1/(N·P(ref)) (its neighbors inherit it), so the
+/// weighted per-reference estimator recovers the uniform mean even
+/// though references are drawn proportional to priority.
+#[test]
+fn lemma1_weights_debias_ip_reference_draws() {
+    const N: usize = 256;
+    let mut cfg = IpLocalityConfig::with_capacity(N);
+    cfg.per = exact_per(N, 1.0);
+    let mut s = IpLocalitySampler::new(cfg);
+    for i in 0..N {
+        s.observe_push(i);
+    }
+    // High priority on the *low-value* quarter (slots 0..64) so (a) the
+    // unweighted reference mean is biased low, and (b) 4-neighbor runs
+    // never start near the buffer end, so `Segment::start` is exactly
+    // the drawn reference for every segment.
+    let tds: Vec<f32> = (0..N).map(|i| if i < 64 { 5.0 } else { 0.1 }).collect();
+    let indices: Vec<usize> = (0..N).collect();
+    s.update_priorities(&indices, &tds);
+    let truth = (0..N).map(|i| i as f64).sum::<f64>() / N as f64; // 127.5
+
+    const PLANS: usize = 1000;
+    const BATCH: usize = 64;
+    let mut rng = StdRng::seed_from_u64(0xFEED);
+    let (mut weighted_sum, mut unweighted_sum, mut refs) = (0.0f64, 0.0f64, 0u64);
+    let w_max = s.core().max_weight(N);
+    for _ in 0..PLANS {
+        let plan = s.plan(N, BATCH, &mut rng).unwrap();
+        let w = plan.weights.as_ref().expect("IP plans are weighted");
+        let mut offset = 0;
+        for seg in &plan.segments {
+            let v = seg.start as f64;
+            weighted_sum += w[offset] as f64 * w_max * v;
+            unweighted_sum += v;
+            refs += 1;
+            offset += seg.len;
+        }
+    }
+    let weighted = weighted_sum / refs as f64;
+    let unweighted = unweighted_sum / refs as f64;
+    // ~17 k references, SE ≈ 4 ⇒ ±20 is a ≈5σ deterministic gate.
+    assert!(
+        (weighted - truth).abs() < 20.0,
+        "weighted reference estimate {weighted:.2} missed the uniform truth {truth}"
+    );
+    assert!(
+        (unweighted - truth).abs() > 50.0,
+        "unweighted reference estimate {unweighted:.2} should be badly biased (truth {truth})"
+    );
+}

@@ -47,16 +47,20 @@ struct TraceFile {
     traceEvents: Vec<TraceEvent>,
 }
 
+mod common;
+
 fn short_config(seed: u64) -> TrainConfig {
-    let mut cfg = TrainConfig::paper_defaults(Algorithm::Maddpg, Task::PredatorPrey, 3)
-        .with_sampler(SamplerConfig::Per)
-        .with_episodes(24)
-        .with_batch_size(32)
-        .with_buffer_capacity(2048)
-        .with_kernel(KernelChoice::Scalar)
-        .with_seed(seed);
-    cfg.warmup = 64;
-    cfg
+    common::seeded_config(
+        Algorithm::Maddpg,
+        Task::PredatorPrey,
+        3,
+        SamplerConfig::Per,
+        24,
+        32,
+        2048,
+        seed,
+    )
+    .with_kernel(KernelChoice::Scalar)
 }
 
 /// Trains with the given telemetry attachment and returns the
