@@ -81,6 +81,60 @@ impl AgentNets {
         (idx, hard.into_vec())
     }
 
+    /// Batched exploration actions for `K` worlds: one inference pass over
+    /// `obs` (row `w` = world `w`'s observation), then a per-row
+    /// Gumbel-softmax sample drawing noise from `rngs[w]`.
+    ///
+    /// Row `w` consumes exactly the RNG draws, in exactly the order, that
+    /// [`AgentNets::act_explore`] would consume from `rngs[w]` — so with a
+    /// single world and the master RNG this is bit-identical to the scalar
+    /// path. Writes the arg-max action index of world `w` into
+    /// `indices[w]` and its one-hot row into row `w` of `onehot`.
+    /// `logits`, `sample_row`, and `scratch` are reusable working storage
+    /// (allocation-free once warmed).
+    #[allow(clippy::too_many_arguments)]
+    pub fn act_explore_batch(
+        &self,
+        obs: &Matrix,
+        temperature: f32,
+        rngs: &mut [StdRng],
+        logits: &mut Matrix,
+        sample_row: &mut Matrix,
+        scratch: &mut marl_nn::scratch::Scratch,
+        indices: &mut [usize],
+        onehot: &mut Matrix,
+    ) {
+        assert!(temperature > 0.0, "temperature must be positive");
+        let worlds = obs.rows();
+        assert_eq!(rngs.len(), worlds, "one RNG stream per world");
+        assert_eq!(indices.len(), worlds, "one action index per world");
+        let act_dim = self.actor.output_dim();
+        self.actor.forward_inference_into(obs, logits, scratch);
+        sample_row.resize(1, act_dim);
+        onehot.resize(worlds, act_dim);
+        for w in 0..worlds {
+            // Replicates `gumbel_softmax_sample` + `harden` on this row:
+            // (x + g)/temperature, row softmax, then first-max arg-max.
+            let row = sample_row.row_mut(0);
+            row.copy_from_slice(logits.row(w));
+            for x in row.iter_mut() {
+                *x = (*x + marl_nn::rng::standard_gumbel(&mut rngs[w])) / temperature;
+            }
+            marl_nn::activation::softmax_inplace(sample_row);
+            let row = sample_row.row(0);
+            let mut best = 0;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            indices[w] = best;
+            let out = onehot.row_mut(w);
+            out.fill(0.0);
+            out[best] = 1.0;
+        }
+    }
+
     /// Greedy action (arg-max logits) for evaluation.
     pub fn act_greedy(&self, obs: &[f32]) -> usize {
         let logits = self.actor.forward_inference(&Matrix::row_vector(obs));
@@ -229,6 +283,43 @@ mod tests {
         }
         assert!(seen.len() > 1, "exploration should visit several actions");
         assert_eq!(a.act_greedy(&obs), a.act_greedy(&obs));
+    }
+
+    #[test]
+    fn batched_explore_matches_scalar_per_row_bitwise() {
+        let a = nets(false);
+        for worlds in [1usize, 3, 8] {
+            let mut obs = Matrix::zeros(worlds, 16);
+            for w in 0..worlds {
+                for (c, x) in obs.row_mut(w).iter_mut().enumerate() {
+                    *x = (w as f32 * 0.13) - (c as f32 * 0.07);
+                }
+            }
+            let mut rngs: Vec<_> = (0..worlds).map(|w| seeded(100 + w as u64)).collect();
+            let mut scalar_rngs = rngs.clone();
+            let mut logits = Matrix::default();
+            let mut sample_row = Matrix::default();
+            let mut scratch = marl_nn::scratch::Scratch::new();
+            let mut indices = vec![0usize; worlds];
+            let mut onehot = Matrix::default();
+            a.act_explore_batch(
+                &obs,
+                0.8,
+                &mut rngs,
+                &mut logits,
+                &mut sample_row,
+                &mut scratch,
+                &mut indices,
+                &mut onehot,
+            );
+            for w in 0..worlds {
+                let (idx, hot) = a.act_explore(obs.row(w), 0.8, &mut scalar_rngs[w]);
+                assert_eq!(indices[w], idx, "worlds={worlds} w={w}");
+                assert_eq!(onehot.row(w), hot.as_slice(), "worlds={worlds} w={w}");
+                // Both paths must consume identical RNG draws.
+                assert_eq!(rngs[w].state(), scalar_rngs[w].state(), "worlds={worlds} w={w}");
+            }
+        }
     }
 
     #[test]

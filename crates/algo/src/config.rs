@@ -126,6 +126,13 @@ pub struct TrainConfig {
     /// written before this field existed deserialize unchanged.
     #[serde(default)]
     pub kernel: marl_nn::kernels::KernelChoice,
+    /// Parallel environments stepped per rollout batch (K). 1 keeps the
+    /// legacy scalar rollout; K > 1 switches to the vectorized SoA engine.
+    /// `#[serde(default)]` (0) is normalized to 1 by
+    /// [`TrainConfig::num_envs`], so pre-existing checkpoints deserialize
+    /// unchanged.
+    #[serde(default)]
+    pub num_envs: usize,
     /// Experiment seed.
     pub seed: u64,
 }
@@ -160,8 +167,15 @@ impl TrainConfig {
             checkpoint_every: 0,
             sentinel: crate::sentinel::SentinelConfig::default(),
             kernel: marl_nn::kernels::KernelChoice::Auto,
+            num_envs: 1,
             seed: 0,
         }
+    }
+
+    /// Effective parallel-environment count: the raw field with the
+    /// serde-default 0 (configs predating the field) normalized to 1.
+    pub fn num_envs(&self) -> usize {
+        self.num_envs.max(1)
     }
 
     /// Overrides the sampler strategy (builder style).
@@ -229,6 +243,12 @@ impl TrainConfig {
     /// Overrides the NN kernel selection (builder style).
     pub fn with_kernel(mut self, kernel: marl_nn::kernels::KernelChoice) -> Self {
         self.kernel = kernel;
+        self
+    }
+
+    /// Overrides the parallel-environment count K (builder style).
+    pub fn with_num_envs(mut self, num_envs: usize) -> Self {
+        self.num_envs = num_envs;
         self
     }
 
@@ -377,6 +397,23 @@ mod tests {
         assert!(!legacy.contains("kernel"));
         let back: TrainConfig = serde_json::from_str(&legacy).unwrap();
         assert_eq!(back.kernel, KernelChoice::Auto);
+    }
+
+    #[test]
+    fn num_envs_defaults_to_one_and_tolerates_old_configs() {
+        let c = TrainConfig::paper_defaults(Algorithm::Maddpg, Task::PredatorPrey, 3);
+        assert_eq!(c.num_envs(), 1);
+        let c = c.with_num_envs(8);
+        assert_eq!(c.num_envs(), 8);
+        // A config serialized before `num_envs` existed (≤ PR 5) must still
+        // deserialize, and the serde-default 0 must behave as K = 1.
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("\"num_envs\":8"));
+        let legacy = json.replace(",\"num_envs\":8", "");
+        assert!(!legacy.contains("num_envs"));
+        let back: TrainConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.num_envs, 0);
+        assert_eq!(back.num_envs(), 1);
     }
 
     #[test]

@@ -17,9 +17,10 @@ use marl_core::indices::SamplePlan;
 use marl_core::layout::InterleavedStore;
 use marl_core::multi::MultiAgentReplay;
 use marl_core::sampler::Sampler;
-use marl_core::transition::{MultiBatch, Transition, TransitionLayout};
+use marl_core::transition::{MultiBatch, Transition, TransitionLayout, TransitionRef};
 use marl_env::entity::DiscreteAction;
 use marl_env::env::ParticleEnv;
+use marl_env::vecenv::VecParticleEnv;
 use marl_nn::gumbel::{relaxation_backward_into, softmax_relaxation_into};
 use marl_nn::loss::{mse_into, td_errors_into, weighted_mse_into};
 use marl_nn::matrix::Matrix;
@@ -113,6 +114,18 @@ impl ReplayBackend {
         }
     }
 
+    /// Pushes one joint step built on the fly from borrowed rows
+    /// (allocation-free; the vectorized rollout path).
+    fn push_step_with<'a, F>(&mut self, f: F) -> usize
+    where
+        F: FnMut(usize) -> TransitionRef<'a>,
+    {
+        match self {
+            ReplayBackend::PerAgent(r) => r.push_step_with(f),
+            ReplayBackend::Interleaved(s) => s.push_step_with(f),
+        }
+    }
+
     /// Gathers `plan` into `out`, reusing its storage. With per-agent
     /// buffers and `threads > 1` the gather fans out over a scoped pool
     /// (allocating); the serial paths are allocation-free once warmed.
@@ -154,6 +167,16 @@ impl ReplayBackend {
 pub struct Trainer {
     config: TrainConfig,
     env: ParticleEnv,
+    /// Batched K-world environment; `Some` once the vectorized rollout
+    /// path is active ([`TrainConfig::num_envs`] > 1, or
+    /// [`Trainer::run_episode_vec`] called directly). World 0 shares the
+    /// scalar env's seed stream, so K=1 checkpoints stay byte-compatible.
+    vecenv: Option<VecParticleEnv>,
+    /// Per-world exploration-noise streams (K > 1 only; at K=1 the master
+    /// RNG is used so the scalar and vectorized paths stay bit-identical).
+    rollout_rngs: Vec<StdRng>,
+    /// Reusable working storage of the vectorized rollout loop.
+    rollout: Option<RolloutScratch>,
     agents: Vec<AgentNets>,
     replay: ReplayBackend,
     sampler: Box<dyn Sampler>,
@@ -222,9 +245,12 @@ impl Trainer {
         };
         let sampler = config.sampler.build(config.buffer_capacity);
         let scratch = UpdateScratch::new(obs_dims.len(), &layouts, config.batch_size);
-        Ok(Trainer {
+        let mut trainer = Trainer {
             config,
             env,
+            vecenv: None,
+            rollout_rngs: Vec::new(),
+            rollout: None,
             agents,
             replay,
             sampler,
@@ -241,7 +267,56 @@ impl Trainer {
             scratch,
             obs: None,
             trace: None,
-        })
+        };
+        if trainer.config.num_envs() > 1 {
+            trainer.ensure_vec_rollout();
+        }
+        Ok(trainer)
+    }
+
+    /// Builds the K-world environment, the per-world noise streams, and
+    /// the rollout scratch if they do not exist yet. Idempotent.
+    fn ensure_vec_rollout(&mut self) {
+        if self.vecenv.is_some() {
+            return;
+        }
+        let k = self.config.num_envs();
+        let cfg = &self.config;
+        let mut vecenv = match cfg.task {
+            Task::PredatorPrey => {
+                marl_env::predator_prey_vec(cfg.agents, cfg.max_episode_len, cfg.seed, k)
+            }
+            Task::CooperativeNavigation => {
+                marl_env::cooperative_navigation_vec(cfg.agents, cfg.max_episode_len, cfg.seed, k)
+            }
+            Task::PhysicalDeception => {
+                marl_env::physical_deception_vec(cfg.agents, cfg.max_episode_len, cfg.seed, k)
+            }
+        };
+        // World 0 continues the scalar environment's stream: a no-op at
+        // construction (both start from the same seed), and the live
+        // state when the build happens after a checkpoint restore.
+        let mut states = vecenv.rng_states();
+        states[0] = self.env.rng_state();
+        vecenv.set_rng_states(&states);
+        // Noise streams: at K=1 the master RNG is used instead (bitwise
+        // identity with the scalar path); at K>1 each world draws from
+        // stream 3 of the config seed, sub-stream w — disjoint from the
+        // master (1), update (2), and extra-world env (4) streams.
+        self.rollout_rngs = if k > 1 {
+            (0..k)
+                .map(|w| {
+                    StdRng::seed_from_u64(marl_nn::rng::derive_seed(
+                        marl_nn::rng::derive_seed(cfg.seed, 3),
+                        w as u64,
+                    ))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        self.rollout = Some(RolloutScratch::new(k, &self.obs_dims, self.act_dim));
+        self.vecenv = Some(vecenv);
     }
 
     /// Attaches an observability runtime. From the next step on, spans,
@@ -302,6 +377,12 @@ impl Trainer {
         self.updates
     }
 
+    /// Environment steps executed so far (each step of each world counts
+    /// once, so at `num_envs = K` one rollout iteration adds K).
+    pub fn env_steps(&self) -> u64 {
+        self.env_steps
+    }
+
     /// Episodes completed so far (continues from the restored count after
     /// [`Trainer::restore_full`]).
     pub fn episodes_done(&self) -> usize {
@@ -355,7 +436,20 @@ impl Trainer {
                 return Err(TrainError::Interrupted { episodes_done: self.curve.len() });
             }
             match self.run_episode() {
-                Ok(mean_reward) => self.curve.push(mean_reward),
+                // The vectorized path finishes K worlds per call: record
+                // one curve entry per world (world order) so `episodes`
+                // still counts completed environment episodes.
+                Ok(mean_reward) => {
+                    if self.config.num_envs() > 1 {
+                        let rollout = self.rollout.as_ref().expect("vec rollout ran");
+                        for w in 0..rollout.world_returns.len() {
+                            let v = rollout.world_returns[w];
+                            self.curve.push(v);
+                        }
+                    } else {
+                        self.curve.push(mean_reward);
+                    }
+                }
                 Err(TrainError::Diverged(report)) => {
                     if let Some(t) = self.obs.as_deref() {
                         t.metrics.sentinel_trips.inc();
@@ -416,10 +510,17 @@ impl Trainer {
     /// Runs one episode (exploration + pushes + scheduled updates) and
     /// returns the mean-over-agents cumulative reward.
     ///
+    /// With [`TrainConfig::num_envs`] > 1 this dispatches to
+    /// [`Trainer::run_episode_vec`], which advances K worlds in lockstep
+    /// and returns the mean over all of them.
+    ///
     /// # Errors
     ///
     /// Propagates environment and replay failures.
     pub fn run_episode(&mut self) -> Result<f32, TrainError> {
+        if self.config.num_envs() > 1 {
+            return self.run_episode_vec();
+        }
         // Arc clone (refcount bump only) so the episode span can coexist
         // with the `&mut self` calls below.
         let tel = self.obs.clone();
@@ -493,6 +594,162 @@ impl Trainer {
             }
         }
         Ok(episode_reward.iter().sum::<f32>() / n as f32)
+    }
+
+    /// Runs one vectorized episode: K worlds advanced in lockstep over the
+    /// batched SoA physics, with per-agent action selection coalescing the
+    /// K observations into a single actor inference batch.
+    ///
+    /// At K=1 this consumes exactly the RNG draws of the scalar
+    /// [`Trainer::run_episode`], in the same order, and is bit-identical
+    /// to it (test-enforced). At K>1 exploration noise comes from K
+    /// checkpointable per-world streams, every batched step pushes K joint
+    /// transitions, and `env_steps`/update scheduling advance by K per
+    /// step. The per-world mean returns of the finished episode are kept
+    /// for [`Trainer::train_with_autosave`], which records one reward-curve
+    /// entry per world; the returned value is the mean over all worlds.
+    ///
+    /// The step loop is allocation-free once the scratch is warm
+    /// (test-enforced alongside the update-loop guarantee).
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment and replay failures.
+    pub fn run_episode_vec(&mut self) -> Result<f32, TrainError> {
+        self.ensure_vec_rollout();
+        let tel = self.obs.clone();
+        let _episode_span = tel.as_deref().map(|t| t.tracer.span("episode", 0));
+        let n = self.agents.len();
+        let act_dim = self.act_dim;
+        let k = {
+            let env = self.vecenv.as_mut().expect("vec env built above");
+            let rollout = self.rollout.as_mut().expect("rollout scratch built above");
+            env.reset();
+            let k = env.world_count();
+            for (a, m) in rollout.obs_cur.iter_mut().enumerate() {
+                for w in 0..k {
+                    env.observe_into(a, w, m.row_mut(w));
+                }
+            }
+            rollout.episode_reward.fill(0.0);
+            k
+        };
+        loop {
+            // --- Action selection (one inference batch per agent) ---
+            let t0 = Instant::now();
+            let (temperature, epsilon) = self.config.exploration.at(self.env_steps);
+            {
+                let rollout = self.rollout.as_mut().expect("rollout scratch");
+                for (a, agent) in self.agents.iter().enumerate() {
+                    // At K=1 the master RNG supplies the noise — the draw
+                    // sequence (per agent: act_dim Gumbels, then the
+                    // epsilon draws) matches the scalar path exactly.
+                    let rngs: &mut [StdRng] = if k == 1 {
+                        std::slice::from_mut(&mut self.rng)
+                    } else {
+                        &mut self.rollout_rngs
+                    };
+                    agent.act_explore_batch(
+                        &rollout.obs_cur[a],
+                        temperature,
+                        rngs,
+                        &mut rollout.logits,
+                        &mut rollout.sample_row,
+                        &mut rollout.nn,
+                        &mut rollout.agent_idx,
+                        &mut rollout.onehot[a],
+                    );
+                    if epsilon > 0.0 {
+                        for (w, rng) in rngs.iter_mut().enumerate() {
+                            if rand::Rng::gen::<f32>(&mut *rng) < epsilon {
+                                let idx = rand::Rng::gen_range(&mut *rng, 0..act_dim);
+                                rollout.agent_idx[w] = idx;
+                                let row = rollout.onehot[a].row_mut(w);
+                                row.fill(0.0);
+                                row[idx] = 1.0;
+                            }
+                        }
+                    }
+                    for w in 0..k {
+                        rollout.action_idx[w * n + a] = rollout.agent_idx[w];
+                    }
+                }
+            }
+            self.profile.add(Phase::ActionSelection, t0.elapsed());
+
+            // --- Environment execution (batched SoA step) ---
+            let t0 = Instant::now();
+            let done = {
+                let env = self.vecenv.as_mut().expect("vec env");
+                let rollout = self.rollout.as_mut().expect("rollout scratch");
+                let span_start = tel.as_deref().map(|t| t.tracer.now_ns());
+                let done = env.step(&rollout.action_idx, &mut rollout.rewards)?;
+                if let (Some(t), Some(start)) = (tel.as_deref(), span_start) {
+                    let end = t.tracer.now_ns();
+                    t.tracer.record("vec-env-step", 0, start, end);
+                    let dt = end.saturating_sub(start);
+                    t.metrics.vecenv_step_ns.record(dt);
+                    t.metrics.vecenv_batch_fill.record(k as u64);
+                    if dt > 0 {
+                        t.metrics.vecenv_steps_per_sec.record_scaled(k as f64 / dt as f64, 1e9);
+                    }
+                }
+                for (a, m) in rollout.obs_next.iter_mut().enumerate() {
+                    for w in 0..k {
+                        env.observe_into(a, w, m.row_mut(w));
+                    }
+                }
+                done
+            };
+            self.profile.add(Phase::EnvironmentStep, t0.elapsed());
+            self.env_steps += k as u64;
+            if let Some(t) = tel.as_deref() {
+                t.metrics.env_steps.add(k as u64);
+            }
+
+            // --- Store experiences (K joint pushes per batched step) ---
+            let t0 = Instant::now();
+            let done_flag = if done { 1.0 } else { 0.0 };
+            {
+                let rollout = self.rollout.as_mut().expect("rollout scratch");
+                for w in 0..k {
+                    let (obs_cur, onehot, rewards, obs_next) =
+                        (&rollout.obs_cur, &rollout.onehot, &rollout.rewards, &rollout.obs_next);
+                    let slot = self.replay.push_step_with(|a| TransitionRef {
+                        obs: obs_cur[a].row(w),
+                        action: onehot[a].row(w),
+                        reward: rewards[w * n + a],
+                        next_obs: obs_next[a].row(w),
+                        done: done_flag,
+                    });
+                    self.sampler.observe_push(slot);
+                    self.samples_since_update += 1;
+                }
+                for (er, r) in rollout.episode_reward.iter_mut().zip(&rollout.rewards) {
+                    *er += r;
+                }
+                std::mem::swap(&mut rollout.obs_cur, &mut rollout.obs_next);
+            }
+            self.profile.add(Phase::Bookkeeping, t0.elapsed());
+
+            // --- Update all trainers ---
+            if self.replay.len() >= self.config.warmup
+                && self.samples_since_update >= self.config.update_every
+            {
+                self.samples_since_update = 0;
+                self.update_all_trainers()?;
+            }
+
+            if done {
+                break;
+            }
+        }
+        let rollout = self.rollout.as_mut().expect("rollout scratch");
+        for w in 0..k {
+            let sum: f32 = rollout.episode_reward[w * n..(w + 1) * n].iter().sum();
+            rollout.world_returns[w] = sum / n as f32;
+        }
+        Ok(rollout.world_returns.iter().sum::<f32>() / k as f32)
     }
 
     /// Pre-fills the replay buffers with `rows` random-policy steps without
@@ -893,15 +1150,29 @@ impl Trainer {
             ReplayBackend::Interleaved(s) => marl_core::snapshot::encode_replay(&s.deinterleave()?),
         };
         let mut ckpt = self.checkpoint();
+        // With the vectorized rollout active, world 0's stream occupies the
+        // legacy `env_rng` slot (it is the scalar env's stream, so K=1
+        // checkpoints restore into either path); worlds 1..K and the
+        // exploration-noise streams ride in the `#[serde(default)]` fields,
+        // which stay empty on the scalar path for backward compatibility.
+        let (env_rng, vec_env_rngs) = match &self.vecenv {
+            Some(v) => {
+                let states = v.rng_states();
+                (states[0], states[1..].to_vec())
+            }
+            None => (self.env.rng_state(), Vec::new()),
+        };
         ckpt.run = Some(RunState {
             env_steps: self.env_steps,
             samples_since_update: self.samples_since_update,
             master_rng: self.rng.state(),
-            env_rng: self.env.rng_state(),
+            env_rng,
             curve: self.curve.values().to_vec(),
             telemetry: self.telemetry,
             sampler: self.sampler.export_state(),
             profile: self.profile.clone(),
+            rollout_rngs: self.rollout_rngs.iter().map(|r| r.state()).collect(),
+            vec_env_rngs,
         });
         Ok((ckpt, replay.as_ref().to_vec()))
     }
@@ -942,6 +1213,26 @@ impl Trainer {
         }
         self.rng = StdRng::from_state(run.master_rng);
         self.env.set_rng_state(run.env_rng);
+        if self.config.num_envs() > 1
+            || self.vecenv.is_some()
+            || !run.vec_env_rngs.is_empty()
+            || !run.rollout_rngs.is_empty()
+        {
+            self.ensure_vec_rollout();
+            let env = self.vecenv.as_mut().expect("vec env built above");
+            // World 0 restores from the legacy slot; worlds 1..K from the
+            // vectorized fields. A pre-vectorization checkpoint (empty
+            // fields) resumes with fresh extra-world streams.
+            if env.world_count() == run.vec_env_rngs.len() + 1 {
+                let mut states = Vec::with_capacity(env.world_count());
+                states.push(run.env_rng);
+                states.extend_from_slice(&run.vec_env_rngs);
+                env.set_rng_states(&states);
+            }
+            for (r, s) in self.rollout_rngs.iter_mut().zip(&run.rollout_rngs) {
+                *r = StdRng::from_state(*s);
+            }
+        }
         self.env_steps = run.env_steps;
         self.samples_since_update = run.samples_since_update;
         self.curve = RewardCurve::new();
@@ -1110,6 +1401,56 @@ fn update_agent(
         agent.actor_opt.step(&mut agent.actor);
     }
     profile.add(Phase::QLossPLoss, t0.elapsed());
+}
+
+/// Persistent working storage for [`Trainer::run_episode_vec`].
+///
+/// Sized once when the vectorized rollout path activates; after a warm-up
+/// episode the batched step loop touches no heap.
+#[derive(Debug)]
+struct RolloutScratch {
+    /// Per-agent current observations: matrix `a` is K×obs_dim(a), row w =
+    /// agent `a`'s observation in world `w` (the inference batch).
+    obs_cur: Vec<Matrix>,
+    /// Per-agent next observations (swapped with `obs_cur` every step).
+    obs_next: Vec<Matrix>,
+    /// Per-agent one-hot actions, K×act_dim.
+    onehot: Vec<Matrix>,
+    /// Actor logits of the current agent's inference batch, K×act_dim.
+    logits: Matrix,
+    /// One-row Gumbel working buffer.
+    sample_row: Matrix,
+    /// MLP forward temporaries.
+    nn: Scratch,
+    /// Current agent's per-world action indices (length K).
+    agent_idx: Vec<usize>,
+    /// Joint action indices, world-major `[w * n + a]` (length K·n).
+    action_idx: Vec<usize>,
+    /// Per-step rewards, world-major (length K·n).
+    rewards: Vec<f32>,
+    /// Per-world cumulative episode rewards, world-major (length K·n).
+    episode_reward: Vec<f32>,
+    /// Per-world mean-over-agents returns of the last finished episode.
+    world_returns: Vec<f32>,
+}
+
+impl RolloutScratch {
+    fn new(worlds: usize, obs_dims: &[usize], act_dim: usize) -> Self {
+        let n = obs_dims.len();
+        RolloutScratch {
+            obs_cur: obs_dims.iter().map(|&od| Matrix::zeros(worlds, od)).collect(),
+            obs_next: obs_dims.iter().map(|&od| Matrix::zeros(worlds, od)).collect(),
+            onehot: (0..n).map(|_| Matrix::zeros(worlds, act_dim)).collect(),
+            logits: Matrix::default(),
+            sample_row: Matrix::default(),
+            nn: Scratch::new(),
+            agent_idx: vec![0; worlds],
+            action_idx: vec![0; worlds * n],
+            rewards: vec![0.0; worlds * n],
+            episode_reward: vec![0.0; worlds * n],
+            world_returns: vec![0.0; worlds],
+        }
+    }
 }
 
 /// Persistent working storage for [`Trainer::update_all_trainers`].

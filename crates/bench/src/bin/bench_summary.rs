@@ -11,6 +11,12 @@
 //!
 //! Environment knobs: `MARL_BENCH_ITERS` (timed iterations, default 20),
 //! `MARL_BENCH_OUT` (output path, default `BENCH_pr3.json`).
+//!
+//! History: `--append` additionally appends the measured summary to
+//! `BENCH_history.jsonl` (override with `MARL_BENCH_HISTORY`) as one
+//! `{"id":..,"bench":..}` line; `--fold FILE` (repeatable) appends
+//! already-recorded `BENCH_*.json` files to the history without
+//! re-benchmarking and exits.
 
 use marl_algo::{Algorithm, Task, TrainConfig, Trainer};
 use marl_bench::env_usize;
@@ -114,9 +120,31 @@ fn bench_episode(iters: usize, choice: KernelChoice) -> u64 {
     })
 }
 
+fn history_path() -> std::path::PathBuf {
+    std::env::var("MARL_BENCH_HISTORY").unwrap_or_else(|_| "BENCH_history.jsonl".to_string()).into()
+}
+
 fn main() {
     let iters = env_usize("MARL_BENCH_ITERS", 20);
     let out_path = std::env::var("MARL_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr3.json".to_string());
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let append = args.iter().any(|a| a == "--append");
+    let folds: Vec<&String> = args
+        .iter()
+        .zip(args.iter().skip(1))
+        .filter(|(a, _)| *a == "--fold")
+        .map(|(_, f)| f)
+        .collect();
+    if !folds.is_empty() {
+        for file in folds {
+            let payload = std::fs::read_to_string(file).expect("readable bench file");
+            marl_bench::append_history(&history_path(), &marl_bench::history_id(file), &payload)
+                .expect("append history");
+            println!("folded {file} into {}", history_path().display());
+        }
+        return;
+    }
 
     println!("== bench_summary: scalar vs SIMD kernels ({iters} iters) ==\n");
     let summary = Summary {
@@ -148,4 +176,9 @@ fn main() {
     let json = serde_json::to_string(&summary).expect("summary serializes");
     std::fs::write(&out_path, format!("{json}\n")).expect("write bench summary");
     println!("\nwrote {out_path}");
+    if append {
+        marl_bench::append_history(&history_path(), &marl_bench::history_id(&out_path), &json)
+            .expect("append history");
+        println!("appended to {}", history_path().display());
+    }
 }

@@ -44,6 +44,31 @@ pub fn env_agents(default: &[usize]) -> Vec<usize> {
     }
 }
 
+/// Appends one benchmark result to the repo's JSONL history file.
+///
+/// Each line is `{"id":"<id>","bench":<payload>}` so successive runs of
+/// the summary binaries accumulate into a single machine-diffable
+/// timeline (`BENCH_history.jsonl`) instead of overwriting each other.
+/// `payload_json` must already be a compact JSON document (the bench
+/// binaries pass the same string they write to their own output file).
+///
+/// # Errors
+///
+/// Propagates the underlying file I/O error.
+pub fn append_history(path: &std::path::Path, id: &str, payload_json: &str) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    writeln!(f, "{{\"id\":\"{id}\",\"bench\":{}}}", payload_json.trim())
+}
+
+/// Derives a history entry id from a bench output path:
+/// `BENCH_pr6.json` → `pr6`, anything else → the file stem.
+pub fn history_id(out_path: &str) -> String {
+    let stem =
+        std::path::Path::new(out_path).file_stem().and_then(|s| s.to_str()).unwrap_or(out_path);
+    stem.strip_prefix("BENCH_").unwrap_or(stem).to_string()
+}
+
 /// Whether JSON output was requested (`MARL_JSON=1`).
 pub fn json_requested() -> bool {
     std::env::var("MARL_JSON").map(|v| v == "1").unwrap_or(false)

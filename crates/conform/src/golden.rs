@@ -52,7 +52,7 @@ pub fn golden_dir() -> PathBuf {
 pub fn describe_config(cfg: &TrainConfig) -> String {
     format!(
         "{} {:?} {:?} agents={} episodes={} batch={} capacity={} update_every={} warmup={} \
-         seed={} kernel={:?}",
+         seed={} kernel={:?} num_envs={}",
         cfg.algorithm.label(),
         cfg.sampler,
         cfg.layout,
@@ -64,6 +64,7 @@ pub fn describe_config(cfg: &TrainConfig) -> String {
         cfg.warmup,
         cfg.seed,
         cfg.kernel,
+        cfg.num_envs(),
     )
 }
 

@@ -10,7 +10,7 @@
 use crate::error::ReplayError;
 use crate::indices::SamplePlan;
 use crate::multi::MultiAgentReplay;
-use crate::transition::{AgentBatch, MultiBatch, Transition, TransitionLayout};
+use crate::transition::{AgentBatch, MultiBatch, Transition, TransitionLayout, TransitionRef};
 
 /// Statistics of one reorganization pass (the "data reshaping" cost the
 /// paper charges against the layout optimization at small agent counts).
@@ -197,6 +197,24 @@ impl InterleavedStore {
         self.next = (self.next + 1) % self.capacity;
         self.len = (self.len + 1).min(self.capacity);
         Ok(slot)
+    }
+
+    /// Appends one step from borrowed rows, mirroring
+    /// [`MultiAgentReplay::push_step_with`]: the closure is called once per
+    /// agent index, and no intermediate `Vec`s are materialized. Returns
+    /// the slot written.
+    pub fn push_step_with<'a, F>(&mut self, mut f: F) -> usize
+    where
+        F: FnMut(usize) -> TransitionRef<'a>,
+    {
+        let slot = self.next;
+        let base = slot * self.fat_width;
+        for (agent, (l, &off)) in self.layouts.iter().zip(&self.offsets).enumerate() {
+            f(agent).write_row(l, &mut self.data[base + off..base + off + l.row_width()]);
+        }
+        self.next = (self.next + 1) % self.capacity;
+        self.len = (self.len + 1).min(self.capacity);
+        slot
     }
 
     /// Borrows the fat row at `idx`.

@@ -74,4 +74,4 @@ pub use layout::InterleavedStore;
 pub use multi::MultiAgentReplay;
 pub use sampler::{Sampler, SamplerState};
 pub use storage::ReplayStorage;
-pub use transition::{AgentBatch, MultiBatch, Transition, TransitionLayout};
+pub use transition::{AgentBatch, MultiBatch, Transition, TransitionLayout, TransitionRef};

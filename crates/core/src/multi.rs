@@ -6,7 +6,7 @@
 use crate::error::ReplayError;
 use crate::indices::SamplePlan;
 use crate::storage::ReplayStorage;
-use crate::transition::{AgentBatch, MultiBatch, Transition, TransitionLayout};
+use crate::transition::{AgentBatch, MultiBatch, Transition, TransitionLayout, TransitionRef};
 
 /// Per-agent replay buffers kept aligned by pushing one transition per
 /// agent per environment step.
@@ -143,6 +143,21 @@ impl MultiAgentReplay {
             slot = b.push(t);
         }
         Ok(slot)
+    }
+
+    /// Pushes one transition per agent without intermediate `Vec`s: the
+    /// closure is called once per agent index and returns a borrowed row.
+    /// The agent count is fixed by construction, so no count mismatch can
+    /// occur. Returns the slot written.
+    pub fn push_step_with<'a, F>(&mut self, mut f: F) -> usize
+    where
+        F: FnMut(usize) -> TransitionRef<'a>,
+    {
+        let mut slot = 0;
+        for (agent, b) in self.buffers.iter_mut().enumerate() {
+            slot = b.push_ref(&f(agent));
+        }
+        slot
     }
 
     /// Executes a sample plan against **every** agent's buffer with the

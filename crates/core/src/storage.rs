@@ -8,7 +8,7 @@
 //! compared on identical data.
 
 use crate::error::ReplayError;
-use crate::transition::{Transition, TransitionLayout};
+use crate::transition::{Transition, TransitionLayout, TransitionRef};
 
 /// A fixed-capacity ring buffer of transition rows for a single agent.
 ///
@@ -84,6 +84,21 @@ impl ReplayStorage {
     /// Appends a transition, overwriting the oldest once full. Returns the
     /// slot written.
     pub fn push(&mut self, t: &Transition) -> usize {
+        let w = self.layout.row_width();
+        let slot = self.next;
+        t.write_row(&self.layout, &mut self.data[slot * w..(slot + 1) * w]);
+        self.next = (self.next + 1) % self.capacity;
+        self.len = (self.len + 1).min(self.capacity);
+        slot
+    }
+
+    /// Appends a borrowed transition without intermediate `Vec`s; same ring
+    /// semantics as [`ReplayStorage::push`]. Returns the slot written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component sizes disagree with the layout.
+    pub fn push_ref(&mut self, t: &TransitionRef<'_>) -> usize {
         let w = self.layout.row_width();
         let slot = self.next;
         t.write_row(&self.layout, &mut self.data[slot * w..(slot + 1) * w]);

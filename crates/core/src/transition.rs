@@ -108,6 +108,52 @@ impl Transition {
     }
 }
 
+/// A borrowed view of one agent's transition, for allocation-free pushes.
+///
+/// The owning [`Transition`] forces the caller to materialize `Vec`s per
+/// component; the vectorized rollout path instead keeps observations and
+/// actions in persistent scratch matrices and pushes rows straight from
+/// those borrows.
+#[derive(Debug, Clone, Copy)]
+pub struct TransitionRef<'a> {
+    /// Observation at time t.
+    pub obs: &'a [f32],
+    /// Action taken (one-hot or relaxed distribution).
+    pub action: &'a [f32],
+    /// Scalar reward.
+    pub reward: f32,
+    /// Observation at time t+1.
+    pub next_obs: &'a [f32],
+    /// Terminal flag (1.0 = episode ended).
+    pub done: f32,
+}
+
+impl TransitionRef<'_> {
+    /// Serializes into `out` following `layout`; identical row format to
+    /// [`Transition::write_row`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component sizes disagree with `layout` or `out` is not
+    /// exactly one row wide.
+    pub fn write_row(&self, layout: &TransitionLayout, out: &mut [f32]) {
+        assert_eq!(self.obs.len(), layout.obs_dim, "obs dim mismatch");
+        assert_eq!(self.action.len(), layout.act_dim, "act dim mismatch");
+        assert_eq!(self.next_obs.len(), layout.obs_dim, "next_obs dim mismatch");
+        assert_eq!(out.len(), layout.row_width(), "row width mismatch");
+        let mut off = 0;
+        out[off..off + layout.obs_dim].copy_from_slice(self.obs);
+        off += layout.obs_dim;
+        out[off..off + layout.act_dim].copy_from_slice(self.action);
+        off += layout.act_dim;
+        out[off] = self.reward;
+        off += 1;
+        out[off..off + layout.obs_dim].copy_from_slice(self.next_obs);
+        off += layout.obs_dim;
+        out[off] = self.done;
+    }
+}
+
 /// A sampled mini-batch for one agent, stored column-contiguously so the
 /// trainer can feed it straight into matrix code.
 #[derive(Debug, Clone, PartialEq)]

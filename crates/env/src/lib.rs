@@ -38,14 +38,18 @@ pub mod error;
 pub mod render;
 pub mod scenario;
 pub mod scenarios;
+pub mod soa;
 pub mod spaces;
 pub mod vec2;
+pub mod vecenv;
 pub mod world;
 
 pub use entity::DiscreteAction;
 pub use env::{ParticleEnv, StepResult};
 pub use error::EnvError;
 pub use scenario::Scenario;
+pub use soa::SoaBatch;
+pub use vecenv::VecParticleEnv;
 pub use world::World;
 
 /// Convenience constructor for the paper's predator-prey configuration at
@@ -79,4 +83,54 @@ pub fn physical_deception(n: usize, max_episode_len: usize, seed: u64) -> Partic
         max_episode_len,
         seed,
     )
+}
+
+/// Vectorized predator-prey: `worlds` copies stepped as one batch.
+pub fn predator_prey_vec(
+    n: usize,
+    max_episode_len: usize,
+    seed: u64,
+    worlds: usize,
+) -> VecParticleEnv {
+    use scenarios::simple_tag::{PredatorPrey, PredatorPreyConfig};
+    let scenarios = (0..worlds)
+        .map(|_| Box::new(PredatorPrey::new(PredatorPreyConfig::scaled(n))) as Box<dyn Scenario>)
+        .collect();
+    VecParticleEnv::new(scenarios, max_episode_len, seed)
+}
+
+/// Vectorized cooperative navigation: `worlds` copies stepped as one batch.
+pub fn cooperative_navigation_vec(
+    n: usize,
+    max_episode_len: usize,
+    seed: u64,
+    worlds: usize,
+) -> VecParticleEnv {
+    use scenarios::simple_spread::{CooperativeNavigation, CooperativeNavigationConfig};
+    let scenarios = (0..worlds)
+        .map(|_| {
+            Box::new(CooperativeNavigation::new(CooperativeNavigationConfig::scaled(n)))
+                as Box<dyn Scenario>
+        })
+        .collect();
+    VecParticleEnv::new(scenarios, max_episode_len, seed)
+}
+
+/// Vectorized physical deception: `worlds` copies stepped as one batch
+/// (each world holds its own scenario instance so the per-episode goal
+/// landmark stays per-world).
+pub fn physical_deception_vec(
+    n: usize,
+    max_episode_len: usize,
+    seed: u64,
+    worlds: usize,
+) -> VecParticleEnv {
+    use scenarios::simple_adversary::{PhysicalDeception, PhysicalDeceptionConfig};
+    let scenarios = (0..worlds)
+        .map(|_| {
+            Box::new(PhysicalDeception::new(PhysicalDeceptionConfig::scaled(n)))
+                as Box<dyn Scenario>
+        })
+        .collect();
+    VecParticleEnv::new(scenarios, max_episode_len, seed)
 }

@@ -26,6 +26,18 @@ pub trait Scenario: std::fmt::Debug + Send {
     /// Observation vector for agent `agent_idx`.
     fn observation(&self, world: &World, agent_idx: usize) -> Vec<f32>;
 
+    /// Writes agent `agent_idx`'s observation into `out` without
+    /// allocating. The default routes through [`Scenario::observation`]
+    /// (which allocates); scenarios on the vectorized rollout path
+    /// override it to fill the buffer directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the observation dimension.
+    fn observation_into(&self, world: &World, agent_idx: usize, out: &mut [f32]) {
+        out.copy_from_slice(&self.observation(world, agent_idx));
+    }
+
     /// Reward for agent `agent_idx` in the current world state.
     fn reward(&self, world: &World, agent_idx: usize) -> f32;
 

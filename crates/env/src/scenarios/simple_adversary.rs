@@ -153,6 +153,33 @@ impl Scenario for PhysicalDeception {
         obs
     }
 
+    fn observation_into(&self, world: &World, agent_idx: usize, out: &mut [f32]) {
+        let me = &world.agents[agent_idx];
+        let mut off = 0;
+        if !self.is_adversary(agent_idx) {
+            let g = self.goal_position(world) - me.state.position;
+            out[0] = g.x;
+            out[1] = g.y;
+            off = 2;
+        }
+        for l in &world.landmarks {
+            let d = l.state.position - me.state.position;
+            out[off] = d.x;
+            out[off + 1] = d.y;
+            off += 2;
+        }
+        for (i, other) in world.agents.iter().enumerate() {
+            if i == agent_idx {
+                continue;
+            }
+            let d = other.state.position - me.state.position;
+            out[off] = d.x;
+            out[off + 1] = d.y;
+            off += 2;
+        }
+        assert_eq!(off, out.len(), "observation buffer size mismatch");
+    }
+
     fn reward(&self, world: &World, agent_idx: usize) -> f32 {
         let goal = self.goal_position(world);
         if self.is_adversary(agent_idx) {

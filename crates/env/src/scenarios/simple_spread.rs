@@ -133,6 +133,39 @@ impl Scenario for CooperativeNavigation {
         obs
     }
 
+    fn observation_into(&self, world: &World, agent_idx: usize, out: &mut [f32]) {
+        let me = &world.agents[agent_idx];
+        out[0] = me.state.velocity.x;
+        out[1] = me.state.velocity.y;
+        out[2] = me.state.position.x;
+        out[3] = me.state.position.y;
+        let mut off = 4;
+        for l in &world.landmarks {
+            let d = l.state.position - me.state.position;
+            out[off] = d.x;
+            out[off + 1] = d.y;
+            off += 2;
+        }
+        for (i, other) in world.agents.iter().enumerate() {
+            if i == agent_idx {
+                continue;
+            }
+            let d = other.state.position - me.state.position;
+            out[off] = d.x;
+            out[off + 1] = d.y;
+            off += 2;
+        }
+        for (i, other) in world.agents.iter().enumerate() {
+            if i == agent_idx {
+                continue;
+            }
+            out[off] = other.comm[0];
+            out[off + 1] = other.comm[1];
+            off += 2;
+        }
+        assert_eq!(off, out.len(), "observation buffer size mismatch");
+    }
+
     fn reward(&self, world: &World, agent_idx: usize) -> f32 {
         let mut rew = Self::coverage_term(world);
         // Per-agent collision penalty.

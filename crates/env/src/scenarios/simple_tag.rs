@@ -148,6 +148,39 @@ impl Scenario for PredatorPrey {
         obs
     }
 
+    fn observation_into(&self, world: &World, agent_idx: usize, out: &mut [f32]) {
+        let me = &world.agents[agent_idx];
+        out[0] = me.state.velocity.x;
+        out[1] = me.state.velocity.y;
+        out[2] = me.state.position.x;
+        out[3] = me.state.position.y;
+        let mut off = 4;
+        for l in &world.landmarks {
+            let d = l.state.position - me.state.position;
+            out[off] = d.x;
+            out[off + 1] = d.y;
+            off += 2;
+        }
+        for (i, other) in world.agents.iter().enumerate() {
+            if i == agent_idx {
+                continue;
+            }
+            let d = other.state.position - me.state.position;
+            out[off] = d.x;
+            out[off + 1] = d.y;
+            off += 2;
+        }
+        for (i, other) in world.agents.iter().enumerate() {
+            if i == agent_idx || other.role != Role::Prey {
+                continue;
+            }
+            out[off] = other.state.velocity.x;
+            out[off + 1] = other.state.velocity.y;
+            off += 2;
+        }
+        assert_eq!(off, out.len(), "observation buffer size mismatch");
+    }
+
     fn reward(&self, world: &World, agent_idx: usize) -> f32 {
         let me = &world.agents[agent_idx];
         match me.role {

@@ -152,7 +152,7 @@ impl World {
 }
 
 /// Numerically-stable `ln(1 + e^x)`.
-fn softplus(x: f32) -> f32 {
+pub(crate) fn softplus(x: f32) -> f32 {
     if x > 20.0 {
         x
     } else if x < -20.0 {

@@ -342,6 +342,14 @@ pub struct MetricsRegistry {
     pub checkpoint_ns: Histogram,
     /// Whole update-all-trainers iteration durations, nanoseconds.
     pub update_ns: Histogram,
+    /// Batched vectorized-env step durations, nanoseconds (one record per
+    /// K-world batch).
+    pub vecenv_step_ns: Histogram,
+    /// Worlds advanced per vectorized batch (the batch fill, K).
+    pub vecenv_batch_fill: Histogram,
+    /// Environment steps per second achieved by each vectorized batch
+    /// (K worlds / batch wall time).
+    pub vecenv_steps_per_sec: Histogram,
     /// Live sampling-phase hardware counters.
     pub hw_sampling: HwAccumulator,
 }
@@ -405,6 +413,12 @@ pub struct MetricsSnapshot {
     pub checkpoint_ns: HistogramSnapshot,
     /// Update iteration duration distribution (ns).
     pub update_ns: HistogramSnapshot,
+    /// Vectorized-env batch step duration distribution (ns).
+    pub vecenv_step_ns: HistogramSnapshot,
+    /// Vectorized-env batch fill distribution (worlds per batch).
+    pub vecenv_batch_fill: HistogramSnapshot,
+    /// Vectorized-env throughput distribution (env steps per second).
+    pub vecenv_steps_per_sec: HistogramSnapshot,
     /// Whether live hardware counters were attached.
     pub hw_live: bool,
     /// Measured hardware windows.
@@ -460,6 +474,9 @@ impl MetricsRegistry {
             is_weight: self.is_weight.snapshot(),
             checkpoint_ns: self.checkpoint_ns.snapshot(),
             update_ns: self.update_ns.snapshot(),
+            vecenv_step_ns: self.vecenv_step_ns.snapshot(),
+            vecenv_batch_fill: self.vecenv_batch_fill.snapshot(),
+            vecenv_steps_per_sec: self.vecenv_steps_per_sec.snapshot(),
             hw_live: self.hw_sampling.live.load(Ordering::Relaxed),
             hw_windows: self.hw_sampling.windows.get(),
             hw_sampling: self.hw_sampling.totals(),

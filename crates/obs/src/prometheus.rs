@@ -157,6 +157,24 @@ pub fn render(snap: &MetricsSnapshot) -> String {
         "Update iteration durations, nanoseconds.",
         &snap.update_ns,
     );
+    histogram(
+        &mut out,
+        "marl_vecenv_step_ns",
+        "Vectorized-env batch step durations, nanoseconds.",
+        &snap.vecenv_step_ns,
+    );
+    histogram(
+        &mut out,
+        "marl_vecenv_batch_fill",
+        "Worlds advanced per vectorized batch.",
+        &snap.vecenv_batch_fill,
+    );
+    histogram(
+        &mut out,
+        "marl_vecenv_steps_per_sec",
+        "Vectorized-env throughput, env steps per second per batch.",
+        &snap.vecenv_steps_per_sec,
+    );
     sample(
         &mut out,
         "marl_hw_live",

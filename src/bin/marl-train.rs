@@ -5,7 +5,7 @@
 //!            [--sampler baseline|n16r64|n64r16|per|ip|per-reuse:W]
 //!            [--layout per-agent|interleaved] [--episodes E] [--batch B]
 //!            [--capacity C] [--threads T] [--update-threads U] [--seed S]
-//!            [--kernel auto|scalar|simd] [--eval-episodes K]
+//!            [--kernel auto|scalar|simd] [--num-envs K] [--eval-episodes K]
 //!            [--checkpoint-out FILE] [--checkpoint-every N] [--resume FILE]
 //!            [--trace-out FILE] [--metrics-out FILE] [--metrics-every N]
 //!            [--prometheus-out FILE] [--hw-counters]
@@ -87,6 +87,7 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
     let mut update_threads = 1usize;
     let mut seed = 0u64;
     let mut kernel = marl_repro::nn::kernels::KernelChoice::Auto;
+    let mut num_envs = 1usize;
     let mut eval_episodes = 10usize;
     let mut checkpoint_out = None;
     let mut checkpoint_every = 0usize;
@@ -134,6 +135,12 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 kernel = marl_repro::nn::kernels::KernelChoice::parse(v)
                     .ok_or_else(|| CliError(format!("unknown kernel {v}")))?;
             }
+            "--num-envs" => {
+                num_envs = parse_num(value("--num-envs")?)?;
+                if num_envs == 0 {
+                    return Err(CliError("--num-envs must be at least 1".into()));
+                }
+            }
             "--eval-episodes" => eval_episodes = parse_num(value("--eval-episodes")?)?,
             "--checkpoint-out" => checkpoint_out = Some(value("--checkpoint-out")?.clone()),
             "--checkpoint-every" => checkpoint_every = parse_num(value("--checkpoint-every")?)?,
@@ -164,6 +171,7 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
         .with_update_threads(update_threads)
         .with_seed(seed)
         .with_kernel(kernel)
+        .with_num_envs(num_envs)
         .with_checkpoint_every(checkpoint_every);
     // Keep the warmup proportionate to the run so short CLI runs still
     // perform updates.
@@ -193,7 +201,7 @@ fn usage() {
          \x20                 [--sampler baseline|n16r64|n64r16|nK|per|ip|per-reuse:W]\n\
          \x20                 [--layout per-agent|interleaved] [--episodes E] [--batch B]\n\
          \x20                 [--capacity C] [--threads T] [--update-threads U] [--seed S]\n\
-         \x20                 [--kernel auto|scalar|simd] [--eval-episodes K]\n\
+         \x20                 [--kernel auto|scalar|simd] [--num-envs K] [--eval-episodes K]\n\
          \x20                 [--checkpoint-out FILE] [--checkpoint-every N] [--resume FILE]\n\
          \x20                 [--trace-out FILE] [--metrics-out FILE] [--metrics-every N]\n\
          \x20                 [--prometheus-out FILE] [--span-capacity N] [--hw-counters]\n\
@@ -204,6 +212,9 @@ fn usage() {
          \x20 --kernel K           NN compute kernels: auto (default; SIMD when the CPU\n\
          \x20                      has AVX2+FMA), scalar, or simd. The MARL_KERNEL env\n\
          \x20                      var sets the default when the flag is absent\n\
+         \x20 --num-envs K         step K environment worlds per rollout iteration over\n\
+         \x20                      SoA physics with batched inference (default 1; K=1 is\n\
+         \x20                      bitwise-identical to the scalar rollout path)\n\
          \x20 --checkpoint-out F   write a crash-safe full checkpoint to F (atomic rename\n\
          \x20                      + CRC-32 + .prev rotation) when the run finishes\n\
          \x20 --checkpoint-every N additionally autosave to F every N episodes (0 = off;\n\

@@ -91,6 +91,57 @@ fn assert_zero_alloc_updates(telemetry: bool, seed: u64) {
     assert_eq!(t.update_iterations(), 8);
 }
 
+/// The vectorized rollout counterpart: once the first episode has sized
+/// the rollout scratch (obs/one-hot matrices, per-world buffers) and the
+/// replay ring has wrapped once, whole episodes — batched inference,
+/// SoA physics steps, replay pushes, and the scheduled updates they
+/// trigger — run without heap traffic.
+fn assert_zero_alloc_vec_rollout(telemetry: bool, seed: u64) {
+    use marl_repro::algo::{Algorithm, Task, TrainConfig, Trainer};
+    use marl_repro::core::SamplerConfig;
+
+    let mut cfg = TrainConfig::paper_defaults(Algorithm::Maddpg, Task::PredatorPrey, 3)
+        .with_batch_size(32)
+        .with_buffer_capacity(4096)
+        .with_sampler(SamplerConfig::Uniform)
+        .with_update_threads(1)
+        .with_num_envs(4)
+        .with_seed(seed);
+    cfg.sampling_threads = 1;
+    cfg.warmup = 64;
+    let mut t = Trainer::new(cfg).unwrap();
+    if telemetry {
+        let cfg = marl_repro::obs::TelemetryConfig {
+            hw_counters: true, // null fallback when perf_event is denied
+            ..marl_repro::obs::TelemetryConfig::default()
+        };
+        let tel = std::sync::Arc::new(marl_repro::obs::Telemetry::new(&cfg).unwrap());
+        t.attach_telemetry(tel);
+    }
+
+    // Warm-up episodes: size the rollout scratch, pass warmup so the
+    // update path runs, and wrap the replay ring (4 worlds x 25 steps x
+    // 3 agents = 300 rows per episode; 14 episodes > 4096 capacity).
+    for _ in 0..14 {
+        t.run_episode_vec().unwrap();
+    }
+    assert!(t.update_iterations() > 0, "warm-up must reach the update path");
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    REALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    for _ in 0..2 {
+        t.run_episode_vec().unwrap();
+    }
+    ARMED.store(false, Ordering::SeqCst);
+
+    assert_eq!(
+        (ALLOCS.load(Ordering::SeqCst), REALLOCS.load(Ordering::SeqCst)),
+        (0, 0),
+        "steady-state vectorized rollout must not touch the heap (telemetry: {telemetry})"
+    );
+}
+
 #[test]
 fn steady_state_update_allocates_nothing() {
     assert_zero_alloc_updates(false, 7);
@@ -99,4 +150,14 @@ fn steady_state_update_allocates_nothing() {
 #[test]
 fn steady_state_update_allocates_nothing_with_telemetry() {
     assert_zero_alloc_updates(true, 7);
+}
+
+#[test]
+fn steady_state_vec_rollout_allocates_nothing() {
+    assert_zero_alloc_vec_rollout(false, 9);
+}
+
+#[test]
+fn steady_state_vec_rollout_allocates_nothing_with_telemetry() {
+    assert_zero_alloc_vec_rollout(true, 9);
 }

@@ -52,6 +52,30 @@ fn golden_traces_match_committed_digests() {
     assert!(failures.is_empty(), "\n{}", failures.join("\n"));
 }
 
+/// The vectorized-rollout golden: the 17th committed trace pins the
+/// K = 8 engine (SoA physics, batched inference, per-world RNG streams)
+/// on the scalar kernel, so any numeric drift in the multi-world path is
+/// caught even though the 16 scalar-rollout goldens never exercise it.
+/// Episodes = 8 with K = 8 means exactly one vectorized episode: 25
+/// steps x 8 worlds x 3 agents = 600 samples past warmup 64 with
+/// update_every 10 ⇒ a healthy digest chain.
+#[test]
+fn vectorized_k8_golden_trace_matches_committed_digest() {
+    let cfg =
+        common::golden_config(Algorithm::Maddpg, SamplerConfig::Uniform, LayoutMode::PerAgent)
+            .with_num_envs(8)
+            .with_episodes(8);
+    let digests = golden::record_run(cfg).expect("training failed");
+    assert!(!digests.is_empty(), "k8 run recorded no updates");
+    if let Err(report) = golden::check_or_bless(
+        "maddpg_uniform_per_agent_k8",
+        &golden::describe_config(&cfg),
+        &digests,
+    ) {
+        panic!("{report}");
+    }
+}
+
 /// Recording twice under one configuration yields identical digest
 /// chains — the trace is a pure function of the config, so the committed
 /// goldens can only fail when behaviour actually changes.
