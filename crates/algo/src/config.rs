@@ -247,8 +247,15 @@ impl TrainConfig {
     }
 
     /// Overrides the parallel-environment count K (builder style).
+    ///
+    /// K = 0 is meaningless (there is no zero-world rollout) and the CLI
+    /// already rejects `--num-envs 0`; the builder clamps it to 1 at
+    /// construction so a stored config never carries a zero that every
+    /// call site would have to re-normalize. The raw field still admits 0
+    /// via serde for configs predating `num_envs`, which
+    /// [`TrainConfig::num_envs`] normalizes on read.
     pub fn with_num_envs(mut self, num_envs: usize) -> Self {
-        self.num_envs = num_envs;
+        self.num_envs = num_envs.max(1);
         self
     }
 
@@ -414,6 +421,19 @@ mod tests {
         let back: TrainConfig = serde_json::from_str(&legacy).unwrap();
         assert_eq!(back.num_envs, 0);
         assert_eq!(back.num_envs(), 1);
+    }
+
+    #[test]
+    fn with_num_envs_zero_clamps_at_construction() {
+        // The CLI rejects `--num-envs 0`; the builder must not silently
+        // store a 0 that every call site would have to re-normalize.
+        let c =
+            TrainConfig::paper_defaults(Algorithm::Maddpg, Task::PredatorPrey, 3).with_num_envs(0);
+        assert_eq!(c.num_envs, 1, "builder clamps the raw field, not just the accessor");
+        assert_eq!(c.num_envs(), 1);
+        assert!(c.validate().is_ok());
+        // Clamping must not disturb legitimate values.
+        assert_eq!(c.with_num_envs(4).num_envs, 4);
     }
 
     #[test]

@@ -31,6 +31,10 @@ pub enum Fault {
     Nan,
     /// Abort the surrounding operation (simulated kill).
     Abort,
+    /// Delay the operation by this many milliseconds (stalled transport /
+    /// slow disk). The site sleeps and then proceeds normally, which is
+    /// how deadline-based I/O timeouts get exercised.
+    Delay(u64),
 }
 
 #[derive(Debug)]
@@ -88,7 +92,20 @@ pub fn corrupt(bytes: &mut Vec<u8>, fault: Fault) {
                 bytes[byte] ^= 1 << (pos % 8);
             }
         }
-        Fault::Io | Fault::Nan | Fault::Abort => {}
+        Fault::Io | Fault::Nan | Fault::Abort | Fault::Delay(_) => {}
+    }
+}
+
+/// Sleeps out a [`Fault::Delay`]; every other fault is handed back for
+/// the site to apply. Convenience for transport sites, where a delayed
+/// write is "sleep, then send normally".
+pub fn sleep_delay(fault: Fault) -> Option<Fault> {
+    match fault {
+        Fault::Delay(ms) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            None
+        }
+        other => Some(other),
     }
 }
 

@@ -457,6 +457,19 @@ impl Trainer {
                     let tc = Instant::now();
                     let rollback = match (&last_good, retries_left) {
                         (Some(state), n) if n > 0 => state.clone(),
+                        // No in-memory good state yet — e.g. a freshly
+                        // resumed process diverging before its first new
+                        // autosave. Fall back to the on-disk checkpoint;
+                        // `load_checkpoint_with_fallback` tolerates a
+                        // corrupt live file via the `.prev` rotation. If
+                        // nothing loadable exists, surface the divergence.
+                        (None, n) if n > 0 && checkpoint_out.is_some() => {
+                            let path = checkpoint_out.expect("checked is_some");
+                            match crate::checkpoint::load_checkpoint_with_fallback(path) {
+                                Ok((ckpt, replay, _from_prev)) => (ckpt, replay),
+                                Err(_) => return Err(TrainError::Diverged(report)),
+                            }
+                        }
                         _ => return Err(TrainError::Diverged(report)),
                     };
                     retries_left -= 1;
@@ -1117,6 +1130,105 @@ impl Trainer {
     /// Sampling-phase telemetry so far.
     pub fn sampling_telemetry(&self) -> SamplingTelemetry {
         self.telemetry
+    }
+
+    // --- Distributed actor–learner seams (`marl-dist`) -----------------
+    //
+    // The dist learner owns a full `Trainer` but drives it from frames a
+    // remote rollout worker streams in, instead of from the in-process
+    // episode loop. These seams expose exactly the operations that loop
+    // performs — push a joint step, check/trigger the update schedule,
+    // and hand the master RNG across the process boundary — so the
+    // deterministic loopback transport reproduces `run_episode`'s
+    // behavior bitwise.
+
+    /// Ingests one joint environment step produced by a rollout worker:
+    /// pushes the per-agent transitions, notifies the sampler, and
+    /// advances `env_steps`/`samples_since_update` exactly as the
+    /// in-process rollout loop does. Update scheduling is left to the
+    /// caller (see [`Trainer::maybe_update`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::InvalidConfig`] when the joint step does not
+    /// carry one transition per agent, and propagates replay failures.
+    pub fn ingest_step(&mut self, transitions: &[Transition]) -> Result<(), TrainError> {
+        if transitions.len() != self.agents.len() {
+            return Err(TrainError::InvalidConfig(format!(
+                "joint step carries {} transitions but the trainer has {} agents",
+                transitions.len(),
+                self.agents.len()
+            )));
+        }
+        let t0 = Instant::now();
+        let slot = self.replay.push_step(transitions)?;
+        self.sampler.observe_push(slot);
+        self.samples_since_update += 1;
+        self.env_steps += 1;
+        if let Some(t) = self.obs.as_deref() {
+            t.metrics.env_steps.inc();
+        }
+        self.profile.add(Phase::Bookkeeping, t0.elapsed());
+        Ok(())
+    }
+
+    /// Samples pushed since the last update iteration (the dist worker
+    /// mirrors this counter to predict update boundaries).
+    pub fn samples_since_update(&self) -> usize {
+        self.samples_since_update
+    }
+
+    /// Whether the update schedule is due: warmup satisfied and at least
+    /// `update_every` samples ingested since the last update. Mirrors the
+    /// trigger the episode loops apply after every push.
+    pub fn update_due(&self) -> bool {
+        self.replay.len() >= self.config.warmup
+            && self.samples_since_update >= self.config.update_every
+    }
+
+    /// Runs one `update_all_trainers` iteration if the schedule is due,
+    /// resetting the sample counter first (as the episode loops do).
+    /// Returns whether an update ran.
+    ///
+    /// # Errors
+    ///
+    /// Propagates replay/sampler failures and sentinel divergences.
+    pub fn maybe_update(&mut self) -> Result<bool, TrainError> {
+        if !self.update_due() {
+            return Ok(false);
+        }
+        self.samples_since_update = 0;
+        self.update_all_trainers()?;
+        Ok(true)
+    }
+
+    /// The master RNG's raw state, for handoff to a remote rollout worker
+    /// ([`Trainer::set_master_rng_state`] installs the returned value).
+    pub fn master_rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Installs a master RNG state handed back by a rollout worker, so
+    /// the next sampling-plan draws continue the worker's stream exactly
+    /// where its action draws left off.
+    pub fn set_master_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = StdRng::from_state(state);
+    }
+
+    /// Captures every agent's networks and optimizer state for a
+    /// parameter broadcast (the payload of a dist `Params` frame).
+    pub fn agent_states(&self) -> Vec<crate::checkpoint::AgentState> {
+        self.agents.iter().map(crate::checkpoint::AgentState::capture).collect()
+    }
+
+    /// Records one finished remote episode's mean reward on the learner's
+    /// curve, so episode counting and reward reporting work as in the
+    /// single-process path.
+    pub fn record_episode_reward(&mut self, mean_reward: f32) {
+        self.curve.push(mean_reward);
+        if let Some(t) = self.obs.as_deref() {
+            t.metrics.episodes.inc();
+        }
     }
 
     /// Captures a weights-only checkpoint of all agents' networks and

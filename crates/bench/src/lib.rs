@@ -44,21 +44,45 @@ pub fn env_agents(default: &[usize]) -> Vec<usize> {
     }
 }
 
-/// Appends one benchmark result to the repo's JSONL history file.
+/// Appends one benchmark result to the repo's JSONL history file,
+/// deduplicating by id.
 ///
 /// Each line is `{"id":"<id>","bench":<payload>}` so successive runs of
 /// the summary binaries accumulate into a single machine-diffable
 /// timeline (`BENCH_history.jsonl`) instead of overwriting each other.
-/// `payload_json` must already be a compact JSON document (the bench
-/// binaries pass the same string they write to their own output file).
+/// Re-recording an id that is already present replaces the old line
+/// (last-write-wins) instead of appending a duplicate, so re-running
+/// `bench_summary --append`/`--fold` is idempotent per id. Lines for
+/// other ids keep their relative order. `payload_json` must already be a
+/// compact JSON document (the bench binaries pass the same string they
+/// write to their own output file).
 ///
 /// # Errors
 ///
 /// Propagates the underlying file I/O error.
 pub fn append_history(path: &std::path::Path, id: &str, payload_json: &str) -> std::io::Result<()> {
     use std::io::Write as _;
-    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
-    writeln!(f, "{{\"id\":\"{id}\",\"bench\":{}}}", payload_json.trim())
+    let entry = format!("{{\"id\":\"{id}\",\"bench\":{}}}", payload_json.trim());
+    let marker = format!("{{\"id\":\"{id}\",");
+    let existing = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    let mut lines: Vec<&str> =
+        existing.lines().filter(|l| !l.trim().is_empty() && !l.starts_with(&marker)).collect();
+    lines.push(&entry);
+    // Whole-file rewrite through a temp sibling + rename: a crash mid-write
+    // leaves the old history intact rather than a torn one.
+    let tmp = path.with_extension("jsonl.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        for line in &lines {
+            writeln!(f, "{line}")?;
+        }
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
 }
 
 /// Derives a history entry id from a bench output path:
@@ -393,5 +417,38 @@ mod tests {
         std::env::set_var("MARL_TEST_USIZE", "42");
         assert_eq!(env_usize("MARL_TEST_USIZE", 7), 42);
         assert_eq!(env_usize("MARL_TEST_MISSING", 7), 7);
+    }
+
+    #[test]
+    fn history_id_strips_prefix_and_extension() {
+        assert_eq!(history_id("BENCH_pr6.json"), "pr6");
+        assert_eq!(history_id("results/BENCH_pr3.json"), "pr3");
+        assert_eq!(history_id("custom.json"), "custom");
+    }
+
+    #[test]
+    fn append_history_dedupes_by_id_last_write_wins() {
+        let path = std::env::temp_dir()
+            .join(format!(
+                "marl_hist_dedupe_{}_{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ))
+            .with_extension("jsonl");
+        let _ = std::fs::remove_file(&path);
+        append_history(&path, "pr3", r#"{"v":1}"#).unwrap();
+        append_history(&path, "pr6", r#"{"v":2}"#).unwrap();
+        // Re-recording pr3 must replace the stale line, not append a
+        // duplicate, and must not disturb pr6.
+        append_history(&path, "pr3", r#"{"v":3}"#).unwrap();
+        let lines: Vec<String> =
+            std::fs::read_to_string(&path).unwrap().lines().map(str::to_owned).collect();
+        assert_eq!(lines.len(), 2, "one line per id: {lines:?}");
+        assert_eq!(lines[0], r#"{"id":"pr6","bench":{"v":2}}"#);
+        assert_eq!(lines[1], r#"{"id":"pr3","bench":{"v":3}}"#);
+        // Idempotent: folding the same payload again changes nothing.
+        append_history(&path, "pr3", r#"{"v":3}"#).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 2);
+        let _ = std::fs::remove_file(&path);
     }
 }

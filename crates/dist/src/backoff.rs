@@ -1,0 +1,90 @@
+//! Exponential backoff with deterministic, seeded jitter.
+//!
+//! Reconnect storms are the classic failure amplifier: when the learner
+//! restarts, every worker retrying on a fixed schedule hammers it in
+//! lockstep. Each [`Backoff`] doubles its delay per attempt up to a cap
+//! and jitters each delay uniformly in `[half, full]` — from a *seeded*
+//! stream (worker id), so tests of the recovery path stay reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Exponential backoff schedule with jitter.
+#[derive(Debug)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    rng: StdRng,
+}
+
+impl Backoff {
+    /// A schedule starting at `base`, doubling per attempt, capped at
+    /// `cap`, jittered from a stream seeded by `seed`.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        Backoff { base, cap, attempt: 0, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Attempts made since the last [`Backoff::reset`].
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The next delay: `min(cap, base * 2^attempt)`, jittered uniformly
+    /// into `[delay/2, delay]`. Advances the attempt counter.
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self.attempt.min(20); // 2^20 * base already dwarfs any cap
+        self.attempt = self.attempt.saturating_add(1);
+        let full =
+            self.base.saturating_mul(1u32 << exp).min(self.cap).max(Duration::from_millis(1));
+        let nanos = full.as_nanos() as u64;
+        let jittered = nanos / 2 + self.rng.gen_range(0..(nanos / 2 + 1));
+        Duration::from_nanos(jittered)
+    }
+
+    /// Resets the schedule after a successful reconnect.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_exponentially_to_the_cap() {
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_millis(200), 1);
+        let mut maxima = Vec::new();
+        for _ in 0..8 {
+            let d = b.next_delay();
+            assert!(d >= Duration::from_millis(5), "jitter floor is half the delay: {d:?}");
+            assert!(d <= Duration::from_millis(200), "cap respected: {d:?}");
+            maxima.push(d);
+        }
+        // By attempt 5 the un-jittered delay (10ms * 2^5 = 320ms) is capped.
+        assert!(maxima[7] >= Duration::from_millis(100), "late delays reach cap/2: {maxima:?}");
+    }
+
+    #[test]
+    fn same_seed_reproduces_and_reset_restarts() {
+        let mut a = Backoff::new(Duration::from_millis(7), Duration::from_secs(1), 42);
+        let mut b = Backoff::new(Duration::from_millis(7), Duration::from_secs(1), 42);
+        let first: Vec<Duration> = (0..4).map(|_| a.next_delay()).collect();
+        let second: Vec<Duration> = (0..4).map(|_| b.next_delay()).collect();
+        assert_eq!(first, second, "seeded jitter is deterministic");
+        a.reset();
+        assert_eq!(a.attempt(), 0);
+        assert!(a.next_delay() <= Duration::from_millis(7), "reset returns to the base delay");
+    }
+
+    #[test]
+    fn distinct_seeds_decorrelate_workers() {
+        let mut a = Backoff::new(Duration::from_millis(64), Duration::from_secs(1), 1);
+        let mut b = Backoff::new(Duration::from_millis(64), Duration::from_secs(1), 2);
+        let da: Vec<Duration> = (0..6).map(|_| a.next_delay()).collect();
+        let db: Vec<Duration> = (0..6).map(|_| b.next_delay()).collect();
+        assert_ne!(da, db, "two workers must not retry in lockstep");
+    }
+}

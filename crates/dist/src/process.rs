@@ -1,0 +1,245 @@
+//! Worker-process management: spawn, SIGKILL chaos, supervised restart.
+//!
+//! The learner process owns a [`WorkerPool`] of `marl-worker` children.
+//! The pool implements [`RestartHandler`], so when the supervisor
+//! declares a worker dead (heartbeat silence) the serve loop asks the
+//! pool to respawn it; the fresh process reconnects with `resume: true`
+//! and is re-admitted from its last episode-boundary snapshot. A
+//! [`ChaosPlan`] arms the failure the chaos tests exercise: SIGKILL one
+//! worker after it has delivered a fixed number of step frames —
+//! mid-episode by construction.
+
+use crate::error::DistError;
+use crate::learner::{Acceptor, RestartHandler};
+use crate::transport::{StreamTransport, Transport};
+use std::collections::BTreeMap;
+use std::io;
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+/// Where workers connect to the learner.
+#[derive(Debug, Clone)]
+pub enum Endpoint {
+    /// Unix domain socket at this path.
+    Unix(PathBuf),
+    /// TCP address, `host:port`.
+    Tcp(String),
+}
+
+/// Kill one worker after it has delivered this many step frames.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosPlan {
+    /// The worker to SIGKILL.
+    pub victim: u32,
+    /// Step frames from the victim before the kill fires.
+    pub after_frames: u64,
+}
+
+/// A fleet of `marl-worker` child processes.
+#[derive(Debug)]
+pub struct WorkerPool {
+    bin: PathBuf,
+    endpoint: Endpoint,
+    children: BTreeMap<u32, Child>,
+    restarts: BTreeMap<u32, u32>,
+    max_restarts: u32,
+    chaos: Option<ChaosPlan>,
+    chaos_frames_seen: u64,
+    chaos_fired: bool,
+}
+
+impl WorkerPool {
+    /// A pool spawning `bin` processes that connect to `endpoint`. Each
+    /// worker is restarted at most `max_restarts` times.
+    pub fn new(bin: PathBuf, endpoint: Endpoint, max_restarts: u32) -> Self {
+        WorkerPool {
+            bin,
+            endpoint,
+            children: BTreeMap::new(),
+            restarts: BTreeMap::new(),
+            max_restarts,
+            chaos: None,
+            chaos_frames_seen: 0,
+            chaos_fired: false,
+        }
+    }
+
+    /// Arms a chaos kill.
+    pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Spawns worker `worker_id` (killing any previous incarnation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates process-spawn failures.
+    pub fn spawn(&mut self, worker_id: u32) -> io::Result<()> {
+        self.spawn_inner(worker_id, false)
+    }
+
+    fn spawn_inner(&mut self, worker_id: u32, resume: bool) -> io::Result<()> {
+        self.kill(worker_id);
+        let mut cmd = Command::new(&self.bin);
+        cmd.arg("--worker-id").arg(worker_id.to_string());
+        if resume {
+            cmd.arg("--resume");
+        }
+        match &self.endpoint {
+            Endpoint::Unix(path) => {
+                cmd.arg("--socket").arg(path);
+            }
+            Endpoint::Tcp(addr) => {
+                cmd.arg("--tcp").arg(addr);
+            }
+        }
+        cmd.stdin(Stdio::null()).stdout(Stdio::null()).stderr(Stdio::inherit());
+        let child = cmd.spawn()?;
+        self.children.insert(worker_id, child);
+        Ok(())
+    }
+
+    /// SIGKILLs worker `worker_id` and reaps it (no-op if not running).
+    pub fn kill(&mut self, worker_id: u32) {
+        if let Some(mut child) = self.children.remove(&worker_id) {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+
+    /// Times the chaos kill actually fired, for assertions.
+    pub fn chaos_fired(&self) -> bool {
+        self.chaos_fired
+    }
+
+    /// Restarts recorded per worker.
+    pub fn restart_count(&self, worker_id: u32) -> u32 {
+        self.restarts.get(&worker_id).copied().unwrap_or(0)
+    }
+
+    /// Waits up to `grace` for every child to exit (after the learner
+    /// said goodbye), then kills stragglers — a worker that reconnected
+    /// after the serve loop ended would otherwise wait on a `Welcome`
+    /// nobody will send.
+    pub fn join_all(&mut self, grace: std::time::Duration) {
+        let deadline = std::time::Instant::now() + grace;
+        while !self.children.is_empty() && std::time::Instant::now() < deadline {
+            self.children.retain(|_, child| !matches!(child.try_wait(), Ok(Some(_))));
+            if !self.children.is_empty() {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        }
+        for (_, mut child) in std::mem::take(&mut self.children) {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for (_, mut child) in std::mem::take(&mut self.children) {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+impl RestartHandler for WorkerPool {
+    fn restart(&mut self, worker_id: u32) -> bool {
+        let count = self.restarts.entry(worker_id).or_insert(0);
+        if *count >= self.max_restarts {
+            return false;
+        }
+        *count += 1;
+        // The replacement introduces itself with `resume: true`, so the
+        // learner re-admits it from its last episode-boundary snapshot
+        // instead of replaying its stream from the beginning.
+        self.spawn_inner(worker_id, true).is_ok()
+    }
+
+    fn on_steps_frame(&mut self, worker_id: u32) {
+        let Some(plan) = self.chaos else { return };
+        if self.chaos_fired || worker_id != plan.victim {
+            return;
+        }
+        self.chaos_frames_seen += 1;
+        if self.chaos_frames_seen >= plan.after_frames {
+            self.chaos_fired = true;
+            self.kill(plan.victim);
+        }
+    }
+}
+
+/// Nonblocking [`Acceptor`] over a Unix socket listener.
+#[derive(Debug)]
+pub struct UnixAcceptor(UnixListener);
+
+impl UnixAcceptor {
+    /// Binds `path` (removing a stale socket file first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(path: &std::path::Path) -> Result<Self, DistError> {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        Ok(UnixAcceptor(listener))
+    }
+}
+
+impl Acceptor for UnixAcceptor {
+    fn try_accept(&mut self) -> Result<Option<Box<dyn Transport>>, DistError> {
+        match self.0.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                Ok(Some(Box::new(StreamTransport::unix(stream))))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+/// Nonblocking [`Acceptor`] over a TCP listener.
+#[derive(Debug)]
+pub struct TcpAcceptor(TcpListener);
+
+impl TcpAcceptor {
+    /// Binds `addr` (`host:port`; port 0 picks a free port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(addr: &str) -> Result<Self, DistError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(TcpAcceptor(listener))
+    }
+
+    /// The bound local address (for port-0 binds).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS lookup failure.
+    pub fn local_addr(&self) -> Result<std::net::SocketAddr, DistError> {
+        Ok(self.0.local_addr()?)
+    }
+}
+
+impl Acceptor for TcpAcceptor {
+    fn try_accept(&mut self) -> Result<Option<Box<dyn Transport>>, DistError> {
+        match self.0.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                Ok(Some(Box::new(StreamTransport::tcp(stream))))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+}

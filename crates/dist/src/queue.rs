@@ -1,0 +1,177 @@
+//! Bounded backpressure queues (Mutex + Condvar, std-only).
+//!
+//! Every hop in the distributed runtime that buffers frames — the
+//! loopback transport's two directions, the learner's ingress — is a
+//! [`BoundedQueue`]: a full queue blocks the producer up to a deadline
+//! instead of growing without bound, so a stalled learner back-pressures
+//! its workers with bounded memory rather than OOMing.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a push did not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue stayed full past the deadline.
+    Full,
+    /// The consumer side was closed.
+    Closed,
+}
+
+/// A bounded MPMC queue with deadline-based blocking operations.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    readable: Condvar,
+    writable: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner { items: VecDeque::new(), closed: false }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The queue's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued (the queue-depth metric).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Marks the queue closed and wakes all waiters. Pending items remain
+    /// poppable; further pushes fail with [`PushError::Closed`].
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.readable.notify_all();
+        self.writable.notify_all();
+    }
+
+    /// Whether [`BoundedQueue::close`] was called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("queue lock").closed
+    }
+
+    /// Pushes `item`, blocking up to `timeout` for space.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] when the deadline elapses with the queue still
+    /// full, [`PushError::Closed`] when the queue was closed.
+    pub fn push_timeout(&self, item: T, timeout: Duration) -> Result<(), PushError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if inner.closed {
+                return Err(PushError::Closed);
+            }
+            if inner.items.len() < self.capacity {
+                inner.items.push_back(item);
+                self.readable.notify_one();
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(PushError::Full);
+            }
+            let (guard, _timeout) =
+                self.writable.wait_timeout(inner, deadline - now).expect("queue lock");
+            inner = guard;
+        }
+    }
+
+    /// Pops the oldest item, blocking up to `timeout`.
+    ///
+    /// Returns `Ok(None)` on deadline, `Err(())` when the queue is closed
+    /// *and* drained (no more items will ever arrive).
+    #[allow(clippy::result_unit_err)]
+    pub fn pop_timeout(&self, timeout: Duration) -> Result<Option<T>, ()> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                self.writable.notify_one();
+                return Ok(Some(item));
+            }
+            if inner.closed {
+                return Err(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            let (guard, _timeout) =
+                self.readable.wait_timeout(inner, deadline - now).expect("queue lock");
+            inner = guard;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_depth() {
+        let q = BoundedQueue::new(4);
+        q.push_timeout(1, Duration::from_millis(10)).unwrap();
+        q.push_timeout(2, Duration::from_millis(10)).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), Ok(Some(1)));
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), Ok(Some(2)));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Ok(None), "empty pops time out");
+    }
+
+    #[test]
+    fn full_queue_blocks_then_reports_full() {
+        let q = BoundedQueue::new(1);
+        q.push_timeout(1, Duration::from_millis(5)).unwrap();
+        let err = q.push_timeout(2, Duration::from_millis(5)).unwrap_err();
+        assert_eq!(err, PushError::Full, "bounded: the second push must not grow the queue");
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn producer_unblocks_when_consumer_drains() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push_timeout(1, Duration::from_millis(5)).unwrap();
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.push_timeout(2, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop_timeout(Duration::from_millis(100)), Ok(Some(1)));
+        t.join().unwrap().unwrap();
+        assert_eq!(q.pop_timeout(Duration::from_millis(100)), Ok(Some(2)));
+    }
+
+    #[test]
+    fn close_drains_then_signals_end() {
+        let q = BoundedQueue::new(2);
+        q.push_timeout(7, Duration::from_millis(5)).unwrap();
+        q.close();
+        assert_eq!(q.push_timeout(8, Duration::from_millis(5)), Err(PushError::Closed));
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), Ok(Some(7)), "pending items drain");
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), Err(()), "then closed");
+    }
+}

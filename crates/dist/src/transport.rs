@@ -1,0 +1,405 @@
+//! Frame transports: in-process loopback, Unix socket, and TCP.
+//!
+//! All transports speak [`crate::wire`] frames and surface the same
+//! typed [`DistError`]s, so the supervision layer above is
+//! transport-agnostic. The loopback transport is *deterministic*: frames
+//! arrive in send order with no reordering or loss, which is what lets a
+//! dist run reproduce the single-process trainer bitwise. The stream
+//! transports add deadline-based reads (`set_read_timeout`) on top of
+//! OS byte streams.
+//!
+//! With the `failpoints` feature, two sites are armed from tests:
+//! `transport::send` (corrupt/truncate/delay an encoded frame before it
+//! leaves) and `transport::recv` (corrupt a received frame before
+//! decoding). Both reuse the workspace-wide registry in
+//! `marl_algo::failpoint`.
+
+use crate::error::DistError;
+use crate::queue::{BoundedQueue, PushError};
+use crate::wire::{self, Msg};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A bidirectional frame transport.
+pub trait Transport: Send {
+    /// Sends one message, blocking up to the transport's send deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::QueueFull`] under sustained backpressure,
+    /// [`DistError::Disconnected`]/[`DistError::Io`] on transport
+    /// failure.
+    fn send(&mut self, msg: &Msg) -> Result<(), DistError>;
+
+    /// Receives one message, blocking up to `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Timeout`] when the deadline elapses; quarantineable
+    /// decode errors ([`DistError::is_quarantine`]) when a frame arrives
+    /// corrupt; [`DistError::Disconnected`] when the peer is gone.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Msg, DistError>;
+
+    /// Frames known to be queued toward this end (the queue-depth
+    /// metric); `0` for transports without visibility (OS sockets).
+    fn pending(&self) -> usize {
+        0
+    }
+
+    /// A second receive handle onto the same connection (an OS-level
+    /// `dup`), for a dedicated reader thread. `None` when the transport
+    /// cannot be split — callers must then poll inline.
+    fn split_recv(&self) -> Option<Box<dyn Transport>> {
+        None
+    }
+}
+
+/// Applies the `transport::send` failpoint to an encoded frame.
+#[cfg(feature = "failpoints")]
+fn send_failpoint(bytes: &mut Vec<u8>) {
+    if let Some(fault) = marl_algo::failpoint::take("transport::send") {
+        if let Some(fault) = marl_algo::failpoint::sleep_delay(fault) {
+            marl_algo::failpoint::corrupt(bytes, fault);
+        }
+    }
+}
+
+/// Applies the `transport::recv` failpoint to a received frame.
+#[cfg(feature = "failpoints")]
+fn recv_failpoint(bytes: &mut Vec<u8>) {
+    if let Some(fault) = marl_algo::failpoint::take("transport::recv") {
+        if let Some(fault) = marl_algo::failpoint::sleep_delay(fault) {
+            marl_algo::failpoint::corrupt(bytes, fault);
+        }
+    }
+}
+
+#[cfg(not(feature = "failpoints"))]
+fn send_failpoint(_bytes: &mut Vec<u8>) {}
+#[cfg(not(feature = "failpoints"))]
+fn recv_failpoint(_bytes: &mut Vec<u8>) {}
+
+// ---------------------------------------------------------------------
+// In-process loopback
+// ---------------------------------------------------------------------
+
+/// One end of a deterministic in-process loopback: two bounded frame
+/// queues, in-order, no loss. Frames still round-trip through the full
+/// byte encoding (header, CRC), so corruption injected at the failpoint
+/// sites is *detected* exactly as it would be on a socket.
+#[derive(Debug)]
+pub struct LoopbackTransport {
+    tx: Arc<BoundedQueue<Vec<u8>>>,
+    rx: Arc<BoundedQueue<Vec<u8>>>,
+    send_timeout: Duration,
+}
+
+/// Creates a connected loopback pair `(a, b)`: frames sent on `a` arrive
+/// on `b` and vice versa. Each direction buffers at most `capacity`
+/// frames; a full direction blocks the sender up to `send_timeout`
+/// before reporting [`DistError::QueueFull`] (bounded backpressure).
+pub fn loopback_pair(
+    capacity: usize,
+    send_timeout: Duration,
+) -> (LoopbackTransport, LoopbackTransport) {
+    let ab = Arc::new(BoundedQueue::new(capacity));
+    let ba = Arc::new(BoundedQueue::new(capacity));
+    (
+        LoopbackTransport { tx: Arc::clone(&ab), rx: Arc::clone(&ba), send_timeout },
+        LoopbackTransport { tx: ba, rx: ab, send_timeout },
+    )
+}
+
+impl LoopbackTransport {
+    /// Frames currently queued toward this end (the queue-depth metric).
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Closes both directions; the peer observes
+    /// [`DistError::Disconnected`] once drained.
+    pub fn close(&self) {
+        self.tx.close();
+        self.rx.close();
+    }
+}
+
+impl Drop for LoopbackTransport {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn send(&mut self, msg: &Msg) -> Result<(), DistError> {
+        let mut bytes = wire::encode_frame(msg);
+        send_failpoint(&mut bytes);
+        match self.tx.push_timeout(bytes, self.send_timeout) {
+            Ok(()) => Ok(()),
+            Err(PushError::Full) => Err(DistError::QueueFull { capacity: self.tx.capacity() }),
+            Err(PushError::Closed) => Err(DistError::Disconnected),
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Msg, DistError> {
+        match self.rx.pop_timeout(timeout) {
+            Ok(Some(mut bytes)) => {
+                recv_failpoint(&mut bytes);
+                wire::decode_frame(&bytes)
+            }
+            Ok(None) => {
+                Err(DistError::Timeout { site: "recv", after_ms: timeout.as_millis() as u64 })
+            }
+            Err(()) => Err(DistError::Disconnected),
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Byte-stream transports (Unix socket / TCP)
+// ---------------------------------------------------------------------
+
+/// Once the first byte of a frame has arrived the rest must follow
+/// within this per-`read` deadline — generous, because a multi-megabyte
+/// parameter snapshot can legitimately trickle through small socket
+/// buffers while the peer interleaves its own work.
+const FRAME_DEADLINE: Duration = Duration::from_secs(10);
+
+/// A frame transport over an OS byte stream with deadline-based reads.
+///
+/// Quarantineable decode errors are still *typed* here, but a byte
+/// stream cannot trust a corrupt length field to find the next frame
+/// boundary, so callers must treat them as connection-fatal and
+/// reconnect (the worker side does, with backoff).
+#[derive(Debug)]
+pub enum StreamTransport {
+    /// Unix domain socket.
+    Unix(UnixStream),
+    /// TCP socket.
+    Tcp(TcpStream),
+}
+
+impl StreamTransport {
+    /// Wraps a connected Unix socket.
+    pub fn unix(stream: UnixStream) -> Self {
+        StreamTransport::Unix(stream)
+    }
+
+    /// Wraps a connected TCP socket (Nagle disabled: frames are latency-
+    /// sensitive parameter/step exchanges).
+    pub fn tcp(stream: TcpStream) -> Self {
+        let _ = stream.set_nodelay(true);
+        StreamTransport::Tcp(stream)
+    }
+
+    /// Clones the underlying socket handle (separate reader/writer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS `dup` failure.
+    pub fn try_clone(&self) -> Result<Self, DistError> {
+        Ok(match self {
+            StreamTransport::Unix(s) => StreamTransport::Unix(s.try_clone()?),
+            StreamTransport::Tcp(s) => StreamTransport::Tcp(s.try_clone()?),
+        })
+    }
+
+    fn set_read_timeout(&mut self, timeout: Duration) -> Result<(), DistError> {
+        // A zero Duration means "no timeout" to the OS; clamp up instead.
+        let t = timeout.max(Duration::from_millis(1));
+        match self {
+            StreamTransport::Unix(s) => s.set_read_timeout(Some(t))?,
+            StreamTransport::Tcp(s) => s.set_read_timeout(Some(t))?,
+        }
+        Ok(())
+    }
+
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            StreamTransport::Unix(s) => s.read(buf),
+            StreamTransport::Tcp(s) => s.read(buf),
+        }
+    }
+
+    /// Fills `buf` completely. The *first* byte is awaited up to
+    /// `first_timeout`; timing out there is clean (nothing consumed, the
+    /// stream stays framed) and surfaces as [`DistError::Timeout`]. Once
+    /// any byte has arrived the peer has committed to a frame, so the
+    /// rest is awaited patiently (up to [`FRAME_DEADLINE`] per read) and
+    /// a timeout mid-buffer is [`DistError::Truncated`] — connection-
+    /// fatal, because a byte stream cannot resync mid-frame.
+    fn read_full(&mut self, buf: &mut [u8], first_timeout: Duration) -> Result<(), DistError> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        self.set_read_timeout(first_timeout)?;
+        let mut got = 0usize;
+        loop {
+            match self.read(&mut buf[got..]) {
+                Ok(0) => {
+                    return if got == 0 {
+                        Err(DistError::Disconnected)
+                    } else {
+                        Err(DistError::Truncated { needed: buf.len(), got })
+                    };
+                }
+                Ok(n) => {
+                    if got == 0 {
+                        // Committed: the rest of the frame gets patience.
+                        self.set_read_timeout(FRAME_DEADLINE)?;
+                    }
+                    got += n;
+                    if got == buf.len() {
+                        return Ok(());
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return if got == 0 {
+                        Err(DistError::Timeout {
+                            site: "recv",
+                            after_ms: first_timeout.as_millis() as u64,
+                        })
+                    } else {
+                        Err(DistError::Truncated { needed: buf.len(), got })
+                    };
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn write_all(&mut self, buf: &[u8]) -> std::io::Result<()> {
+        match self {
+            StreamTransport::Unix(s) => {
+                s.write_all(buf)?;
+                s.flush()
+            }
+            StreamTransport::Tcp(s) => {
+                s.write_all(buf)?;
+                s.flush()
+            }
+        }
+    }
+}
+
+impl Transport for StreamTransport {
+    fn send(&mut self, msg: &Msg) -> Result<(), DistError> {
+        let mut bytes = wire::encode_frame(msg);
+        send_failpoint(&mut bytes);
+        self.write_all(&bytes)?;
+        Ok(())
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Msg, DistError> {
+        let mut header = [0u8; wire::HEADER_LEN];
+        self.read_full(&mut header, timeout)?;
+        let parsed = wire::decode_header(&header)?;
+        let mut frame = Vec::with_capacity(wire::HEADER_LEN + parsed.len);
+        frame.extend_from_slice(&header);
+        frame.resize(wire::HEADER_LEN + parsed.len, 0);
+        // The header arrived; the peer has committed a frame, so the body
+        // is awaited patiently. A peer that dies mid-frame surfaces as
+        // Truncated, which callers treat as connection-fatal (streams
+        // cannot resync mid-frame).
+        let body = &mut frame[wire::HEADER_LEN..];
+        if !body.is_empty() {
+            self.read_full(body, FRAME_DEADLINE)?;
+        }
+        recv_failpoint(&mut frame);
+        wire::decode_frame(&frame)
+    }
+
+    fn split_recv(&self) -> Option<Box<dyn Transport>> {
+        self.try_clone().ok().map(|t| Box::new(t) as Box<dyn Transport>)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::Heartbeat;
+
+    fn hb(seq: u64) -> Msg {
+        Msg::Heartbeat(Heartbeat { worker_id: 1, seq, env_steps: seq * 10 })
+    }
+
+    fn seq_of(msg: &Msg) -> u64 {
+        match msg {
+            Msg::Heartbeat(h) => h.seq,
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loopback_is_in_order_and_bidirectional() {
+        let (mut a, mut b) = loopback_pair(8, Duration::from_millis(100));
+        for seq in 0..5 {
+            a.send(&hb(seq)).unwrap();
+        }
+        for seq in 0..5 {
+            assert_eq!(seq_of(&b.recv_timeout(Duration::from_millis(100)).unwrap()), seq);
+        }
+        b.send(&hb(99)).unwrap();
+        assert_eq!(seq_of(&a.recv_timeout(Duration::from_millis(100)).unwrap()), 99);
+    }
+
+    #[test]
+    fn loopback_backpressure_is_bounded() {
+        let (mut a, _b) = loopback_pair(2, Duration::from_millis(5));
+        a.send(&hb(0)).unwrap();
+        a.send(&hb(1)).unwrap();
+        let err = a.send(&hb(2)).unwrap_err();
+        assert_eq!(err, DistError::QueueFull { capacity: 2 });
+    }
+
+    #[test]
+    fn loopback_recv_times_out_then_disconnects_on_drop() {
+        let (a, mut b) = loopback_pair(2, Duration::from_millis(5));
+        let err = b.recv_timeout(Duration::from_millis(5)).unwrap_err();
+        assert!(matches!(err, DistError::Timeout { site: "recv", .. }));
+        drop(a);
+        let err = b.recv_timeout(Duration::from_millis(5)).unwrap_err();
+        assert_eq!(err, DistError::Disconnected);
+    }
+
+    #[test]
+    fn unix_stream_roundtrip_and_timeout() {
+        let (sa, sb) = UnixStream::pair().expect("socketpair");
+        let mut a = StreamTransport::unix(sa);
+        let mut b = StreamTransport::unix(sb);
+        a.send(&hb(7)).unwrap();
+        assert_eq!(seq_of(&b.recv_timeout(Duration::from_millis(200)).unwrap()), 7);
+        let err = b.recv_timeout(Duration::from_millis(10)).unwrap_err();
+        assert!(matches!(err, DistError::Timeout { .. }), "{err}");
+        drop(a);
+        let err = b.recv_timeout(Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err, DistError::Disconnected);
+    }
+
+    #[test]
+    fn tcp_roundtrip() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut t = StreamTransport::tcp(TcpStream::connect(addr).expect("connect"));
+            t.send(&hb(3)).unwrap();
+            seq_of(&t.recv_timeout(Duration::from_secs(2)).unwrap())
+        });
+        let (conn, _) = listener.accept().expect("accept");
+        let mut server = StreamTransport::tcp(conn);
+        assert_eq!(seq_of(&server.recv_timeout(Duration::from_secs(2)).unwrap()), 3);
+        server.send(&hb(4)).unwrap();
+        assert_eq!(client.join().unwrap(), 4);
+    }
+}

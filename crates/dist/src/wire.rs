@@ -1,0 +1,359 @@
+//! The length-prefixed, CRC-framed wire format (`MARD` frames).
+//!
+//! Reuses the MARC checkpoint file's framing discipline — little-endian
+//! magic/version header, CRC-32 over the variable-length body — for the
+//! actor–learner stream:
+//!
+//! ```text
+//! magic   u32 LE = 0x4D41_5244 ("MARD")
+//! version u16 LE = 1
+//! kind    u16 LE                 (message discriminant)
+//! len     u32 LE                 (payload byte length)
+//! crc32   u32 LE                 (over kind | len | payload)
+//! payload bytes                  (serde_json of the typed message)
+//! ```
+//!
+//! The CRC covers the routing header fields as well as the payload, so a
+//! bit flip anywhere past the magic is detected; a flipped magic or
+//! version is its own typed error. Frames are self-delimiting (`len`),
+//! which lets the in-process loopback transport quarantine a corrupt
+//! frame and keep the stream alive; byte-stream transports cannot trust
+//! a corrupt `len` to resynchronize, so they surface the same typed
+//! errors but treat them as connection-fatal.
+
+use crate::error::DistError;
+use marl_algo::checkpoint::AgentState;
+use marl_algo::TrainConfig;
+use marl_core::crc32::crc32;
+use marl_core::transition::Transition;
+use serde::{Deserialize, Serialize};
+
+/// Frame magic: `MARD` (MARC's framing, Dist flavor).
+pub const MAGIC: u32 = 0x4D41_5244;
+/// Wire-format version.
+pub const VERSION: u16 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 16;
+/// Upper bound on a frame payload; a (possibly corrupt) length field can
+/// never make a receiver allocate more than this.
+pub const MAX_PAYLOAD: usize = 1 << 28;
+
+/// A worker introducing itself (first frame of every connection).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hello {
+    /// Stable worker identity (survives reconnects).
+    pub worker_id: u32,
+    /// Whether this worker is reconnecting after a failure and expects
+    /// to be re-admitted from its last recorded episode boundary.
+    pub resume: bool,
+}
+
+/// The learner admitting a worker: full configuration plus the exact
+/// state to roll out from.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Welcome {
+    /// Worker being addressed.
+    pub worker_id: u32,
+    /// Current parameter epoch.
+    pub epoch: u64,
+    /// Training configuration (the worker builds env + nets from this).
+    pub config: TrainConfig,
+    /// Network parameters to start from.
+    pub agents: Vec<AgentState>,
+    /// Exploration-noise RNG state to install.
+    pub master_rng: [u64; 4],
+    /// Environment RNG state to install; `None` keeps the worker's
+    /// self-seeded stream (the lockstep worker-0 case, where the worker's
+    /// own construction already matches the single-process env stream).
+    pub env_rng: Option<[u64; 4]>,
+    /// Environment steps already taken (drives the exploration schedule).
+    pub env_steps: u64,
+    /// Samples pushed since the last update (mirrors the learner).
+    pub samples_since_update: usize,
+    /// Learner replay fill (the worker mirrors this to predict updates).
+    pub replay_len: usize,
+    /// Episodes this worker should run before saying goodbye.
+    pub episodes: usize,
+    /// Whether the worker must synchronize (block for parameters and the
+    /// RNG handoff) at every update boundary — the deterministic mode.
+    pub lockstep: bool,
+    /// Free-running mode: flush accumulated steps every this many steps.
+    pub steps_per_frame: usize,
+}
+
+/// A batch of joint environment steps, in rollout order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Steps {
+    /// Sending worker.
+    pub worker_id: u32,
+    /// Parameter epoch the actions were drawn under.
+    pub epoch: u64,
+    /// Per-connection frame sequence number (diagnostics).
+    pub seq: u64,
+    /// Joint steps; each inner vector is one transition per agent.
+    pub steps: Vec<Vec<Transition>>,
+    /// Exploration RNG state after the last step, handed to the learner
+    /// for the sampling-plan draws. Present iff `sync`.
+    pub rng: Option<[u64; 4]>,
+    /// Whether the worker blocks for a [`Params`] reply (update due).
+    pub sync: bool,
+}
+
+/// A parameter broadcast after one or more update iterations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Params {
+    /// New parameter epoch.
+    pub epoch: u64,
+    /// Updated network parameters.
+    pub agents: Vec<AgentState>,
+    /// Post-update master RNG state, handed back to the worker so its
+    /// next action draws continue the single interleaved stream.
+    /// Present only in lockstep mode.
+    pub master_rng: Option<[u64; 4]>,
+}
+
+/// A liveness beacon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Heartbeat {
+    /// Sending worker.
+    pub worker_id: u32,
+    /// Monotonic beacon counter.
+    pub seq: u64,
+    /// Worker's environment-step counter (progress signal).
+    pub env_steps: u64,
+}
+
+/// End of one worker episode: the reward plus the episode-boundary state
+/// the learner records as the worker's restart checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeEnd {
+    /// Sending worker.
+    pub worker_id: u32,
+    /// Mean-over-agents cumulative episode reward.
+    pub mean_reward: f32,
+    /// Exploration RNG state at the boundary.
+    pub master_rng: [u64; 4],
+    /// Environment RNG state at the boundary.
+    pub env_rng: [u64; 4],
+    /// Environment steps taken so far.
+    pub env_steps: u64,
+    /// Samples pushed since the last update.
+    pub samples_since_update: usize,
+}
+
+/// A clean goodbye.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bye {
+    /// Sending worker.
+    pub worker_id: u32,
+    /// Why the worker is leaving (diagnostics).
+    pub reason: String,
+}
+
+/// Every message of the actor–learner protocol.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Msg {
+    /// Worker → learner: introduction.
+    Hello(Hello),
+    /// Learner → worker: admission + state.
+    Welcome(Box<Welcome>),
+    /// Worker → learner: transition batch.
+    Steps(Steps),
+    /// Learner → worker: parameter broadcast.
+    Params(Box<Params>),
+    /// Worker → learner: liveness beacon.
+    Heartbeat(Heartbeat),
+    /// Worker → learner: episode boundary.
+    EpisodeEnd(EpisodeEnd),
+    /// Worker → learner: clean shutdown.
+    Bye(Bye),
+}
+
+impl Msg {
+    /// Wire discriminant (the header `kind` field).
+    pub fn kind(&self) -> u16 {
+        match self {
+            Msg::Hello(_) => 1,
+            Msg::Welcome(_) => 2,
+            Msg::Steps(_) => 3,
+            Msg::Params(_) => 4,
+            Msg::Heartbeat(_) => 5,
+            Msg::EpisodeEnd(_) => 6,
+            Msg::Bye(_) => 7,
+        }
+    }
+
+    /// Short label for logs and supervision counters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Msg::Hello(_) => "hello",
+            Msg::Welcome(_) => "welcome",
+            Msg::Steps(_) => "steps",
+            Msg::Params(_) => "params",
+            Msg::Heartbeat(_) => "heartbeat",
+            Msg::EpisodeEnd(_) => "episode-end",
+            Msg::Bye(_) => "bye",
+        }
+    }
+}
+
+/// Encodes a message into one self-delimiting `MARD` frame.
+pub fn encode_frame(msg: &Msg) -> Vec<u8> {
+    let payload = serde_json::to_string(msg).expect("wire messages always serialize").into_bytes();
+    let kind = msg.kind();
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&kind.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&frame_crc(kind, &payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// CRC-32 over the routing fields and payload (everything a receiver
+/// acts on past the magic/version).
+fn frame_crc(kind: u16, payload: &[u8]) -> u32 {
+    let mut covered = Vec::with_capacity(6 + payload.len());
+    covered.extend_from_slice(&kind.to_le_bytes());
+    covered.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    covered.extend_from_slice(payload);
+    crc32(&covered)
+}
+
+/// Parsed frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Message discriminant.
+    pub kind: u16,
+    /// Payload byte length.
+    pub len: usize,
+    /// Declared CRC-32.
+    pub crc: u32,
+}
+
+/// Decodes and validates a frame header.
+///
+/// # Errors
+///
+/// Typed [`DistError`]s for truncation, bad magic, bad version, and
+/// oversized payloads.
+pub fn decode_header(bytes: &[u8]) -> Result<Header, DistError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(DistError::Truncated { needed: HEADER_LEN, got: bytes.len() });
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+    if magic != MAGIC {
+        return Err(DistError::BadMagic { found: magic });
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+    if version != VERSION {
+        return Err(DistError::UnsupportedVersion { found: version });
+    }
+    let kind = u16::from_le_bytes(bytes[6..8].try_into().expect("2 bytes"));
+    let len = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(DistError::Protocol(format!("payload of {len} bytes exceeds {MAX_PAYLOAD}")));
+    }
+    let crc = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+    Ok(Header { kind, len, crc })
+}
+
+/// Decodes one complete frame (header + payload) from a byte buffer.
+///
+/// # Errors
+///
+/// Typed [`DistError`]s for every corruption mode: truncation, bad
+/// magic/version, CRC mismatch, and undecodable payloads.
+pub fn decode_frame(bytes: &[u8]) -> Result<Msg, DistError> {
+    let header = decode_header(bytes)?;
+    let body = &bytes[HEADER_LEN..];
+    if body.len() < header.len {
+        return Err(DistError::Truncated { needed: header.len, got: body.len() });
+    }
+    let payload = &body[..header.len];
+    let found = frame_crc(header.kind, payload);
+    if found != header.crc {
+        return Err(DistError::CrcMismatch { expected: header.crc, found });
+    }
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| DistError::Protocol(format!("payload is not UTF-8: {e}")))?;
+    let msg: Msg = serde_json::from_str(text)
+        .map_err(|e| DistError::Protocol(format!("payload does not parse: {e}")))?;
+    if msg.kind() != header.kind {
+        return Err(DistError::Protocol(format!(
+            "header kind {} does not match payload kind {}",
+            header.kind,
+            msg.kind()
+        )));
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heartbeat() -> Msg {
+        Msg::Heartbeat(Heartbeat { worker_id: 3, seq: 9, env_steps: 125 })
+    }
+
+    #[test]
+    fn roundtrip_preserves_message() {
+        let bytes = encode_frame(&heartbeat());
+        let back = decode_frame(&bytes).unwrap();
+        match back {
+            Msg::Heartbeat(h) => assert_eq!(h, Heartbeat { worker_id: 3, seq: 9, env_steps: 125 }),
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let mut bytes = encode_frame(&heartbeat());
+        bytes[0] ^= 0xFF;
+        assert!(matches!(decode_frame(&bytes), Err(DistError::BadMagic { .. })));
+        let mut bytes = encode_frame(&heartbeat());
+        bytes[4] = 0x7F;
+        assert!(matches!(decode_frame(&bytes), Err(DistError::UnsupportedVersion { found: 0x7F })));
+    }
+
+    #[test]
+    fn every_body_bit_flip_is_detected() {
+        let clean = encode_frame(&heartbeat());
+        // Flip every bit past the magic/version, one at a time; each must
+        // surface as a typed error, never as a silently different message.
+        for bit in (6 * 8)..(clean.len() * 8) {
+            let mut bytes = clean.clone();
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            match decode_frame(&bytes) {
+                Err(
+                    DistError::CrcMismatch { .. }
+                    | DistError::Truncated { .. }
+                    | DistError::Protocol(_),
+                ) => {}
+                Ok(_) => panic!("bit {bit}: corrupt frame decoded"),
+                Err(e) => panic!("bit {bit}: unexpected error {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        let clean = encode_frame(&heartbeat());
+        for cut in 0..clean.len() {
+            let err = decode_frame(&clean[..cut]).unwrap_err();
+            assert!(
+                matches!(err, DistError::Truncated { .. } | DistError::BadMagic { .. }),
+                "cut {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_field_is_rejected_before_allocation() {
+        let mut bytes = encode_frame(&heartbeat());
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_frame(&bytes), Err(DistError::Protocol(_))));
+    }
+}

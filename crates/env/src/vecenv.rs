@@ -145,6 +145,24 @@ impl VecParticleEnv {
         }
     }
 
+    /// Reseeds every world's random stream from sub-streams of `seed`'s
+    /// env stream (stream 4): world `w` draws from
+    /// `derive_seed(derive_seed(seed, 4), world_offset + w)`.
+    ///
+    /// This is the sharding seam for distributed rollout workers: worker
+    /// `s` holding K worlds passes a disjoint `world_offset` (e.g.
+    /// `(s + 1) * 2^32 + s * K`) so no two workers — and no worker and
+    /// the single-process vectorized path, whose worlds sit at offsets
+    /// `1..K` — ever share an environment stream. Unlike
+    /// [`VecParticleEnv::set_rng_states`] this derives states instead of
+    /// installing captured ones, so it is usable before any state exists.
+    pub fn reseed_worlds(&mut self, seed: u64, world_offset: u64) {
+        let stream = derive_seed(seed, 4);
+        for (w, rng) in self.rngs.iter_mut().enumerate() {
+            *rng = StdRng::seed_from_u64(derive_seed(stream, world_offset + w as u64));
+        }
+    }
+
     /// Starts a new episode in every world.
     pub fn reset(&mut self) {
         for ((scenario, world), rng) in
@@ -303,5 +321,24 @@ mod tests {
         let mut rewards = vec![0.0; 6];
         let err = env.step(&[0, 0, 0], &mut rewards).unwrap_err();
         assert!(matches!(err, EnvError::ActionCountMismatch { expected: 6, got: 3 }));
+    }
+
+    #[test]
+    fn reseed_worlds_shards_disjoint_deterministic_streams() {
+        // Two workers sharding the same seed at disjoint offsets must get
+        // different streams; the same (seed, offset) must reproduce.
+        let mut w0 = vec_env(2, 7);
+        let mut w1 = vec_env(2, 7);
+        let mut w0b = vec_env(2, 7);
+        w0.reseed_worlds(7, 100);
+        w1.reseed_worlds(7, 102);
+        w0b.reseed_worlds(7, 100);
+        assert_eq!(w0.rng_states(), w0b.rng_states(), "same shard must reproduce");
+        assert_ne!(w0.rng_states(), w1.rng_states(), "shards must be disjoint");
+        w0.reset();
+        w1.reset();
+        let p0 = w0.world(0).agents[0].state.position;
+        let p1 = w1.world(0).agents[0].state.position;
+        assert_ne!(p0, p1, "sharded worlds share a random stream");
     }
 }

@@ -352,6 +352,18 @@ pub struct MetricsRegistry {
     pub vecenv_steps_per_sec: Histogram,
     /// Live sampling-phase hardware counters.
     pub hw_sampling: HwAccumulator,
+    /// Oldest heartbeat age across live dist workers, milliseconds.
+    pub dist_heartbeat_age_ms: Gauge,
+    /// Worker reconnects accepted by the dist learner.
+    pub dist_reconnects: Counter,
+    /// Frames queued toward the dist learner (ingress depth).
+    pub dist_queue_depth: Gauge,
+    /// Frames dropped by dist quarantine (CRC/stale-epoch/truncation).
+    pub dist_quarantined_frames: Counter,
+    /// Dist workers currently not classified dead.
+    pub dist_workers_alive: Gauge,
+    /// Supervised restarts of dead dist workers.
+    pub dist_worker_restarts: Counter,
 }
 
 /// Per-phase row of a snapshot (label + accumulated time + share).
@@ -429,6 +441,24 @@ pub struct MetricsSnapshot {
     pub kernels: KernelTally,
     /// Span-ring drops so far (0 unless the ring overflowed).
     pub spans_dropped: u64,
+    /// Oldest dist-worker heartbeat age, ms (0.0 outside dist runs).
+    #[serde(default)]
+    pub dist_heartbeat_age_ms: f64,
+    /// Dist worker reconnects.
+    #[serde(default)]
+    pub dist_reconnects: u64,
+    /// Dist ingress queue depth.
+    #[serde(default)]
+    pub dist_queue_depth: f64,
+    /// Dist frames quarantined.
+    #[serde(default)]
+    pub dist_quarantined_frames: u64,
+    /// Dist workers alive.
+    #[serde(default)]
+    pub dist_workers_alive: f64,
+    /// Dist worker restarts.
+    #[serde(default)]
+    pub dist_worker_restarts: u64,
 }
 
 impl MetricsRegistry {
@@ -482,6 +512,12 @@ impl MetricsRegistry {
             hw_sampling: self.hw_sampling.totals(),
             kernels,
             spans_dropped,
+            dist_heartbeat_age_ms: self.dist_heartbeat_age_ms.get(),
+            dist_reconnects: self.dist_reconnects.get(),
+            dist_queue_depth: self.dist_queue_depth.get(),
+            dist_quarantined_frames: self.dist_quarantined_frames.get(),
+            dist_workers_alive: self.dist_workers_alive.get(),
+            dist_worker_restarts: self.dist_worker_restarts.get(),
         }
     }
 }

@@ -203,6 +203,48 @@ pub fn render(snap: &MetricsSnapshot) -> String {
         "counter",
         snap.hw_sampling.dtlb_misses as f64,
     );
+    sample(
+        &mut out,
+        "marl_dist_heartbeat_age_ms",
+        "Oldest heartbeat age across live dist workers, milliseconds.",
+        "gauge",
+        snap.dist_heartbeat_age_ms,
+    );
+    sample(
+        &mut out,
+        "marl_dist_reconnects_total",
+        "Worker reconnects accepted by the dist learner.",
+        "counter",
+        snap.dist_reconnects as f64,
+    );
+    sample(
+        &mut out,
+        "marl_dist_queue_depth",
+        "Frames queued toward the dist learner.",
+        "gauge",
+        snap.dist_queue_depth,
+    );
+    sample(
+        &mut out,
+        "marl_dist_quarantined_frames_total",
+        "Frames dropped by dist quarantine.",
+        "counter",
+        snap.dist_quarantined_frames as f64,
+    );
+    sample(
+        &mut out,
+        "marl_dist_workers_alive",
+        "Dist workers currently not classified dead.",
+        "gauge",
+        snap.dist_workers_alive,
+    );
+    sample(
+        &mut out,
+        "marl_dist_worker_restarts_total",
+        "Supervised restarts of dead dist workers.",
+        "counter",
+        snap.dist_worker_restarts as f64,
+    );
     out
 }
 
@@ -246,5 +288,25 @@ mod tests {
         let text = render(&snap);
         assert!(text.contains("marl_run_length_count 0"));
         assert!(text.contains("marl_hw_live 0"));
+    }
+
+    #[test]
+    fn renders_dist_supervision_metrics() {
+        let r = MetricsRegistry::new();
+        r.dist_heartbeat_age_ms.set(12.5);
+        r.dist_reconnects.add(2);
+        r.dist_queue_depth.set(3.0);
+        r.dist_quarantined_frames.add(4);
+        r.dist_workers_alive.set(2.0);
+        r.dist_worker_restarts.inc();
+        let snap = r.snapshot(0, true, &PhaseProfile::new(), KernelTally::default(), 0);
+        let text = render(&snap);
+        assert!(text.contains("marl_dist_heartbeat_age_ms 12.5"));
+        assert!(text.contains("# TYPE marl_dist_reconnects_total counter"));
+        assert!(text.contains("marl_dist_reconnects_total 2"));
+        assert!(text.contains("marl_dist_queue_depth 3"));
+        assert!(text.contains("marl_dist_quarantined_frames_total 4"));
+        assert!(text.contains("marl_dist_workers_alive 2"));
+        assert!(text.contains("marl_dist_worker_restarts_total 1"));
     }
 }

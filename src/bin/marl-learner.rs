@@ -1,0 +1,381 @@
+//! `marl-learner` — learner process of the distributed runtime.
+//!
+//! ```text
+//! marl-learner (--socket PATH | --tcp HOST:PORT | --lockstep)
+//!              [--workers N] [--worker-bin PATH] [--max-restarts K]
+//!              [--algo maddpg|matd3] [--task pp|cn|pd] [--agents N]
+//!              [--sampler S] [--episodes E] [--batch B] [--capacity C]
+//!              [--seed S] [--kernel auto|scalar|simd]
+//!              [--steps-per-frame F] [--params-every U]
+//!              [--dead-after-ms MS] [--stall-timeout-ms MS]
+//!              [--chaos-kill-after-frames K] [--chaos-victim V]
+//!              [--metrics-out FILE] [--metrics-every N] [--prometheus-out FILE]
+//! ```
+//!
+//! Owns the replay store and the trainer. With `--socket`/`--tcp` it
+//! binds a listener, spawns `--workers` `marl-worker` child processes
+//! (restarting any the supervisor declares dead, up to
+//! `--max-restarts`), and trains free-running until the episode target.
+//! `--lockstep` instead runs one in-process worker thread over the
+//! deterministic loopback — training output is bitwise identical to
+//! `marl-train` at the same configuration. `--chaos-kill-after-frames`
+//! arms the chaos drill: SIGKILL `--chaos-victim` after it delivers K
+//! step frames, then let supervision restart and re-admit it.
+
+use marl_repro::algo::{Algorithm, Task, TrainConfig};
+use marl_repro::core::SamplerConfig;
+use marl_repro::dist::{
+    loopback_pair, run_worker, Backoff, ChaosPlan, DistError, Endpoint, Learner, LearnerOptions,
+    NoAccept, TcpAcceptor, Transport, UnixAcceptor, WorkerPool,
+};
+use marl_repro::obs::{KernelTally, SnapshotContext, Telemetry, TelemetryConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Debug)]
+struct CliError(String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+fn parse_num(v: &str) -> Result<usize, CliError> {
+    v.parse().map_err(|_| CliError(format!("not a number: {v}")))
+}
+
+fn parse_sampler(v: &str) -> Result<SamplerConfig, CliError> {
+    Ok(match v {
+        "baseline" | "uniform" => SamplerConfig::Uniform,
+        "n16r64" => SamplerConfig::LocalityN16R64,
+        "n64r16" => SamplerConfig::LocalityN64R16,
+        "per" => SamplerConfig::Per,
+        "ip" => SamplerConfig::IpLocality,
+        other => return Err(CliError(format!("unknown sampler {other}"))),
+    })
+}
+
+#[derive(Debug, Clone)]
+enum Mode {
+    Unix(PathBuf),
+    Tcp(String),
+    Lockstep,
+}
+
+#[derive(Debug)]
+struct Cli {
+    mode: Mode,
+    workers: u32,
+    worker_bin: Option<PathBuf>,
+    max_restarts: u32,
+    config: TrainConfig,
+    opts: LearnerOptions,
+    chaos_after_frames: u64,
+    chaos_victim: u32,
+    telemetry: TelemetryConfig,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, CliError> {
+    let mut mode: Option<Mode> = None;
+    let mut workers = 2u32;
+    let mut worker_bin: Option<PathBuf> = None;
+    let mut max_restarts = 2u32;
+    let mut algorithm = Algorithm::Maddpg;
+    let mut task = Task::PredatorPrey;
+    let mut agents = 3usize;
+    let mut sampler = SamplerConfig::Uniform;
+    let mut episodes = 20usize;
+    let mut batch = 64usize;
+    let mut capacity = 20_000usize;
+    let mut seed = 0u64;
+    let mut kernel = marl_repro::nn::kernels::KernelChoice::Auto;
+    let mut opts = LearnerOptions::default();
+    let mut chaos_after_frames = 0u64;
+    let mut chaos_victim = 1u32;
+    let mut telemetry = TelemetryConfig::default();
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, CliError> {
+            it.next().ok_or_else(|| CliError(format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--socket" => mode = Some(Mode::Unix(value("--socket")?.into())),
+            "--tcp" => mode = Some(Mode::Tcp(value("--tcp")?.clone())),
+            "--lockstep" => mode = Some(Mode::Lockstep),
+            "--workers" => workers = parse_num(value("--workers")?)? as u32,
+            "--worker-bin" => worker_bin = Some(value("--worker-bin")?.into()),
+            "--max-restarts" => max_restarts = parse_num(value("--max-restarts")?)? as u32,
+            "--algo" => {
+                algorithm = match value("--algo")?.as_str() {
+                    "maddpg" => Algorithm::Maddpg,
+                    "matd3" => Algorithm::Matd3,
+                    v => return Err(CliError(format!("unknown algorithm {v}"))),
+                }
+            }
+            "--task" => {
+                task = match value("--task")?.as_str() {
+                    "pp" | "predator-prey" => Task::PredatorPrey,
+                    "cn" | "cooperative-navigation" => Task::CooperativeNavigation,
+                    "pd" | "physical-deception" => Task::PhysicalDeception,
+                    v => return Err(CliError(format!("unknown task {v}"))),
+                }
+            }
+            "--agents" => agents = parse_num(value("--agents")?)?,
+            "--sampler" => sampler = parse_sampler(value("--sampler")?)?,
+            "--episodes" => episodes = parse_num(value("--episodes")?)?,
+            "--batch" => batch = parse_num(value("--batch")?)?,
+            "--capacity" => capacity = parse_num(value("--capacity")?)?,
+            "--seed" => seed = parse_num(value("--seed")?)? as u64,
+            "--kernel" => {
+                let v = value("--kernel")?;
+                kernel = marl_repro::nn::kernels::KernelChoice::parse(v)
+                    .ok_or_else(|| CliError(format!("unknown kernel {v}")))?;
+            }
+            "--steps-per-frame" => opts.steps_per_frame = parse_num(value("--steps-per-frame")?)?,
+            "--params-every" => {
+                opts.params_every_updates = parse_num(value("--params-every")?)? as u64;
+            }
+            "--dead-after-ms" => {
+                let ms = parse_num(value("--dead-after-ms")?)? as u64;
+                opts.supervisor.dead_after = Duration::from_millis(ms);
+                opts.supervisor.suspect_after =
+                    Duration::from_millis(ms / 4).max(Duration::from_millis(1));
+            }
+            "--stall-timeout-ms" => {
+                opts.stall_timeout =
+                    Duration::from_millis(parse_num(value("--stall-timeout-ms")?)? as u64);
+            }
+            "--chaos-kill-after-frames" => {
+                chaos_after_frames = parse_num(value("--chaos-kill-after-frames")?)? as u64;
+            }
+            "--chaos-victim" => chaos_victim = parse_num(value("--chaos-victim")?)? as u32,
+            "--metrics-out" => telemetry.metrics_out = Some(value("--metrics-out")?.into()),
+            "--metrics-every" => {
+                telemetry.metrics_every = parse_num(value("--metrics-every")?)? as u64;
+            }
+            "--prometheus-out" => {
+                telemetry.prometheus_out = Some(value("--prometheus-out")?.into());
+            }
+            "--help" | "-h" => return Err(CliError("help".into())),
+            v => return Err(CliError(format!("unknown flag {v}"))),
+        }
+    }
+    let Some(mode) = mode else {
+        return Err(CliError("one of --socket/--tcp/--lockstep is required".into()));
+    };
+    if workers == 0 {
+        return Err(CliError("--workers must be at least 1".into()));
+    }
+    let mut config = TrainConfig::paper_defaults(algorithm, task, agents)
+        .with_sampler(sampler)
+        .with_episodes(episodes)
+        .with_batch_size(batch)
+        .with_buffer_capacity(capacity)
+        .with_seed(seed)
+        .with_kernel(kernel);
+    // Same short-run warmup policy as marl-train, so small distributed
+    // smokes still perform updates.
+    config.warmup = (2 * batch).clamp(batch, capacity / 2).max(batch);
+    if telemetry.metrics_out.is_some() && telemetry.metrics_every == 0 {
+        telemetry.metrics_every = 10;
+    }
+    Ok(Cli {
+        mode,
+        workers,
+        worker_bin,
+        max_restarts,
+        config,
+        opts,
+        chaos_after_frames,
+        chaos_victim,
+        telemetry,
+    })
+}
+
+fn usage() {
+    eprintln!(
+        "usage: marl-learner (--socket PATH | --tcp HOST:PORT | --lockstep)\n\
+         \x20                   [--workers N] [--worker-bin PATH] [--max-restarts K]\n\
+         \x20                   [--algo maddpg|matd3] [--task pp|cn|pd] [--agents N]\n\
+         \x20                   [--sampler baseline|n16r64|n64r16|per|ip] [--episodes E]\n\
+         \x20                   [--batch B] [--capacity C] [--seed S]\n\
+         \x20                   [--kernel auto|scalar|simd] [--steps-per-frame F]\n\
+         \x20                   [--params-every U] [--dead-after-ms MS]\n\
+         \x20                   [--stall-timeout-ms MS] [--chaos-kill-after-frames K]\n\
+         \x20                   [--chaos-victim V] [--metrics-out FILE] [--metrics-every N]\n\
+         \x20                   [--prometheus-out FILE]\n\
+         \n\
+         \x20 --lockstep                runs one in-process worker over the deterministic\n\
+         \x20                           loopback (bitwise-identical to marl-train)\n\
+         \x20 --worker-bin PATH         marl-worker binary (default: next to marl-learner)\n\
+         \x20 --chaos-kill-after-frames SIGKILL --chaos-victim after K step frames\n\
+         \x20                           (0 = off), then restart it under supervision"
+    );
+}
+
+/// The sibling `marl-worker` binary, next to the running learner.
+fn default_worker_bin() -> Result<PathBuf, DistError> {
+    let me = std::env::current_exe().map_err(|e| DistError::Io(e.to_string()))?;
+    Ok(me.with_file_name("marl-worker"))
+}
+
+fn serve_lockstep_inprocess(learner: &mut Learner) -> Result<(), DistError> {
+    let (mut learner_end, worker_end) = loopback_pair(1024, Duration::from_secs(10));
+    let handle = std::thread::spawn(move || {
+        let mut slot = Some(worker_end);
+        let mut backoff = Backoff::new(Duration::from_millis(10), Duration::from_millis(100), 0);
+        run_worker(
+            0,
+            move || {
+                slot.take()
+                    .map(|t| Box::new(t) as Box<dyn Transport>)
+                    .ok_or(DistError::Disconnected)
+            },
+            &mut backoff,
+            1,
+        )
+    });
+    let served = learner.serve_lockstep(&mut learner_end);
+    let worker = handle.join().map_err(|_| DistError::Protocol("worker thread panicked".into()));
+    served?;
+    worker?.map(|_| ())
+}
+
+fn serve_fleet(learner: &mut Learner, cli: &Cli) -> Result<(), DistError> {
+    let bin = match &cli.worker_bin {
+        Some(p) => p.clone(),
+        None => default_worker_bin()?,
+    };
+    let (endpoint, mut acceptor): (Endpoint, Box<dyn marl_repro::dist::Acceptor>) = match &cli.mode
+    {
+        Mode::Unix(path) => (Endpoint::Unix(path.clone()), Box::new(UnixAcceptor::bind(path)?)),
+        Mode::Tcp(addr) => {
+            let acceptor = TcpAcceptor::bind(addr)?;
+            let bound = acceptor.local_addr()?.to_string();
+            println!("listening on tcp {bound}");
+            (Endpoint::Tcp(bound), Box::new(acceptor))
+        }
+        Mode::Lockstep => unreachable!("lockstep handled by caller"),
+    };
+    let mut pool = WorkerPool::new(bin, endpoint, cli.max_restarts);
+    if cli.chaos_after_frames > 0 {
+        pool = pool.with_chaos(ChaosPlan {
+            victim: cli.chaos_victim,
+            after_frames: cli.chaos_after_frames,
+        });
+    }
+    for id in 0..cli.workers {
+        pool.spawn(id).map_err(|e| DistError::Io(format!("spawning worker {id}: {e}")))?;
+    }
+    let served = learner.serve_free(Vec::new(), acceptor.as_mut(), Some(&mut pool));
+    if cli.chaos_after_frames > 0 {
+        println!(
+            "chaos: kill fired = {} | restarts of victim {} = {}",
+            pool.chaos_fired(),
+            cli.chaos_victim,
+            pool.restart_count(cli.chaos_victim)
+        );
+    }
+    pool.join_all(Duration::from_secs(5));
+    served
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(v) => v,
+        Err(CliError(msg)) => {
+            if msg != "help" {
+                eprintln!("error: {msg}\n");
+            }
+            usage();
+            return if msg == "help" { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        }
+    };
+
+    println!(
+        "learner: {} / {} / {} agents / sampler {} / {} episodes / {}",
+        cli.config.algorithm.label(),
+        cli.config.task.label(),
+        cli.config.agents,
+        cli.config.sampler.label(),
+        cli.config.episodes,
+        match &cli.mode {
+            Mode::Unix(p) => format!("unix {}", p.display()),
+            Mode::Tcp(a) => format!("tcp {a}"),
+            Mode::Lockstep => "in-process lockstep loopback".into(),
+        }
+    );
+    let mut learner = match Learner::new(cli.config, cli.opts) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let telemetry_requested =
+        cli.telemetry.metrics_out.is_some() || cli.telemetry.prometheus_out.is_some();
+    let tel: Option<Arc<Telemetry>> = if telemetry_requested {
+        match Telemetry::new(&cli.telemetry) {
+            Ok(t) => {
+                let t = Arc::new(t);
+                learner.trainer_mut().attach_telemetry(Arc::clone(&t));
+                Some(t)
+            }
+            Err(e) => {
+                eprintln!("error: opening telemetry sinks failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+
+    let served = match &cli.mode {
+        Mode::Lockstep => {
+            let _ = NoAccept; // fixed topology: no listener in this mode
+            serve_lockstep_inprocess(&mut learner)
+        }
+        _ => serve_fleet(&mut learner, &cli),
+    };
+    if let Err(e) = served {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let sup = learner.supervisor();
+    println!(
+        "served {} episodes | {} parameter epochs | {} update iterations | env steps {}",
+        learner.episodes_recorded(),
+        learner.epoch(),
+        learner.trainer().update_iterations(),
+        learner.trainer().env_steps()
+    );
+    println!(
+        "supervision: {} workers alive | {} reconnects | {} restarts | {} quarantined frames",
+        sup.alive(),
+        sup.total_reconnects(),
+        sup.total_restarts(),
+        sup.total_quarantined()
+    );
+    if let Some(t) = &tel {
+        let (scalar, simd) = marl_repro::nn::kernels::dispatch_tally();
+        let snap = t.finish(&SnapshotContext {
+            episode: learner.episodes_recorded() as u64,
+            profile: learner.trainer().profile(),
+            kernels: KernelTally { scalar, simd },
+        });
+        println!(
+            "telemetry: {} updates | {} quarantined | {} reconnects | {} restarts",
+            snap.updates,
+            snap.dist_quarantined_frames,
+            snap.dist_reconnects,
+            snap.dist_worker_restarts
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,166 @@
+//! `marl-worker` — rollout-worker process of the distributed runtime.
+//!
+//! ```text
+//! marl-worker --worker-id N (--socket PATH | --tcp HOST:PORT)
+//!             [--max-attempts K] [--backoff-base-ms B] [--backoff-cap-ms C]
+//! ```
+//!
+//! Connects to a `marl-learner`, introduces itself, and rolls out
+//! episodes from the configuration the learner's `Welcome` carries —
+//! the worker itself takes no training flags, so a fleet can never
+//! disagree with its learner about hyperparameters. Connection failures
+//! retry with exponential backoff + jitter; after a mid-run failure the
+//! worker reconnects with `resume: true` and is re-admitted from its
+//! last episode boundary.
+
+use marl_repro::dist::{run_worker_from, Backoff, DistError, StreamTransport, Transport};
+use std::process::ExitCode;
+use std::time::Duration;
+
+#[derive(Debug, Clone)]
+enum Endpoint {
+    Unix(String),
+    Tcp(String),
+}
+
+/// With `--features failpoints`, `MARL_FAILPOINTS` arms transport
+/// faults from the environment — which a supervising `marl-learner`
+/// passes down to every worker it spawns, so a whole fleet can run a
+/// chaos drill from one variable. Comma-separated `site=kind:arg[:skip]`
+/// entries, e.g. `transport::send=bitflip:2000:3,transport::send=delay:50`
+/// (faults on one site queue up and fire in order).
+#[cfg(feature = "failpoints")]
+fn arm_failpoints_from_env() {
+    use marl_repro::algo::failpoint::{self, Fault};
+    let Ok(spec) = std::env::var("MARL_FAILPOINTS") else { return };
+    for entry in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let Some((site, fault)) = entry.split_once('=') else {
+            eprintln!("MARL_FAILPOINTS: ignoring malformed entry {entry:?}");
+            continue;
+        };
+        let site: &'static str = match site {
+            "transport::send" => "transport::send",
+            "transport::recv" => "transport::recv",
+            other => {
+                eprintln!("MARL_FAILPOINTS: ignoring unknown site {other:?}");
+                continue;
+            }
+        };
+        let mut parts = fault.split(':');
+        let kind = parts.next().unwrap_or("");
+        let arg: u64 = parts.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+        let skip: u32 = parts.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+        let fault = match kind {
+            "delay" => Fault::Delay(arg),
+            "bitflip" => Fault::BitFlip(arg as usize),
+            "truncate" => Fault::Truncate(arg as usize),
+            other => {
+                eprintln!("MARL_FAILPOINTS: ignoring unknown fault {other:?}");
+                continue;
+            }
+        };
+        failpoint::arm_after(site, fault, skip);
+        eprintln!("armed failpoint {site} = {fault:?} (skip {skip})");
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: marl-worker --worker-id N (--socket PATH | --tcp HOST:PORT)\n\
+         \x20                  [--max-attempts K] [--backoff-base-ms B] [--backoff-cap-ms C]\n\
+         \x20                  [--resume]"
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut worker_id: Option<u32> = None;
+    let mut endpoint: Option<Endpoint> = None;
+    let mut max_attempts = 10u32;
+    let mut backoff_base_ms = 50u64;
+    let mut backoff_cap_ms = 2_000u64;
+    let mut resume = false;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        let parsed: Result<(), String> = (|| {
+            match flag.as_str() {
+                "--worker-id" => {
+                    worker_id = Some(
+                        value("--worker-id")?.parse().map_err(|_| "bad --worker-id".to_string())?,
+                    );
+                }
+                "--socket" => endpoint = Some(Endpoint::Unix(value("--socket")?.clone())),
+                "--tcp" => endpoint = Some(Endpoint::Tcp(value("--tcp")?.clone())),
+                "--max-attempts" => {
+                    max_attempts = value("--max-attempts")?
+                        .parse()
+                        .map_err(|_| "bad --max-attempts".to_string())?;
+                }
+                "--backoff-base-ms" => {
+                    backoff_base_ms = value("--backoff-base-ms")?
+                        .parse()
+                        .map_err(|_| "bad --backoff-base-ms".to_string())?;
+                }
+                "--backoff-cap-ms" => {
+                    backoff_cap_ms = value("--backoff-cap-ms")?
+                        .parse()
+                        .map_err(|_| "bad --backoff-cap-ms".to_string())?;
+                }
+                // Set by a supervising learner on respawn: introduce
+                // ourselves with `resume: true` so the learner re-admits
+                // from its last snapshot for this id.
+                "--resume" => resume = true,
+                "--help" | "-h" => return Err("help".into()),
+                v => return Err(format!("unknown flag {v}")),
+            }
+            Ok(())
+        })();
+        if let Err(msg) = parsed {
+            if msg != "help" {
+                eprintln!("error: {msg}\n");
+            }
+            usage();
+            return if msg == "help" { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        }
+    }
+    let (Some(worker_id), Some(endpoint)) = (worker_id, endpoint) else {
+        eprintln!("error: --worker-id and one of --socket/--tcp are required\n");
+        usage();
+        return ExitCode::FAILURE;
+    };
+
+    let connect = || -> Result<Box<dyn Transport>, DistError> {
+        Ok(match &endpoint {
+            Endpoint::Unix(path) => {
+                Box::new(StreamTransport::unix(std::os::unix::net::UnixStream::connect(path)?))
+            }
+            Endpoint::Tcp(addr) => {
+                Box::new(StreamTransport::tcp(std::net::TcpStream::connect(addr.as_str())?))
+            }
+        })
+    };
+    #[cfg(feature = "failpoints")]
+    arm_failpoints_from_env();
+
+    // Jitter seeded by the worker id: retries of a restarted fleet are
+    // reproducible and decorrelated across workers.
+    let mut backoff = Backoff::new(
+        Duration::from_millis(backoff_base_ms),
+        Duration::from_millis(backoff_cap_ms),
+        worker_id as u64,
+    );
+    match run_worker_from(worker_id, connect, &mut backoff, max_attempts, resume) {
+        Ok(outcome) => {
+            eprintln!("worker {worker_id}: done ({outcome:?})");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("worker {worker_id}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -17,7 +17,10 @@
 //! * [`obs`] — runtime telemetry: zero-allocation span tracing, the
 //!   metrics registry with JSONL/Prometheus exporters, and the live
 //!   `perf_event` counter backend;
-//! * [`algo`] — MADDPG / MATD3 / PER-MADDPG trainers.
+//! * [`algo`] — MADDPG / MATD3 / PER-MADDPG trainers;
+//! * [`dist`] — the fault-tolerant distributed actor–learner runtime
+//!   (CRC-framed transports, heartbeat supervision, quarantine,
+//!   reconnect with backoff, worker-process restart).
 //!
 //! See `examples/` for runnable entry points and `crates/bench` for the
 //! binaries that regenerate every table and figure of the paper.
@@ -41,6 +44,7 @@
 
 pub use marl_algo as algo;
 pub use marl_core as core;
+pub use marl_dist as dist;
 pub use marl_env as env;
 pub use marl_nn as nn;
 pub use marl_obs as obs;

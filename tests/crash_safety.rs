@@ -9,8 +9,19 @@ use marl_repro::algo::{Algorithm, Task, TrainConfig, TrainError, Trainer};
 use marl_repro::core::SamplerConfig;
 use proptest::prelude::*;
 use std::path::PathBuf;
+use std::sync::Mutex;
 
 mod common;
+
+/// Serializes the tests that run trainer updates: with `--features
+/// failpoints` an armed `update::tds` site is process-global, and a
+/// concurrent unrelated update would consume the fault meant for the
+/// divergence-rollback test.
+static UPDATES: Mutex<()> = Mutex::new(());
+
+fn updates_lock() -> std::sync::MutexGuard<'static, ()> {
+    UPDATES.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn tmp_path(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("marl_crash_safety_{}", std::process::id()));
@@ -35,6 +46,7 @@ fn weights_json(t: &Trainer) -> String {
 /// prioritized sampler.
 #[test]
 fn resume_from_file_is_bitwise_identical() {
+    let _guard = updates_lock();
     for (algorithm, sampler, tag) in [
         (Algorithm::Maddpg, SamplerConfig::Uniform, "maddpg_uniform"),
         (Algorithm::Maddpg, SamplerConfig::IpLocality, "maddpg_ip"),
@@ -150,6 +162,51 @@ fn double_corruption_yields_structured_error() {
 fn missing_file_is_an_error_not_a_panic() {
     let err = load_checkpoint_with_fallback(&tmp_path("never_written.bin")).unwrap_err();
     assert!(matches!(err, TrainError::Checkpoint(_)));
+}
+
+/// Sentinel × rotation interplay: a divergence rollback in a freshly
+/// resumed process (no in-memory good state yet) must read the on-disk
+/// checkpoint — and when the live file is corrupt, fall back to `.prev`
+/// and recover *exactly*: the finished run is bitwise identical to one
+/// that never diverged.
+#[cfg(feature = "failpoints")]
+#[test]
+fn divergence_rollback_with_corrupt_live_checkpoint_recovers_via_prev() {
+    use marl_repro::algo::failpoint::{self, Fault};
+    let _guard = updates_lock();
+    failpoint::clear();
+
+    let cfg = config(Algorithm::Maddpg, SamplerConfig::Uniform);
+    let mut straight = Trainer::new(cfg).unwrap();
+    let full = straight.train().unwrap();
+
+    // A prior process leaves a rotated pair behind: episode-2 state in
+    // `.prev`, episode-4 state live.
+    let path = tmp_path("diverge_prev.bin");
+    let mut prior = Trainer::new(cfg.with_episodes(4).with_checkpoint_every(2)).unwrap();
+    prior.train_with_autosave(Some(&path)).unwrap();
+    assert!(PathBuf::from(format!("{}.prev", path.display())).exists());
+
+    // The live file is corrupt (bit flip mid-file), caught only on load.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x08;
+    std::fs::write(&path, &bytes).unwrap();
+
+    // The "resumed" process: warmup 64 at 25 steps/episode puts the first
+    // update in episode 3, before the first autosave at episode 5 — so at
+    // divergence time there is no in-memory last-good state and the
+    // rollback must go through the on-disk fallback chain.
+    let mut resumed = Trainer::new(cfg.with_checkpoint_every(5)).unwrap();
+    failpoint::arm("update::tds", Fault::Nan);
+    let report = resumed.train_with_autosave(Some(&path)).unwrap();
+    assert!(
+        failpoint::take("update::tds").is_none(),
+        "the injected divergence must actually have fired"
+    );
+
+    assert_eq!(report.curve.values(), full.curve.values(), "recovery must be exact");
+    assert_eq!(weights_json(&resumed), weights_json(&straight), "weights must match bitwise");
 }
 
 fn small_checkpoint_bytes() -> Vec<u8> {

@@ -12,9 +12,15 @@ use marl_repro::algo::{
     checkpoint::{load_checkpoint_with_fallback, write_checkpoint_file},
     Algorithm, Task, TrainConfig, TrainError, Trainer,
 };
+use marl_repro::core::transition::Transition;
 use marl_repro::core::SamplerConfig;
+use marl_repro::dist::wire::{EpisodeEnd, Heartbeat, Hello, Msg, Steps};
+use marl_repro::dist::{
+    loopback_pair, Acceptor, DistError, Learner, LearnerOptions, StreamTransport, Transport,
+};
 use std::path::PathBuf;
 use std::sync::Mutex;
+use std::time::Duration;
 
 mod common;
 
@@ -202,6 +208,207 @@ fn injected_io_error_fails_the_write_cleanly() {
     // The previous good file is still live and loadable.
     let (_, _, from_prev) = load_checkpoint_with_fallback(&path).unwrap();
     assert!(!from_prev);
+    drop(guard);
+}
+
+// ---------------------------------------------------------------------
+// Transport failpoint sites (`transport::send` / `transport::recv`)
+// ---------------------------------------------------------------------
+
+fn hb(seq: u64) -> Msg {
+    Msg::Heartbeat(Heartbeat { worker_id: 9, seq, env_steps: 0 })
+}
+
+/// A bit flipped in a frame payload while in flight is caught by the
+/// CRC-32 check on decode — and on the loopback (whole frames, never
+/// resynced mid-stream) the *next* frame still decodes cleanly.
+#[test]
+fn transport_payload_bitflip_is_caught_by_crc() {
+    let guard = locked();
+    let (mut a, mut b) = loopback_pair(4, Duration::from_millis(100));
+    // Bit 300 = byte 37: past the 16-byte header, inside the payload.
+    failpoint::arm("transport::send", Fault::BitFlip(300));
+    a.send(&hb(1)).unwrap();
+    let err = b.recv_timeout(Duration::from_millis(100)).unwrap_err();
+    assert!(matches!(err, DistError::CrcMismatch { .. }), "{err}");
+    assert!(err.is_quarantine(), "corruption must be a quarantine, not a disconnect");
+    a.send(&hb(2)).unwrap();
+    let next = b.recv_timeout(Duration::from_millis(100)).unwrap();
+    assert!(matches!(next, Msg::Heartbeat(h) if h.seq == 2), "stream must stay framed");
+    drop(guard);
+}
+
+/// A bit flipped inside the header's magic is a typed `BadMagic`, not a
+/// panic or a silent mis-parse.
+#[test]
+fn transport_header_bitflip_is_bad_magic() {
+    let guard = locked();
+    let (mut a, mut b) = loopback_pair(4, Duration::from_millis(100));
+    failpoint::arm("transport::send", Fault::BitFlip(2));
+    a.send(&hb(1)).unwrap();
+    let err = b.recv_timeout(Duration::from_millis(100)).unwrap_err();
+    assert!(matches!(err, DistError::BadMagic { .. }), "{err}");
+    assert!(err.is_quarantine());
+    drop(guard);
+}
+
+/// Truncation injected at the send site — both inside the header and
+/// inside the payload — surfaces as the typed `Truncated` error.
+#[test]
+fn transport_truncation_is_detected() {
+    let guard = locked();
+    for cut in [10usize, 40] {
+        let (mut a, mut b) = loopback_pair(4, Duration::from_millis(100));
+        failpoint::arm("transport::send", Fault::Truncate(cut));
+        a.send(&hb(1)).unwrap();
+        let err = b.recv_timeout(Duration::from_millis(100)).unwrap_err();
+        assert!(matches!(err, DistError::Truncated { .. }), "cut {cut}: {err}");
+        assert!(err.is_quarantine());
+    }
+    drop(guard);
+}
+
+/// A torn write on a real socket (frame cut short, then the peer dies):
+/// the receiver reads the committed header, sees the stream end before
+/// the declared length, and reports `Truncated` — connection-fatal on a
+/// byte stream, triggering the worker's reconnect path.
+#[test]
+fn transport_torn_write_on_socket_is_truncated() {
+    let guard = locked();
+    let (sa, sb) = std::os::unix::net::UnixStream::pair().expect("socketpair");
+    let mut a = StreamTransport::unix(sa);
+    let mut b = StreamTransport::unix(sb);
+    failpoint::arm("transport::send", Fault::Truncate(20));
+    a.send(&hb(1)).unwrap();
+    drop(a); // the peer dies mid-frame
+    let err = b.recv_timeout(Duration::from_millis(200)).unwrap_err();
+    assert!(matches!(err, DistError::Truncated { .. }), "{err}");
+    drop(guard);
+}
+
+/// A delayed write (stalled transport) injected at either site slows the
+/// exchange down but corrupts nothing: the frame arrives intact after the
+/// injected stall.
+#[test]
+fn transport_delay_is_survived_intact() {
+    let guard = locked();
+    let (mut a, mut b) = loopback_pair(4, Duration::from_secs(1));
+    failpoint::arm("transport::send", Fault::Delay(60));
+    let t0 = std::time::Instant::now();
+    a.send(&hb(5)).unwrap();
+    let msg = b.recv_timeout(Duration::from_secs(1)).unwrap();
+    assert!(t0.elapsed() >= Duration::from_millis(60), "send must have stalled");
+    assert!(matches!(msg, Msg::Heartbeat(h) if h.seq == 5));
+
+    let (sa, sb) = std::os::unix::net::UnixStream::pair().expect("socketpair");
+    let mut sa = StreamTransport::unix(sa);
+    let mut sb = StreamTransport::unix(sb);
+    failpoint::arm("transport::recv", Fault::Delay(40));
+    sa.send(&hb(6)).unwrap();
+    let t0 = std::time::Instant::now();
+    let msg = sb.recv_timeout(Duration::from_secs(1)).unwrap();
+    assert!(t0.elapsed() >= Duration::from_millis(40), "recv must have stalled");
+    assert!(matches!(msg, Msg::Heartbeat(h) if h.seq == 6));
+    drop(guard);
+}
+
+struct NoNewConns;
+
+impl Acceptor for NoNewConns {
+    fn try_accept(&mut self) -> Result<Option<Box<dyn Transport>>, DistError> {
+        Ok(None)
+    }
+}
+
+/// One zeroed joint step with the environment's exact observation
+/// dimensions.
+fn zero_joint_step() -> Vec<Transition> {
+    let env = marl_repro::env::predator_prey(3, 25, 0);
+    env.observation_spaces()
+        .iter()
+        .map(|s| Transition {
+            obs: vec![0.0; s.dim],
+            action: {
+                let mut a = vec![0.0; 5];
+                a[0] = 1.0;
+                a
+            },
+            reward: 0.0,
+            next_obs: vec![0.0; s.dim],
+            done: 0.0,
+        })
+        .collect()
+}
+
+/// End to end: a corrupt `Steps` frame reaching a *serving learner* is
+/// quarantined — counted against the sending worker, never ingested into
+/// the replay store — and the run still completes.
+#[test]
+fn learner_quarantines_corrupt_steps_frame() {
+    let guard = locked();
+    let mut cfg = common::seeded_config(
+        Algorithm::Maddpg,
+        Task::PredatorPrey,
+        3,
+        SamplerConfig::Uniform,
+        1,
+        32,
+        1024,
+        91,
+    );
+    cfg.update_every = 10;
+    let opts = LearnerOptions { recv_timeout: Duration::from_millis(5), ..Default::default() };
+    let mut learner = Learner::new(cfg, opts).expect("learner builds");
+
+    let (mut me, learner_end) = loopback_pair(64, Duration::from_secs(5));
+    let speaker = std::thread::spawn(move || {
+        me.send(&Msg::Hello(Hello { worker_id: 5, resume: false })).unwrap();
+        let welcome = me.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert!(matches!(welcome, Msg::Welcome(_)));
+        // The learner sends nothing between the Welcome and the first
+        // update, so this frame is deterministically the one corrupted.
+        failpoint::arm("transport::send", Fault::BitFlip(777));
+        me.send(&Msg::Steps(Steps {
+            worker_id: 5,
+            epoch: 0,
+            seq: 1,
+            steps: vec![zero_joint_step()],
+            rng: None,
+            sync: false,
+        }))
+        .unwrap();
+        me.send(&Msg::EpisodeEnd(EpisodeEnd {
+            worker_id: 5,
+            mean_reward: 0.0,
+            master_rng: [1, 2, 3, 4],
+            env_rng: [5, 6, 7, 8],
+            env_steps: 1,
+            samples_since_update: 0,
+        }))
+        .unwrap();
+        loop {
+            match me.recv_timeout(Duration::from_secs(10)) {
+                Ok(Msg::Bye(_)) | Err(DistError::Disconnected) => break,
+                Ok(_) => {}
+                Err(DistError::Timeout { .. }) => {}
+                Err(e) => panic!("speaker transport failed: {e}"),
+            }
+        }
+    });
+
+    learner
+        .serve_free(vec![Box::new(learner_end)], &mut NoNewConns, None)
+        .expect("serve completes despite the corrupt frame");
+    speaker.join().unwrap();
+
+    assert_eq!(learner.supervisor().total_quarantined(), 1);
+    assert_eq!(
+        learner.supervisor().worker(5).expect("worker known").quarantined,
+        1,
+        "quarantine attributed to the sending worker"
+    );
+    assert_eq!(learner.trainer().replay_len(), 0, "corrupt steps must never be ingested");
+    assert_eq!(learner.episodes_recorded(), 1, "the run still completed");
     drop(guard);
 }
 
