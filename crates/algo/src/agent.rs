@@ -121,13 +121,9 @@ impl AgentNets {
                 *x = (*x + marl_nn::rng::standard_gumbel(&mut rngs[w])) / temperature;
             }
             marl_nn::activation::softmax_inplace(sample_row);
-            let row = sample_row.row(0);
-            let mut best = 0;
-            for (i, &v) in row.iter().enumerate() {
-                if v > row[best] {
-                    best = i;
-                }
-            }
+            let mut best = [0usize];
+            sample_row.argmax_rows(&mut best);
+            let best = best[0];
             indices[w] = best;
             let out = onehot.row_mut(w);
             out.fill(0.0);
@@ -138,14 +134,30 @@ impl AgentNets {
     /// Greedy action (arg-max logits) for evaluation.
     pub fn act_greedy(&self, obs: &[f32]) -> usize {
         let logits = self.actor.forward_inference(&Matrix::row_vector(obs));
-        let row = logits.row(0);
-        let mut best = 0;
-        for (i, &v) in row.iter().enumerate() {
-            if v > row[best] {
-                best = i;
-            }
-        }
-        best
+        let mut best = [0usize];
+        logits.argmax_rows(&mut best);
+        best[0]
+    }
+
+    /// Batched greedy actions: one inference pass over `obs` (row `r` =
+    /// one observation), arg-max per row into `indices[r]`.
+    ///
+    /// Because [`Mlp::forward_inference_into`] is row-independent, row
+    /// `r` of the batched logits is bitwise-identical to the 1-row
+    /// inference [`AgentNets::act_greedy`] runs — the serve-path
+    /// batched==serial equivalence gate rests on this. `logits` and
+    /// `scratch` are reusable working storage (allocation-free once
+    /// warmed).
+    pub fn act_greedy_batch(
+        &self,
+        obs: &Matrix,
+        logits: &mut Matrix,
+        scratch: &mut marl_nn::scratch::Scratch,
+        indices: &mut [usize],
+    ) {
+        assert_eq!(indices.len(), obs.rows(), "one action index per observation row");
+        self.actor.forward_inference_into(obs, logits, scratch);
+        logits.argmax_rows(indices);
     }
 
     /// Target-policy relaxed actions for a batch of next observations.
@@ -318,6 +330,31 @@ mod tests {
                 assert_eq!(onehot.row(w), hot.as_slice(), "worlds={worlds} w={w}");
                 // Both paths must consume identical RNG draws.
                 assert_eq!(rngs[w].state(), scalar_rngs[w].state(), "worlds={worlds} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_greedy_matches_scalar_per_row_bitwise() {
+        let a = nets(false);
+        for batch in [1usize, 4, 32] {
+            let mut obs = Matrix::zeros(batch, 16);
+            for r in 0..batch {
+                for (c, x) in obs.row_mut(r).iter_mut().enumerate() {
+                    *x = ((r * 31 + c * 7) % 13) as f32 * 0.11 - 0.6;
+                }
+            }
+            let mut logits = Matrix::default();
+            let mut scratch = marl_nn::scratch::Scratch::new();
+            let mut indices = vec![0usize; batch];
+            a.act_greedy_batch(&obs, &mut logits, &mut scratch, &mut indices);
+            for (r, &idx) in indices.iter().enumerate() {
+                assert_eq!(idx, a.act_greedy(obs.row(r)), "batch={batch} r={r}");
+                // The logits themselves must match the 1-row pass bitwise,
+                // not just the arg-max — the serve equivalence gate
+                // compares full logit vectors.
+                let solo = a.actor.forward_inference(&Matrix::row_vector(obs.row(r)));
+                assert_eq!(logits.row(r), solo.row(0), "batch={batch} r={r}");
             }
         }
     }

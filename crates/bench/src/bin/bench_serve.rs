@@ -1,0 +1,417 @@
+//! `bench_serve` — open-loop Poisson load generator for the inference
+//! server (`BENCH_pr8.json`).
+//!
+//! Self-hosted mode (default): builds a small checkpoint in-process,
+//! starts a serve runtime on a temp Unix socket, and sweeps offered
+//! Poisson loads twice — once with adaptive micro-batching and once
+//! pinned to batch-size 1 — reporting achieved throughput and exact
+//! p50/p99/max response latency per point, plus the mean batch occupancy
+//! the server observed. Open loop: every connection's sender fires at
+//! its scheduled arrival instants regardless of outstanding responses,
+//! so queueing delay shows up in the latency distribution instead of
+//! silently throttling the offered load (closed-loop coordination
+//! omission).
+//!
+//! The gated top-level `serve_p99_ns` is the **batched p99 at the
+//! lightest offered load** — a stable latency signature of the request
+//! path, not of queueing at saturation.
+//!
+//! Environment knobs: `MARL_SERVE_LOADS` (offered req/s sweep, default
+//! `2000,20000,120000`), `MARL_SERVE_DURATION_MS` (per point, default
+//! 1500), `MARL_SERVE_CONNS` (connections, default 4), `MARL_BENCH_OUT`
+//! (default `BENCH_pr8.json`); `--append` records the summary into
+//! `BENCH_history.jsonl`.
+//!
+//! Client mode (CI): `--connect PATH` / `--connect-tcp ADDR` drives one
+//! load point against an external `marl-serve` (`--rps`, `--duration-ms`,
+//! `--connections`), prints the measured point, and with `--shutdown`
+//! sends the control frame that makes the server drain and exit.
+
+use marl_algo::{Algorithm, Task, TrainConfig, Trainer};
+use marl_bench::env_usize;
+use marl_dist::wire::{self, KIND_INFER_RESP};
+use marl_dist::StreamTransport;
+use marl_obs::metrics::MetricsRegistry;
+use marl_serve::{proto, PolicyModel, ServeConfig, ServeListener, Server};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One measured load point.
+#[derive(Debug, Clone, Serialize)]
+struct LoadPoint {
+    offered_rps: u64,
+    achieved_rps: f64,
+    completed: u64,
+    p50_ns: u64,
+    p99_ns: u64,
+    max_ns: u64,
+    /// Mean requests per inference batch the server observed
+    /// (self-hosted runs only; 0 when driving an external server).
+    mean_batch_fill: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct SweepPoint {
+    offered_rps: u64,
+    batched: LoadPoint,
+    unbatched: LoadPoint,
+}
+
+#[derive(Debug, Serialize)]
+struct Summary {
+    connections: usize,
+    duration_ms: u64,
+    max_batch: usize,
+    max_delay_us: u64,
+    loads: Vec<SweepPoint>,
+    /// Batched vs batch-size-1 throughput at the heaviest offered load.
+    batched_speedup_at_saturation: f64,
+    /// Batched p50 at the lightest offered load.
+    serve_p50_ns: u64,
+    /// Batched p99 at the lightest offered load (regression-gated).
+    serve_p99_ns: u64,
+    /// Batched max at the lightest offered load.
+    serve_max_ns: u64,
+}
+
+fn tiny_model() -> PolicyModel {
+    let config = TrainConfig::paper_defaults(Algorithm::Maddpg, Task::PredatorPrey, 3).with_seed(2);
+    let trainer = Trainer::new(config).expect("trainer");
+    PolicyModel::from_checkpoint(&trainer.checkpoint(), 0)
+}
+
+fn connect_unix(path: &PathBuf) -> StreamTransport {
+    for _ in 0..200 {
+        if let Ok(s) = std::os::unix::net::UnixStream::connect(path) {
+            return StreamTransport::unix(s).with_frame_deadline(Duration::from_secs(5));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("server never came up on {}", path.display());
+}
+
+fn connect_tcp(addr: &str) -> StreamTransport {
+    for _ in 0..200 {
+        if let Ok(s) = std::net::TcpStream::connect(addr) {
+            return StreamTransport::tcp(s).with_frame_deadline(Duration::from_secs(5));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("server never came up on {addr}");
+}
+
+/// Sleeps coarsely, then spins the final stretch (arrival schedules are
+/// hundreds of µs apart; `thread::sleep` alone overshoots by more).
+fn wait_until(t: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= t {
+            return;
+        }
+        let gap = t - now;
+        if gap > Duration::from_micros(400) {
+            std::thread::sleep(gap - Duration::from_micros(300));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Drives one open-loop load point over `conns` connections and returns
+/// the measured point (latency percentiles are exact, from the full
+/// sorted sample).
+fn drive_load(
+    connect: &dyn Fn() -> StreamTransport,
+    model_dims: &[(u32, usize)], // (agent, obs_dim) round-robin targets
+    offered_rps: u64,
+    conns: usize,
+    duration: Duration,
+) -> LoadPoint {
+    let per_conn_rate = offered_rps as f64 / conns as f64;
+    let start = Instant::now();
+    let workers: Vec<_> = (0..conns)
+        .map(|conn_idx| {
+            let recv_half = connect();
+            let send_half = recv_half.try_clone().expect("clone transport");
+            let sent_times: Arc<Mutex<Vec<Instant>>> = Arc::new(Mutex::new(Vec::new()));
+            let sent_count = Arc::new(AtomicU64::new(0));
+            let sender_done = Arc::new(AtomicBool::new(false));
+            let dims: Vec<(u32, usize)> = model_dims.to_vec();
+
+            let sender = {
+                let sent_times = Arc::clone(&sent_times);
+                let sent_count = Arc::clone(&sent_count);
+                let sender_done = Arc::clone(&sender_done);
+                std::thread::spawn(move || {
+                    let mut transport = send_half;
+                    let mut rng = StdRng::seed_from_u64(41 + conn_idx as u64);
+                    let mut frame = Vec::new();
+                    let end = start + duration;
+                    let mut next = start;
+                    let mut seq = 0u64;
+                    // Reusable observations, one per target agent.
+                    let obs: Vec<Vec<f32>> = dims
+                        .iter()
+                        .map(|&(_, d)| (0..d).map(|c| c as f32 * 0.07 - 0.3).collect())
+                        .collect();
+                    loop {
+                        // Exponential inter-arrival: open-loop Poisson.
+                        let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+                        next += Duration::from_secs_f64(-u.ln() / per_conn_rate);
+                        if next >= end {
+                            break;
+                        }
+                        wait_until(next);
+                        let (agent, _) = dims[(seq as usize) % dims.len()];
+                        let req_id = ((conn_idx as u64) << 32) | seq;
+                        proto::encode_request(
+                            req_id,
+                            agent,
+                            &obs[(seq as usize) % dims.len()],
+                            &mut frame,
+                        );
+                        sent_times.lock().expect("times").push(Instant::now());
+                        if transport.send_raw(&frame).is_err() {
+                            break;
+                        }
+                        seq += 1;
+                        sent_count.store(seq, Ordering::Release);
+                    }
+                    sender_done.store(true, Ordering::Release);
+                })
+            };
+
+            let receiver = {
+                let sent_times = Arc::clone(&sent_times);
+                let sent_count = Arc::clone(&sent_count);
+                let sender_done = Arc::clone(&sender_done);
+                std::thread::spawn(move || {
+                    let mut transport = recv_half;
+                    let mut frame = Vec::new();
+                    let mut logits = Vec::new();
+                    let mut latencies: Vec<u64> = Vec::new();
+                    loop {
+                        let done = sender_done.load(Ordering::Acquire)
+                            && latencies.len() as u64 >= sent_count.load(Ordering::Acquire);
+                        if done {
+                            break;
+                        }
+                        let kind =
+                            match transport.recv_raw_into(&mut frame, Duration::from_millis(200)) {
+                                Ok(kind) => kind,
+                                Err(marl_dist::DistError::Timeout { .. }) => continue,
+                                Err(_) => break,
+                            };
+                        let received = Instant::now();
+                        if kind != KIND_INFER_RESP {
+                            continue; // error frames are not latency samples
+                        }
+                        let resp =
+                            proto::decode_response_into(&frame[wire::HEADER_LEN..], &mut logits)
+                                .expect("decodes");
+                        let seq = (resp.req_id & 0xffff_ffff) as usize;
+                        let sent_at = sent_times.lock().expect("times")[seq];
+                        latencies.push((received - sent_at).as_nanos() as u64);
+                    }
+                    latencies
+                })
+            };
+            (sender, receiver)
+        })
+        .collect();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    for (sender, receiver) in workers {
+        sender.join().expect("sender thread");
+        latencies.extend(receiver.join().expect("receiver thread"));
+    }
+    let elapsed = start.elapsed();
+    latencies.sort_unstable();
+    let completed = latencies.len() as u64;
+    let at = |q: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        latencies[((latencies.len() - 1) as f64 * q) as usize]
+    };
+    LoadPoint {
+        offered_rps,
+        achieved_rps: completed as f64 / elapsed.as_secs_f64(),
+        completed,
+        p50_ns: at(0.50),
+        p99_ns: at(0.99),
+        max_ns: latencies.last().copied().unwrap_or(0),
+        mean_batch_fill: 0.0,
+    }
+}
+
+/// One self-hosted point: fresh server, one load, clean shutdown.
+fn self_hosted_point(
+    offered_rps: u64,
+    conns: usize,
+    duration: Duration,
+    serve_config: ServeConfig,
+    tag: &str,
+) -> LoadPoint {
+    let model = tiny_model();
+    let dims: Vec<(u32, usize)> =
+        (0..model.num_agents()).map(|a| (a as u32, model.obs_dim(a))).collect();
+    let path = std::env::temp_dir()
+        .join(format!("marl-bench-serve-{tag}-{offered_rps}-{}.sock", std::process::id()));
+    let listener = ServeListener::unix(&path).expect("bind");
+    let metrics = Arc::new(MetricsRegistry::new());
+    let server = Server::start(listener, model, serve_config, Arc::clone(&metrics), None);
+
+    let mut point = drive_load(&|| connect_unix(&path), &dims, offered_rps, conns, duration);
+
+    server.shutdown();
+    server.wait();
+    let _ = std::fs::remove_file(&path);
+    let fill = &metrics.serve_batch_fill;
+    point.mean_batch_fill =
+        if fill.count() > 0 { fill.sum() as f64 / fill.count() as f64 } else { 0.0 };
+    point
+}
+
+fn history_path() -> std::path::PathBuf {
+    std::env::var("MARL_BENCH_HISTORY").unwrap_or_else(|_| "BENCH_history.jsonl".to_string()).into()
+}
+
+fn env_loads() -> Vec<u64> {
+    match std::env::var("MARL_SERVE_LOADS") {
+        Ok(v) => v.split(',').filter_map(|s| s.trim().parse().ok()).collect(),
+        Err(_) => vec![2_000, 20_000, 120_000],
+    }
+}
+
+fn print_point(label: &str, p: &LoadPoint) {
+    println!(
+        "{label:>10} @ {:>6} req/s offered: {:>9.0} req/s achieved | p50 {:>9} ns | p99 {:>9} ns \
+         | max {:>10} ns | fill {:.1}",
+        p.offered_rps, p.achieved_rps, p.p50_ns, p.p99_ns, p.max_ns, p.mean_batch_fill
+    );
+}
+
+fn client_mode(args: &[String]) {
+    let mut connect_path: Option<PathBuf> = None;
+    let mut connect_addr: Option<String> = None;
+    let mut rps = 2_000u64;
+    let mut duration_ms = 1_000u64;
+    let mut conns = 2usize;
+    let mut shutdown = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match flag.as_str() {
+            "--connect" => connect_path = Some(value("--connect").into()),
+            "--connect-tcp" => connect_addr = Some(value("--connect-tcp").clone()),
+            "--rps" => rps = value("--rps").parse().expect("--rps number"),
+            "--duration-ms" => {
+                duration_ms = value("--duration-ms").parse().expect("--duration-ms number");
+            }
+            "--connections" => conns = value("--connections").parse().expect("--connections"),
+            "--shutdown" => shutdown = true,
+            other => panic!("unknown flag {other} in client mode"),
+        }
+    }
+    let connect: Box<dyn Fn() -> StreamTransport> = match (&connect_path, &connect_addr) {
+        (Some(p), _) => {
+            let p = p.clone();
+            Box::new(move || connect_unix(&p))
+        }
+        (None, Some(a)) => {
+            let a = a.clone();
+            Box::new(move || connect_tcp(a.as_str()))
+        }
+        (None, None) => unreachable!("client_mode requires --connect/--connect-tcp"),
+    };
+    // The external server's agent topology: the paper-default 3-agent
+    // predator-prey checkpoint every CI recipe serves.
+    let model = tiny_model();
+    let dims: Vec<(u32, usize)> =
+        (0..model.num_agents()).map(|a| (a as u32, model.obs_dim(a))).collect();
+    let point = drive_load(connect.as_ref(), &dims, rps, conns, Duration::from_millis(duration_ms));
+    print_point("external", &point);
+    assert!(point.completed > 0, "no responses received from external server");
+    if shutdown {
+        let mut conn = connect();
+        let mut frame = Vec::new();
+        proto::encode_ctl(proto::CTL_SHUTDOWN, &mut frame);
+        conn.send_raw(&frame).expect("send shutdown");
+        println!("sent CTL_SHUTDOWN");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--connect" || a == "--connect-tcp") {
+        client_mode(&args);
+        return;
+    }
+    let append = args.iter().any(|a| a == "--append");
+    let loads = env_loads();
+    let conns = env_usize("MARL_SERVE_CONNS", 4);
+    let duration = Duration::from_millis(env_usize("MARL_SERVE_DURATION_MS", 1500) as u64);
+    let out_path = std::env::var("MARL_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr8.json".to_string());
+    let max_batch = env_usize("MARL_SERVE_MAX_BATCH", 32);
+    let max_delay_us = env_usize("MARL_SERVE_MAX_DELAY_US", 200) as u64;
+
+    println!(
+        "== bench_serve: open-loop Poisson load, {conns} connections, {} ms per point ==\n",
+        duration.as_millis()
+    );
+    let batched_config =
+        ServeConfig { max_batch, max_delay_us, queue_capacity: 4096, ..ServeConfig::default() };
+    let unbatched_config = ServeConfig {
+        max_batch: 1,
+        max_delay_us: 0,
+        queue_capacity: 4096,
+        ..ServeConfig::default()
+    };
+
+    let mut sweep = Vec::new();
+    for &offered in &loads {
+        let batched =
+            self_hosted_point(offered, conns, duration, batched_config.clone(), "batched");
+        print_point("batched", &batched);
+        let unbatched =
+            self_hosted_point(offered, conns, duration, unbatched_config.clone(), "unbatched");
+        print_point("unbatched", &unbatched);
+        sweep.push(SweepPoint { offered_rps: offered, batched, unbatched });
+    }
+
+    let lightest = sweep[0].batched.clone();
+    let saturated = sweep.last().expect("at least one load");
+    let (sat_offered, sat_batched, sat_unbatched) =
+        (saturated.offered_rps, saturated.batched.achieved_rps, saturated.unbatched.achieved_rps);
+    let summary = Summary {
+        connections: conns,
+        duration_ms: duration.as_millis() as u64,
+        max_batch,
+        max_delay_us,
+        batched_speedup_at_saturation: sat_batched / sat_unbatched.max(1.0),
+        serve_p50_ns: lightest.p50_ns,
+        serve_p99_ns: lightest.p99_ns,
+        serve_max_ns: lightest.max_ns,
+        loads: sweep,
+    };
+    println!(
+        "\nsaturation ({sat_offered} req/s offered): batched {sat_batched:.0} req/s vs \
+         unbatched {sat_unbatched:.0} req/s ({:.2}x) | gated p99 {} ns",
+        summary.batched_speedup_at_saturation, summary.serve_p99_ns
+    );
+
+    let json = serde_json::to_string(&summary).expect("summary serializes");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write bench summary");
+    println!("wrote {out_path}");
+    if append {
+        marl_bench::append_history(&history_path(), &marl_bench::history_id(&out_path), &json)
+            .expect("append history");
+        println!("appended to {}", history_path().display());
+    }
+}

@@ -17,6 +17,13 @@
 //! `{"id":..,"bench":..}` line; `--fold FILE` (repeatable) appends
 //! already-recorded `BENCH_*.json` files to the history without
 //! re-benchmarking and exits.
+//!
+//! Regression gate: `--check-history` compares the newest history entry
+//! of each gated metric (update ns/op, episode ns/op, serve p99 ns)
+//! against the previous one and exits nonzero when any got more than
+//! `marl_bench::REGRESSION_GATE_THRESHOLD` slower (override with
+//! `MARL_BENCH_GATE_THRESHOLD`). CI runs this against the committed
+//! history, so a PR that records a slower entry fails its build.
 
 use marl_algo::{Algorithm, Task, TrainConfig, Trainer};
 use marl_bench::env_usize;
@@ -144,6 +151,24 @@ fn main() {
             println!("folded {file} into {}", history_path().display());
         }
         return;
+    }
+    if args.iter().any(|a| a == "--check-history") {
+        let path = history_path();
+        let history = std::fs::read_to_string(&path).expect("readable history file");
+        let threshold = marl_bench::gate_threshold();
+        let regressions = marl_bench::check_history_regressions(&history, threshold);
+        if regressions.is_empty() {
+            println!(
+                "regression gate: OK ({} entries, threshold {:.0} %)",
+                history.lines().filter(|l| !l.trim().is_empty()).count(),
+                threshold * 100.0
+            );
+            return;
+        }
+        for r in &regressions {
+            eprintln!("regression gate: FAIL {r}");
+        }
+        std::process::exit(1);
     }
 
     println!("== bench_summary: scalar vs SIMD kernels ({iters} iters) ==\n");

@@ -93,6 +93,117 @@ pub fn history_id(out_path: &str) -> String {
     stem.strip_prefix("BENCH_").unwrap_or(stem).to_string()
 }
 
+/// Relative slowdown tolerated between the two most recent history
+/// entries of a gated metric before `bench_summary --check-history`
+/// fails (0.15 = 15 %). The single source of truth for the CI gate;
+/// override per-run with `MARL_BENCH_GATE_THRESHOLD`.
+pub const REGRESSION_GATE_THRESHOLD: f64 = 0.15;
+
+/// The gate threshold in force (`MARL_BENCH_GATE_THRESHOLD` override,
+/// else [`REGRESSION_GATE_THRESHOLD`]).
+pub fn gate_threshold() -> f64 {
+    std::env::var("MARL_BENCH_GATE_THRESHOLD")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(REGRESSION_GATE_THRESHOLD)
+}
+
+/// A metric the regression gate tracks across history entries.
+#[derive(Debug, Clone, Copy)]
+pub struct GatedMetric {
+    /// Human-readable name for gate reports.
+    pub name: &'static str,
+    /// Nested key path inside a history line's `bench` payload.
+    pub path: &'static [&'static str],
+}
+
+/// The gated metrics: lower is better for all of them.
+pub const GATED_METRICS: &[GatedMetric] = &[
+    GatedMetric { name: "update ns/op", path: &["update_all_trainers", "simd_ns_per_op"] },
+    GatedMetric { name: "episode ns/op", path: &["end_to_end_episode", "simd_ns_per_op"] },
+    GatedMetric { name: "serve p99 ns", path: &["serve_p99_ns"] },
+];
+
+/// Extracts the number at a nested key `path` from a compact JSON
+/// document by scanning key occurrences left to right. Each benchmark
+/// writes its payload with `serde_json::to_string`, so keys are unique
+/// within their object and unquoted inside values — the full generality
+/// of a JSON tree (which the vendored `serde_json` does not offer) is
+/// not needed here.
+pub fn json_number_at(json: &str, path: &[&str]) -> Option<f64> {
+    let mut rest = json;
+    for key in path {
+        let marker = format!("\"{key}\":");
+        let at = rest.find(&marker)?;
+        rest = &rest[at + marker.len()..];
+    }
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '-' || c == '+' || c == '.' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// One gated metric that got slower than the threshold allows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Which gated metric regressed.
+    pub metric: &'static str,
+    /// History id of the older (reference) entry.
+    pub older_id: String,
+    /// History id of the newer (regressed) entry.
+    pub newer_id: String,
+    /// Older value (ns).
+    pub older: f64,
+    /// Newer value (ns).
+    pub newer: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} -> {}: {:.0} ns -> {:.0} ns (+{:.1} %)",
+            self.metric,
+            self.older_id,
+            self.newer_id,
+            self.older,
+            self.newer,
+            (self.newer / self.older - 1.0) * 100.0
+        )
+    }
+}
+
+/// Checks the newest `BENCH_history.jsonl` entry of every gated metric
+/// against the previous entry carrying that metric, returning the
+/// metrics whose newest value is more than `threshold` slower. Metrics
+/// with fewer than two recorded entries pass vacuously (there is nothing
+/// to regress against); file order is recording order.
+pub fn check_history_regressions(history: &str, threshold: f64) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    for metric in GATED_METRICS {
+        let series: Vec<(String, f64)> = history
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .filter_map(|line| {
+                let id_start = line.find("\"id\":\"")? + 6;
+                let id_end = id_start + line[id_start..].find('"')?;
+                let value = json_number_at(line, metric.path)?;
+                Some((line[id_start..id_end].to_string(), value))
+            })
+            .collect();
+        if series.len() < 2 {
+            continue;
+        }
+        let (older_id, older) = series[series.len() - 2].clone();
+        let (newer_id, newer) = series[series.len() - 1].clone();
+        if newer > older * (1.0 + threshold) {
+            regressions.push(Regression { metric: metric.name, older_id, newer_id, older, newer });
+        }
+    }
+    regressions
+}
+
 /// Whether JSON output was requested (`MARL_JSON=1`).
 pub fn json_requested() -> bool {
     std::env::var("MARL_JSON").map(|v| v == "1").unwrap_or(false)
@@ -424,6 +535,65 @@ mod tests {
         assert_eq!(history_id("BENCH_pr6.json"), "pr6");
         assert_eq!(history_id("results/BENCH_pr3.json"), "pr3");
         assert_eq!(history_id("custom.json"), "custom");
+    }
+
+    #[test]
+    fn json_number_at_walks_nested_paths() {
+        let doc = r#"{"a":{"x":1,"deep":{"v":2.5}},"b":{"v":-3e2},"top":42}"#;
+        assert_eq!(json_number_at(doc, &["a", "deep", "v"]), Some(2.5));
+        assert_eq!(json_number_at(doc, &["b", "v"]), Some(-300.0));
+        assert_eq!(json_number_at(doc, &["top"]), Some(42.0));
+        assert_eq!(json_number_at(doc, &["missing"]), None);
+    }
+
+    fn hist_line(id: &str, update: u64, episode: u64, p99: Option<u64>) -> String {
+        let serve = p99.map(|v| format!(",\"serve_p99_ns\":{v}")).unwrap_or_default();
+        format!(
+            "{{\"id\":\"{id}\",\"bench\":{{\"update_all_trainers\":{{\"simd_ns_per_op\":{update}}},\
+             \"end_to_end_episode\":{{\"simd_ns_per_op\":{episode}}}{serve}}}}}"
+        )
+    }
+
+    #[test]
+    fn regression_gate_compares_newest_two_entries_per_metric() {
+        // pr3 has no serve metric; pr8 introduces it — one entry passes
+        // vacuously. update regresses 20 % (beyond 15 %), episode 10 %
+        // (within threshold).
+        let history =
+            [hist_line("pr3", 1_000, 5_000, None), hist_line("pr8", 1_200, 5_500, Some(900))]
+                .join("\n");
+        let regressions = check_history_regressions(&history, 0.15);
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert_eq!(regressions[0].metric, "update ns/op");
+        assert_eq!(regressions[0].older_id, "pr3");
+        assert_eq!(regressions[0].newer_id, "pr8");
+        // A looser threshold lets the same history pass.
+        assert!(check_history_regressions(&history, 0.25).is_empty());
+    }
+
+    #[test]
+    fn regression_gate_tracks_serve_p99_once_recorded_twice() {
+        let history = [
+            hist_line("pr8", 1_000, 5_000, Some(1_000)),
+            hist_line("pr9", 1_000, 5_000, Some(1_300)),
+        ]
+        .join("\n");
+        let regressions = check_history_regressions(&history, 0.15);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].metric, "serve p99 ns");
+        let msg = regressions[0].to_string();
+        assert!(msg.contains("serve p99 ns") && msg.contains("+30.0 %"), "{msg}");
+    }
+
+    #[test]
+    fn regression_gate_passes_improvements_and_single_entries() {
+        // Faster is never a regression; a single entry has no reference.
+        let history = [hist_line("pr3", 1_000, 5_000, None), hist_line("pr8", 800, 4_000, Some(1))]
+            .join("\n");
+        assert!(check_history_regressions(&history, 0.15).is_empty());
+        assert!(
+            check_history_regressions(hist_line("only", 1, 1, Some(1)).as_str(), 0.15).is_empty()
+        );
     }
 
     #[test]

@@ -190,18 +190,29 @@ impl UnixAcceptor {
         listener.set_nonblocking(true)?;
         Ok(UnixAcceptor(listener))
     }
-}
 
-impl Acceptor for UnixAcceptor {
-    fn try_accept(&mut self) -> Result<Option<Box<dyn Transport>>, DistError> {
+    /// Nonblocking accept returning the concrete [`StreamTransport`]
+    /// (callers that need the raw-frame API — the serve path — cannot
+    /// work through `Box<dyn Transport>`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept failures; `WouldBlock` is `Ok(None)`.
+    pub fn try_accept_stream(&mut self) -> Result<Option<StreamTransport>, DistError> {
         match self.0.accept() {
             Ok((stream, _)) => {
                 stream.set_nonblocking(false)?;
-                Ok(Some(Box::new(StreamTransport::unix(stream))))
+                Ok(Some(StreamTransport::unix(stream)))
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
             Err(e) => Err(e.into()),
         }
+    }
+}
+
+impl Acceptor for UnixAcceptor {
+    fn try_accept(&mut self) -> Result<Option<Box<dyn Transport>>, DistError> {
+        Ok(self.try_accept_stream()?.map(|t| Box::new(t) as Box<dyn Transport>))
     }
 }
 
@@ -229,17 +240,27 @@ impl TcpAcceptor {
     pub fn local_addr(&self) -> Result<std::net::SocketAddr, DistError> {
         Ok(self.0.local_addr()?)
     }
-}
 
-impl Acceptor for TcpAcceptor {
-    fn try_accept(&mut self) -> Result<Option<Box<dyn Transport>>, DistError> {
+    /// Nonblocking accept returning the concrete [`StreamTransport`]
+    /// (the raw-frame counterpart of the [`Acceptor`] impl).
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept failures; `WouldBlock` is `Ok(None)`.
+    pub fn try_accept_stream(&mut self) -> Result<Option<StreamTransport>, DistError> {
         match self.0.accept() {
             Ok((stream, _)) => {
                 stream.set_nonblocking(false)?;
-                Ok(Some(Box::new(StreamTransport::tcp(stream))))
+                Ok(Some(StreamTransport::tcp(stream)))
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
             Err(e) => Err(e.into()),
         }
+    }
+}
+
+impl Acceptor for TcpAcceptor {
+    fn try_accept(&mut self) -> Result<Option<Box<dyn Transport>>, DistError> {
+        Ok(self.try_accept_stream()?.map(|t| Box::new(t) as Box<dyn Transport>))
     }
 }

@@ -166,11 +166,14 @@ impl Transport for LoopbackTransport {
 // Byte-stream transports (Unix socket / TCP)
 // ---------------------------------------------------------------------
 
-/// Once the first byte of a frame has arrived the rest must follow
-/// within this per-`read` deadline — generous, because a multi-megabyte
-/// parameter snapshot can legitimately trickle through small socket
-/// buffers while the peer interleaves its own work.
-const FRAME_DEADLINE: Duration = Duration::from_secs(10);
+/// The underlying OS byte stream of a [`StreamTransport`].
+#[derive(Debug)]
+enum StreamKind {
+    /// Unix domain socket.
+    Unix(UnixStream),
+    /// TCP socket.
+    Tcp(TcpStream),
+}
 
 /// A frame transport over an OS byte stream with deadline-based reads.
 ///
@@ -179,52 +182,89 @@ const FRAME_DEADLINE: Duration = Duration::from_secs(10);
 /// boundary, so callers must treat them as connection-fatal and
 /// reconnect (the worker side does, with backoff).
 #[derive(Debug)]
-pub enum StreamTransport {
-    /// Unix domain socket.
-    Unix(UnixStream),
-    /// TCP socket.
-    Tcp(TcpStream),
+pub struct StreamTransport {
+    stream: StreamKind,
+    frame_deadline: Duration,
 }
 
 impl StreamTransport {
+    /// Once the first byte of a frame has arrived the rest must follow
+    /// within this per-`read` deadline — generous by default, because a
+    /// multi-megabyte parameter snapshot can legitimately trickle
+    /// through small socket buffers while the peer interleaves its own
+    /// work. Latency-sensitive paths (the serve request loop, where a
+    /// frame is a few hundred bytes) should shorten it via
+    /// [`StreamTransport::with_frame_deadline`] so one stalled client
+    /// cannot pin a reader thread for ten seconds.
+    pub const DEFAULT_FRAME_DEADLINE: Duration = Duration::from_secs(10);
+
     /// Wraps a connected Unix socket.
     pub fn unix(stream: UnixStream) -> Self {
-        StreamTransport::Unix(stream)
+        StreamTransport {
+            stream: StreamKind::Unix(stream),
+            frame_deadline: Self::DEFAULT_FRAME_DEADLINE,
+        }
     }
 
     /// Wraps a connected TCP socket (Nagle disabled: frames are latency-
     /// sensitive parameter/step exchanges).
     pub fn tcp(stream: TcpStream) -> Self {
         let _ = stream.set_nodelay(true);
-        StreamTransport::Tcp(stream)
+        StreamTransport {
+            stream: StreamKind::Tcp(stream),
+            frame_deadline: Self::DEFAULT_FRAME_DEADLINE,
+        }
     }
 
-    /// Clones the underlying socket handle (separate reader/writer).
+    /// Builder form of [`StreamTransport::set_frame_deadline`].
+    #[must_use]
+    pub fn with_frame_deadline(mut self, deadline: Duration) -> Self {
+        self.set_frame_deadline(deadline);
+        self
+    }
+
+    /// Sets the mid-frame read deadline for this connection: once a
+    /// frame's first byte has arrived, each subsequent `read` must make
+    /// progress within this budget or the frame is declared
+    /// [`DistError::Truncated`] (connection-fatal).
+    pub fn set_frame_deadline(&mut self, deadline: Duration) {
+        // A zero Duration means "no timeout" to the OS; clamp up instead.
+        self.frame_deadline = deadline.max(Duration::from_millis(1));
+    }
+
+    /// The mid-frame read deadline currently in force.
+    pub fn frame_deadline(&self) -> Duration {
+        self.frame_deadline
+    }
+
+    /// Clones the underlying socket handle (separate reader/writer);
+    /// the clone inherits this connection's frame deadline.
     ///
     /// # Errors
     ///
     /// Propagates the OS `dup` failure.
     pub fn try_clone(&self) -> Result<Self, DistError> {
-        Ok(match self {
-            StreamTransport::Unix(s) => StreamTransport::Unix(s.try_clone()?),
-            StreamTransport::Tcp(s) => StreamTransport::Tcp(s.try_clone()?),
-        })
+        let stream = match &self.stream {
+            StreamKind::Unix(s) => StreamKind::Unix(s.try_clone()?),
+            StreamKind::Tcp(s) => StreamKind::Tcp(s.try_clone()?),
+        };
+        Ok(StreamTransport { stream, frame_deadline: self.frame_deadline })
     }
 
     fn set_read_timeout(&mut self, timeout: Duration) -> Result<(), DistError> {
         // A zero Duration means "no timeout" to the OS; clamp up instead.
         let t = timeout.max(Duration::from_millis(1));
-        match self {
-            StreamTransport::Unix(s) => s.set_read_timeout(Some(t))?,
-            StreamTransport::Tcp(s) => s.set_read_timeout(Some(t))?,
+        match &mut self.stream {
+            StreamKind::Unix(s) => s.set_read_timeout(Some(t))?,
+            StreamKind::Tcp(s) => s.set_read_timeout(Some(t))?,
         }
         Ok(())
     }
 
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        match self {
-            StreamTransport::Unix(s) => s.read(buf),
-            StreamTransport::Tcp(s) => s.read(buf),
+        match &mut self.stream {
+            StreamKind::Unix(s) => s.read(buf),
+            StreamKind::Tcp(s) => s.read(buf),
         }
     }
 
@@ -232,9 +272,9 @@ impl StreamTransport {
     /// `first_timeout`; timing out there is clean (nothing consumed, the
     /// stream stays framed) and surfaces as [`DistError::Timeout`]. Once
     /// any byte has arrived the peer has committed to a frame, so the
-    /// rest is awaited patiently (up to [`FRAME_DEADLINE`] per read) and
-    /// a timeout mid-buffer is [`DistError::Truncated`] — connection-
-    /// fatal, because a byte stream cannot resync mid-frame.
+    /// rest is awaited up to the connection's frame deadline per read
+    /// and a timeout mid-buffer is [`DistError::Truncated`] —
+    /// connection-fatal, because a byte stream cannot resync mid-frame.
     fn read_full(&mut self, buf: &mut [u8], first_timeout: Duration) -> Result<(), DistError> {
         if buf.is_empty() {
             return Ok(());
@@ -253,7 +293,8 @@ impl StreamTransport {
                 Ok(n) => {
                     if got == 0 {
                         // Committed: the rest of the frame gets patience.
-                        self.set_read_timeout(FRAME_DEADLINE)?;
+                        let deadline = self.frame_deadline;
+                        self.set_read_timeout(deadline)?;
                     }
                     got += n;
                     if got == buf.len() {
@@ -280,16 +321,64 @@ impl StreamTransport {
     }
 
     fn write_all(&mut self, buf: &[u8]) -> std::io::Result<()> {
-        match self {
-            StreamTransport::Unix(s) => {
+        match &mut self.stream {
+            StreamKind::Unix(s) => {
                 s.write_all(buf)?;
                 s.flush()
             }
-            StreamTransport::Tcp(s) => {
+            StreamKind::Tcp(s) => {
                 s.write_all(buf)?;
                 s.flush()
             }
         }
+    }
+
+    /// Sends one pre-encoded frame verbatim (the raw binary path: the
+    /// caller built the frame into a reusable buffer with
+    /// [`wire::begin_raw_frame`]/[`wire::finish_raw_frame`], so nothing
+    /// allocates here).
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Disconnected`]/[`DistError::Io`] on stream failure.
+    pub fn send_raw(&mut self, frame: &[u8]) -> Result<(), DistError> {
+        self.write_all(frame)?;
+        Ok(())
+    }
+
+    /// Receives one validated frame into `buf` (header + payload) and
+    /// returns its kind; the payload is `buf[wire::HEADER_LEN..]`.
+    ///
+    /// `buf` is cleared and refilled in place — `clear` + `resize` keep
+    /// its capacity, so a connection that reuses one buffer stops
+    /// allocating once the buffer reaches its working size. The first
+    /// header byte is awaited up to `first_timeout`; the body falls
+    /// under the connection's frame deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Timeout`] when no frame starts within
+    /// `first_timeout`; truncation/corruption errors as in
+    /// [`Transport::recv_timeout`] (connection-fatal on a byte stream).
+    pub fn recv_raw_into(
+        &mut self,
+        buf: &mut Vec<u8>,
+        first_timeout: Duration,
+    ) -> Result<u16, DistError> {
+        let mut header = [0u8; wire::HEADER_LEN];
+        self.read_full(&mut header, first_timeout)?;
+        let parsed = wire::decode_header(&header)?;
+        buf.clear();
+        buf.resize(wire::HEADER_LEN + parsed.len, 0);
+        buf[..wire::HEADER_LEN].copy_from_slice(&header);
+        let deadline = self.frame_deadline;
+        let body = &mut buf[wire::HEADER_LEN..];
+        if !body.is_empty() {
+            self.read_full(body, deadline)?;
+        }
+        recv_failpoint(buf);
+        let (kind, _) = wire::decode_raw_frame(buf)?;
+        Ok(kind)
     }
 }
 
@@ -312,9 +401,10 @@ impl Transport for StreamTransport {
         // is awaited patiently. A peer that dies mid-frame surfaces as
         // Truncated, which callers treat as connection-fatal (streams
         // cannot resync mid-frame).
+        let deadline = self.frame_deadline;
         let body = &mut frame[wire::HEADER_LEN..];
         if !body.is_empty() {
-            self.read_full(body, FRAME_DEADLINE)?;
+            self.read_full(body, deadline)?;
         }
         recv_failpoint(&mut frame);
         wire::decode_frame(&frame)
@@ -385,6 +475,76 @@ mod tests {
         drop(a);
         let err = b.recv_timeout(Duration::from_millis(10)).unwrap_err();
         assert_eq!(err, DistError::Disconnected);
+    }
+
+    #[test]
+    fn frame_deadline_is_configurable_and_survives_try_clone() {
+        let (sa, _sb) = UnixStream::pair().expect("socketpair");
+        let t = StreamTransport::unix(sa);
+        assert_eq!(t.frame_deadline(), StreamTransport::DEFAULT_FRAME_DEADLINE);
+        let t = t.with_frame_deadline(Duration::from_millis(50));
+        assert_eq!(t.frame_deadline(), Duration::from_millis(50));
+        let clone = t.try_clone().unwrap();
+        assert_eq!(clone.frame_deadline(), Duration::from_millis(50));
+        // Zero is clamped up (a zero OS timeout would mean "block forever").
+        let mut t = t;
+        t.set_frame_deadline(Duration::ZERO);
+        assert!(t.frame_deadline() >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn short_frame_deadline_truncates_a_stalled_mid_frame_peer() {
+        let (sa, sb) = UnixStream::pair().expect("socketpair");
+        let mut a = StreamTransport::unix(sa);
+        let mut b = StreamTransport::unix(sb).with_frame_deadline(Duration::from_millis(30));
+        // Send a header promising a body that never arrives: with the
+        // 10s default this read would pin the thread; the short deadline
+        // surfaces Truncated quickly.
+        let mut frame = Vec::new();
+        wire::begin_raw_frame(&mut frame);
+        frame.extend_from_slice(&[1, 2, 3, 4]);
+        wire::finish_raw_frame(wire::KIND_INFER_REQ, &mut frame);
+        a.send_raw(&frame[..wire::HEADER_LEN + 1]).unwrap();
+        let start = std::time::Instant::now();
+        let mut buf = Vec::new();
+        let err = b.recv_raw_into(&mut buf, Duration::from_millis(500)).unwrap_err();
+        assert!(matches!(err, DistError::Truncated { .. }), "{err}");
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "deadline not honored: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn raw_roundtrip_reuses_buffers_and_reports_kind() {
+        let (sa, sb) = UnixStream::pair().expect("socketpair");
+        let mut a = StreamTransport::unix(sa);
+        let mut b = StreamTransport::unix(sb);
+        let mut frame = Vec::new();
+        let mut rx = Vec::new();
+        for round in 0u8..4 {
+            wire::begin_raw_frame(&mut frame);
+            frame.extend_from_slice(&[round; 24]);
+            wire::finish_raw_frame(wire::KIND_INFER_RESP, &mut frame);
+            a.send_raw(&frame).unwrap();
+            let kind = b.recv_raw_into(&mut rx, Duration::from_millis(500)).unwrap();
+            assert_eq!(kind, wire::KIND_INFER_RESP);
+            assert_eq!(&rx[wire::HEADER_LEN..], &[round; 24]);
+        }
+        // Raw and JSON frames interleave on one connection.
+        a.send(&hb(11)).unwrap();
+        assert_eq!(seq_of(&b.recv_timeout(Duration::from_millis(500)).unwrap()), 11);
+    }
+
+    #[test]
+    fn raw_recv_times_out_cleanly_between_frames() {
+        let (sa, sb) = UnixStream::pair().expect("socketpair");
+        let _a = StreamTransport::unix(sa);
+        let mut b = StreamTransport::unix(sb);
+        let mut buf = Vec::new();
+        let err = b.recv_raw_into(&mut buf, Duration::from_millis(10)).unwrap_err();
+        assert!(matches!(err, DistError::Timeout { site: "recv", .. }), "{err}");
     }
 
     #[test]

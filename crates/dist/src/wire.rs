@@ -24,7 +24,7 @@
 use crate::error::DistError;
 use marl_algo::checkpoint::AgentState;
 use marl_algo::TrainConfig;
-use marl_core::crc32::crc32;
+use marl_core::crc32::Crc32;
 use marl_core::transition::Transition;
 use serde::{Deserialize, Serialize};
 
@@ -37,6 +37,15 @@ pub const HEADER_LEN: usize = 16;
 /// Upper bound on a frame payload; a (possibly corrupt) length field can
 /// never make a receiver allocate more than this.
 pub const MAX_PAYLOAD: usize = 1 << 28;
+
+/// Raw-frame kind: an inference request (binary payload, `marl-serve`).
+pub const KIND_INFER_REQ: u16 = 8;
+/// Raw-frame kind: an inference response (binary payload, `marl-serve`).
+pub const KIND_INFER_RESP: u16 = 9;
+/// Raw-frame kind: an inference error response (binary payload).
+pub const KIND_INFER_ERR: u16 = 10;
+/// Raw-frame kind: a serve control frame (shutdown/ping, binary payload).
+pub const KIND_SERVE_CTL: u16 = 11;
 
 /// A worker introducing itself (first frame of every connection).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -212,13 +221,14 @@ pub fn encode_frame(msg: &Msg) -> Vec<u8> {
 }
 
 /// CRC-32 over the routing fields and payload (everything a receiver
-/// acts on past the magic/version).
+/// acts on past the magic/version). Incremental, so the raw-frame path
+/// can validate without staging the covered bytes in a fresh buffer.
 fn frame_crc(kind: u16, payload: &[u8]) -> u32 {
-    let mut covered = Vec::with_capacity(6 + payload.len());
-    covered.extend_from_slice(&kind.to_le_bytes());
-    covered.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    covered.extend_from_slice(payload);
-    crc32(&covered)
+    Crc32::new()
+        .update(&kind.to_le_bytes())
+        .update(&(payload.len() as u32).to_le_bytes())
+        .update(payload)
+        .finish()
 }
 
 /// Parsed frame header.
@@ -290,6 +300,66 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Msg, DistError> {
     Ok(msg)
 }
 
+/// Resets `frame` to a header-sized placeholder so a raw (binary)
+/// payload can be appended directly after it.
+///
+/// The serve path builds frames into per-connection reusable buffers:
+/// `begin_raw_frame` + `extend_from_slice` the payload +
+/// [`finish_raw_frame`]. `clear` + `resize` reuse the buffer's existing
+/// capacity, so steady-state encoding allocates nothing once the buffer
+/// has grown to its working size.
+pub fn begin_raw_frame(frame: &mut Vec<u8>) {
+    frame.clear();
+    frame.resize(HEADER_LEN, 0);
+}
+
+/// Patches a complete `MARD` header (magic, version, `kind`, length,
+/// CRC) over the placeholder bytes at the front of `frame`.
+///
+/// `frame` must hold [`HEADER_LEN`] placeholder bytes followed by the
+/// payload (the [`begin_raw_frame`] layout). Works in place — no
+/// intermediate buffer — so the encode path stays allocation-free.
+///
+/// # Panics
+///
+/// If `frame` is shorter than a header or the payload exceeds
+/// [`MAX_PAYLOAD`]; both are caller bugs, not wire conditions.
+pub fn finish_raw_frame(kind: u16, frame: &mut [u8]) {
+    assert!(frame.len() >= HEADER_LEN, "finish_raw_frame: no header placeholder");
+    let payload_len = frame.len() - HEADER_LEN;
+    assert!(payload_len <= MAX_PAYLOAD, "finish_raw_frame: payload exceeds MAX_PAYLOAD");
+    let crc = frame_crc(kind, &frame[HEADER_LEN..]);
+    frame[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+    frame[4..6].copy_from_slice(&VERSION.to_le_bytes());
+    frame[6..8].copy_from_slice(&kind.to_le_bytes());
+    frame[8..12].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    frame[12..16].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Validates a raw frame and returns its kind plus a borrowed payload.
+///
+/// The counterpart of [`finish_raw_frame`]: same header and CRC checks
+/// as [`decode_frame`], but the payload stays opaque bytes (no JSON
+/// decode, no copy), which is what the binary serve protocol wants.
+///
+/// # Errors
+///
+/// Typed [`DistError`]s for truncation, bad magic/version, oversized
+/// lengths, and CRC mismatches.
+pub fn decode_raw_frame(frame: &[u8]) -> Result<(u16, &[u8]), DistError> {
+    let header = decode_header(frame)?;
+    let body = &frame[HEADER_LEN..];
+    if body.len() < header.len {
+        return Err(DistError::Truncated { needed: header.len, got: body.len() });
+    }
+    let payload = &body[..header.len];
+    let found = frame_crc(header.kind, payload);
+    if found != header.crc {
+        return Err(DistError::CrcMismatch { expected: header.crc, found });
+    }
+    Ok((header.kind, payload))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,5 +425,91 @@ mod tests {
         let mut bytes = encode_frame(&heartbeat());
         bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(decode_frame(&bytes), Err(DistError::Protocol(_))));
+    }
+
+    #[test]
+    fn raw_frame_roundtrip_preserves_kind_and_payload() {
+        let payload = [0xDEu8, 0xAD, 0xBE, 0xEF, 0x00, 0x42];
+        let mut frame = Vec::new();
+        begin_raw_frame(&mut frame);
+        frame.extend_from_slice(&payload);
+        finish_raw_frame(KIND_INFER_REQ, &mut frame);
+        let (kind, body) = decode_raw_frame(&frame).unwrap();
+        assert_eq!(kind, KIND_INFER_REQ);
+        assert_eq!(body, payload);
+    }
+
+    #[test]
+    fn raw_frame_empty_payload_roundtrips() {
+        let mut frame = Vec::new();
+        begin_raw_frame(&mut frame);
+        finish_raw_frame(KIND_SERVE_CTL, &mut frame);
+        let (kind, body) = decode_raw_frame(&frame).unwrap();
+        assert_eq!(kind, KIND_SERVE_CTL);
+        assert!(body.is_empty());
+    }
+
+    #[test]
+    fn raw_frame_buffer_reuse_does_not_leak_previous_payload() {
+        let mut frame = Vec::new();
+        begin_raw_frame(&mut frame);
+        frame.extend_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        finish_raw_frame(KIND_INFER_RESP, &mut frame);
+        // Re-encode a shorter payload into the same buffer.
+        begin_raw_frame(&mut frame);
+        frame.extend_from_slice(&[9, 9]);
+        finish_raw_frame(KIND_INFER_ERR, &mut frame);
+        let (kind, body) = decode_raw_frame(&frame).unwrap();
+        assert_eq!(kind, KIND_INFER_ERR);
+        assert_eq!(body, [9, 9]);
+        assert_eq!(frame.len(), HEADER_LEN + 2);
+    }
+
+    #[test]
+    fn raw_frame_every_bit_flip_is_detected() {
+        let mut clean = Vec::new();
+        begin_raw_frame(&mut clean);
+        clean.extend_from_slice(&[0x11, 0x22, 0x33]);
+        finish_raw_frame(KIND_INFER_REQ, &mut clean);
+        for bit in (6 * 8)..(clean.len() * 8) {
+            let mut bytes = clean.clone();
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            match decode_raw_frame(&bytes) {
+                Err(
+                    DistError::CrcMismatch { .. }
+                    | DistError::Truncated { .. }
+                    | DistError::Protocol(_),
+                ) => {}
+                Ok((kind, body)) => {
+                    panic!("bit {bit}: corrupt raw frame decoded as kind {kind} ({body:?})")
+                }
+                Err(e) => panic!("bit {bit}: unexpected error {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn raw_frame_truncation_is_detected_at_every_length() {
+        let mut clean = Vec::new();
+        begin_raw_frame(&mut clean);
+        clean.extend_from_slice(&[7; 13]);
+        finish_raw_frame(KIND_INFER_RESP, &mut clean);
+        for cut in 0..clean.len() {
+            let err = decode_raw_frame(&clean[..cut]).unwrap_err();
+            assert!(
+                matches!(err, DistError::Truncated { .. } | DistError::BadMagic { .. }),
+                "cut {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn raw_and_json_framing_share_one_header_discipline() {
+        // A JSON frame decodes through the raw path too: the framing is
+        // one format, the payload interpretation is the only difference.
+        let bytes = encode_frame(&heartbeat());
+        let (kind, payload) = decode_raw_frame(&bytes).unwrap();
+        assert_eq!(kind, 5);
+        assert!(std::str::from_utf8(payload).unwrap().contains("Heartbeat"));
     }
 }

@@ -484,6 +484,35 @@ impl Matrix {
             *x = x.clamp(lo, hi);
         }
     }
+
+    /// Writes the argmax of each row into `out[row]` (ties break to the
+    /// lowest index, strict `>` scan — the greedy-action convention used
+    /// everywhere a discrete head is decoded).
+    ///
+    /// `out` must already hold `rows` elements: the serve path calls
+    /// this per batch with a preallocated index buffer, so it does not
+    /// resize.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != rows` or the matrix has zero columns with
+    /// nonzero rows.
+    pub fn argmax_rows(&self, out: &mut [usize]) {
+        assert_eq!(out.len(), self.rows, "argmax_rows output length mismatch");
+        assert!(self.cols > 0 || self.rows == 0, "argmax_rows on zero-width matrix");
+        for (r, slot) in out.iter_mut().enumerate() {
+            let row = self.row(r);
+            let mut best = 0usize;
+            let mut best_v = row[0];
+            for (i, &v) in row.iter().enumerate().skip(1) {
+                if v > best_v {
+                    best = i;
+                    best_v = v;
+                }
+            }
+            *slot = best;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -721,6 +750,20 @@ mod tests {
         let mut back = Matrix::zeros(1, 1);
         joint.columns_into(3, 2, &mut back);
         assert_eq!(back, b);
+    }
+
+    #[test]
+    fn argmax_rows_matches_scan_and_breaks_ties_low() {
+        let m = Matrix::from_rows(&[
+            &[0.5, 2.0, 2.0, -1.0], // tie: lowest index wins
+            &[-3.0, -1.0, -2.0, -1.5],
+            &[7.0, 0.0, 0.0, 0.0],
+        ]);
+        let mut out = [99usize; 3];
+        m.argmax_rows(&mut out);
+        assert_eq!(out, [1, 1, 0]);
+        // Empty matrix: nothing written, no panic.
+        Matrix::zeros(0, 0).argmax_rows(&mut []);
     }
 
     #[test]

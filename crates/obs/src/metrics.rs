@@ -230,8 +230,10 @@ pub struct BucketCount {
     pub count: u64,
 }
 
-/// Serialized view of a [`Histogram`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Serialized view of a [`Histogram`]. `Default` is the empty
+/// histogram, which lets newer snapshot fields (the serve histograms)
+/// deserialize from older JSONL lines via `#[serde(default)]`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct HistogramSnapshot {
     /// Total observations.
     pub count: u64,
@@ -364,6 +366,20 @@ pub struct MetricsRegistry {
     pub dist_workers_alive: Gauge,
     /// Supervised restarts of dead dist workers.
     pub dist_worker_restarts: Counter,
+    /// Inference requests answered by the serve path.
+    pub serve_requests: Counter,
+    /// Inference requests rejected (bad agent index / wrong obs dim).
+    pub serve_errors: Counter,
+    /// Hot checkpoint reloads applied by the serve path.
+    pub serve_reloads: Counter,
+    /// Serve connections currently open.
+    pub serve_connections: Gauge,
+    /// Requests queued in the micro-batcher (ingress depth).
+    pub serve_queue_depth: Gauge,
+    /// Per-request serve latency (enqueue → response written), ns.
+    pub serve_latency_ns: Histogram,
+    /// Requests coalesced per micro-batch (the batch occupancy).
+    pub serve_batch_fill: Histogram,
 }
 
 /// Per-phase row of a snapshot (label + accumulated time + share).
@@ -459,6 +475,27 @@ pub struct MetricsSnapshot {
     /// Dist worker restarts.
     #[serde(default)]
     pub dist_worker_restarts: u64,
+    /// Serve requests answered.
+    #[serde(default)]
+    pub serve_requests: u64,
+    /// Serve requests rejected.
+    #[serde(default)]
+    pub serve_errors: u64,
+    /// Serve hot reloads applied.
+    #[serde(default)]
+    pub serve_reloads: u64,
+    /// Serve connections open.
+    #[serde(default)]
+    pub serve_connections: f64,
+    /// Serve micro-batcher queue depth.
+    #[serde(default)]
+    pub serve_queue_depth: f64,
+    /// Serve per-request latency distribution (ns).
+    #[serde(default)]
+    pub serve_latency_ns: HistogramSnapshot,
+    /// Serve batch-occupancy distribution (requests per batch).
+    #[serde(default)]
+    pub serve_batch_fill: HistogramSnapshot,
 }
 
 impl MetricsRegistry {
@@ -518,6 +555,13 @@ impl MetricsRegistry {
             dist_quarantined_frames: self.dist_quarantined_frames.get(),
             dist_workers_alive: self.dist_workers_alive.get(),
             dist_worker_restarts: self.dist_worker_restarts.get(),
+            serve_requests: self.serve_requests.get(),
+            serve_errors: self.serve_errors.get(),
+            serve_reloads: self.serve_reloads.get(),
+            serve_connections: self.serve_connections.get(),
+            serve_queue_depth: self.serve_queue_depth.get(),
+            serve_latency_ns: self.serve_latency_ns.snapshot(),
+            serve_batch_fill: self.serve_batch_fill.snapshot(),
         }
     }
 }
@@ -622,6 +666,32 @@ mod tests {
         assert!(json.contains("mini-batch-sampling"));
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn serve_metrics_roundtrip_and_default_from_old_snapshots() {
+        let r = MetricsRegistry::new();
+        r.serve_requests.add(12);
+        r.serve_reloads.inc();
+        r.serve_connections.set(3.0);
+        r.serve_latency_ns.record(42_000);
+        r.serve_batch_fill.record(16);
+        let snap = r.snapshot(0, true, &PhaseProfile::new(), KernelTally::default(), 0);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.serve_requests, 12);
+        assert_eq!(back.serve_latency_ns.count, 1);
+        // A pre-serve snapshot (fields absent) still deserializes: the
+        // serve fields default to zero/empty. Serde writes fields in
+        // declaration order and the serve block is last, so cutting at
+        // its first key reconstructs the old shape exactly.
+        let cut = json.find(",\"serve_requests\"").expect("serve fields serialize last");
+        let old_json = format!("{}}}", &json[..cut]);
+        let old: MetricsSnapshot = serde_json::from_str(&old_json).unwrap();
+        assert_eq!(old.serve_requests, 0);
+        assert_eq!(old.serve_latency_ns.count, 0);
+        assert!(old.serve_latency_ns.buckets.is_empty());
     }
 
     #[test]

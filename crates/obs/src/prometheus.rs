@@ -245,6 +245,53 @@ pub fn render(snap: &MetricsSnapshot) -> String {
         "counter",
         snap.dist_worker_restarts as f64,
     );
+    sample(
+        &mut out,
+        "marl_serve_requests_total",
+        "Inference requests answered by the serve path.",
+        "counter",
+        snap.serve_requests as f64,
+    );
+    sample(
+        &mut out,
+        "marl_serve_errors_total",
+        "Inference requests rejected (bad agent / obs dim).",
+        "counter",
+        snap.serve_errors as f64,
+    );
+    sample(
+        &mut out,
+        "marl_serve_reloads_total",
+        "Hot checkpoint reloads applied by the serve path.",
+        "counter",
+        snap.serve_reloads as f64,
+    );
+    sample(
+        &mut out,
+        "marl_serve_connections",
+        "Serve connections currently open.",
+        "gauge",
+        snap.serve_connections,
+    );
+    sample(
+        &mut out,
+        "marl_serve_queue_depth",
+        "Requests queued in the serve micro-batcher.",
+        "gauge",
+        snap.serve_queue_depth,
+    );
+    histogram(
+        &mut out,
+        "marl_serve_latency_ns",
+        "Per-request serve latency (enqueue to response), nanoseconds.",
+        &snap.serve_latency_ns,
+    );
+    histogram(
+        &mut out,
+        "marl_serve_batch_fill",
+        "Requests coalesced per serve micro-batch.",
+        &snap.serve_batch_fill,
+    );
     out
 }
 
@@ -288,6 +335,30 @@ mod tests {
         let text = render(&snap);
         assert!(text.contains("marl_run_length_count 0"));
         assert!(text.contains("marl_hw_live 0"));
+    }
+
+    #[test]
+    fn renders_serve_metrics() {
+        let r = MetricsRegistry::new();
+        r.serve_requests.add(100);
+        r.serve_errors.inc();
+        r.serve_reloads.add(2);
+        r.serve_connections.set(4.0);
+        r.serve_queue_depth.set(9.0);
+        r.serve_latency_ns.record(50_000);
+        r.serve_latency_ns.record(250_000);
+        r.serve_batch_fill.record(8);
+        let snap = r.snapshot(0, true, &PhaseProfile::new(), KernelTally::default(), 0);
+        let text = render(&snap);
+        assert!(text.contains("# TYPE marl_serve_requests_total counter"));
+        assert!(text.contains("marl_serve_requests_total 100"));
+        assert!(text.contains("marl_serve_errors_total 1"));
+        assert!(text.contains("marl_serve_reloads_total 2"));
+        assert!(text.contains("marl_serve_connections 4"));
+        assert!(text.contains("marl_serve_queue_depth 9"));
+        assert!(text.contains("# TYPE marl_serve_latency_ns histogram"));
+        assert!(text.contains("marl_serve_latency_ns_count 2"));
+        assert!(text.contains("marl_serve_batch_fill_count 1"));
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! The adaptive micro-batcher: coalesce concurrent requests, flush on
+//! batch-size B or deadline T µs — whichever comes first.
+//!
+//! The core is deliberately *virtual-time*: every method takes `now_ns`
+//! instead of reading a clock, so the property tests can drive arbitrary
+//! arrival interleavings deterministically. The server threads feed it
+//! real monotonic time.
+//!
+//! Requests travel as pooled [`RequestSlot`] boxes: a slot is taken from
+//! the pool on arrival, carries the observation into the batch, carries
+//! the action/logits back out to the connection's writer, and returns to
+//! the pool — no allocation anywhere in the cycle once the pool and the
+//! per-slot vectors are warmed.
+
+use std::collections::VecDeque;
+
+/// Flush policy and capacity of a [`MicroBatcher`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatcherConfig {
+    /// Flush as soon as this many requests are queued.
+    pub max_batch: usize,
+    /// Flush once the *oldest* queued request has waited this long (µs).
+    pub max_delay_us: u64,
+    /// Hard bound on queued requests; pushes beyond it are refused
+    /// (callers block — bounded backpressure, never unbounded memory).
+    pub queue_capacity: usize,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        BatcherConfig { max_batch: 32, max_delay_us: 200, queue_capacity: 1024 }
+    }
+}
+
+/// One in-flight request, pooled and reused.
+#[derive(Debug, Default)]
+pub struct RequestSlot {
+    /// Client-chosen request id, echoed back verbatim.
+    pub req_id: u64,
+    /// Connection the response must return to.
+    pub conn_id: u64,
+    /// Target agent index.
+    pub agent: u32,
+    /// Observation (reused capacity).
+    pub obs: Vec<f32>,
+    /// Monotonic enqueue timestamp (latency measurement + deadline).
+    pub enqueued_at_ns: u64,
+    /// Error code (`0` = ok; [`crate::proto::ERR_BAD_AGENT`] /
+    /// [`crate::proto::ERR_BAD_OBS_DIM`] bypass inference).
+    pub error: u32,
+    /// Greedy action index (filled by the engine).
+    pub action: u32,
+    /// Model generation that answered (filled by the engine).
+    pub epoch: u64,
+    /// Actor logits for the observation (filled by the engine, reused
+    /// capacity).
+    pub logits: Vec<f32>,
+}
+
+impl RequestSlot {
+    /// Resets the response fields for reuse (the vectors keep capacity).
+    pub fn reset(&mut self) {
+        self.req_id = 0;
+        self.conn_id = 0;
+        self.agent = 0;
+        self.obs.clear();
+        self.enqueued_at_ns = 0;
+        self.error = 0;
+        self.action = 0;
+        self.epoch = 0;
+        self.logits.clear();
+    }
+}
+
+/// FIFO micro-batcher with a two-condition flush trigger.
+#[derive(Debug)]
+pub struct MicroBatcher {
+    queue: VecDeque<Box<RequestSlot>>,
+    config: BatcherConfig,
+}
+
+impl MicroBatcher {
+    /// An empty batcher with `config`'s policy; the queue is fully
+    /// preallocated.
+    pub fn new(config: BatcherConfig) -> Self {
+        assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        assert!(
+            config.queue_capacity >= config.max_batch,
+            "queue_capacity must hold at least one full batch"
+        );
+        MicroBatcher { queue: VecDeque::with_capacity(config.queue_capacity), config }
+    }
+
+    /// The flush policy in force.
+    pub fn config(&self) -> BatcherConfig {
+        self.config
+    }
+
+    /// Queued requests.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether another push would be refused.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() >= self.config.queue_capacity
+    }
+
+    /// Enqueues a request, stamping its arrival time. Refuses (handing
+    /// the slot back) when the queue is at capacity — the caller blocks
+    /// and retries after a flush.
+    pub fn push(
+        &mut self,
+        mut slot: Box<RequestSlot>,
+        now_ns: u64,
+    ) -> Result<(), Box<RequestSlot>> {
+        if self.is_full() {
+            return Err(slot);
+        }
+        slot.enqueued_at_ns = now_ns;
+        self.queue.push_back(slot);
+        Ok(())
+    }
+
+    /// Whether a batch should flush now: a full batch is waiting, or the
+    /// oldest queued request has reached its delay deadline.
+    pub fn ready(&self, now_ns: u64) -> bool {
+        if self.queue.len() >= self.config.max_batch {
+            return true;
+        }
+        match self.queue.front() {
+            Some(front) => now_ns >= front.enqueued_at_ns + self.config.max_delay_us * 1_000,
+            None => false,
+        }
+    }
+
+    /// The absolute time at which [`MicroBatcher::ready`] will turn true
+    /// by deadline alone (`None` when empty). The batcher thread sleeps
+    /// until this instant or the next push, whichever is sooner.
+    pub fn next_deadline_ns(&self) -> Option<u64> {
+        self.queue.front().map(|f| f.enqueued_at_ns + self.config.max_delay_us * 1_000)
+    }
+
+    /// Moves up to `max_batch` requests into `out` in arrival order
+    /// (`out` is cleared first; its capacity is reused).
+    pub fn drain_into(&mut self, out: &mut Vec<Box<RequestSlot>>) {
+        out.clear();
+        let n = self.queue.len().min(self.config.max_batch);
+        for _ in 0..n {
+            out.push(self.queue.pop_front().expect("len checked"));
+        }
+    }
+
+    /// Moves *every* queued request into `out` (shutdown flush; may
+    /// exceed `max_batch`).
+    pub fn drain_all_into(&mut self, out: &mut Vec<Box<RequestSlot>>) {
+        out.clear();
+        while let Some(slot) = self.queue.pop_front() {
+            out.push(slot);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(req_id: u64) -> Box<RequestSlot> {
+        Box::new(RequestSlot { req_id, ..RequestSlot::default() })
+    }
+
+    fn cfg(max_batch: usize, max_delay_us: u64, cap: usize) -> BatcherConfig {
+        BatcherConfig { max_batch, max_delay_us, queue_capacity: cap }
+    }
+
+    #[test]
+    fn flushes_on_batch_size() {
+        let mut b = MicroBatcher::new(cfg(3, 1_000_000, 8));
+        assert!(!b.ready(0));
+        b.push(slot(1), 10).unwrap();
+        b.push(slot(2), 11).unwrap();
+        assert!(!b.ready(12), "two of three queued, deadline far away");
+        b.push(slot(3), 12).unwrap();
+        assert!(b.ready(12), "full batch flushes immediately");
+        let mut out = Vec::new();
+        b.drain_into(&mut out);
+        assert_eq!(out.iter().map(|s| s.req_id).collect::<Vec<_>>(), [1, 2, 3]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn flushes_on_oldest_deadline() {
+        let mut b = MicroBatcher::new(cfg(64, 200, 128));
+        b.push(slot(1), 1_000).unwrap();
+        b.push(slot(2), 150_000).unwrap();
+        assert_eq!(b.next_deadline_ns(), Some(1_000 + 200_000));
+        assert!(!b.ready(200_000));
+        assert!(b.ready(201_000), "oldest request crossed 200µs");
+        let mut out = Vec::new();
+        b.drain_into(&mut out);
+        assert_eq!(out.len(), 2, "deadline flush takes everything queued");
+    }
+
+    #[test]
+    fn capacity_refusal_hands_the_slot_back() {
+        let mut b = MicroBatcher::new(cfg(2, 100, 2));
+        b.push(slot(1), 0).unwrap();
+        b.push(slot(2), 0).unwrap();
+        assert!(b.is_full());
+        let refused = b.push(slot(3), 0).unwrap_err();
+        assert_eq!(refused.req_id, 3);
+        let mut out = Vec::new();
+        b.drain_into(&mut out);
+        assert!(!b.is_full());
+        b.push(refused, 5).unwrap();
+    }
+
+    #[test]
+    fn drain_respects_max_batch_and_order() {
+        let mut b = MicroBatcher::new(cfg(2, 100, 8));
+        for i in 0..5 {
+            b.push(slot(i), i).unwrap();
+        }
+        let mut out = Vec::new();
+        b.drain_into(&mut out);
+        assert_eq!(out.iter().map(|s| s.req_id).collect::<Vec<_>>(), [0, 1]);
+        b.drain_all_into(&mut out);
+        assert_eq!(out.iter().map(|s| s.req_id).collect::<Vec<_>>(), [2, 3, 4]);
+    }
+
+    #[test]
+    fn slot_reset_keeps_capacity() {
+        let mut s = RequestSlot::default();
+        s.obs.extend_from_slice(&[1.0; 32]);
+        s.logits.extend_from_slice(&[2.0; 8]);
+        let obs_cap = s.obs.capacity();
+        s.reset();
+        assert!(s.obs.is_empty());
+        assert_eq!(s.obs.capacity(), obs_cap);
+    }
+}

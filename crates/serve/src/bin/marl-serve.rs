@@ -1,0 +1,227 @@
+//! `marl-serve` — micro-batched policy inference server.
+//!
+//! ```text
+//! marl-serve --checkpoint FILE (--socket PATH | --tcp HOST:PORT)
+//!            [--max-batch B] [--max-delay-us T] [--queue-capacity Q]
+//!            [--frame-deadline-ms MS] [--reload-poll-ms MS]
+//!            [--metrics-out FILE] [--prometheus-out FILE]
+//! ```
+//!
+//! Loads the MARC checkpoint (with its `.prev` crash-safety fallback),
+//! binds the listener, and serves observation → greedy-action requests
+//! until a client sends a `CTL_SHUTDOWN` frame. Concurrent requests
+//! coalesce into micro-batches (flush on `--max-batch` requests or when
+//! the oldest has waited `--max-delay-us`, whichever first); batching is
+//! bitwise-invisible to clients. `--reload-poll-ms` enables hot reload:
+//! when the checkpoint file changes, the new model (same architecture)
+//! is swapped in between batches — in-flight requests still get answers
+//! from the generation that admitted them, and every response carries
+//! the serving generation (`epoch`).
+//!
+//! On exit the final metrics snapshot is printed; `--metrics-out`
+//! additionally appends it as JSONL and `--prometheus-out` writes the
+//! Prometheus text exposition.
+
+use marl_obs::metrics::{KernelTally, MetricsRegistry};
+use marl_perf::phase::PhaseProfile;
+use marl_serve::{PolicyModel, ServeConfig, ServeListener, Server};
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Debug)]
+struct CliError(String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+fn parse_num(v: &str) -> Result<u64, CliError> {
+    v.parse().map_err(|_| CliError(format!("not a number: {v}")))
+}
+
+#[derive(Debug, Clone)]
+enum Bind {
+    Unix(PathBuf),
+    Tcp(String),
+}
+
+#[derive(Debug)]
+struct Cli {
+    checkpoint: PathBuf,
+    bind: Bind,
+    config: ServeConfig,
+    metrics_out: Option<PathBuf>,
+    prometheus_out: Option<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, CliError> {
+    let mut checkpoint: Option<PathBuf> = None;
+    let mut bind: Option<Bind> = None;
+    let mut config = ServeConfig::default();
+    let mut metrics_out = None;
+    let mut prometheus_out = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, CliError> {
+            it.next().ok_or_else(|| CliError(format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--checkpoint" => checkpoint = Some(value("--checkpoint")?.into()),
+            "--socket" => bind = Some(Bind::Unix(value("--socket")?.into())),
+            "--tcp" => bind = Some(Bind::Tcp(value("--tcp")?.clone())),
+            "--max-batch" => config.max_batch = parse_num(value("--max-batch")?)? as usize,
+            "--max-delay-us" => config.max_delay_us = parse_num(value("--max-delay-us")?)?,
+            "--queue-capacity" => {
+                config.queue_capacity = parse_num(value("--queue-capacity")?)? as usize;
+            }
+            "--frame-deadline-ms" => {
+                config.frame_deadline =
+                    Duration::from_millis(parse_num(value("--frame-deadline-ms")?)?);
+            }
+            "--reload-poll-ms" => {
+                config.reload_poll =
+                    Some(Duration::from_millis(parse_num(value("--reload-poll-ms")?)?));
+            }
+            "--metrics-out" => metrics_out = Some(value("--metrics-out")?.into()),
+            "--prometheus-out" => prometheus_out = Some(value("--prometheus-out")?.into()),
+            "--help" | "-h" => return Err(CliError("help".into())),
+            v => return Err(CliError(format!("unknown flag {v}"))),
+        }
+    }
+    let Some(checkpoint) = checkpoint else {
+        return Err(CliError("--checkpoint is required".into()));
+    };
+    let Some(bind) = bind else {
+        return Err(CliError("one of --socket/--tcp is required".into()));
+    };
+    if config.max_batch == 0 {
+        return Err(CliError("--max-batch must be at least 1".into()));
+    }
+    if config.queue_capacity < config.max_batch {
+        return Err(CliError("--queue-capacity must hold at least one batch".into()));
+    }
+    Ok(Cli { checkpoint, bind, config, metrics_out, prometheus_out })
+}
+
+fn usage() {
+    eprintln!(
+        "usage: marl-serve --checkpoint FILE (--socket PATH | --tcp HOST:PORT)\n\
+         \x20                 [--max-batch B] [--max-delay-us T] [--queue-capacity Q]\n\
+         \x20                 [--frame-deadline-ms MS] [--reload-poll-ms MS]\n\
+         \x20                 [--metrics-out FILE] [--prometheus-out FILE]\n\
+         \n\
+         \x20 --max-batch B        flush a micro-batch at B requests (default 32)\n\
+         \x20 --max-delay-us T     ... or once the oldest waited T µs (default 200)\n\
+         \x20 --reload-poll-ms MS  watch --checkpoint and hot-swap same-architecture\n\
+         \x20                      updates without dropping in-flight requests\n\
+         \n\
+         Runs until a client sends a CTL_SHUTDOWN control frame."
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(v) => v,
+        Err(CliError(msg)) => {
+            if msg != "help" {
+                eprintln!("error: {msg}\n");
+            }
+            usage();
+            return if msg == "help" { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        }
+    };
+
+    let (model, fell_back) = match PolicyModel::load(&cli.checkpoint, 0) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: loading {}: {e}", cli.checkpoint.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if fell_back {
+        eprintln!("warning: checkpoint corrupt, serving its .prev fallback");
+    }
+    println!(
+        "serving {} agents (checkpoint @ {} update iterations) on {}",
+        model.num_agents(),
+        model.update_iterations,
+        match &cli.bind {
+            Bind::Unix(p) => format!("unix {}", p.display()),
+            Bind::Tcp(a) => format!("tcp {a}"),
+        }
+    );
+    println!(
+        "micro-batching: flush at {} requests or {} µs | queue {}{}",
+        cli.config.max_batch,
+        cli.config.max_delay_us,
+        cli.config.queue_capacity,
+        match cli.config.reload_poll {
+            Some(d) => format!(" | hot reload every {} ms", d.as_millis()),
+            None => String::new(),
+        }
+    );
+
+    let listener = match &cli.bind {
+        Bind::Unix(path) => ServeListener::unix(path),
+        Bind::Tcp(addr) => ServeListener::tcp(addr),
+    };
+    let listener = match listener {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(addr) = listener.local_addr() {
+        println!("listening on tcp {addr}");
+    }
+
+    let metrics = Arc::new(MetricsRegistry::new());
+    let server = Server::start(
+        listener,
+        model,
+        cli.config.clone(),
+        Arc::clone(&metrics),
+        Some(cli.checkpoint.clone()),
+    );
+    // Blocks until a CTL_SHUTDOWN frame arrives and the drain completes:
+    // every admitted request is answered before wait() returns.
+    server.wait();
+
+    let snap = metrics.snapshot(0, true, &PhaseProfile::new(), KernelTally::default(), 0);
+    println!(
+        "served {} requests | {} errors | {} reloads | p50 {} ns | p99 {} ns | max {} ns",
+        snap.serve_requests,
+        snap.serve_errors,
+        snap.serve_reloads,
+        snap.serve_latency_ns.p50,
+        snap.serve_latency_ns.p99,
+        snap.serve_latency_ns.max,
+    );
+    if let Some(path) = &cli.metrics_out {
+        let line = serde_json::to_string(&snap).expect("snapshot serializes");
+        let write = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| writeln!(f, "{line}"));
+        if let Err(e) = write {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &cli.prometheus_out {
+        if let Err(e) = std::fs::write(path, marl_obs::prometheus::render(&snap)) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

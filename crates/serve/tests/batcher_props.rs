@@ -1,0 +1,208 @@
+//! Property tests for the micro-batcher, driven in virtual time.
+//!
+//! A simulated server loop replays random arrival interleavings (random
+//! inter-arrival gaps, connection assignments, early connection closes)
+//! against random flush policies, mirroring the real batcher thread's
+//! discipline: deadline flushes fire exactly at the oldest request's
+//! deadline, size flushes fire at push time, refused pushes retry after
+//! the flush they force. Invariants:
+//!
+//! * **No request is lost** — every submitted request appears in exactly
+//!   one flush (delivered, or recycled when its connection closed early).
+//! * **No request waits past its deadline** — at every non-shutdown
+//!   flush, each request's wait is at most `max_delay_us`.
+//! * **Responses map to the right connection** — each flushed slot still
+//!   carries the `(conn, req)` identity it was submitted with, and FIFO
+//!   order is preserved end-to-end.
+
+// Slots are boxed end to end in the real server (pointer-sized
+// hand-offs, stable heap identity for the zero-alloc pool); the tests
+// mirror that layout.
+#![allow(clippy::vec_box)]
+
+use marl_serve::batcher::{BatcherConfig, MicroBatcher, RequestSlot};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+#[derive(Debug, Clone)]
+enum Event {
+    /// A request arrives on `conn` after `gap_ns`.
+    Arrive { gap_ns: u64, conn: u64 },
+    /// `conn` closes early; its later flushed slots are recycled.
+    Close { conn: u64 },
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    // Arrivals outnumber closes ~8:1 (the vendored proptest stub has no
+    // `prop_oneof`, so weight by mapping a selector range).
+    (0u64..9, 0u64..400_000, 0u64..4).prop_map(|(pick, gap_ns, conn)| {
+        if pick < 8 {
+            Event::Arrive { gap_ns, conn }
+        } else {
+            Event::Close { conn }
+        }
+    })
+}
+
+#[derive(Debug)]
+struct Flushed {
+    conn: u64,
+    req: u64,
+    wait_ns: u64,
+    delivered: bool,
+    shutdown_flush: bool,
+}
+
+/// Replays `events`, flushing with the real batcher-thread discipline,
+/// and returns every flushed slot in flush order.
+fn simulate(config: BatcherConfig, events: &[Event]) -> (Vec<Flushed>, u64) {
+    let mut b = MicroBatcher::new(config);
+    let mut now = 0u64;
+    let mut next_req = 0u64;
+    let mut closed = BTreeSet::new();
+    let mut flushed = Vec::new();
+    let mut out: Vec<Box<RequestSlot>> = Vec::new();
+
+    fn flush(
+        b: &mut MicroBatcher,
+        out: &mut Vec<Box<RequestSlot>>,
+        flushed: &mut Vec<Flushed>,
+        closed: &BTreeSet<u64>,
+        at_ns: u64,
+        shutdown_flush: bool,
+    ) {
+        if shutdown_flush {
+            b.drain_all_into(out);
+        } else {
+            b.drain_into(out);
+        }
+        for slot in out.drain(..) {
+            flushed.push(Flushed {
+                conn: slot.conn_id,
+                req: slot.req_id,
+                wait_ns: at_ns.saturating_sub(slot.enqueued_at_ns),
+                delivered: !closed.contains(&slot.conn_id),
+                shutdown_flush,
+            });
+        }
+    }
+
+    for event in events {
+        match event {
+            Event::Arrive { gap_ns, conn } => {
+                now += gap_ns;
+                // The batcher thread sleeps until the oldest deadline:
+                // deadline flushes due before this arrival fire at their
+                // exact deadline instants, oldest first.
+                while let Some(deadline) = b.next_deadline_ns() {
+                    if deadline > now {
+                        break;
+                    }
+                    flush(&mut b, &mut out, &mut flushed, &closed, deadline, false);
+                }
+                let mut slot = Box::new(RequestSlot {
+                    req_id: next_req,
+                    conn_id: *conn,
+                    ..RequestSlot::default()
+                });
+                next_req += 1;
+                // A refusal means the queue is at capacity >= max_batch,
+                // so a size flush is due; the real reader blocks until
+                // the batcher drains, then retries.
+                while let Err(refused) = b.push(slot, now) {
+                    slot = refused;
+                    flush(&mut b, &mut out, &mut flushed, &closed, now, false);
+                }
+                if b.ready(now) {
+                    flush(&mut b, &mut out, &mut flushed, &closed, now, false);
+                }
+            }
+            Event::Close { conn } => {
+                closed.insert(*conn);
+            }
+        }
+    }
+    // Shutdown: one final unbounded drain.
+    flush(&mut b, &mut out, &mut flushed, &closed, now, true);
+    assert!(b.is_empty());
+    (flushed, next_req)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn no_request_lost_none_late_all_correctly_routed(
+        max_batch in 1usize..=8,
+        max_delay_us in 1u64..=1_000,
+        extra_capacity in 0usize..=8,
+        events in proptest::collection::vec(event_strategy(), 1..200),
+    ) {
+        let config = BatcherConfig {
+            max_batch,
+            max_delay_us,
+            queue_capacity: max_batch + extra_capacity,
+        };
+        let (flushed, submitted) = simulate(config, &events);
+
+        // No request lost, none duplicated: the flushed stream is exactly
+        // the submitted stream, in FIFO order.
+        prop_assert_eq!(flushed.len() as u64, submitted);
+        for (i, f) in flushed.iter().enumerate() {
+            prop_assert_eq!(f.req, i as u64, "FIFO order preserved");
+        }
+
+        // No request waits past its deadline at a non-shutdown flush.
+        let deadline_ns = max_delay_us * 1_000;
+        for f in &flushed {
+            if !f.shutdown_flush {
+                prop_assert!(
+                    f.wait_ns <= deadline_ns,
+                    "req {} waited {} ns > deadline {} ns", f.req, f.wait_ns, deadline_ns
+                );
+            }
+        }
+
+        // Responses route to the connection that sent the request, and
+        // only closed connections ever have responses recycled.
+        let mut expected_conn = BTreeMap::new();
+        let mut req = 0u64;
+        let mut ever_closed = BTreeSet::new();
+        for event in &events {
+            match event {
+                Event::Arrive { conn, .. } => {
+                    expected_conn.insert(req, *conn);
+                    req += 1;
+                }
+                Event::Close { conn } => {
+                    ever_closed.insert(*conn);
+                }
+            }
+        }
+        for f in &flushed {
+            prop_assert_eq!(Some(&f.conn), expected_conn.get(&f.req));
+            if !f.delivered {
+                prop_assert!(ever_closed.contains(&f.conn));
+            }
+        }
+    }
+
+    #[test]
+    fn size_flushes_never_exceed_max_batch(
+        max_batch in 1usize..=6,
+        events in proptest::collection::vec(event_strategy(), 1..120),
+    ) {
+        // With delay effectively infinite, only size flushes (and the
+        // final shutdown drain) occur — each normal flush is exactly one
+        // full batch.
+        let config = BatcherConfig {
+            max_batch,
+            max_delay_us: u64::MAX / 2_000,
+            queue_capacity: max_batch,
+        };
+        let (flushed, submitted) = simulate(config, &events);
+        prop_assert_eq!(flushed.len() as u64, submitted);
+        let normal = flushed.iter().filter(|f| !f.shutdown_flush).count();
+        prop_assert_eq!(normal % max_batch, 0, "size flushes are whole batches");
+    }
+}

@@ -1,0 +1,283 @@
+//! End-to-end serve correctness over a real Unix socket:
+//!
+//! * **Bitwise equivalence** — for any interleaving of concurrent
+//!   clients into micro-batches, every response's logits and action are
+//!   bit-identical to a batch-of-one inference of that request alone.
+//! * **Hot reload under load** — swapping the checkpoint mid-stream
+//!   loses no request, and every response is bitwise attributable to
+//!   exactly one model generation (the `epoch` it reports).
+//! * **Clean shutdown** — a `CTL_SHUTDOWN` frame drains every admitted
+//!   request before the server exits.
+//! * **Typed rejection** — bad agent ids and wrong observation widths
+//!   come back as error frames, not dropped connections.
+
+use marl_algo::checkpoint::{write_checkpoint_file, Checkpoint};
+use marl_algo::{Algorithm, Task, TrainConfig, Trainer};
+use marl_dist::wire::{KIND_INFER_ERR, KIND_INFER_RESP};
+use marl_dist::StreamTransport;
+use marl_obs::metrics::MetricsRegistry;
+use marl_serve::batcher::RequestSlot;
+use marl_serve::{proto, InferenceEngine, PolicyModel, ServeConfig, ServeListener, Server};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tiny_checkpoint(seed: u64) -> Checkpoint {
+    let config =
+        TrainConfig::paper_defaults(Algorithm::Maddpg, Task::PredatorPrey, 3).with_seed(seed);
+    Trainer::new(config).expect("trainer").checkpoint()
+}
+
+fn sock_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("marl-serve-{tag}-{}.sock", std::process::id()))
+}
+
+fn connect(path: &PathBuf) -> StreamTransport {
+    // The server's accept loop polls every few ms; retry briefly.
+    for _ in 0..100 {
+        if let Ok(s) = UnixStream::connect(path) {
+            return StreamTransport::unix(s).with_frame_deadline(Duration::from_secs(5));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("server never came up on {}", path.display());
+}
+
+fn deterministic_obs(dim: usize, salt: usize) -> Vec<f32> {
+    (0..dim).map(|c| ((salt * 31 + c * 17) % 23) as f32 * 0.05 - 0.5).collect()
+}
+
+/// Batch-of-one reference answer straight through the engine.
+fn reference(model: &PolicyModel, agent: u32, obs: &[f32]) -> (u32, Vec<f32>) {
+    let mut engine = InferenceEngine::new();
+    let mut batch =
+        vec![Box::new(RequestSlot { agent, obs: obs.to_vec(), ..RequestSlot::default() })];
+    engine.infer(model, &mut batch);
+    (batch[0].action, std::mem::take(&mut batch[0].logits))
+}
+
+fn start_server(
+    path: &Path,
+    ckpt: &Checkpoint,
+    config: ServeConfig,
+    watch: Option<PathBuf>,
+) -> Server {
+    let model = PolicyModel::from_checkpoint(ckpt, 0);
+    let listener = ServeListener::unix(path).expect("bind");
+    Server::start(listener, model, config, Arc::new(MetricsRegistry::new()), watch)
+}
+
+#[test]
+fn concurrent_clients_get_bitwise_identical_answers() {
+    let ckpt = tiny_checkpoint(7);
+    let model = PolicyModel::from_checkpoint(&ckpt, 0);
+    let path = sock_path("equiv");
+    // Aggressive batching so requests from different clients coalesce.
+    let config = ServeConfig {
+        max_batch: 8,
+        max_delay_us: 2_000,
+        queue_capacity: 64,
+        ..ServeConfig::default()
+    };
+    let server = start_server(&path, &ckpt, config, None);
+
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 25;
+    let model = Arc::new(model);
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            let path = path.clone();
+            let model = Arc::clone(&model);
+            std::thread::spawn(move || {
+                let mut conn = connect(&path);
+                let mut frame = Vec::new();
+                let mut logits = Vec::new();
+                for i in 0..PER_CLIENT {
+                    let agent = ((client + i) % model.num_agents()) as u32;
+                    let obs = deterministic_obs(model.obs_dim(agent as usize), client * 1000 + i);
+                    let req_id = (client * PER_CLIENT + i) as u64;
+                    proto::encode_request(req_id, agent, &obs, &mut frame);
+                    conn.send_raw(&frame).expect("send");
+                    let kind = conn
+                        .recv_raw_into(&mut frame, Duration::from_secs(5))
+                        .expect("response arrives");
+                    assert_eq!(kind, KIND_INFER_RESP);
+                    let resp = proto::decode_response_into(
+                        &frame[marl_dist::wire::HEADER_LEN..],
+                        &mut logits,
+                    )
+                    .expect("decodes");
+                    assert_eq!(resp.req_id, req_id, "response routed to the right request");
+                    assert_eq!(resp.agent, agent);
+                    assert_eq!(resp.epoch, 0);
+                    let (want_action, want_logits) = reference(&model, agent, &obs);
+                    assert_eq!(resp.action, want_action, "req {req_id} action");
+                    assert_eq!(logits, want_logits, "req {req_id} logits must match bitwise");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread");
+    }
+    server.shutdown();
+    server.wait();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn invalid_requests_get_typed_error_frames() {
+    let ckpt = tiny_checkpoint(3);
+    let model = PolicyModel::from_checkpoint(&ckpt, 0);
+    let path = sock_path("errors");
+    let server = start_server(&path, &ckpt, ServeConfig::default(), None);
+
+    let mut conn = connect(&path);
+    let mut frame = Vec::new();
+    // Agent out of range.
+    proto::encode_request(1, model.num_agents() as u32, &[0.0; 4], &mut frame);
+    conn.send_raw(&frame).expect("send");
+    let kind = conn.recv_raw_into(&mut frame, Duration::from_secs(5)).expect("reply");
+    assert_eq!(kind, KIND_INFER_ERR);
+    let (req_id, code) = proto::decode_error(&frame[marl_dist::wire::HEADER_LEN..]).unwrap();
+    assert_eq!((req_id, code), (1, proto::ERR_BAD_AGENT));
+    // Wrong observation width for a valid agent.
+    let bad_dim = model.obs_dim(0) + 1;
+    proto::encode_request(2, 0, &vec![0.0; bad_dim], &mut frame);
+    conn.send_raw(&frame).expect("send");
+    let kind = conn.recv_raw_into(&mut frame, Duration::from_secs(5)).expect("reply");
+    assert_eq!(kind, KIND_INFER_ERR);
+    let (req_id, code) = proto::decode_error(&frame[marl_dist::wire::HEADER_LEN..]).unwrap();
+    assert_eq!((req_id, code), (2, proto::ERR_BAD_OBS_DIM));
+    // The connection survives errors: a valid request still answers.
+    let obs = deterministic_obs(model.obs_dim(0), 9);
+    proto::encode_request(3, 0, &obs, &mut frame);
+    conn.send_raw(&frame).expect("send");
+    let kind = conn.recv_raw_into(&mut frame, Duration::from_secs(5)).expect("reply");
+    assert_eq!(kind, KIND_INFER_RESP);
+
+    server.shutdown();
+    server.wait();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn shutdown_frame_drains_every_admitted_request() {
+    let ckpt = tiny_checkpoint(11);
+    let model = PolicyModel::from_checkpoint(&ckpt, 0);
+    let path = sock_path("drain");
+    // A long flush deadline, so the final requests are still queued when
+    // the shutdown frame lands — the drain has real work to do.
+    let config = ServeConfig {
+        max_batch: 64,
+        max_delay_us: 500_000,
+        queue_capacity: 128,
+        ..ServeConfig::default()
+    };
+    let server = start_server(&path, &ckpt, config, None);
+
+    let mut conn = connect(&path);
+    let mut frame = Vec::new();
+    const N: u64 = 40;
+    for req_id in 0..N {
+        let obs = deterministic_obs(model.obs_dim(0), req_id as usize);
+        proto::encode_request(req_id, 0, &obs, &mut frame);
+        conn.send_raw(&frame).expect("send");
+    }
+    proto::encode_ctl(proto::CTL_SHUTDOWN, &mut frame);
+    conn.send_raw(&frame).expect("send ctl");
+
+    let mut logits = Vec::new();
+    let mut seen = vec![false; N as usize];
+    for _ in 0..N {
+        let kind = conn
+            .recv_raw_into(&mut frame, Duration::from_secs(10))
+            .expect("drained response arrives");
+        assert_eq!(kind, KIND_INFER_RESP);
+        let resp = proto::decode_response_into(&frame[marl_dist::wire::HEADER_LEN..], &mut logits)
+            .expect("decodes");
+        assert!(!seen[resp.req_id as usize], "req {} answered twice", resp.req_id);
+        seen[resp.req_id as usize] = true;
+    }
+    assert!(seen.iter().all(|&s| s), "every admitted request was answered");
+    server.wait();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn hot_reload_under_load_drops_nothing_and_versions_every_answer() {
+    let ckpt0 = tiny_checkpoint(0);
+    let ckpt1 = tiny_checkpoint(1);
+    let model0 = PolicyModel::from_checkpoint(&ckpt0, 0);
+    let model1 = PolicyModel::from_checkpoint(&ckpt1, 1);
+    assert!(model0.same_architecture(&model1));
+
+    let dir = std::env::temp_dir().join(format!("marl-serve-reload-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let ckpt_path = dir.join("model.marc");
+    write_checkpoint_file(&ckpt_path, &ckpt0, &[]).expect("write v0");
+
+    let path = sock_path("reload");
+    let config = ServeConfig {
+        max_batch: 4,
+        max_delay_us: 500,
+        queue_capacity: 64,
+        reload_poll: Some(Duration::from_millis(5)),
+        ..ServeConfig::default()
+    };
+    let model_boot = PolicyModel::load(&ckpt_path, 0).expect("load").0;
+    let listener = ServeListener::unix(&path).expect("bind");
+    let server = Server::start(
+        listener,
+        model_boot,
+        config,
+        Arc::new(MetricsRegistry::new()),
+        Some(ckpt_path.clone()),
+    );
+
+    let mut conn = connect(&path);
+    let mut frame = Vec::new();
+    let mut logits = Vec::new();
+    let mut swapped = false;
+    let mut answered = 0u64;
+    let mut epochs_seen = [0u64; 2];
+    for req_id in 0..400u64 {
+        let agent = (req_id % model0.num_agents() as u64) as u32;
+        let obs = deterministic_obs(model0.obs_dim(agent as usize), req_id as usize);
+        proto::encode_request(req_id, agent, &obs, &mut frame);
+        conn.send_raw(&frame).expect("send");
+        let kind = conn.recv_raw_into(&mut frame, Duration::from_secs(5)).expect("reply");
+        assert_eq!(kind, KIND_INFER_RESP);
+        let resp = proto::decode_response_into(&frame[marl_dist::wire::HEADER_LEN..], &mut logits)
+            .expect("decodes");
+        assert_eq!(resp.req_id, req_id, "no request lost across the reload");
+        // Each answer is bitwise attributable to the generation it names.
+        let generation = match resp.epoch {
+            0 => &model0,
+            1 => &model1,
+            other => panic!("unexpected epoch {other}"),
+        };
+        epochs_seen[resp.epoch as usize] += 1;
+        let (want_action, want_logits) = reference(generation, agent, &obs);
+        assert_eq!(resp.action, want_action);
+        assert_eq!(logits, want_logits, "req {req_id}: logits must match epoch {}", resp.epoch);
+        answered += 1;
+        if req_id == 50 && !swapped {
+            // Swap the checkpoint mid-stream; keep the request flow up.
+            write_checkpoint_file(&ckpt_path, &ckpt1, &[]).expect("write v1");
+            swapped = true;
+        }
+        if swapped && resp.epoch == 1 && req_id > 120 {
+            break; // reload observed end-to-end
+        }
+    }
+    assert!(swapped);
+    assert!(epochs_seen[0] > 0, "some answers from the boot generation");
+    assert!(epochs_seen[1] > 0, "reload was picked up under load, got {answered} answers");
+
+    server.shutdown();
+    server.wait();
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -20,7 +20,10 @@
 //! * [`algo`] — MADDPG / MATD3 / PER-MADDPG trainers;
 //! * [`dist`] — the fault-tolerant distributed actor–learner runtime
 //!   (CRC-framed transports, heartbeat supervision, quarantine,
-//!   reconnect with backoff, worker-process restart).
+//!   reconnect with backoff, worker-process restart);
+//! * [`serve`] — micro-batched policy inference serving over the MARD
+//!   wire format (adaptive batching, zero-allocation request path, hot
+//!   checkpoint reload).
 //!
 //! See `examples/` for runnable entry points and `crates/bench` for the
 //! binaries that regenerate every table and figure of the paper.
@@ -49,3 +52,4 @@ pub use marl_env as env;
 pub use marl_nn as nn;
 pub use marl_obs as obs;
 pub use marl_perf as perf;
+pub use marl_serve as serve;
