@@ -1,0 +1,115 @@
+//! `bench_dist` — distributed lockstep-loop throughput, written as
+//! machine-readable JSON (`BENCH_dist.json`).
+//!
+//! Runs the learner with one in-process worker over the deterministic
+//! loopback — the exact topology `marl-learner --lockstep` uses — and
+//! measures end-to-end env-steps/sec through the full wire path: worker
+//! rollout → CRC-framed `Steps` frames → learner ingestion → updates →
+//! `Params` broadcasts back. The headline `lockstep_env_steps_per_sec`
+//! is gated by `bench_summary --check-history` (higher is better), so a
+//! change that slows the distributed loop — framing, quarantine checks,
+//! trace-context stamping — fails CI even when the trainer itself is
+//! unchanged.
+//!
+//! Environment knobs: `MARL_BENCH_EPISODES` (episodes, default 20),
+//! `MARL_BENCH_OUT` (output path, default `BENCH_dist.json`).
+//! `--append` also appends the summary to `BENCH_history.jsonl`
+//! (override with `MARL_BENCH_HISTORY`).
+
+use marl_algo::{Algorithm, Task, TrainConfig};
+use marl_bench::env_usize;
+use marl_dist::{
+    loopback_pair, run_worker, Backoff, DistError, Learner, LearnerOptions, Transport,
+};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Serialize)]
+struct Summary {
+    /// End-to-end env-steps/sec of the lockstep loop (gated metric).
+    lockstep_env_steps_per_sec: f64,
+    /// Environment steps executed by the timed run.
+    env_steps: u64,
+    /// Episodes served.
+    episodes: u64,
+    /// Update iterations performed by the learner.
+    update_iterations: u64,
+    /// Wall-clock seconds of the timed run.
+    wall_secs: f64,
+}
+
+fn run_lockstep(episodes: usize) -> Result<(u64, u64, u64), DistError> {
+    // Paper-default batch (1024) would keep warmup past the whole run;
+    // a small batch makes the timed loop cross the update boundary, so
+    // the measurement covers ingestion → updates → Params broadcasts
+    // and not just the rollout wire path.
+    let mut config = TrainConfig::paper_defaults(Algorithm::Maddpg, Task::PredatorPrey, 3)
+        .with_episodes(episodes)
+        .with_batch_size(64)
+        .with_seed(11);
+    config.warmup = (2 * config.batch_size).max(config.batch_size);
+    let mut learner = Learner::new(config, LearnerOptions::default())?;
+    let (mut learner_end, worker_end) = loopback_pair(1024, Duration::from_secs(10));
+    let handle = std::thread::spawn(move || {
+        let mut slot = Some(worker_end);
+        let mut backoff = Backoff::new(Duration::from_millis(10), Duration::from_millis(100), 0);
+        run_worker(
+            0,
+            move || {
+                slot.take()
+                    .map(|t| Box::new(t) as Box<dyn Transport>)
+                    .ok_or(DistError::Disconnected)
+            },
+            &mut backoff,
+            1,
+        )
+    });
+    let served = learner.serve_lockstep(&mut learner_end);
+    let worker = handle.join().map_err(|_| DistError::Protocol("worker thread panicked".into()));
+    served?;
+    worker??;
+    Ok((
+        learner.trainer().env_steps(),
+        learner.episodes_recorded() as u64,
+        learner.trainer().update_iterations(),
+    ))
+}
+
+fn main() {
+    let episodes = env_usize("MARL_BENCH_EPISODES", 20);
+    let out_path =
+        std::env::var("MARL_BENCH_OUT").unwrap_or_else(|_| "BENCH_dist.json".to_string());
+    let append = std::env::args().skip(1).any(|a| a == "--append");
+
+    println!("== bench_dist: lockstep loop throughput ({episodes} episodes) ==\n");
+    // Warm-up run primes every allocation and the kernel dispatch.
+    run_lockstep(2).expect("warm-up lockstep run");
+    let t0 = Instant::now();
+    let (env_steps, served_episodes, update_iterations) =
+        run_lockstep(episodes).expect("timed lockstep run");
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let rate = env_steps as f64 / wall_secs.max(1e-9);
+    println!(
+        "{rate:>12.0} env-steps/sec | {env_steps} steps | {served_episodes} episodes | \
+         {update_iterations} updates | {wall_secs:.2} s"
+    );
+
+    let summary = Summary {
+        lockstep_env_steps_per_sec: rate,
+        env_steps,
+        episodes: served_episodes,
+        update_iterations,
+        wall_secs,
+    };
+    let json = serde_json::to_string(&summary).expect("summary serializes");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write bench dist");
+    println!("wrote {out_path}");
+    if append {
+        let history: std::path::PathBuf = std::env::var("MARL_BENCH_HISTORY")
+            .unwrap_or_else(|_| "BENCH_history.jsonl".to_string())
+            .into();
+        marl_bench::append_history(&history, &marl_bench::history_id(&out_path), &json)
+            .expect("append history");
+        println!("appended to {}", history.display());
+    }
+}

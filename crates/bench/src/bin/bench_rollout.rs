@@ -37,6 +37,11 @@ struct Leg {
 struct Summary {
     /// Whether this host supports the AVX2+FMA kernels.
     simd_available: bool,
+    /// Headline throughput — the K = 8 leg under the best available
+    /// kernel. Gated by `bench_summary --check-history` (higher is
+    /// better), so the distinct top-level key keeps the history scan
+    /// unambiguous against the per-leg `env_steps_per_sec` fields.
+    rollout_env_steps_per_sec: f64,
     /// Every measured (K, kernel) combination.
     legs: Vec<Leg>,
     /// env-steps/sec at K = 8 SIMD over K = 1 scalar — the end-to-end
@@ -106,6 +111,7 @@ fn main() {
     };
     let summary = Summary {
         simd_available,
+        rollout_env_steps_per_sec: rate_of(8, "simd"),
         speedup_k8_simd_vs_k1_scalar: rate_of(8, "simd") / rate_of(1, "scalar").max(1e-9),
         speedup_k8_scalar_vs_k1_scalar: rate_of(8, "scalar") / rate_of(1, "scalar").max(1e-9),
         legs,

@@ -173,6 +173,7 @@ fn drive_load(
                             req_id,
                             agent,
                             &obs[(seq as usize) % dims.len()],
+                            marl_obs::context::TraceCtx::NONE,
                             &mut frame,
                         );
                         sent_times.lock().expect("times").push(Instant::now());

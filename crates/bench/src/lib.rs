@@ -115,13 +115,35 @@ pub struct GatedMetric {
     pub name: &'static str,
     /// Nested key path inside a history line's `bench` payload.
     pub path: &'static [&'static str],
+    /// Direction of goodness: `false` for latency-like metrics (the gate
+    /// fails when the newer value is *higher*), `true` for
+    /// throughput-like metrics (fails when the newer value is *lower*).
+    pub higher_is_better: bool,
 }
 
-/// The gated metrics: lower is better for all of them.
+/// The gated metrics.
 pub const GATED_METRICS: &[GatedMetric] = &[
-    GatedMetric { name: "update ns/op", path: &["update_all_trainers", "simd_ns_per_op"] },
-    GatedMetric { name: "episode ns/op", path: &["end_to_end_episode", "simd_ns_per_op"] },
-    GatedMetric { name: "serve p99 ns", path: &["serve_p99_ns"] },
+    GatedMetric {
+        name: "update ns/op",
+        path: &["update_all_trainers", "simd_ns_per_op"],
+        higher_is_better: false,
+    },
+    GatedMetric {
+        name: "episode ns/op",
+        path: &["end_to_end_episode", "simd_ns_per_op"],
+        higher_is_better: false,
+    },
+    GatedMetric { name: "serve p99 ns", path: &["serve_p99_ns"], higher_is_better: false },
+    GatedMetric {
+        name: "rollout steps/sec",
+        path: &["rollout_env_steps_per_sec"],
+        higher_is_better: true,
+    },
+    GatedMetric {
+        name: "lockstep steps/sec",
+        path: &["lockstep_env_steps_per_sec"],
+        higher_is_better: true,
+    },
 ];
 
 /// Extracts the number at a nested key `path` from a compact JSON
@@ -144,7 +166,7 @@ pub fn json_number_at(json: &str, path: &[&str]) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// One gated metric that got slower than the threshold allows.
+/// One gated metric that got worse than the threshold allows.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Regression {
     /// Which gated metric regressed.
@@ -153,9 +175,9 @@ pub struct Regression {
     pub older_id: String,
     /// History id of the newer (regressed) entry.
     pub newer_id: String,
-    /// Older value (ns).
+    /// Older value.
     pub older: f64,
-    /// Newer value (ns).
+    /// Newer value.
     pub newer: f64,
 }
 
@@ -163,7 +185,7 @@ impl std::fmt::Display for Regression {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}: {} -> {}: {:.0} ns -> {:.0} ns (+{:.1} %)",
+            "{}: {} -> {}: {:.0} -> {:.0} ({:+.1} %)",
             self.metric,
             self.older_id,
             self.newer_id,
@@ -176,9 +198,11 @@ impl std::fmt::Display for Regression {
 
 /// Checks the newest `BENCH_history.jsonl` entry of every gated metric
 /// against the previous entry carrying that metric, returning the
-/// metrics whose newest value is more than `threshold` slower. Metrics
-/// with fewer than two recorded entries pass vacuously (there is nothing
-/// to regress against); file order is recording order.
+/// metrics whose newest value is more than `threshold` worse — higher
+/// for latency-like metrics, lower for throughput-like ones
+/// ([`GatedMetric::higher_is_better`]). Metrics with fewer than two
+/// recorded entries pass vacuously (there is nothing to regress
+/// against); file order is recording order.
 pub fn check_history_regressions(history: &str, threshold: f64) -> Vec<Regression> {
     let mut regressions = Vec::new();
     for metric in GATED_METRICS {
@@ -197,7 +221,12 @@ pub fn check_history_regressions(history: &str, threshold: f64) -> Vec<Regressio
         }
         let (older_id, older) = series[series.len() - 2].clone();
         let (newer_id, newer) = series[series.len() - 1].clone();
-        if newer > older * (1.0 + threshold) {
+        let regressed = if metric.higher_is_better {
+            newer < older * (1.0 - threshold)
+        } else {
+            newer > older * (1.0 + threshold)
+        };
+        if regressed {
             regressions.push(Regression { metric: metric.name, older_id, newer_id, older, newer });
         }
     }
@@ -594,6 +623,28 @@ mod tests {
         assert!(
             check_history_regressions(hist_line("only", 1, 1, Some(1)).as_str(), 0.15).is_empty()
         );
+    }
+
+    fn throughput_line(id: &str, rollout: u64, lockstep: u64) -> String {
+        format!(
+            "{{\"id\":\"{id}\",\"bench\":{{\"rollout_env_steps_per_sec\":{rollout},\
+             \"lockstep_env_steps_per_sec\":{lockstep}}}}}"
+        )
+    }
+
+    #[test]
+    fn regression_gate_flips_direction_for_throughput_metrics() {
+        // Throughput falling 20 % regresses; rising 20 % never does.
+        let history =
+            [throughput_line("pr9", 50_000, 10_000), throughput_line("pr10", 40_000, 12_000)]
+                .join("\n");
+        let regressions = check_history_regressions(&history, 0.15);
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert_eq!(regressions[0].metric, "rollout steps/sec");
+        let msg = regressions[0].to_string();
+        assert!(msg.contains("-20.0 %"), "{msg}");
+        // A looser threshold tolerates the dip.
+        assert!(check_history_regressions(&history, 0.25).is_empty());
     }
 
     #[test]

@@ -20,13 +20,19 @@
 use crate::error::DistError;
 use crate::supervisor::{Liveness, Supervisor, SupervisorConfig};
 use crate::transport::Transport;
-use crate::wire::{Bye, Msg, Params, Welcome};
+use crate::wire::{Bye, Heartbeat, HeartbeatAck, Msg, Params, Welcome};
 use crate::worker::worker_noise_state;
 use marl_algo::trainer::Trainer;
 use marl_algo::TrainConfig;
+use marl_obs::context::{span_id, TraceCtx};
 use marl_obs::metrics::MetricsRegistry;
+use marl_obs::span::FlowDir;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
+
+/// Span-id actor slot of learner-originated frames (disjoint from every
+/// worker id, and small enough that `span_id`'s shift keeps all bits).
+pub const LEARNER_SPAN_ACTOR: u32 = 0x00FF_FFFE;
 
 /// Episode-boundary restart state the learner records per worker (from
 /// its last `EpisodeEnd` frame).
@@ -121,6 +127,10 @@ pub struct Learner {
     opts: LearnerOptions,
     snapshots: BTreeMap<u32, WorkerSnapshot>,
     episodes_recorded: usize,
+    /// Fleet-shared trace id (the run seed).
+    trace_id: u64,
+    /// Monotone counter feeding [`span_id`] for stamped frames.
+    ctx_seq: u64,
 }
 
 impl Learner {
@@ -130,6 +140,7 @@ impl Learner {
     ///
     /// Propagates trainer construction failures.
     pub fn new(config: TrainConfig, opts: LearnerOptions) -> Result<Self, DistError> {
+        let trace_id = config.seed;
         Ok(Learner {
             trainer: Trainer::new(config)?,
             supervisor: Supervisor::new(opts.supervisor),
@@ -137,12 +148,15 @@ impl Learner {
             opts,
             snapshots: BTreeMap::new(),
             episodes_recorded: 0,
+            trace_id,
+            ctx_seq: 0,
         })
     }
 
     /// Wraps an existing trainer (e.g. one restored from a checkpoint).
     pub fn from_trainer(trainer: Trainer, opts: LearnerOptions) -> Self {
         let episodes_recorded = trainer.episodes_done();
+        let trace_id = trainer.config().seed;
         Learner {
             trainer,
             supervisor: Supervisor::new(opts.supervisor),
@@ -150,6 +164,8 @@ impl Learner {
             opts,
             snapshots: BTreeMap::new(),
             episodes_recorded,
+            trace_id,
+            ctx_seq: 0,
         }
     }
 
@@ -207,12 +223,64 @@ impl Learner {
         }
     }
 
-    fn params_msg(&self, lockstep: bool) -> Msg {
-        Msg::Params(Box::new(Params {
+    /// Stamps the next learner-originated trace context (telemetry only).
+    fn next_ctx(&mut self) -> Option<TraceCtx> {
+        let t = self.trainer.telemetry_handle()?;
+        self.ctx_seq += 1;
+        Some(TraceCtx {
+            trace_id: self.trace_id,
+            span_id: span_id(LEARNER_SPAN_ACTOR, self.ctx_seq),
+            send_ns: t.tracer.now_ns(),
+        })
+    }
+
+    /// Records the flow-destination span of an ingested, ctx-stamped
+    /// `Steps` frame (pairs with the worker's `steps-send` origin).
+    fn note_steps_ctx(&self, ctx: Option<TraceCtx>, start_ns: Option<u64>) {
+        if let (Some(t), Some(c)) = (self.trainer.telemetry_handle(), ctx) {
+            let now = t.tracer.now_ns();
+            t.tracer.record_flow(
+                "steps-ingest",
+                0,
+                start_ns.unwrap_or(now),
+                now,
+                c.span_id,
+                FlowDir::In,
+            );
+        }
+    }
+
+    /// Echoes a heartbeat so the worker can price its round trip;
+    /// `recv_ns` is the learner's tracer clock (the merge reference).
+    fn ack_msg(&self, h: &Heartbeat) -> Msg {
+        let recv_ns = self.trainer.telemetry_handle().map_or(0, |t| t.tracer.now_ns());
+        Msg::HeartbeatAck(HeartbeatAck {
+            worker_id: h.worker_id,
+            seq: h.seq,
+            send_ns: h.send_ns,
+            recv_ns,
+        })
+    }
+
+    fn params_msg(&mut self, lockstep: bool) -> Msg {
+        let ctx = self.next_ctx();
+        let msg = Msg::Params(Box::new(Params {
             epoch: self.epoch,
             agents: self.trainer.agent_states(),
             master_rng: lockstep.then(|| self.trainer.master_rng_state()),
-        }))
+            ctx,
+        }));
+        if let (Some(t), Some(c)) = (self.trainer.telemetry_handle(), ctx) {
+            t.tracer.record_flow(
+                "params-send",
+                0,
+                c.send_ns,
+                t.tracer.now_ns(),
+                c.span_id,
+                FlowDir::Out,
+            );
+        }
+        msg
     }
 
     fn welcome_lockstep(&self, worker_id: u32) -> Msg {
@@ -307,9 +375,12 @@ impl Learner {
                     self.supervisor.observe(worker_id, Instant::now());
                     match msg {
                         Msg::Steps(s) => {
+                            let ingest_start =
+                                self.trainer.telemetry_handle().map(|t| t.tracer.now_ns());
                             for step in &s.steps {
                                 self.trainer.ingest_step(step)?;
                             }
+                            self.note_steps_ctx(s.ctx, ingest_start);
                             if s.sync {
                                 let state = s.rng.ok_or_else(|| {
                                     DistError::Protocol(
@@ -331,7 +402,15 @@ impl Learner {
                             }
                         }
                         Msg::EpisodeEnd(e) => self.record_episode_end(&e),
-                        Msg::Heartbeat(_) => {}
+                        Msg::Heartbeat(h) => {
+                            // Best-effort, as in the free-running loop: a
+                            // worker that outpaced us (no updates to wait
+                            // on) may have said goodbye and gone while its
+                            // heartbeats were still queued here; failing
+                            // the ack would lose the queued `Bye`.
+                            let ack = self.ack_msg(&h);
+                            let _ = transport.send(&ack);
+                        }
                         Msg::Bye(_) => return Ok(()),
                         other => {
                             return Err(DistError::Protocol(format!(
@@ -425,9 +504,12 @@ impl Learner {
                             let _ = conn.transport.send(&refresh);
                             continue;
                         }
+                        let ingest_start =
+                            self.trainer.telemetry_handle().map(|t| t.tracer.now_ns());
                         for step in &s.steps {
                             self.trainer.ingest_step(step)?;
                         }
+                        self.note_steps_ctx(s.ctx, ingest_start);
                         while self.trainer.maybe_update()? {
                             self.epoch += 1;
                             if self.epoch.is_multiple_of(self.opts.params_every_updates.max(1)) {
@@ -437,6 +519,8 @@ impl Learner {
                     }
                     Ok(Msg::Heartbeat(h)) => {
                         self.supervisor.observe(h.worker_id, Instant::now());
+                        let ack = self.ack_msg(&h);
+                        let _ = conn.transport.send(&ack);
                     }
                     Ok(Msg::EpisodeEnd(e)) => {
                         self.supervisor.observe(e.worker_id, Instant::now());

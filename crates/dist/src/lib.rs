@@ -38,4 +38,4 @@ pub use process::{ChaosPlan, Endpoint, TcpAcceptor, UnixAcceptor, WorkerPool};
 pub use queue::BoundedQueue;
 pub use supervisor::{Liveness, Supervisor, SupervisorConfig};
 pub use transport::{loopback_pair, LoopbackTransport, StreamTransport, Transport};
-pub use worker::{run_worker, run_worker_from, Worker};
+pub use worker::{run_worker, run_worker_from, run_worker_traced, Worker, WorkerStats};

@@ -421,7 +421,7 @@ mod tests {
     use crate::wire::Heartbeat;
 
     fn hb(seq: u64) -> Msg {
-        Msg::Heartbeat(Heartbeat { worker_id: 1, seq, env_steps: seq * 10 })
+        Msg::Heartbeat(Heartbeat { worker_id: 1, seq, env_steps: seq * 10, send_ns: 0 })
     }
 
     fn seq_of(msg: &Msg) -> u64 {

@@ -26,6 +26,7 @@ use marl_algo::checkpoint::AgentState;
 use marl_algo::TrainConfig;
 use marl_core::crc32::Crc32;
 use marl_core::transition::Transition;
+use marl_obs::context::TraceCtx;
 use serde::{Deserialize, Serialize};
 
 /// Frame magic: `MARD` (MARC's framing, Dist flavor).
@@ -106,6 +107,10 @@ pub struct Steps {
     pub rng: Option<[u64; 4]>,
     /// Whether the worker blocks for a [`Params`] reply (update due).
     pub sync: bool,
+    /// Distributed-tracing context stamped by the sender (absent on
+    /// untraced runs and on frames from pre-tracing peers).
+    #[serde(default)]
+    pub ctx: Option<TraceCtx>,
 }
 
 /// A parameter broadcast after one or more update iterations.
@@ -119,6 +124,9 @@ pub struct Params {
     /// next action draws continue the single interleaved stream.
     /// Present only in lockstep mode.
     pub master_rng: Option<[u64; 4]>,
+    /// Distributed-tracing context stamped by the learner.
+    #[serde(default)]
+    pub ctx: Option<TraceCtx>,
 }
 
 /// A liveness beacon.
@@ -130,6 +138,26 @@ pub struct Heartbeat {
     pub seq: u64,
     /// Worker's environment-step counter (progress signal).
     pub env_steps: u64,
+    /// Send timestamp on the worker's tracer clock (ns); echoed by the
+    /// learner's [`HeartbeatAck`] so the worker can measure RTT and
+    /// estimate the learner-clock offset. 0 from untraced workers.
+    #[serde(default)]
+    pub send_ns: u64,
+}
+
+/// The learner's reply to a [`Heartbeat`]: echoes the worker's send
+/// timestamp and adds the learner-clock receive time, giving the worker
+/// one NTP-style round trip per beacon for its clock-offset estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeartbeatAck {
+    /// Worker being answered.
+    pub worker_id: u32,
+    /// Echoed beacon counter.
+    pub seq: u64,
+    /// Echoed worker-clock send timestamp (ns).
+    pub send_ns: u64,
+    /// Learner-clock time the heartbeat was observed (ns).
+    pub recv_ns: u64,
 }
 
 /// End of one worker episode: the reward plus the episode-boundary state
@@ -148,6 +176,9 @@ pub struct EpisodeEnd {
     pub env_steps: u64,
     /// Samples pushed since the last update.
     pub samples_since_update: usize,
+    /// Distributed-tracing context stamped by the sender.
+    #[serde(default)]
+    pub ctx: Option<TraceCtx>,
 }
 
 /// A clean goodbye.
@@ -176,10 +207,13 @@ pub enum Msg {
     EpisodeEnd(EpisodeEnd),
     /// Worker → learner: clean shutdown.
     Bye(Bye),
+    /// Learner → worker: heartbeat echo (RTT / clock-offset probe).
+    HeartbeatAck(HeartbeatAck),
 }
 
 impl Msg {
-    /// Wire discriminant (the header `kind` field).
+    /// Wire discriminant (the header `kind` field). Kinds 8–11 are the
+    /// raw binary serve frames; new JSON kinds continue from 12.
     pub fn kind(&self) -> u16 {
         match self {
             Msg::Hello(_) => 1,
@@ -189,6 +223,7 @@ impl Msg {
             Msg::Heartbeat(_) => 5,
             Msg::EpisodeEnd(_) => 6,
             Msg::Bye(_) => 7,
+            Msg::HeartbeatAck(_) => 12,
         }
     }
 
@@ -202,6 +237,7 @@ impl Msg {
             Msg::Heartbeat(_) => "heartbeat",
             Msg::EpisodeEnd(_) => "episode-end",
             Msg::Bye(_) => "bye",
+            Msg::HeartbeatAck(_) => "heartbeat-ack",
         }
     }
 }
@@ -365,7 +401,7 @@ mod tests {
     use super::*;
 
     fn heartbeat() -> Msg {
-        Msg::Heartbeat(Heartbeat { worker_id: 3, seq: 9, env_steps: 125 })
+        Msg::Heartbeat(Heartbeat { worker_id: 3, seq: 9, env_steps: 125, send_ns: 7_000 })
     }
 
     #[test]
@@ -373,7 +409,52 @@ mod tests {
         let bytes = encode_frame(&heartbeat());
         let back = decode_frame(&bytes).unwrap();
         match back {
-            Msg::Heartbeat(h) => assert_eq!(h, Heartbeat { worker_id: 3, seq: 9, env_steps: 125 }),
+            Msg::Heartbeat(h) => {
+                assert_eq!(h, Heartbeat { worker_id: 3, seq: 9, env_steps: 125, send_ns: 7_000 })
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn heartbeat_ack_roundtrips_at_kind_12() {
+        let ack = Msg::HeartbeatAck(HeartbeatAck {
+            worker_id: 3,
+            seq: 9,
+            send_ns: 7_000,
+            recv_ns: 1_000_000,
+        });
+        assert_eq!(ack.kind(), 12);
+        let bytes = encode_frame(&ack);
+        match decode_frame(&bytes).unwrap() {
+            Msg::HeartbeatAck(a) => {
+                assert_eq!(a.send_ns, 7_000);
+                assert_eq!(a.recv_ns, 1_000_000);
+                assert_eq!((a.worker_id, a.seq), (3, 9));
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_context_rides_steps_and_survives_roundtrip() {
+        use marl_obs::context::span_id;
+        let msg = Msg::Steps(Steps {
+            worker_id: 1,
+            epoch: 2,
+            seq: 4,
+            steps: Vec::new(),
+            rng: None,
+            sync: false,
+            ctx: Some(TraceCtx { trace_id: 0xAB, span_id: span_id(1, 4), send_ns: 123 }),
+        });
+        let bytes = encode_frame(&msg);
+        match decode_frame(&bytes).unwrap() {
+            Msg::Steps(s) => {
+                let ctx = s.ctx.expect("ctx survives");
+                assert_eq!(ctx.span_id, span_id(1, 4));
+                assert_eq!(ctx.send_ns, 123);
+            }
             other => panic!("wrong kind: {other:?}"),
         }
     }

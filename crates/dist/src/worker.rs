@@ -21,7 +21,7 @@
 use crate::backoff::Backoff;
 use crate::error::DistError;
 use crate::transport::Transport;
-use crate::wire::{Bye, EpisodeEnd, Heartbeat, Hello, Msg, Steps, Welcome};
+use crate::wire::{Bye, EpisodeEnd, Heartbeat, HeartbeatAck, Hello, Msg, Steps, Welcome};
 use marl_algo::agent::AgentNets;
 use marl_algo::checkpoint::AgentState;
 use marl_algo::config::{Task, TrainConfig};
@@ -29,10 +29,15 @@ use marl_core::transition::Transition;
 use marl_env::entity::DiscreteAction;
 use marl_env::env::ParticleEnv;
 use marl_nn::rng::derive_seed;
+use marl_obs::clock::ClockOffset;
+use marl_obs::context::{span_id, TraceCtx};
+use marl_obs::span::FlowDir;
+use marl_obs::telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::mpsc;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Derived-stream index of free-running worker exploration noise
 /// (disjoint from master=1, update=2, vec-rollout=3, extra-world env=4).
@@ -85,6 +90,17 @@ pub struct Worker {
     seq: u64,
     hb_seq: u64,
     pending: Vec<Vec<Transition>>,
+    /// Attached telemetry: when present, outbound frames carry trace
+    /// contexts, sends record flow spans, and heartbeat acks feed the
+    /// clock-offset estimator.
+    obs: Option<Arc<Telemetry>>,
+    /// Learner-relative clock offset estimated from heartbeat round
+    /// trips (offset = learner time − worker time).
+    clock: ClockOffset,
+    /// Fleet-shared trace id (the run seed).
+    trace_id: u64,
+    /// Monotone counter feeding [`span_id`] for stamped frames.
+    ctx_seq: u64,
 }
 
 impl Worker {
@@ -173,6 +189,7 @@ impl Worker {
             }
             None => {}
         }
+        let trace_id = config.seed;
         Ok(Worker {
             id: w.worker_id,
             config,
@@ -192,6 +209,10 @@ impl Worker {
             seq: 0,
             hb_seq: 0,
             pending: Vec::new(),
+            obs: None,
+            clock: ClockOffset::default(),
+            trace_id,
+            ctx_seq: 0,
         })
     }
 
@@ -199,6 +220,62 @@ impl Worker {
     pub fn with_heartbeat_every(mut self, steps: u64) -> Self {
         self.heartbeat_every_steps = steps.max(1);
         self
+    }
+
+    /// Attaches telemetry: outbound frames are stamped with trace
+    /// contexts, sends record flow-origin spans, and heartbeat acks feed
+    /// the clock-offset estimator and the `heartbeat_rtt_us` histogram.
+    pub fn with_telemetry(mut self, obs: Arc<Telemetry>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// The learner-relative clock offset estimated from heartbeat acks
+    /// (all zeros until the first ack arrives).
+    pub fn clock_offset(&self) -> ClockOffset {
+        self.clock
+    }
+
+    /// Stamps the next outbound frame's trace context (telemetry only).
+    fn next_ctx(&mut self) -> Option<TraceCtx> {
+        let t = self.obs.as_ref()?;
+        self.ctx_seq += 1;
+        Some(TraceCtx {
+            trace_id: self.trace_id,
+            span_id: span_id(self.id, self.ctx_seq),
+            send_ns: t.tracer.now_ns(),
+        })
+    }
+
+    /// Records the flow-origin span of a stamped send.
+    fn record_flow_out(&self, label: &'static str, ctx: Option<TraceCtx>) {
+        if let (Some(t), Some(c)) = (self.obs.as_ref(), ctx) {
+            t.tracer.record_flow(label, 0, c.send_ns, t.tracer.now_ns(), c.span_id, FlowDir::Out);
+        }
+    }
+
+    /// Folds a heartbeat ack into the clock-offset estimate and the RTT
+    /// histogram. Acks echo the worker's own tracer timestamp, so
+    /// without telemetry there is nothing meaningful to fold.
+    fn on_ack(&mut self, ack: HeartbeatAck) {
+        // recv_ns == 0 means the learner has no telemetry clock attached;
+        // there is no offset to estimate against.
+        if ack.worker_id != self.id || ack.recv_ns == 0 {
+            return;
+        }
+        if let Some(t) = self.obs.as_ref() {
+            let sample = self.clock.observe(ack.send_ns, ack.recv_ns, t.tracer.now_ns());
+            t.metrics.heartbeat_rtt_us.record(sample.rtt_ns / 1_000);
+        }
+    }
+
+    /// Records the flow-destination marker of an installed parameter
+    /// broadcast (pairs with the learner's `params-send` origin).
+    fn note_params_ctx(&self, ctx: Option<TraceCtx>) {
+        if let (Some(t), Some(c)) = (self.obs.as_ref(), ctx) {
+            let now = t.tracer.now_ns();
+            t.tracer.record_flow("params-recv", 0, now, now, c.span_id, FlowDir::In);
+        }
     }
 
     /// This worker's id.
@@ -232,11 +309,35 @@ impl Worker {
         // post-update `Params` handoff.
         let control = if self.lockstep { None } else { transport.split_recv().map(spawn_reader) };
         while self.episodes_done < self.episodes {
-            if self.run_one_episode(transport, control.as_ref())? {
-                // Courtesy reply; the learner may already be gone.
-                let _ = transport
-                    .send(&Msg::Bye(Bye { worker_id: self.id, reason: "learner-bye".into() }));
-                return Ok(RunOutcome::LearnerBye);
+            match self.run_one_episode(transport, control.as_ref()) {
+                Ok(true) => {
+                    // Courtesy reply; the learner may already be gone.
+                    let _ = transport
+                        .send(&Msg::Bye(Bye { worker_id: self.id, reason: "learner-bye".into() }));
+                    return Ok(RunOutcome::LearnerBye);
+                }
+                Ok(false) => {}
+                Err(e) => {
+                    // A send racing the learner's shutdown dies with a
+                    // broken pipe even though the goodbye was delivered:
+                    // the learner waves `Bye` and exits, and the next
+                    // heartbeat or flush hits the closed socket before
+                    // the control channel is consulted. If the goodbye
+                    // is (or promptly arrives) in the control channel,
+                    // this is a clean wave-off, not a failure to retry.
+                    if let Some(rx) = control.as_ref() {
+                        let deadline = Instant::now() + Duration::from_millis(250);
+                        loop {
+                            match rx.recv_timeout(Duration::from_millis(25)) {
+                                Ok(Msg::Bye(_)) => return Ok(RunOutcome::LearnerBye),
+                                Ok(_) => continue,
+                                Err(_) if Instant::now() < deadline => continue,
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                    return Err(e);
+                }
             }
             self.episodes_done += 1;
         }
@@ -301,10 +402,14 @@ impl Worker {
 
             if self.env_steps.is_multiple_of(self.heartbeat_every_steps) {
                 self.hb_seq += 1;
+                // `send_ns` is this worker's tracer clock; the learner's
+                // ack echoes it so the round trip prices the clock offset.
+                let send_ns = self.obs.as_ref().map_or(0, |t| t.tracer.now_ns());
                 transport.send(&Msg::Heartbeat(Heartbeat {
                     worker_id: self.id,
                     seq: self.hb_seq,
                     env_steps: self.env_steps,
+                    send_ns,
                 }))?;
             }
 
@@ -347,6 +452,7 @@ impl Worker {
             self.flush(transport, false)?;
         }
         let mean_reward = episode_reward.iter().sum::<f32>() / n as f32;
+        let ctx = self.next_ctx();
         transport.send(&Msg::EpisodeEnd(EpisodeEnd {
             worker_id: self.id,
             mean_reward,
@@ -354,6 +460,7 @@ impl Worker {
             env_rng: self.env.rng_state(),
             env_steps: self.env_steps,
             samples_since_update: self.samples_since_update,
+            ctx,
         }))?;
         Ok(stop)
     }
@@ -361,6 +468,7 @@ impl Worker {
     /// Sends all pending joint steps as one `Steps` frame.
     fn flush(&mut self, transport: &mut dyn Transport, sync: bool) -> Result<(), DistError> {
         self.seq += 1;
+        let ctx = self.next_ctx();
         let msg = Msg::Steps(Steps {
             worker_id: self.id,
             epoch: self.epoch,
@@ -368,15 +476,19 @@ impl Worker {
             steps: std::mem::take(&mut self.pending),
             rng: sync.then(|| self.rng.state()),
             sync,
+            ctx,
         });
-        transport.send(&msg)
+        transport.send(&msg)?;
+        self.record_flow_out("steps-send", ctx);
+        Ok(())
     }
 
     /// Blocks for the post-update `Params` of a sync flush. Returns
     /// `true` if the learner said goodbye instead.
     fn await_params(&mut self, transport: &mut dyn Transport) -> Result<bool, DistError> {
         let per_wait = Duration::from_secs(5);
-        for _ in 0..12 {
+        let mut timeouts = 0;
+        while timeouts < 12 {
             match transport.recv_timeout(per_wait) {
                 Ok(Msg::Params(p)) => {
                     self.install_params(&p.agents)?;
@@ -384,8 +496,11 @@ impl Worker {
                     if let Some(state) = p.master_rng {
                         self.rng = StdRng::from_state(state);
                     }
+                    self.note_params_ctx(p.ctx);
                     return Ok(false);
                 }
+                // Heartbeat acks interleave freely with the handoff.
+                Ok(Msg::HeartbeatAck(a)) => self.on_ack(a),
                 Ok(Msg::Bye(_)) => return Ok(true),
                 Ok(other) => {
                     return Err(DistError::Protocol(format!(
@@ -393,7 +508,7 @@ impl Worker {
                         other.label()
                     )));
                 }
-                Err(DistError::Timeout { .. }) => continue,
+                Err(DistError::Timeout { .. }) => timeouts += 1,
                 Err(e) => return Err(e),
             }
         }
@@ -444,6 +559,11 @@ impl Worker {
                 if let Some(state) = p.master_rng {
                     self.rng = StdRng::from_state(state);
                 }
+                self.note_params_ctx(p.ctx);
+                Ok(false)
+            }
+            Msg::HeartbeatAck(a) => {
+                self.on_ack(a);
                 Ok(false)
             }
             Msg::Bye(_) => Ok(true),
@@ -523,7 +643,7 @@ where
 /// As [`run_worker`].
 pub fn run_worker_from<F>(
     worker_id: u32,
-    mut connect: F,
+    connect: F,
     backoff: &mut Backoff,
     max_attempts: u32,
     initial_resume: bool,
@@ -531,8 +651,48 @@ pub fn run_worker_from<F>(
 where
     F: FnMut() -> Result<Box<dyn Transport>, DistError>,
 {
+    run_worker_traced(worker_id, connect, backoff, max_attempts, initial_resume, None).1
+}
+
+/// What a traced worker run produced, for the process summary the fleet
+/// orchestrator collects.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerStats {
+    /// RTT-estimated learner-minus-worker clock offset (ns); 0 when no
+    /// acknowledged heartbeats were observed.
+    pub clock_offset_ns: i64,
+    /// EWMA-smoothed round-trip time behind the offset estimate (ns).
+    pub clock_rtt_ns: u64,
+    /// Heartbeat round trips feeding the estimate.
+    pub clock_samples: u64,
+    /// Environment steps executed (resumes continue the count from the
+    /// learner's snapshot).
+    pub env_steps: u64,
+    /// Episodes completed by the final admission.
+    pub episodes_done: u64,
+}
+
+/// [`run_worker_from`] with telemetry attached to every (re)admitted
+/// worker: frames carry trace contexts and the learner-relative clock
+/// offset is estimated from heartbeat acks. The stats of the last
+/// admission come back alongside the outcome — even a failed run
+/// (e.g. the learner reached its target and vanished mid-episode)
+/// reports the clock and progress it measured, so the process summary
+/// stays truthful for every exit path.
+pub fn run_worker_traced<F>(
+    worker_id: u32,
+    mut connect: F,
+    backoff: &mut Backoff,
+    max_attempts: u32,
+    initial_resume: bool,
+    obs: Option<Arc<Telemetry>>,
+) -> (WorkerStats, Result<RunOutcome, DistError>)
+where
+    F: FnMut() -> Result<Box<dyn Transport>, DistError>,
+{
     let mut resume = initial_resume;
     let mut last_err = DistError::Disconnected;
+    let mut stats = WorkerStats::default();
     while backoff.attempt() < max_attempts {
         let mut transport = match connect() {
             Ok(t) => t,
@@ -541,27 +701,39 @@ where
                 std::thread::sleep(backoff.next_delay());
                 continue;
             }
-            Err(e) => return Err(e),
+            Err(e) => return (stats, Err(e)),
         };
         match Worker::handshake(&mut *transport, worker_id, resume) {
             Ok(mut worker) => {
                 backoff.reset();
                 resume = true;
-                match worker.run(&mut *transport) {
-                    Ok(outcome) => return Ok(outcome),
+                if let Some(t) = obs.clone() {
+                    worker = worker.with_telemetry(t);
+                }
+                let run = worker.run(&mut *transport);
+                let clock = worker.clock_offset();
+                stats = WorkerStats {
+                    clock_offset_ns: clock.offset_ns(),
+                    clock_rtt_ns: clock.rtt_ns(),
+                    clock_samples: clock.samples(),
+                    env_steps: worker.env_steps(),
+                    episodes_done: worker.episodes_done() as u64,
+                };
+                match run {
+                    Ok(outcome) => return (stats, Ok(outcome)),
                     Err(e) if e.is_reconnect() => {
                         last_err = e;
                         std::thread::sleep(backoff.next_delay());
                     }
-                    Err(e) => return Err(e),
+                    Err(e) => return (stats, Err(e)),
                 }
             }
             Err(e) if e.is_reconnect() => {
                 last_err = e;
                 std::thread::sleep(backoff.next_delay());
             }
-            Err(e) => return Err(e),
+            Err(e) => return (stats, Err(e)),
         }
     }
-    Err(last_err)
+    (stats, Err(last_err))
 }

@@ -6,31 +6,40 @@
 //! plus metadata (`"ph":"M"`) events naming the process and the logical
 //! lanes (tid 0 = trainer, tid `1 + k` = agent `k`'s update lane).
 //!
+//! Spans recorded with a flow direction ([`crate::span::FlowDir`])
+//! additionally emit a flow event — `"ph":"s"` at the origin, `"ph":"f"`
+//! at the destination — under the shared flow id, which the viewers
+//! render as an arrow between the two slices. Cross-process pairing
+//! works because the flow id is the frame's trace-context span id,
+//! identical on both sides, and the fleet merger
+//! ([`crate::fleet`]) keeps ids intact while remapping pids.
+//!
 //! The writer streams: events are appended as they are drained at
 //! episode boundaries, and [`ChromeTraceWriter::finish`] closes the JSON
 //! array. An unfinished file is still salvageable — the trace viewers
 //! tolerate a truncated event array — but `finish` should normally run.
 
-use crate::span::SpanEvent;
+use crate::span::{FlowDir, SpanEvent};
 use std::io::{self, Write};
+
+/// Category shared by every flow event; viewers pair `s`/`f` events by
+/// (category, name, id), so it must match on both sides of an arrow.
+pub const FLOW_CAT: &str = "marl.flow";
 
 /// Streaming writer for Chrome trace-event JSON.
 #[derive(Debug)]
 pub struct ChromeTraceWriter<W: Write> {
     out: W,
+    pid: u32,
     wrote_event: bool,
     finished: bool,
 }
 
 impl<W: Write> ChromeTraceWriter<W> {
-    /// Starts a trace, writing the header and process-metadata events.
-    pub fn new(mut out: W) -> io::Result<Self> {
-        out.write_all(b"{\"traceEvents\":[")?;
-        let mut w = ChromeTraceWriter { out, wrote_event: false, finished: false };
-        w.write_raw(
-            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
-             \"args\":{\"name\":\"marl-train\"}}",
-        )?;
+    /// Starts a trace for the default single-process layout (`pid` 1,
+    /// process `marl-train`, thread 0 named `trainer`).
+    pub fn new(out: W) -> io::Result<Self> {
+        let mut w = ChromeTraceWriter::with_process(out, 1, "marl-train")?;
         w.write_raw(
             "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
              \"args\":{\"name\":\"trainer\"}}",
@@ -38,11 +47,25 @@ impl<W: Write> ChromeTraceWriter<W> {
         Ok(w)
     }
 
+    /// Starts a trace under an explicit process id and display name (one
+    /// lane of a multi-process fleet timeline). `process_name` must not
+    /// need JSON escaping (no quotes or backslashes).
+    pub fn with_process(mut out: W, pid: u32, process_name: &str) -> io::Result<Self> {
+        out.write_all(b"{\"traceEvents\":[")?;
+        let mut w = ChromeTraceWriter { out, pid, wrote_event: false, finished: false };
+        w.write_raw(&format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{process_name}\"}}}}"
+        ))?;
+        Ok(w)
+    }
+
     /// Emits a thread-name metadata event for an agent lane.
     pub fn name_agent_lane(&mut self, agent_idx: usize) -> io::Result<()> {
         let tid = 1 + agent_idx;
+        let pid = self.pid;
         self.write_raw(&format!(
-            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
              \"args\":{{\"name\":\"agent-{agent_idx}\"}}}}"
         ))
     }
@@ -56,16 +79,32 @@ impl<W: Write> ChromeTraceWriter<W> {
         Ok(())
     }
 
-    /// Appends one complete-duration event. Labels are `&'static str`
-    /// identifiers (no quotes/backslashes), so no JSON escaping is needed.
+    /// Appends one complete-duration event (plus a flow event when the
+    /// span participates in a cross-process flow). Labels are
+    /// `&'static str` identifiers (no quotes/backslashes), so no JSON
+    /// escaping is needed.
     pub fn write_event(&mut self, ev: &SpanEvent) -> io::Result<()> {
         let ts_us = ev.start_ns as f64 / 1000.0;
         let dur_us = ev.end_ns.saturating_sub(ev.start_ns) as f64 / 1000.0;
+        let pid = self.pid;
         self.write_raw(&format!(
             "{{\"name\":\"{}\",\"cat\":\"marl\",\"ph\":\"X\",\"ts\":{ts_us:.3},\
-             \"dur\":{dur_us:.3},\"pid\":1,\"tid\":{}}}",
+             \"dur\":{dur_us:.3},\"pid\":{pid},\"tid\":{}}}",
             ev.label, ev.tid
-        ))
+        ))?;
+        match ev.flow {
+            FlowDir::None => Ok(()),
+            FlowDir::Out => self.write_raw(&format!(
+                "{{\"name\":\"flow\",\"cat\":\"{FLOW_CAT}\",\"ph\":\"s\",\"id\":{},\
+                 \"ts\":{ts_us:.3},\"pid\":{pid},\"tid\":{}}}",
+                ev.flow_id, ev.tid
+            )),
+            FlowDir::In => self.write_raw(&format!(
+                "{{\"name\":\"flow\",\"cat\":\"{FLOW_CAT}\",\"ph\":\"f\",\"bp\":\"e\",\
+                 \"id\":{},\"ts\":{ts_us:.3},\"pid\":{pid},\"tid\":{}}}",
+                ev.flow_id, ev.tid
+            )),
+        }
     }
 
     /// Appends a batch of drained events.
@@ -93,8 +132,8 @@ mod tests {
 
     fn sample_events() -> Vec<SpanEvent> {
         vec![
-            SpanEvent { label: "update-all-trainers", tid: 0, start_ns: 1000, end_ns: 9000 },
-            SpanEvent { label: "agent-update", tid: 1, start_ns: 2500, end_ns: 8000 },
+            SpanEvent::complete("update-all-trainers", 0, 1000, 9000),
+            SpanEvent::complete("agent-update", 1, 2500, 8000),
         ]
     }
 
@@ -131,5 +170,39 @@ mod tests {
         assert_eq!(text.matches("]}").count(), 1);
         // Metadata events only — still a well-formed array.
         assert!(text.contains("process_name"));
+    }
+
+    #[test]
+    fn explicit_process_lane_and_flow_events() {
+        let mut buf = Vec::new();
+        {
+            let mut w = ChromeTraceWriter::with_process(&mut buf, 7, "marl-worker-1").unwrap();
+            w.write_event(&SpanEvent {
+                label: "steps-send",
+                tid: 0,
+                start_ns: 4000,
+                end_ns: 6000,
+                flow_id: 42,
+                flow: FlowDir::Out,
+            })
+            .unwrap();
+            w.write_event(&SpanEvent {
+                label: "steps-ingest",
+                tid: 0,
+                start_ns: 7000,
+                end_ns: 9000,
+                flow_id: 42,
+                flow: FlowDir::In,
+            })
+            .unwrap();
+            w.finish().unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"args\":{\"name\":\"marl-worker-1\"}"));
+        assert!(text.contains("\"pid\":7"));
+        assert!(text.contains("\"ph\":\"s\",\"id\":42"));
+        assert!(text.contains("\"ph\":\"f\",\"bp\":\"e\",\"id\":42"));
+        // Flow events pair under the shared category.
+        assert_eq!(text.matches(FLOW_CAT).count(), 2);
     }
 }

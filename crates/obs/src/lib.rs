@@ -19,6 +19,14 @@
 //!   fallback when the syscall is unavailable.
 //! - [`telemetry`] — the orchestrator tying the above together behind
 //!   the [`Telemetry`] handle the trainer attaches.
+//! - [`context`] — the compact binary trace context stamped on
+//!   cross-process MARD frames (trace id, span id, send timestamp).
+//! - [`clock`] — per-peer clock-offset estimation from heartbeat round
+//!   trips (half-RTT, EWMA-smoothed) plus the wall-clock anchor.
+//! - [`fleet`] — fleet-wide merging: per-process Chrome traces into one
+//!   clock-aligned timeline with cross-process flow arrows, histogram
+//!   snapshots into fleet percentiles, Prometheus expositions into one
+//!   labelled exposition.
 //!
 //! Instrumentation preserves the workspace's steady-state
 //! zero-allocation guarantee and never perturbs RNG streams or update
@@ -29,12 +37,18 @@
 #![warn(missing_debug_implementations)]
 
 pub mod chrome;
+pub mod clock;
+pub mod context;
+pub mod fleet;
 pub mod metrics;
 pub mod perf_event;
 pub mod prometheus;
 pub mod span;
 pub mod telemetry;
 
-pub use metrics::{Histogram, KernelTally, MetricsRegistry, MetricsSnapshot};
-pub use span::{SpanEvent, SpanGuard, SpanTracer};
+pub use clock::{ClockOffset, OffsetSample};
+pub use context::{span_id, TraceCtx};
+pub use fleet::{MergeStats, ProcessSummary, ProcessTrace};
+pub use metrics::{Histogram, HistogramSnapshot, KernelTally, MetricsRegistry, MetricsSnapshot};
+pub use span::{FlowDir, SpanEvent, SpanGuard, SpanTracer};
 pub use telemetry::{SnapshotContext, Telemetry, TelemetryConfig};

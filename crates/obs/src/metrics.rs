@@ -253,6 +253,49 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<BucketCount>,
 }
 
+impl HistogramSnapshot {
+    /// Merges another snapshot into this one at the serialized level —
+    /// the cross-process counterpart of [`Histogram::merge_from`].
+    /// Sparse buckets add by lower bound and the derived statistics
+    /// (mean, p50/p90/p99) are recomputed with the same rules a live
+    /// [`Histogram`] uses, so merging per-process snapshots equals
+    /// snapshotting one registry that saw every observation
+    /// (property-tested in `tests/histogram_props.rs`).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        let mut by_lo: std::collections::BTreeMap<u64, u64> =
+            self.buckets.iter().map(|b| (b.lo, b.count)).collect();
+        for b in &other.buckets {
+            *by_lo.entry(b.lo).or_insert(0) += b.count;
+        }
+        self.buckets = by_lo.into_iter().map(|(lo, count)| BucketCount { lo, count }).collect();
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.mean = if self.count == 0 { 0.0 } else { self.sum as f64 / self.count as f64 };
+        self.p50 = self.quantile(0.50);
+        self.p90 = self.quantile(0.90);
+        self.p99 = self.quantile(0.99);
+    }
+
+    /// Bucketed quantile estimate over the sparse buckets; same rule as
+    /// [`Histogram::quantile`] (lower bound of the first bucket at which
+    /// the cumulative count reaches `q * count`; 0 when empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for b in &self.buckets {
+            seen += b.count;
+            if seen >= target {
+                return b.lo;
+            }
+        }
+        self.max
+    }
+}
+
 /// Accumulated live hardware counters around the mini-batch sampling
 /// phase (filled by the `perf_event` backend when available).
 #[derive(Debug, Default)]
@@ -366,6 +409,9 @@ pub struct MetricsRegistry {
     pub dist_workers_alive: Gauge,
     /// Supervised restarts of dead dist workers.
     pub dist_worker_restarts: Counter,
+    /// Heartbeat round-trip times (worker → learner → ack), microseconds;
+    /// feeds the clock-offset estimator ([`crate::clock::ClockOffset`]).
+    pub heartbeat_rtt_us: Histogram,
     /// Inference requests answered by the serve path.
     pub serve_requests: Counter,
     /// Inference requests rejected (bad agent index / wrong obs dim).
@@ -496,6 +542,11 @@ pub struct MetricsSnapshot {
     /// Serve batch-occupancy distribution (requests per batch).
     #[serde(default)]
     pub serve_batch_fill: HistogramSnapshot,
+    /// Heartbeat round-trip-time distribution (µs). Appended after the
+    /// serve block so older JSONL lines (and the declaration-order cut in
+    /// the roundtrip test) still deserialize via the default.
+    #[serde(default)]
+    pub heartbeat_rtt_us: HistogramSnapshot,
 }
 
 impl MetricsRegistry {
@@ -562,6 +613,7 @@ impl MetricsRegistry {
             serve_queue_depth: self.serve_queue_depth.get(),
             serve_latency_ns: self.serve_latency_ns.snapshot(),
             serve_batch_fill: self.serve_batch_fill.snapshot(),
+            heartbeat_rtt_us: self.heartbeat_rtt_us.snapshot(),
         }
     }
 }
@@ -692,6 +744,43 @@ mod tests {
         assert_eq!(old.serve_requests, 0);
         assert_eq!(old.serve_latency_ns.count, 0);
         assert!(old.serve_latency_ns.buckets.is_empty());
+        // Later additions (heartbeat RTT) default the same way.
+        assert_eq!(old.heartbeat_rtt_us.count, 0);
+    }
+
+    #[test]
+    fn heartbeat_rtt_lands_in_snapshot() {
+        let r = MetricsRegistry::new();
+        r.heartbeat_rtt_us.record(250);
+        r.heartbeat_rtt_us.record(400);
+        let snap = r.snapshot(0, true, &PhaseProfile::new(), KernelTally::default(), 0);
+        assert_eq!(snap.heartbeat_rtt_us.count, 2);
+        assert_eq!(snap.heartbeat_rtt_us.max, 400);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.heartbeat_rtt_us, snap.heartbeat_rtt_us);
+    }
+
+    #[test]
+    fn snapshot_merge_matches_single_registry() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in [0u64, 3, 17, 900, 1 << 22] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [5u64, 17, 64_000] {
+            b.record(v);
+            all.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+        // Merging an empty snapshot is the identity.
+        let before = merged.clone();
+        merged.merge(&HistogramSnapshot::default());
+        assert_eq!(merged, before);
     }
 
     #[test]

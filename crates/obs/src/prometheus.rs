@@ -111,6 +111,13 @@ pub fn render(snap: &MetricsSnapshot) -> String {
     );
     sample(
         &mut out,
+        "marl_obs_spans_dropped",
+        "Span-ring events overwritten before drain (fleet-standard name).",
+        "counter",
+        snap.spans_dropped as f64,
+    );
+    sample(
+        &mut out,
         "marl_kernel_dispatch_scalar_total",
         "Kernel calls dispatched to the scalar path.",
         "counter",
@@ -292,6 +299,12 @@ pub fn render(snap: &MetricsSnapshot) -> String {
         "Requests coalesced per serve micro-batch.",
         &snap.serve_batch_fill,
     );
+    histogram(
+        &mut out,
+        "marl_dist_heartbeat_rtt_us",
+        "Heartbeat round-trip times (worker to learner and back), microseconds.",
+        &snap.heartbeat_rtt_us,
+    );
     out
 }
 
@@ -379,5 +392,19 @@ mod tests {
         assert!(text.contains("marl_dist_quarantined_frames_total 4"));
         assert!(text.contains("marl_dist_workers_alive 2"));
         assert!(text.contains("marl_dist_worker_restarts_total 1"));
+    }
+
+    #[test]
+    fn renders_heartbeat_rtt_and_obs_spans_dropped() {
+        let r = MetricsRegistry::new();
+        r.heartbeat_rtt_us.record(120);
+        r.heartbeat_rtt_us.record(480);
+        let snap = r.snapshot(0, true, &PhaseProfile::new(), KernelTally::default(), 5);
+        let text = render(&snap);
+        assert!(text.contains("# TYPE marl_dist_heartbeat_rtt_us histogram"));
+        assert!(text.contains("marl_dist_heartbeat_rtt_us_count 2"));
+        assert!(text.contains("marl_dist_heartbeat_rtt_us_sum 600"));
+        assert!(text.contains("marl_obs_spans_dropped 5"));
+        assert!(text.contains("marl_spans_dropped_total 5"));
     }
 }

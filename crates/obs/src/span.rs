@@ -18,6 +18,19 @@ use std::time::Instant;
 /// Default ring capacity: 64 Ki events ≈ 2 MiB.
 pub const DEFAULT_SPAN_CAPACITY: usize = 65_536;
 
+/// Whether a span participates in a cross-process flow (an arrow on the
+/// merged timeline) and in which direction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FlowDir {
+    /// Not part of a flow.
+    #[default]
+    None,
+    /// Flow origin — a `send` span; the arrow leaves here.
+    Out,
+    /// Flow destination — a `recv` span; the arrow lands here.
+    In,
+}
+
 /// One completed span. `label` is `&'static` so recording never allocates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpanEvent {
@@ -30,6 +43,18 @@ pub struct SpanEvent {
     pub start_ns: u64,
     /// End, nanoseconds since the tracer epoch.
     pub end_ns: u64,
+    /// Cross-process flow id (the sending span's trace-context span id);
+    /// 0 unless `flow != FlowDir::None`.
+    pub flow_id: u64,
+    /// Flow participation of this span.
+    pub flow: FlowDir,
+}
+
+impl SpanEvent {
+    /// A plain (non-flow) complete span.
+    pub fn complete(label: &'static str, tid: u32, start_ns: u64, end_ns: u64) -> Self {
+        SpanEvent { label, tid, start_ns, end_ns, flow_id: 0, flow: FlowDir::None }
+    }
 }
 
 /// Fixed-capacity overwrite-oldest ring of span events.
@@ -75,6 +100,7 @@ impl Ring {
 #[derive(Debug)]
 pub struct SpanTracer {
     epoch: Instant,
+    unix_anchor_ns: u64,
     ring: Mutex<Ring>,
 }
 
@@ -85,6 +111,7 @@ impl SpanTracer {
         let capacity = capacity.max(1);
         SpanTracer {
             epoch: Instant::now(),
+            unix_anchor_ns: crate::clock::unix_now_ns(),
             ring: Mutex::new(Ring { buf: Vec::with_capacity(capacity), head: 0, dropped: 0 }),
         }
     }
@@ -94,9 +121,29 @@ impl SpanTracer {
         self.epoch.elapsed().as_nanos() as u64
     }
 
+    /// Wall-clock time (ns since the Unix epoch) captured when the tracer
+    /// epoch was taken — the coarse cross-process alignment anchor.
+    pub fn unix_anchor_ns(&self) -> u64 {
+        self.unix_anchor_ns
+    }
+
     /// Records one completed span. Allocation-free.
     pub fn record(&self, label: &'static str, tid: u32, start_ns: u64, end_ns: u64) {
-        self.ring.lock().push(SpanEvent { label, tid, start_ns, end_ns });
+        self.ring.lock().push(SpanEvent::complete(label, tid, start_ns, end_ns));
+    }
+
+    /// Records one completed span participating in a cross-process flow
+    /// (`flow_id` is the shared trace-context span id). Allocation-free.
+    pub fn record_flow(
+        &self,
+        label: &'static str,
+        tid: u32,
+        start_ns: u64,
+        end_ns: u64,
+        flow_id: u64,
+        flow: FlowDir,
+    ) {
+        self.ring.lock().push(SpanEvent { label, tid, start_ns, end_ns, flow_id, flow });
     }
 
     /// Opens an RAII span that records itself when dropped.
@@ -191,6 +238,19 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert!(out[0].end_ns >= out[0].start_ns);
         assert_eq!(out[0].tid, 2);
+    }
+
+    #[test]
+    fn flow_spans_carry_id_and_direction() {
+        let t = SpanTracer::new(8);
+        t.record_flow("send", 0, 5, 9, 0xBEEF, FlowDir::Out);
+        t.record("plain", 0, 10, 11);
+        let mut out = Vec::new();
+        t.drain_into(&mut out);
+        assert_eq!(out[0].flow, FlowDir::Out);
+        assert_eq!(out[0].flow_id, 0xBEEF);
+        assert_eq!(out[1].flow, FlowDir::None);
+        assert_eq!(out[1].flow_id, 0);
     }
 
     #[test]

@@ -41,6 +41,11 @@ pub struct TelemetryConfig {
     /// Attach live `perf_event_open` hardware counters around the
     /// mini-batch sampling phase (`--hw-counters`).
     pub hw_counters: bool,
+    /// Process display name for the trace's lane metadata (`None` keeps
+    /// the single-process default, `marl-train`). Fleet processes set
+    /// their role (`learner`, `worker-K`, `serve`) so the merged
+    /// timeline labels each lane.
+    pub process_name: Option<String>,
 }
 
 /// Everything the registry cannot see on its own at snapshot time.
@@ -86,7 +91,13 @@ impl Telemetry {
         let capacity =
             if cfg.span_capacity == 0 { DEFAULT_SPAN_CAPACITY } else { cfg.span_capacity };
         let trace = match &cfg.trace_out {
-            Some(path) => Some(ChromeTraceWriter::new(BufWriter::new(File::create(path)?))?),
+            Some(path) => {
+                let file = BufWriter::new(File::create(path)?);
+                Some(match &cfg.process_name {
+                    Some(name) => ChromeTraceWriter::with_process(file, 1, name)?,
+                    None => ChromeTraceWriter::new(file)?,
+                })
+            }
             None => None,
         };
         let metrics_file = match &cfg.metrics_out {
@@ -253,6 +264,7 @@ mod tests {
             prometheus_out: Some(prom_path.clone()),
             span_capacity: 64,
             hw_counters: false,
+            process_name: None,
         })
         .unwrap();
         tel.name_agent_lanes(2);

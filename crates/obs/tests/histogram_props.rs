@@ -69,6 +69,28 @@ proptest! {
     }
 
     #[test]
+    fn cross_process_snapshot_merge_equals_single_registry(
+        parts in proptest::collection::vec(
+            proptest::collection::vec(0u64..1u64 << 40, 0..64), 1..5),
+    ) {
+        // The fleet merge path: each "process" records into its own
+        // histogram and ships a sparse snapshot; merging the snapshots
+        // must equal snapshotting one registry that saw every value —
+        // counts, sum, max, mean, quantiles, and buckets alike.
+        let ground = Histogram::new();
+        for vs in &parts {
+            for &v in vs {
+                ground.record(v);
+            }
+        }
+        let mut merged = build(&parts[0]).snapshot();
+        for vs in &parts[1..] {
+            merged.merge(&build(vs).snapshot());
+        }
+        prop_assert_eq!(merged, ground.snapshot());
+    }
+
+    #[test]
     fn quantiles_bracket_recorded_values(
         values in proptest::collection::vec(0u64..1u64 << 40, 1..128),
     ) {

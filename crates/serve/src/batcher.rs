@@ -12,6 +12,7 @@
 //! the pool — no allocation anywhere in the cycle once the pool and the
 //! per-slot vectors are warmed.
 
+use marl_obs::context::TraceCtx;
 use std::collections::VecDeque;
 
 /// Flush policy and capacity of a [`MicroBatcher`].
@@ -55,6 +56,9 @@ pub struct RequestSlot {
     /// Actor logits for the observation (filled by the engine, reused
     /// capacity).
     pub logits: Vec<f32>,
+    /// Client trace context carried through the batch and echoed in the
+    /// response ([`TraceCtx::NONE`] for untraced requests).
+    pub trace: TraceCtx,
 }
 
 impl RequestSlot {
@@ -69,6 +73,7 @@ impl RequestSlot {
         self.action = 0;
         self.epoch = 0;
         self.logits.clear();
+        self.trace = TraceCtx::NONE;
     }
 }
 
@@ -238,9 +243,11 @@ mod tests {
         let mut s = RequestSlot::default();
         s.obs.extend_from_slice(&[1.0; 32]);
         s.logits.extend_from_slice(&[2.0; 8]);
+        s.trace = TraceCtx { trace_id: 1, span_id: 2, send_ns: 3 };
         let obs_cap = s.obs.capacity();
         s.reset();
         assert!(s.obs.is_empty());
         assert_eq!(s.obs.capacity(), obs_cap);
+        assert!(!s.trace.is_set());
     }
 }

@@ -5,6 +5,7 @@
 //!            [--max-batch B] [--max-delay-us T] [--queue-capacity Q]
 //!            [--frame-deadline-ms MS] [--reload-poll-ms MS]
 //!            [--metrics-out FILE] [--prometheus-out FILE]
+//!            [--trace-out FILE]
 //! ```
 //!
 //! Loads the MARC checkpoint (with its `.prev` crash-safety fallback),
@@ -20,9 +21,16 @@
 //!
 //! On exit the final metrics snapshot is printed; `--metrics-out`
 //! additionally appends it as JSONL and `--prometheus-out` writes the
-//! Prometheus text exposition.
+//! Prometheus text exposition. `--trace-out` attaches a span tracer to
+//! the batcher thread: each batched forward becomes a `serve-forward`
+//! span, every traced request (trace-context trailer set) gets a
+//! `serve-recv` flow event pairing with the client's send, and the file
+//! is a Chrome/Perfetto trace with a `serve` process lane. The last
+//! stdout line is the single-line process summary the fleet
+//! orchestrator parses.
 
 use marl_obs::metrics::{KernelTally, MetricsRegistry};
+use marl_obs::{ProcessSummary, SnapshotContext, Telemetry, TelemetryConfig};
 use marl_perf::phase::PhaseProfile;
 use marl_serve::{PolicyModel, ServeConfig, ServeListener, Server};
 use std::io::Write;
@@ -57,6 +65,7 @@ struct Cli {
     config: ServeConfig,
     metrics_out: Option<PathBuf>,
     prometheus_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, CliError> {
@@ -65,6 +74,7 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
     let mut config = ServeConfig::default();
     let mut metrics_out = None;
     let mut prometheus_out = None;
+    let mut trace_out = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -90,6 +100,7 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
             }
             "--metrics-out" => metrics_out = Some(value("--metrics-out")?.into()),
             "--prometheus-out" => prometheus_out = Some(value("--prometheus-out")?.into()),
+            "--trace-out" => trace_out = Some(value("--trace-out")?.into()),
             "--help" | "-h" => return Err(CliError("help".into())),
             v => return Err(CliError(format!("unknown flag {v}"))),
         }
@@ -106,7 +117,7 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
     if config.queue_capacity < config.max_batch {
         return Err(CliError("--queue-capacity must hold at least one batch".into()));
     }
-    Ok(Cli { checkpoint, bind, config, metrics_out, prometheus_out })
+    Ok(Cli { checkpoint, bind, config, metrics_out, prometheus_out, trace_out })
 }
 
 fn usage() {
@@ -115,6 +126,7 @@ fn usage() {
          \x20                 [--max-batch B] [--max-delay-us T] [--queue-capacity Q]\n\
          \x20                 [--frame-deadline-ms MS] [--reload-poll-ms MS]\n\
          \x20                 [--metrics-out FILE] [--prometheus-out FILE]\n\
+         \x20                 [--trace-out FILE]\n\
          \n\
          \x20 --max-batch B        flush a micro-batch at B requests (default 32)\n\
          \x20 --max-delay-us T     ... or once the oldest waited T µs (default 200)\n\
@@ -183,19 +195,39 @@ fn main() -> ExitCode {
         println!("listening on tcp {addr}");
     }
 
+    let telemetry: Option<Arc<Telemetry>> = match &cli.trace_out {
+        Some(path) => {
+            let cfg = TelemetryConfig {
+                trace_out: Some(path.clone()),
+                process_name: Some("serve".to_string()),
+                ..TelemetryConfig::default()
+            };
+            match Telemetry::new(&cfg) {
+                Ok(t) => Some(Arc::new(t)),
+                Err(e) => {
+                    eprintln!("error: opening trace sink failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
     let metrics = Arc::new(MetricsRegistry::new());
-    let server = Server::start(
+    let server = Server::start_traced(
         listener,
         model,
         cli.config.clone(),
         Arc::clone(&metrics),
         Some(cli.checkpoint.clone()),
+        telemetry.clone(),
     );
     // Blocks until a CTL_SHUTDOWN frame arrives and the drain completes:
     // every admitted request is answered before wait() returns.
     server.wait();
 
-    let snap = metrics.snapshot(0, true, &PhaseProfile::new(), KernelTally::default(), 0);
+    let spans_dropped = telemetry.as_ref().map_or(0, |t| t.tracer.dropped());
+    let snap =
+        metrics.snapshot(0, true, &PhaseProfile::new(), KernelTally::default(), spans_dropped);
     println!(
         "served {} requests | {} errors | {} reloads | p50 {} ns | p99 {} ns | max {} ns",
         snap.serve_requests,
@@ -223,5 +255,23 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    // Drain the trace sink, then report the single-line process summary
+    // the fleet orchestrator parses — keep it the last line printed.
+    let epoch_unix_ns = telemetry.as_ref().map_or(0, |t| t.tracer.unix_anchor_ns());
+    if let Some(t) = &telemetry {
+        let _ = t.finish(&SnapshotContext {
+            episode: 0,
+            profile: &PhaseProfile::new(),
+            kernels: KernelTally::default(),
+        });
+    }
+    let summary = ProcessSummary {
+        process: "serve".to_string(),
+        epoch_unix_ns,
+        spans_dropped,
+        requests: snap.serve_requests,
+        ..ProcessSummary::default()
+    };
+    println!("{}", serde_json::to_string(&summary).expect("summary serializes"));
     ExitCode::SUCCESS
 }

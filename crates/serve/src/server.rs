@@ -32,6 +32,8 @@ use crate::proto;
 use marl_dist::wire::{self, KIND_INFER_REQ, KIND_SERVE_CTL};
 use marl_dist::{DistError, StreamTransport, TcpAcceptor, UnixAcceptor};
 use marl_obs::metrics::MetricsRegistry;
+use marl_obs::span::FlowDir;
+use marl_obs::telemetry::Telemetry;
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -152,6 +154,10 @@ struct Shared {
     /// scattered; writers may exit once their outbox is empty.
     drained: AtomicBool,
     epoch0: Instant,
+    /// Attached telemetry: the batcher records `serve-forward` spans and
+    /// pairs traced requests' flow arrows on its span tracer. All span
+    /// timestamps use the tracer's clock, never `epoch0`.
+    obs: Option<Arc<Telemetry>>,
 }
 
 impl Shared {
@@ -189,6 +195,21 @@ impl Server {
         metrics: Arc<MetricsRegistry>,
         checkpoint: Option<PathBuf>,
     ) -> Server {
+        Server::start_traced(listener, model, config, metrics, checkpoint, None)
+    }
+
+    /// [`Server::start`] with telemetry attached: the batcher records a
+    /// `serve-forward` span per batch and a flow-destination marker per
+    /// traced request, pairing the merged timeline's client→forward
+    /// arrows.
+    pub fn start_traced(
+        listener: ServeListener,
+        model: PolicyModel,
+        config: ServeConfig,
+        metrics: Arc<MetricsRegistry>,
+        checkpoint: Option<PathBuf>,
+        obs: Option<Arc<Telemetry>>,
+    ) -> Server {
         let max_obs = (0..model.num_agents()).map(|a| model.obs_dim(a)).max().unwrap_or(0);
         let max_act = (0..model.num_agents()).map(|a| model.act_dim(a)).max().unwrap_or(0);
         let pool_size = config.queue_capacity + config.max_batch;
@@ -216,6 +237,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             drained: AtomicBool::new(false),
             epoch0: Instant::now(),
+            obs,
         });
         let conn_handles = Arc::new(Mutex::new(Vec::new()));
         let mut handles = Vec::new();
@@ -359,8 +381,9 @@ fn reader_loop(
         match kind {
             KIND_INFER_REQ => {
                 let Some(mut slot) = take_slot(&shared) else { break };
-                let (req_id, agent) = match proto::decode_request_into(payload, &mut slot.obs) {
-                    Ok(pair) => pair,
+                let (req_id, agent, ctx) = match proto::decode_request_into(payload, &mut slot.obs)
+                {
+                    Ok(triple) => triple,
                     Err(_) => {
                         return_slot(&shared, slot);
                         peer_gone = true;
@@ -370,6 +393,7 @@ fn reader_loop(
                 slot.req_id = req_id;
                 slot.agent = agent;
                 slot.conn_id = conn_id;
+                slot.trace = ctx;
                 slot.error = 0;
                 {
                     let model = shared.model.read().expect("model lock");
@@ -478,6 +502,7 @@ fn writer_loop(mut transport: StreamTransport, shared: Arc<Shared>, out: Arc<Con
                 slot.agent,
                 slot.action,
                 &slot.logits,
+                slot.trace,
                 &mut frame,
             );
         }
@@ -562,8 +587,26 @@ fn batcher_loop(shared: Arc<Shared>) {
         }
         shared.ingress_cv.notify_all(); // queue space freed
         if !batch.is_empty() {
+            let fwd_start = shared.obs.as_ref().map(|t| t.tracer.now_ns());
             let model = Arc::clone(&shared.model.read().expect("model lock"));
             engine.infer(&model, &mut batch);
+            if let Some(t) = shared.obs.as_ref() {
+                let end = t.tracer.now_ns();
+                let start = fwd_start.unwrap_or(end);
+                t.tracer.record("serve-forward", 0, start, end);
+                for slot in batch.iter() {
+                    if slot.trace.is_set() {
+                        t.tracer.record_flow(
+                            "serve-recv",
+                            0,
+                            start,
+                            end,
+                            slot.trace.span_id,
+                            FlowDir::In,
+                        );
+                    }
+                }
+            }
             shared.metrics.serve_batch_fill.record(batch.len() as u64);
             scatter(&shared, &mut batch);
         }

@@ -16,7 +16,9 @@
 
 use marl_algo::{Algorithm, Task, TrainConfig, Trainer};
 use marl_dist::wire;
+use marl_obs::context::{span_id, TraceCtx};
 use marl_obs::metrics::MetricsRegistry;
+use marl_obs::span::{FlowDir, SpanTracer};
 use marl_serve::batcher::{BatcherConfig, MicroBatcher, RequestSlot};
 use marl_serve::{proto, InferenceEngine, PolicyModel};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -66,17 +68,21 @@ fn run_wave(
     obs: &[f32],
     client_logits: &mut Vec<f32>,
     metrics: &MetricsRegistry,
+    tracer: &SpanTracer,
 ) {
-    // Ingest: client encodes, server decodes into a pooled slot.
+    // Ingest: client encodes (trace context attached), server decodes
+    // into a pooled slot.
     for i in 0..n {
         let agent = (i % model.num_agents()) as u32;
-        proto::encode_request(i as u64, agent, obs, req_frame);
+        let ctx = TraceCtx { trace_id: 0xF1EE7, span_id: span_id(9, i as u64 + 1), send_ns: 10 };
+        proto::encode_request(i as u64, agent, obs, ctx, req_frame);
         let mut slot = pool.pop().expect("pool sized for the wave");
-        let (req_id, agent) =
+        let (req_id, agent, ctx) =
             proto::decode_request_into(&req_frame[wire::HEADER_LEN..], &mut slot.obs)
                 .expect("decodes");
         slot.req_id = req_id;
         slot.agent = agent;
+        slot.trace = ctx;
         slot.error = 0;
         batcher.push(slot, (i as u64) * 1_000).expect("capacity sized for the wave");
     }
@@ -85,7 +91,14 @@ fn run_wave(
         batcher.drain_into(batch);
         engine.infer(model, batch);
         metrics.serve_batch_fill.record(batch.len() as u64);
-        // Respond: server encodes, client decodes, slot returns to pool.
+        // Flow markers for every traced request, as the batcher records.
+        for slot in batch.iter() {
+            if slot.trace.is_set() {
+                tracer.record_flow("serve-recv", 0, 100, 200, slot.trace.span_id, FlowDir::In);
+            }
+        }
+        // Respond: server encodes (context echoed), client decodes, slot
+        // returns to pool.
         for slot in batch.drain(..) {
             proto::encode_response(
                 slot.req_id,
@@ -93,6 +106,7 @@ fn run_wave(
                 slot.agent,
                 slot.action,
                 &slot.logits,
+                slot.trace,
                 resp_frame,
             );
             metrics.serve_requests.inc();
@@ -100,6 +114,7 @@ fn run_wave(
             let resp = proto::decode_response_into(&resp_frame[wire::HEADER_LEN..], client_logits)
                 .expect("decodes");
             assert_eq!(resp.req_id, slot.req_id);
+            assert_eq!(resp.ctx, slot.trace, "trace context echoes through the response");
             let mut slot = slot;
             slot.reset();
             pool.push(slot);
@@ -135,6 +150,9 @@ fn steady_state_request_path_allocates_nothing() {
     let mut resp_frame = Vec::new();
     let mut client_logits = Vec::new();
     let obs: Vec<f32> = (0..model.obs_dim(0)).map(|c| c as f32 * 0.03 - 0.2).collect();
+    // Small ring: overwrite-on-full is part of the steady state and must
+    // also be allocation-free.
+    let tracer = SpanTracer::new(64);
 
     // Warm-up waves size every reusable buffer: frame vectors, per-slot
     // vectors, engine matrices and scratch, the drained-batch vector.
@@ -151,6 +169,7 @@ fn steady_state_request_path_allocates_nothing() {
             &obs,
             &mut client_logits,
             &metrics,
+            &tracer,
         );
     }
 
@@ -170,6 +189,7 @@ fn steady_state_request_path_allocates_nothing() {
             &obs,
             &mut client_logits,
             &metrics,
+            &tracer,
         );
     }
     ARMED.store(false, Ordering::SeqCst);

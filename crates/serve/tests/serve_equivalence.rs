@@ -97,7 +97,13 @@ fn concurrent_clients_get_bitwise_identical_answers() {
                     let agent = ((client + i) % model.num_agents()) as u32;
                     let obs = deterministic_obs(model.obs_dim(agent as usize), client * 1000 + i);
                     let req_id = (client * PER_CLIENT + i) as u64;
-                    proto::encode_request(req_id, agent, &obs, &mut frame);
+                    proto::encode_request(
+                        req_id,
+                        agent,
+                        &obs,
+                        marl_obs::context::TraceCtx::NONE,
+                        &mut frame,
+                    );
                     conn.send_raw(&frame).expect("send");
                     let kind = conn
                         .recv_raw_into(&mut frame, Duration::from_secs(5))
@@ -136,7 +142,13 @@ fn invalid_requests_get_typed_error_frames() {
     let mut conn = connect(&path);
     let mut frame = Vec::new();
     // Agent out of range.
-    proto::encode_request(1, model.num_agents() as u32, &[0.0; 4], &mut frame);
+    proto::encode_request(
+        1,
+        model.num_agents() as u32,
+        &[0.0; 4],
+        marl_obs::context::TraceCtx::NONE,
+        &mut frame,
+    );
     conn.send_raw(&frame).expect("send");
     let kind = conn.recv_raw_into(&mut frame, Duration::from_secs(5)).expect("reply");
     assert_eq!(kind, KIND_INFER_ERR);
@@ -144,7 +156,7 @@ fn invalid_requests_get_typed_error_frames() {
     assert_eq!((req_id, code), (1, proto::ERR_BAD_AGENT));
     // Wrong observation width for a valid agent.
     let bad_dim = model.obs_dim(0) + 1;
-    proto::encode_request(2, 0, &vec![0.0; bad_dim], &mut frame);
+    proto::encode_request(2, 0, &vec![0.0; bad_dim], marl_obs::context::TraceCtx::NONE, &mut frame);
     conn.send_raw(&frame).expect("send");
     let kind = conn.recv_raw_into(&mut frame, Duration::from_secs(5)).expect("reply");
     assert_eq!(kind, KIND_INFER_ERR);
@@ -152,7 +164,7 @@ fn invalid_requests_get_typed_error_frames() {
     assert_eq!((req_id, code), (2, proto::ERR_BAD_OBS_DIM));
     // The connection survives errors: a valid request still answers.
     let obs = deterministic_obs(model.obs_dim(0), 9);
-    proto::encode_request(3, 0, &obs, &mut frame);
+    proto::encode_request(3, 0, &obs, marl_obs::context::TraceCtx::NONE, &mut frame);
     conn.send_raw(&frame).expect("send");
     let kind = conn.recv_raw_into(&mut frame, Duration::from_secs(5)).expect("reply");
     assert_eq!(kind, KIND_INFER_RESP);
@@ -182,7 +194,7 @@ fn shutdown_frame_drains_every_admitted_request() {
     const N: u64 = 40;
     for req_id in 0..N {
         let obs = deterministic_obs(model.obs_dim(0), req_id as usize);
-        proto::encode_request(req_id, 0, &obs, &mut frame);
+        proto::encode_request(req_id, 0, &obs, marl_obs::context::TraceCtx::NONE, &mut frame);
         conn.send_raw(&frame).expect("send");
     }
     proto::encode_ctl(proto::CTL_SHUTDOWN, &mut frame);
@@ -245,7 +257,7 @@ fn hot_reload_under_load_drops_nothing_and_versions_every_answer() {
     for req_id in 0..400u64 {
         let agent = (req_id % model0.num_agents() as u64) as u32;
         let obs = deterministic_obs(model0.obs_dim(agent as usize), req_id as usize);
-        proto::encode_request(req_id, agent, &obs, &mut frame);
+        proto::encode_request(req_id, agent, &obs, marl_obs::context::TraceCtx::NONE, &mut frame);
         conn.send_raw(&frame).expect("send");
         let kind = conn.recv_raw_into(&mut frame, Duration::from_secs(5)).expect("reply");
         assert_eq!(kind, KIND_INFER_RESP);

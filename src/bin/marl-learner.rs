@@ -10,6 +10,7 @@
 //!              [--dead-after-ms MS] [--stall-timeout-ms MS]
 //!              [--chaos-kill-after-frames K] [--chaos-victim V]
 //!              [--metrics-out FILE] [--metrics-every N] [--prometheus-out FILE]
+//!              [--trace-out FILE]
 //! ```
 //!
 //! Owns the replay store and the trainer. With `--socket`/`--tcp` it
@@ -160,6 +161,7 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
             "--prometheus-out" => {
                 telemetry.prometheus_out = Some(value("--prometheus-out")?.into());
             }
+            "--trace-out" => telemetry.trace_out = Some(value("--trace-out")?.into()),
             "--help" | "-h" => return Err(CliError("help".into())),
             v => return Err(CliError(format!("unknown flag {v}"))),
         }
@@ -183,6 +185,8 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
     if telemetry.metrics_out.is_some() && telemetry.metrics_every == 0 {
         telemetry.metrics_every = 10;
     }
+    // Fleet merges label the learner's trace lane by its role.
+    telemetry.process_name = Some("learner".to_string());
     Ok(Cli {
         mode,
         workers,
@@ -207,7 +211,7 @@ fn usage() {
          \x20                   [--params-every U] [--dead-after-ms MS]\n\
          \x20                   [--stall-timeout-ms MS] [--chaos-kill-after-frames K]\n\
          \x20                   [--chaos-victim V] [--metrics-out FILE] [--metrics-every N]\n\
-         \x20                   [--prometheus-out FILE]\n\
+         \x20                   [--prometheus-out FILE] [--trace-out FILE]\n\
          \n\
          \x20 --lockstep                runs one in-process worker over the deterministic\n\
          \x20                           loopback (bitwise-identical to marl-train)\n\
@@ -317,8 +321,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let telemetry_requested =
-        cli.telemetry.metrics_out.is_some() || cli.telemetry.prometheus_out.is_some();
+    let telemetry_requested = cli.telemetry.metrics_out.is_some()
+        || cli.telemetry.prometheus_out.is_some()
+        || cli.telemetry.trace_out.is_some();
     let tel: Option<Arc<Telemetry>> = if telemetry_requested {
         match Telemetry::new(&cli.telemetry) {
             Ok(t) => {
@@ -376,6 +381,21 @@ fn main() -> ExitCode {
             snap.dist_reconnects,
             snap.dist_worker_restarts
         );
+        // The single-line process summary the fleet orchestrator parses
+        // from stdout — keep it the last line printed.
+        let summary = marl_repro::obs::ProcessSummary {
+            process: "learner".to_string(),
+            worker_id: 0,
+            epoch_unix_ns: t.tracer.unix_anchor_ns(),
+            clock_offset_ns: 0,
+            clock_rtt_ns: 0,
+            clock_samples: 0,
+            spans_dropped: snap.spans_dropped,
+            episodes: learner.episodes_recorded() as u64,
+            env_steps: learner.trainer().env_steps(),
+            requests: 0,
+        };
+        println!("{}", serde_json::to_string(&summary).expect("summary serializes"));
     }
     ExitCode::SUCCESS
 }

@@ -12,9 +12,20 @@
 //! retry with exponential backoff + jitter; after a mid-run failure the
 //! worker reconnects with `resume: true` and is re-admitted from its
 //! last episode boundary.
+//!
+//! Telemetry is environment-driven (the worker pool nulls worker stdout
+//! and passes its own environment down): when
+//! `MARL_WORKER_TELEMETRY_DIR` names a directory, the worker writes
+//! `worker-<id>.trace.json` / `.metrics.jsonl` / `.prom` /
+//! `.summary.json` there — trace contexts ride its frames and the
+//! learner-relative clock offset is estimated from heartbeat acks.
 
-use marl_repro::dist::{run_worker_from, Backoff, DistError, StreamTransport, Transport};
+use marl_repro::dist::{run_worker_traced, Backoff, DistError, StreamTransport, Transport};
+use marl_repro::obs::{KernelTally, ProcessSummary, SnapshotContext, Telemetry, TelemetryConfig};
+use marl_repro::perf::phase::PhaseProfile;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 #[derive(Debug, Clone)]
@@ -153,7 +164,22 @@ fn main() -> ExitCode {
         Duration::from_millis(backoff_cap_ms),
         worker_id as u64,
     );
-    match run_worker_from(worker_id, connect, &mut backoff, max_attempts, resume) {
+    let (telemetry_dir, telemetry) = telemetry_from_env(worker_id);
+    let (stats, result) = run_worker_traced(
+        worker_id,
+        connect,
+        &mut backoff,
+        max_attempts,
+        resume,
+        telemetry.clone(),
+    );
+    // Artifacts are written whatever the outcome: a worker orphaned
+    // mid-episode by a learner that reached its target still measured
+    // real clock offsets and progress, and the fleet merge wants them.
+    if let (Some(dir), Some(t)) = (&telemetry_dir, &telemetry) {
+        write_artifacts(dir, worker_id, t, &stats);
+    }
+    match result {
         Ok(outcome) => {
             eprintln!("worker {worker_id}: done ({outcome:?})");
             ExitCode::SUCCESS
@@ -162,5 +188,61 @@ fn main() -> ExitCode {
             eprintln!("worker {worker_id}: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Opens the environment-driven telemetry sinks (`None` when
+/// `MARL_WORKER_TELEMETRY_DIR` is unset). Sink failures are reported and
+/// telemetry is skipped — it never aborts rollout.
+fn telemetry_from_env(worker_id: u32) -> (Option<PathBuf>, Option<Arc<Telemetry>>) {
+    let Some(dir) = std::env::var_os("MARL_WORKER_TELEMETRY_DIR").map(PathBuf::from) else {
+        return (None, None);
+    };
+    let cfg = TelemetryConfig {
+        trace_out: Some(dir.join(format!("worker-{worker_id}.trace.json"))),
+        metrics_out: Some(dir.join(format!("worker-{worker_id}.metrics.jsonl"))),
+        prometheus_out: Some(dir.join(format!("worker-{worker_id}.prom"))),
+        process_name: Some(format!("worker-{worker_id}")),
+        ..TelemetryConfig::default()
+    };
+    match Telemetry::new(&cfg) {
+        Ok(t) => (Some(dir), Some(Arc::new(t))),
+        Err(e) => {
+            eprintln!("worker {worker_id}: opening telemetry sinks failed ({e}); tracing off");
+            (None, None)
+        }
+    }
+}
+
+/// Drains the trace, writes the final snapshot, and records the
+/// single-line process summary the fleet orchestrator collects.
+fn write_artifacts(
+    dir: &std::path::Path,
+    worker_id: u32,
+    telemetry: &Telemetry,
+    stats: &marl_repro::dist::WorkerStats,
+) {
+    let profile = PhaseProfile::new();
+    let snap = telemetry.finish(&SnapshotContext {
+        episode: stats.episodes_done,
+        profile: &profile,
+        kernels: KernelTally::default(),
+    });
+    let summary = ProcessSummary {
+        process: format!("worker-{worker_id}"),
+        worker_id,
+        epoch_unix_ns: telemetry.tracer.unix_anchor_ns(),
+        clock_offset_ns: stats.clock_offset_ns,
+        clock_rtt_ns: stats.clock_rtt_ns,
+        clock_samples: stats.clock_samples,
+        spans_dropped: snap.spans_dropped,
+        episodes: stats.episodes_done,
+        env_steps: stats.env_steps,
+        requests: 0,
+    };
+    let line = serde_json::to_string(&summary).expect("summary serializes");
+    let path = dir.join(format!("worker-{worker_id}.summary.json"));
+    if let Err(e) = std::fs::write(&path, format!("{line}\n")) {
+        eprintln!("worker {worker_id}: writing {} failed: {e}", path.display());
     }
 }

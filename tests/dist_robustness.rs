@@ -188,6 +188,7 @@ fn stale_epoch_frame_is_quarantined_and_answered_with_refresh() {
             steps: zero_steps(74),
             rng: None,
             sync: false,
+            ctx: None,
         }))
         .unwrap();
         // Now epoch 0 is stale (lag 0 tolerated): must be quarantined.
@@ -198,6 +199,7 @@ fn stale_epoch_frame_is_quarantined_and_answered_with_refresh() {
             steps: zero_steps(1),
             rng: None,
             sync: false,
+            ctx: None,
         }))
         .unwrap();
         me.send(&Msg::EpisodeEnd(EpisodeEnd {
@@ -207,6 +209,7 @@ fn stale_epoch_frame_is_quarantined_and_answered_with_refresh() {
             env_rng: [5, 6, 7, 8],
             env_steps: 75,
             samples_since_update: 0,
+            ctx: None,
         }))
         .unwrap();
         // Drain until the goodbye; count the parameter refreshes.

@@ -216,7 +216,7 @@ fn injected_io_error_fails_the_write_cleanly() {
 // ---------------------------------------------------------------------
 
 fn hb(seq: u64) -> Msg {
-    Msg::Heartbeat(Heartbeat { worker_id: 9, seq, env_steps: 0 })
+    Msg::Heartbeat(Heartbeat { worker_id: 9, seq, env_steps: 0, send_ns: 0 })
 }
 
 /// A bit flipped in a frame payload while in flight is caught by the
@@ -375,6 +375,7 @@ fn learner_quarantines_corrupt_steps_frame() {
             steps: vec![zero_joint_step()],
             rng: None,
             sync: false,
+            ctx: None,
         }))
         .unwrap();
         me.send(&Msg::EpisodeEnd(EpisodeEnd {
@@ -384,6 +385,7 @@ fn learner_quarantines_corrupt_steps_frame() {
             env_rng: [5, 6, 7, 8],
             env_steps: 1,
             samples_since_update: 0,
+            ctx: None,
         }))
         .unwrap();
         loop {
