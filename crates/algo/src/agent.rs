@@ -131,6 +131,148 @@ impl AgentNets {
         }
     }
 
+    /// Exploration action over a segmented (multi-discrete) head: Gumbel
+    /// noise on every logit, per-factor softmax, per-factor arg-max.
+    /// Returns the mixed-radix joint index (first factor least
+    /// significant, matching `ActionSpace::encode` in marl-env) plus the
+    /// multi-hot encoding of width Σ segments.
+    ///
+    /// With a single segment spanning the whole head this consumes
+    /// identical RNG draws and computes bitwise-identical floats to
+    /// [`AgentNets::act_explore`]: the noise expression, the per-slice
+    /// softmax, and the strict-`>` first-max arg-max all coincide.
+    pub fn act_explore_seg(
+        &self,
+        obs: &[f32],
+        segments: &[usize],
+        temperature: f32,
+        rng: &mut StdRng,
+    ) -> (usize, Vec<f32>) {
+        assert!(temperature > 0.0, "temperature must be positive");
+        let logits = self.actor.forward_inference(&Matrix::row_vector(obs));
+        let mut row = logits.into_vec();
+        assert_eq!(segments.iter().sum::<usize>(), row.len(), "segments must tile the actor head");
+        for x in row.iter_mut() {
+            *x = (*x + marl_nn::rng::standard_gumbel(rng)) / temperature;
+        }
+        let mut hot = vec![0.0; row.len()];
+        let mut idx = 0;
+        let mut stride = 1;
+        let mut off = 0;
+        for &s in segments {
+            marl_nn::activation::softmax_slice_inplace(&mut row[off..off + s]);
+            let c = marl_nn::gumbel::argmax_slice(&row[off..off + s]);
+            hot[off + c] = 1.0;
+            idx += c * stride;
+            stride *= s;
+            off += s;
+        }
+        (idx, hot)
+    }
+
+    /// Segmented counterpart of [`AgentNets::act_explore_batch`]: one
+    /// inference pass, then per-row Gumbel noise, per-factor softmax and
+    /// arg-max. Writes world `w`'s mixed-radix joint index into
+    /// `indices[w]` and its multi-hot row into row `w` of `onehot`.
+    ///
+    /// Per row this consumes RNG draws identically to
+    /// [`AgentNets::act_explore_seg`]; with a single full-width segment it
+    /// is bitwise-identical to [`AgentNets::act_explore_batch`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn act_explore_batch_seg(
+        &self,
+        obs: &Matrix,
+        segments: &[usize],
+        temperature: f32,
+        rngs: &mut [StdRng],
+        logits: &mut Matrix,
+        sample_row: &mut Matrix,
+        scratch: &mut marl_nn::scratch::Scratch,
+        indices: &mut [usize],
+        onehot: &mut Matrix,
+    ) {
+        assert!(temperature > 0.0, "temperature must be positive");
+        let worlds = obs.rows();
+        assert_eq!(rngs.len(), worlds, "one RNG stream per world");
+        assert_eq!(indices.len(), worlds, "one action index per world");
+        let act_dim = self.actor.output_dim();
+        assert_eq!(segments.iter().sum::<usize>(), act_dim, "segments must tile the actor head");
+        self.actor.forward_inference_into(obs, logits, scratch);
+        sample_row.resize(1, act_dim);
+        onehot.resize(worlds, act_dim);
+        for w in 0..worlds {
+            let row = sample_row.row_mut(0);
+            row.copy_from_slice(logits.row(w));
+            for x in row.iter_mut() {
+                *x = (*x + marl_nn::rng::standard_gumbel(&mut rngs[w])) / temperature;
+            }
+            let out = onehot.row_mut(w);
+            out.fill(0.0);
+            let mut idx = 0;
+            let mut stride = 1;
+            let mut off = 0;
+            for &s in segments {
+                marl_nn::activation::softmax_slice_inplace(&mut row[off..off + s]);
+                let c = marl_nn::gumbel::argmax_slice(&row[off..off + s]);
+                out[off + c] = 1.0;
+                idx += c * stride;
+                stride *= s;
+                off += s;
+            }
+            indices[w] = idx;
+        }
+    }
+
+    /// Greedy joint action over a segmented head: per-factor arg-max of
+    /// the raw logits, mixed-radix encoded. With a single segment this is
+    /// [`AgentNets::act_greedy`].
+    pub fn act_greedy_seg(&self, obs: &[f32], segments: &[usize]) -> usize {
+        let logits = self.actor.forward_inference(&Matrix::row_vector(obs));
+        let row = logits.row(0);
+        assert_eq!(segments.iter().sum::<usize>(), row.len(), "segments must tile the actor head");
+        let mut idx = 0;
+        let mut stride = 1;
+        let mut off = 0;
+        for &s in segments {
+            idx += marl_nn::gumbel::argmax_slice(&row[off..off + s]) * stride;
+            stride *= s;
+            off += s;
+        }
+        idx
+    }
+
+    /// Batched greedy joint actions over a segmented head (one inference
+    /// pass, per-row per-factor arg-max). `logits`/`scratch` are reusable
+    /// working storage.
+    pub fn act_greedy_batch_seg(
+        &self,
+        obs: &Matrix,
+        segments: &[usize],
+        logits: &mut Matrix,
+        scratch: &mut marl_nn::scratch::Scratch,
+        indices: &mut [usize],
+    ) {
+        assert_eq!(indices.len(), obs.rows(), "one action index per observation row");
+        self.actor.forward_inference_into(obs, logits, scratch);
+        assert_eq!(
+            segments.iter().sum::<usize>(),
+            logits.cols(),
+            "segments must tile the actor head"
+        );
+        for (r, slot) in indices.iter_mut().enumerate() {
+            let row = logits.row(r);
+            let mut idx = 0;
+            let mut stride = 1;
+            let mut off = 0;
+            for &s in segments {
+                idx += marl_nn::gumbel::argmax_slice(&row[off..off + s]) * stride;
+                stride *= s;
+                off += s;
+            }
+            *slot = idx;
+        }
+    }
+
     /// Greedy action (arg-max logits) for evaluation.
     pub fn act_greedy(&self, obs: &[f32]) -> usize {
         let logits = self.actor.forward_inference(&Matrix::row_vector(obs));
@@ -213,6 +355,35 @@ impl AgentNets {
             }
         }
         marl_nn::gumbel::softmax_relaxation_into(logits, temperature, value);
+    }
+
+    /// Segmented counterpart of [`AgentNets::target_actions_into`]: noise
+    /// on every logit (identical draws, in order), then a per-factor
+    /// softmax relaxation so each factor of the multi-discrete head is its
+    /// own distribution. With a single full-width segment this is bitwise
+    /// identical to the unsegmented variant.
+    #[allow(clippy::too_many_arguments)]
+    pub fn target_actions_seg_into(
+        &self,
+        next_obs: &Matrix,
+        segments: &[usize],
+        temperature: f32,
+        target_noise: f32,
+        noise_clip: f32,
+        rng: &mut StdRng,
+        logits: &mut Matrix,
+        value: &mut Matrix,
+        scratch: &mut marl_nn::scratch::Scratch,
+    ) {
+        self.target_actor.forward_inference_into(next_obs, logits, scratch);
+        if target_noise > 0.0 {
+            for x in logits.as_mut_slice() {
+                let n = (marl_nn::rng::standard_normal(rng) * target_noise)
+                    .clamp(-noise_clip, noise_clip);
+                *x += n;
+            }
+        }
+        marl_nn::gumbel::softmax_relaxation_segments_into(logits, segments, temperature, value);
     }
 
     /// Polyak-averages all target networks toward the live networks.
@@ -356,6 +527,128 @@ mod tests {
                 let solo = a.actor.forward_inference(&Matrix::row_vector(obs.row(r)));
                 assert_eq!(logits.row(r), solo.row(0), "batch={batch} r={r}");
             }
+        }
+    }
+
+    #[test]
+    fn single_segment_seg_paths_are_bitwise_identical_to_legacy() {
+        let a = nets(false);
+        let obs: Vec<f32> = (0..16).map(|i| (i as f32) * 0.1 - 0.8).collect();
+        let mut rng_seg = seeded(9);
+        let mut rng_old = seeded(9);
+        let (idx_seg, hot_seg) = a.act_explore_seg(&obs, &[5], 0.7, &mut rng_seg);
+        let (idx_old, hot_old) = a.act_explore(&obs, 0.7, &mut rng_old);
+        assert_eq!(idx_seg, idx_old);
+        assert_eq!(hot_seg, hot_old);
+        assert_eq!(rng_seg.state(), rng_old.state(), "identical RNG consumption");
+        assert_eq!(a.act_greedy_seg(&obs, &[5]), a.act_greedy(&obs));
+        // Batched: seg with one full-width segment vs the legacy batch.
+        let mut m = Matrix::zeros(3, 16);
+        for w in 0..3 {
+            for (c, x) in m.row_mut(w).iter_mut().enumerate() {
+                *x = (w as f32 * 0.21) - (c as f32 * 0.05);
+            }
+        }
+        let mut rngs_seg: Vec<_> = (0..3).map(|w| seeded(50 + w)).collect();
+        let mut rngs_old = rngs_seg.clone();
+        let (mut l1, mut s1, mut sc1) =
+            (Matrix::default(), Matrix::default(), marl_nn::scratch::Scratch::new());
+        let (mut l2, mut s2, mut sc2) =
+            (Matrix::default(), Matrix::default(), marl_nn::scratch::Scratch::new());
+        let mut i1 = vec![0usize; 3];
+        let mut i2 = vec![0usize; 3];
+        let mut h1 = Matrix::default();
+        let mut h2 = Matrix::default();
+        a.act_explore_batch_seg(
+            &m,
+            &[5],
+            0.7,
+            &mut rngs_seg,
+            &mut l1,
+            &mut s1,
+            &mut sc1,
+            &mut i1,
+            &mut h1,
+        );
+        a.act_explore_batch(&m, 0.7, &mut rngs_old, &mut l2, &mut s2, &mut sc2, &mut i2, &mut h2);
+        assert_eq!(i1, i2);
+        assert_eq!(h1.as_slice(), h2.as_slice());
+        // Segmented target actions with one segment == legacy relaxation.
+        let mut rng_a = seeded(77);
+        let mut rng_b = seeded(77);
+        let (mut la, mut va) = (Matrix::default(), Matrix::default());
+        let (mut lb, mut vb) = (Matrix::default(), Matrix::default());
+        a.target_actions_seg_into(&m, &[5], 1.0, 0.2, 0.5, &mut rng_a, &mut la, &mut va, &mut sc1);
+        a.target_actions_into(&m, 1.0, 0.2, 0.5, &mut rng_b, &mut lb, &mut vb, &mut sc2);
+        assert_eq!(va.as_slice(), vb.as_slice());
+        assert_eq!(rng_a.state(), rng_b.state());
+    }
+
+    #[test]
+    fn segmented_explore_yields_joint_indices_and_multi_hots() {
+        // A comm-augmented head: [5, 4] → flat width 9, joint count 20.
+        let mut rng = seeded(0);
+        let a = AgentNets::new(16, 9, 2 * 16 + 2 * 9, false, 0.01, &mut rng);
+        let mut r = seeded(4);
+        let obs = vec![0.2; 16];
+        for _ in 0..50 {
+            let (idx, hot) = a.act_explore_seg(&obs, &[5, 4], 1.0, &mut r);
+            assert!(idx < 20, "joint index within mixed-radix range");
+            assert_eq!(hot.len(), 9);
+            assert_eq!(hot.iter().filter(|&&x| x == 1.0).count(), 2, "one hot per factor");
+            // The multi-hot must agree with the mixed-radix decode.
+            assert_eq!(hot[idx % 5], 1.0, "movement is least significant");
+            assert_eq!(hot[5 + idx / 5], 1.0, "comm factor");
+        }
+        let g = a.act_greedy_seg(&obs, &[5, 4]);
+        assert!(g < 20);
+        // Batched variant agrees with the scalar variant bitwise.
+        let mut m = Matrix::zeros(4, 16);
+        for w in 0..4 {
+            for (c, x) in m.row_mut(w).iter_mut().enumerate() {
+                *x = (w as f32 * 0.3) - (c as f32 * 0.02);
+            }
+        }
+        let mut rngs: Vec<_> = (0..4).map(|w| seeded(200 + w)).collect();
+        let mut scalar_rngs = rngs.clone();
+        let (mut l, mut s, mut sc) =
+            (Matrix::default(), Matrix::default(), marl_nn::scratch::Scratch::new());
+        let mut idxs = vec![0usize; 4];
+        let mut hots = Matrix::default();
+        a.act_explore_batch_seg(
+            &m,
+            &[5, 4],
+            0.9,
+            &mut rngs,
+            &mut l,
+            &mut s,
+            &mut sc,
+            &mut idxs,
+            &mut hots,
+        );
+        for w in 0..4 {
+            let (idx, hot) = a.act_explore_seg(m.row(w), &[5, 4], 0.9, &mut scalar_rngs[w]);
+            assert_eq!(idxs[w], idx, "w={w}");
+            assert_eq!(hots.row(w), hot.as_slice(), "w={w}");
+        }
+        // Segmented target actions: each factor normalizes independently.
+        let mut rng_t = seeded(5);
+        let (mut lt, mut vt) = (Matrix::default(), Matrix::default());
+        a.target_actions_seg_into(
+            &m,
+            &[5, 4],
+            1.0,
+            0.2,
+            0.5,
+            &mut rng_t,
+            &mut lt,
+            &mut vt,
+            &mut sc,
+        );
+        for r in 0..4 {
+            let row = vt.row(r);
+            assert!((row[..5].iter().sum::<f32>() - 1.0).abs() < 1e-5);
+            assert!((row[5..].iter().sum::<f32>() - 1.0).abs() < 1e-5);
         }
     }
 

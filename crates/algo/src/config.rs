@@ -27,28 +27,14 @@ impl Algorithm {
 }
 
 /// Which particle task to train on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Task {
-    /// Competitive predator-prey (`simple_tag`).
-    PredatorPrey,
-    /// Cooperative navigation (`simple_spread`).
-    CooperativeNavigation,
-    /// Physical deception (`simple_adversary`) — a mixed
-    /// cooperative-competitive extension beyond the paper's two tasks,
-    /// with heterogeneous observation widths.
-    PhysicalDeception,
-}
-
-impl Task {
-    /// Display label.
-    pub fn label(self) -> &'static str {
-        match self {
-            Task::PredatorPrey => "predator-prey",
-            Task::CooperativeNavigation => "cooperative-navigation",
-            Task::PhysicalDeception => "physical-deception",
-        }
-    }
-}
+///
+/// Historically a three-variant enum; now the scenario id from the
+/// marl-env plug-in registry, so any registered scenario — built-in or
+/// downstream — trains without touching this crate. The associated
+/// constants (`Task::PredatorPrey`, …) keep existing `match` patterns and
+/// call sites compiling, and the serde form is the kebab-case scenario
+/// name with the legacy CamelCase variant spellings accepted on read.
+pub use marl_env::registry::ScenarioId as Task;
 
 /// How transition data is laid out in memory (Section IV-B2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]

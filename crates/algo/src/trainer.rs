@@ -18,10 +18,10 @@ use marl_core::layout::InterleavedStore;
 use marl_core::multi::MultiAgentReplay;
 use marl_core::sampler::Sampler;
 use marl_core::transition::{MultiBatch, Transition, TransitionLayout, TransitionRef};
-use marl_env::entity::DiscreteAction;
 use marl_env::env::ParticleEnv;
+use marl_env::spaces::ActionSpace;
 use marl_env::vecenv::VecParticleEnv;
-use marl_nn::gumbel::{relaxation_backward_into, softmax_relaxation_into};
+use marl_nn::gumbel::{relaxation_backward_segments_into, softmax_relaxation_segments_into};
 use marl_nn::loss::{mse_into, td_errors_into, weighted_mse_into};
 use marl_nn::matrix::Matrix;
 use marl_nn::scratch::Scratch;
@@ -184,8 +184,19 @@ pub struct Trainer {
     profile: PhaseProfile,
     curve: RewardCurve,
     obs_dims: Vec<usize>,
-    act_dim: usize,
+    /// Per-agent flat action widths (Σ action-space segments). Scenarios
+    /// with communication actions make these heterogeneous — e.g.
+    /// world-comm's leader carries movement ⊕ broadcast while the other
+    /// predators are movement-only.
+    act_dims: Vec<usize>,
+    /// Prefix sums of `act_dims`: agent `i`'s action block starts at
+    /// column `total_obs_dim + act_offsets[i]` of joint critic inputs.
+    act_offsets: Vec<usize>,
+    /// Per-agent action spaces (factor segments + joint index range),
+    /// taken from the environment at construction.
+    action_spaces: Vec<ActionSpace>,
     total_obs_dim: usize,
+    total_act_dim: usize,
     env_steps: u64,
     updates: u64,
     samples_since_update: usize,
@@ -212,29 +223,34 @@ impl Trainer {
         config.validate().map_err(TrainError::InvalidConfig)?;
         // Install the requested compute kernel before any NN work runs.
         marl_nn::kernels::configure(config.kernel);
-        let env = match config.task {
-            Task::PredatorPrey => {
-                marl_env::predator_prey(config.agents, config.max_episode_len, config.seed)
-            }
-            Task::CooperativeNavigation => {
-                marl_env::cooperative_navigation(config.agents, config.max_episode_len, config.seed)
-            }
-            Task::PhysicalDeception => {
-                marl_env::physical_deception(config.agents, config.max_episode_len, config.seed)
-            }
-        };
+        // The scenario registry resolves the task by id: any registered
+        // scenario (built-in or plugin) trains through the same loop.
+        let env = config.task.make_env(config.agents, config.max_episode_len, config.seed);
         let obs_dims: Vec<usize> = env.observation_spaces().iter().map(|s| s.dim).collect();
-        let act_dim = DiscreteAction::COUNT;
+        let action_spaces: Vec<ActionSpace> = env.action_spaces().to_vec();
+        let act_dims: Vec<usize> = action_spaces.iter().map(ActionSpace::flat_dim).collect();
+        let mut act_offsets = Vec::with_capacity(act_dims.len());
+        let mut total_act_dim = 0usize;
+        for &ad in &act_dims {
+            act_offsets.push(total_act_dim);
+            total_act_dim += ad;
+        }
         let total_obs_dim: usize = obs_dims.iter().sum();
-        let joint_dim = total_obs_dim + obs_dims.len() * act_dim;
+        let joint_dim = total_obs_dim + total_act_dim;
         let mut rng = StdRng::seed_from_u64(marl_nn::rng::derive_seed(config.seed, 1));
         let twin = config.algorithm == Algorithm::Matd3;
         let agents = obs_dims
             .iter()
-            .map(|&od| AgentNets::new(od, act_dim, joint_dim, twin, config.learning_rate, &mut rng))
+            .zip(&act_dims)
+            .map(|(&od, &ad)| {
+                AgentNets::new(od, ad, joint_dim, twin, config.learning_rate, &mut rng)
+            })
             .collect();
-        let layouts: Vec<TransitionLayout> =
-            obs_dims.iter().map(|&od| TransitionLayout::new(od, act_dim)).collect();
+        let layouts: Vec<TransitionLayout> = obs_dims
+            .iter()
+            .zip(&act_dims)
+            .map(|(&od, &ad)| TransitionLayout::new(od, ad))
+            .collect();
         let replay = match config.layout {
             LayoutMode::PerAgent => {
                 ReplayBackend::PerAgent(MultiAgentReplay::new(&layouts, config.buffer_capacity))
@@ -258,8 +274,11 @@ impl Trainer {
             profile: PhaseProfile::new(),
             curve: RewardCurve::new(),
             obs_dims,
-            act_dim,
+            act_dims,
+            act_offsets,
+            action_spaces,
             total_obs_dim,
+            total_act_dim,
             env_steps: 0,
             updates: 0,
             samples_since_update: 0,
@@ -282,17 +301,7 @@ impl Trainer {
         }
         let k = self.config.num_envs();
         let cfg = &self.config;
-        let mut vecenv = match cfg.task {
-            Task::PredatorPrey => {
-                marl_env::predator_prey_vec(cfg.agents, cfg.max_episode_len, cfg.seed, k)
-            }
-            Task::CooperativeNavigation => {
-                marl_env::cooperative_navigation_vec(cfg.agents, cfg.max_episode_len, cfg.seed, k)
-            }
-            Task::PhysicalDeception => {
-                marl_env::physical_deception_vec(cfg.agents, cfg.max_episode_len, cfg.seed, k)
-            }
-        };
+        let mut vecenv = cfg.task.make_vec_env(cfg.agents, cfg.max_episode_len, cfg.seed, k);
         // World 0 continues the scalar environment's stream: a no-op at
         // construction (both start from the same seed), and the live
         // state when the build happens after a checkpoint restore.
@@ -315,7 +324,7 @@ impl Trainer {
         } else {
             Vec::new()
         };
-        self.rollout = Some(RolloutScratch::new(k, &self.obs_dims, self.act_dim));
+        self.rollout = Some(RolloutScratch::new(k, &self.obs_dims, &self.act_dims));
         self.vecenv = Some(vecenv);
     }
 
@@ -547,12 +556,12 @@ impl Trainer {
             let (temperature, epsilon) = self.config.exploration.at(self.env_steps);
             let mut action_idx = Vec::with_capacity(n);
             let mut action_onehot = Vec::with_capacity(n);
-            for (a, o) in self.agents.iter().zip(&obs) {
-                let (mut idx, mut hot) = a.act_explore(o, temperature, &mut self.rng);
+            for ((a, o), space) in self.agents.iter().zip(&obs).zip(&self.action_spaces) {
+                let (mut idx, mut hot) =
+                    a.act_explore_seg(o, space.segments(), temperature, &mut self.rng);
                 if epsilon > 0.0 && rand::Rng::gen::<f32>(&mut self.rng) < epsilon {
-                    idx = rand::Rng::gen_range(&mut self.rng, 0..self.act_dim);
-                    hot = vec![0.0; self.act_dim];
-                    hot[idx] = 1.0;
+                    idx = rand::Rng::gen_range(&mut self.rng, 0..space.joint_count());
+                    space.multi_hot(idx, &mut hot);
                 }
                 action_idx.push(idx);
                 action_onehot.push(hot);
@@ -633,7 +642,6 @@ impl Trainer {
         let tel = self.obs.clone();
         let _episode_span = tel.as_deref().map(|t| t.tracer.span("episode", 0));
         let n = self.agents.len();
-        let act_dim = self.act_dim;
         let k = {
             let env = self.vecenv.as_mut().expect("vec env built above");
             let rollout = self.rollout.as_mut().expect("rollout scratch built above");
@@ -654,16 +662,18 @@ impl Trainer {
             {
                 let rollout = self.rollout.as_mut().expect("rollout scratch");
                 for (a, agent) in self.agents.iter().enumerate() {
+                    let space = &self.action_spaces[a];
                     // At K=1 the master RNG supplies the noise — the draw
-                    // sequence (per agent: act_dim Gumbels, then the
+                    // sequence (per agent: flat_dim Gumbels, then the
                     // epsilon draws) matches the scalar path exactly.
                     let rngs: &mut [StdRng] = if k == 1 {
                         std::slice::from_mut(&mut self.rng)
                     } else {
                         &mut self.rollout_rngs
                     };
-                    agent.act_explore_batch(
+                    agent.act_explore_batch_seg(
                         &rollout.obs_cur[a],
+                        space.segments(),
                         temperature,
                         rngs,
                         &mut rollout.logits,
@@ -675,11 +685,9 @@ impl Trainer {
                     if epsilon > 0.0 {
                         for (w, rng) in rngs.iter_mut().enumerate() {
                             if rand::Rng::gen::<f32>(&mut *rng) < epsilon {
-                                let idx = rand::Rng::gen_range(&mut *rng, 0..act_dim);
+                                let idx = rand::Rng::gen_range(&mut *rng, 0..space.joint_count());
                                 rollout.agent_idx[w] = idx;
-                                let row = rollout.onehot[a].row_mut(w);
-                                row.fill(0.0);
-                                row[idx] = 1.0;
+                                space.multi_hot(idx, rollout.onehot[a].row_mut(w));
                             }
                         }
                     }
@@ -777,13 +785,17 @@ impl Trainer {
         let mut obs = self.env.reset();
         let mut filled = 0;
         while filled < rows {
-            let actions: Vec<usize> =
-                (0..n).map(|_| rand::Rng::gen_range(&mut self.rng, 0..self.act_dim)).collect();
+            let spaces = &self.action_spaces;
+            let rng = &mut self.rng;
+            let actions: Vec<usize> = spaces
+                .iter()
+                .map(|space| rand::Rng::gen_range(&mut *rng, 0..space.joint_count()))
+                .collect();
             let mut step = self.env.step(&actions)?;
             let transitions: Vec<Transition> = (0..n)
                 .map(|i| {
-                    let mut onehot = vec![0.0; self.act_dim];
-                    onehot[actions[i]] = 1.0;
+                    let mut onehot = vec![0.0; self.act_dims[i]];
+                    self.action_spaces[i].multi_hot(actions[i], &mut onehot);
                     Transition {
                         obs: std::mem::take(&mut obs[i]),
                         action: onehot,
@@ -869,7 +881,8 @@ impl Trainer {
             let bytes: u64 = self
                 .obs_dims
                 .iter()
-                .map(|&od| rows * TransitionLayout::new(od, self.act_dim).row_bytes() as u64)
+                .zip(&self.act_dims)
+                .map(|(&od, &ad)| rows * TransitionLayout::new(od, ad).row_bytes() as u64)
                 .sum();
             self.telemetry.bytes_gathered += bytes;
             if let Some(t) = tel {
@@ -900,7 +913,7 @@ impl Trainer {
                 }
             }
             for (view, mb) in scratch.views.iter_mut().zip(&scratch.batches) {
-                view.refill(mb, &self.obs_dims, self.act_dim);
+                view.refill(mb, &self.obs_dims, &self.act_dims);
             }
         }
         if let Some(rec) = self.trace.as_mut() {
@@ -938,8 +951,9 @@ impl Trainer {
         let update_seed =
             marl_nn::rng::derive_seed(marl_nn::rng::derive_seed(cfg.seed, 2), self.updates);
         let total_obs_dim = self.total_obs_dim;
-        let act_dim = self.act_dim;
-        let joint_dim = total_obs_dim + n * act_dim;
+        let joint_dim = total_obs_dim + self.total_act_dim;
+        let act_offsets = &self.act_offsets;
+        let action_spaces = &self.action_spaces;
         let agents = &self.agents;
         let UpdateScratch {
             views,
@@ -963,8 +977,9 @@ impl Trainer {
             {
                 joint_next.copy_columns_from(next_obs, obs_col);
                 obs_col += next_obs.cols();
-                a.target_actions_into(
+                a.target_actions_seg_into(
                     next_obs,
+                    action_spaces[j].segments(),
                     cfg.temperature,
                     noise,
                     cfg.noise_clip,
@@ -973,7 +988,7 @@ impl Trainer {
                     ta_value,
                     ta_scratch,
                 );
-                joint_next.copy_columns_from(ta_value, total_obs_dim + j * act_dim);
+                joint_next.copy_columns_from(ta_value, total_obs_dim + act_offsets[j]);
             }
         }
         self.telemetry.target_action_passes += n as u64;
@@ -1005,7 +1020,8 @@ impl Trainer {
                     joint_next,
                     &cfg,
                     total_obs_dim,
-                    act_dim,
+                    act_offsets[i],
+                    action_spaces[i].segments(),
                     updates,
                     profile,
                     ascr,
@@ -1054,7 +1070,8 @@ impl Trainer {
                                         &jn_chunk[k],
                                         &cfg,
                                         total_obs_dim,
-                                        act_dim,
+                                        act_offsets[base + k],
+                                        action_spaces[base + k].segments(),
                                         updates,
                                         &mut local,
                                         ascr,
@@ -1310,8 +1327,12 @@ impl Trainer {
         })?;
         let decoded = marl_core::snapshot::decode_replay(replay_bytes.into())
             .map_err(|e| TrainError::Checkpoint(format!("replay snapshot: {e}")))?;
-        let expected: Vec<TransitionLayout> =
-            self.obs_dims.iter().map(|&od| TransitionLayout::new(od, self.act_dim)).collect();
+        let expected: Vec<TransitionLayout> = self
+            .obs_dims
+            .iter()
+            .zip(&self.act_dims)
+            .map(|(&od, &ad)| TransitionLayout::new(od, ad))
+            .collect();
         if decoded.layouts() != expected || decoded.capacity() != self.config.buffer_capacity {
             return Err(TrainError::Checkpoint(
                 "replay snapshot geometry does not match the trainer".into(),
@@ -1389,8 +1410,13 @@ impl Trainer {
         for _ in 0..episodes {
             let mut obs = self.env.reset();
             loop {
-                let actions: Vec<usize> =
-                    self.agents.iter().zip(&obs).map(|(a, o)| a.act_greedy(o)).collect();
+                let actions: Vec<usize> = self
+                    .agents
+                    .iter()
+                    .zip(&obs)
+                    .zip(&self.action_spaces)
+                    .map(|((a, o), space)| a.act_greedy_seg(o, space.segments()))
+                    .collect();
                 let step = self.env.step(&actions)?;
                 total += step.rewards.iter().sum::<f32>() as f64 / n as f64;
                 obs = step.observations;
@@ -1423,7 +1449,8 @@ fn update_agent(
     joint_next: &Matrix,
     cfg: &TrainConfig,
     total_obs_dim: usize,
-    act_dim: usize,
+    act_off: usize,
+    segments: &[usize],
     updates: u64,
     profile: &mut PhaseProfile,
     s: &mut AgentScratch,
@@ -1456,8 +1483,10 @@ fn update_agent(
     // --- Q loss (critic) + P loss (actor) ---
     let t0 = Instant::now();
     // Joint critic input [obs_1..obs_N, act_1..act_N], column-assembled
-    // in place (same layout the old hstack produced).
-    let joint_dim = total_obs_dim + view.actions.len() * act_dim;
+    // in place (same layout the old hstack produced). Action widths may
+    // differ per agent, so the action block width is summed from the
+    // staged matrices.
+    let joint_dim = total_obs_dim + view.actions.iter().map(Matrix::cols).sum::<usize>();
     s.joint.resize(batch, joint_dim);
     let mut col = 0;
     for m in view.obs.iter().chain(view.actions.iter()) {
@@ -1494,20 +1523,27 @@ fn update_agent(
     let do_policy = !matd3 || updates.is_multiple_of(cfg.policy_delay as u64);
     if do_policy {
         agent.actor.forward_into(&view.obs[i], &mut s.logits);
-        softmax_relaxation_into(&s.logits, cfg.temperature, &mut s.action);
+        softmax_relaxation_segments_into(&s.logits, segments, cfg.temperature, &mut s.action);
         // Joint input with agent i's action replaced by its relaxed
-        // current-policy action.
-        let act_off = total_obs_dim + i * act_dim;
+        // current-policy action (each factor normalized on its own).
+        let act_dim: usize = segments.iter().sum();
+        let col_off = total_obs_dim + act_off;
         s.joint_pol.copy_from(&s.joint);
-        s.joint_pol.copy_columns_from(&s.action, act_off);
+        s.joint_pol.copy_columns_from(&s.action, col_off);
         agent.critic.zero_grad();
         agent.critic.forward_into(&s.joint_pol, &mut s.q_pol);
         // Maximize Q ⇒ gradient −1/B on every Q output.
         s.grad_q.resize(batch, 1);
         s.grad_q.fill(-1.0 / batch as f32);
         agent.critic.backward_into(&s.grad_q, &mut s.grad_joint, &mut s.nn);
-        s.grad_joint.columns_into(act_off, act_dim, &mut s.grad_action);
-        relaxation_backward_into(&s.grad_action, &s.action, cfg.temperature, &mut s.grad_logits);
+        s.grad_joint.columns_into(col_off, act_dim, &mut s.grad_action);
+        relaxation_backward_segments_into(
+            &s.grad_action,
+            &s.action,
+            segments,
+            cfg.temperature,
+            &mut s.grad_logits,
+        );
         agent.actor.zero_grad();
         agent.actor.backward_into(&s.grad_logits, &mut s.grad_obs, &mut s.nn);
         agent.actor_opt.step(&mut agent.actor);
@@ -1526,9 +1562,10 @@ struct RolloutScratch {
     obs_cur: Vec<Matrix>,
     /// Per-agent next observations (swapped with `obs_cur` every step).
     obs_next: Vec<Matrix>,
-    /// Per-agent one-hot actions, K×act_dim.
+    /// Per-agent multi-hot actions, K×flat_dim(a) (widths differ under
+    /// heterogeneous action spaces).
     onehot: Vec<Matrix>,
-    /// Actor logits of the current agent's inference batch, K×act_dim.
+    /// Actor logits of the current agent's inference batch.
     logits: Matrix,
     /// One-row Gumbel working buffer.
     sample_row: Matrix,
@@ -1547,12 +1584,12 @@ struct RolloutScratch {
 }
 
 impl RolloutScratch {
-    fn new(worlds: usize, obs_dims: &[usize], act_dim: usize) -> Self {
+    fn new(worlds: usize, obs_dims: &[usize], act_dims: &[usize]) -> Self {
         let n = obs_dims.len();
         RolloutScratch {
             obs_cur: obs_dims.iter().map(|&od| Matrix::zeros(worlds, od)).collect(),
             obs_next: obs_dims.iter().map(|&od| Matrix::zeros(worlds, od)).collect(),
-            onehot: (0..n).map(|_| Matrix::zeros(worlds, act_dim)).collect(),
+            onehot: act_dims.iter().map(|&ad| Matrix::zeros(worlds, ad)).collect(),
             logits: Matrix::default(),
             sample_row: Matrix::default(),
             nn: Scratch::new(),
@@ -1667,13 +1704,14 @@ impl BatchView {
     }
 
     /// Refills every lane from a staged batch, reusing all storage.
-    fn refill(&mut self, mb: &MultiBatch, obs_dims: &[usize], act_dim: usize) {
+    fn refill(&mut self, mb: &MultiBatch, obs_dims: &[usize], act_dims: &[usize]) {
         debug_assert_eq!(self.obs.len(), mb.agents.len(), "agent count is fixed at build time");
         let batch = mb.len();
         self.batch = batch;
-        for (j, (ab, &od)) in mb.agents.iter().zip(obs_dims).enumerate() {
+        for (j, (ab, (&od, &ad))) in mb.agents.iter().zip(obs_dims.iter().zip(act_dims)).enumerate()
+        {
             self.obs[j].assign_from_slice(batch, od, &ab.obs);
-            self.actions[j].assign_from_slice(batch, act_dim, &ab.actions);
+            self.actions[j].assign_from_slice(batch, ad, &ab.actions);
             self.next_obs[j].assign_from_slice(batch, od, &ab.next_obs);
             self.rewards[j].clear();
             self.rewards[j].extend_from_slice(&ab.rewards);

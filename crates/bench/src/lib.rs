@@ -252,11 +252,7 @@ pub fn maybe_json<T: serde::Serialize>(tag: &str, value: &T) {
 /// (taken from a freshly constructed environment, so it always matches the
 /// env crate).
 pub fn obs_dim(task: marl_algo::Task, n: usize) -> usize {
-    let env = match task {
-        marl_algo::Task::PredatorPrey => marl_env::predator_prey(n, 25, 0),
-        marl_algo::Task::CooperativeNavigation => marl_env::cooperative_navigation(n, 25, 0),
-        marl_algo::Task::PhysicalDeception => marl_env::physical_deception(n, 25, 0),
-    };
+    let env = task.make_env(n, 25, 0);
     // Widths can be heterogeneous (physical deception); use the widest,
     // which bounds the gather traffic.
     env.observation_spaces().iter().map(|s| s.dim).max().unwrap_or(0)

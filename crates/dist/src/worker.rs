@@ -24,10 +24,10 @@ use crate::transport::Transport;
 use crate::wire::{Bye, EpisodeEnd, Heartbeat, HeartbeatAck, Hello, Msg, Steps, Welcome};
 use marl_algo::agent::AgentNets;
 use marl_algo::checkpoint::AgentState;
-use marl_algo::config::{Task, TrainConfig};
+use marl_algo::config::TrainConfig;
 use marl_core::transition::Transition;
-use marl_env::entity::DiscreteAction;
 use marl_env::env::ParticleEnv;
+use marl_env::spaces::ActionSpace;
 use marl_nn::rng::derive_seed;
 use marl_obs::clock::ClockOffset;
 use marl_obs::context::{span_id, TraceCtx};
@@ -76,7 +76,9 @@ pub struct Worker {
     env: ParticleEnv,
     agents: Vec<AgentNets>,
     rng: StdRng,
-    act_dim: usize,
+    /// Per-agent action spaces (factor segments + joint index range),
+    /// mirroring the learner's trainer exactly.
+    action_spaces: Vec<ActionSpace>,
     epoch: u64,
     env_steps: u64,
     samples_since_update: usize,
@@ -143,28 +145,22 @@ impl Worker {
             .validate()
             .map_err(|e| DistError::Protocol(format!("welcome config invalid: {e}")))?;
         marl_nn::kernels::configure(config.kernel);
-        let mut env = match config.task {
-            Task::PredatorPrey => {
-                marl_env::predator_prey(config.agents, config.max_episode_len, config.seed)
-            }
-            Task::CooperativeNavigation => {
-                marl_env::cooperative_navigation(config.agents, config.max_episode_len, config.seed)
-            }
-            Task::PhysicalDeception => {
-                marl_env::physical_deception(config.agents, config.max_episode_len, config.seed)
-            }
-        };
+        let mut env = config.task.make_env(config.agents, config.max_episode_len, config.seed);
         let obs_dims: Vec<usize> = env.observation_spaces().iter().map(|s| s.dim).collect();
-        let act_dim = DiscreteAction::COUNT;
+        let action_spaces: Vec<ActionSpace> = env.action_spaces().to_vec();
+        let act_dims: Vec<usize> = action_spaces.iter().map(ActionSpace::flat_dim).collect();
         let total_obs_dim: usize = obs_dims.iter().sum();
-        let joint_dim = total_obs_dim + obs_dims.len() * act_dim;
+        let joint_dim = total_obs_dim + act_dims.iter().sum::<usize>();
         // Replicate the trainer's construction draws so a fresh lockstep
         // worker arrives at the identical post-construction master state.
         let mut rng = StdRng::seed_from_u64(derive_seed(config.seed, 1));
         let twin = config.algorithm == marl_algo::config::Algorithm::Matd3;
         let mut agents: Vec<AgentNets> = obs_dims
             .iter()
-            .map(|&od| AgentNets::new(od, act_dim, joint_dim, twin, config.learning_rate, &mut rng))
+            .zip(&act_dims)
+            .map(|(&od, &ad)| {
+                AgentNets::new(od, ad, joint_dim, twin, config.learning_rate, &mut rng)
+            })
             .collect();
         if w.agents.len() != agents.len() {
             return Err(DistError::Protocol(format!(
@@ -196,7 +192,7 @@ impl Worker {
             env,
             agents,
             rng,
-            act_dim,
+            action_spaces,
             epoch: w.epoch,
             env_steps: w.env_steps,
             samples_since_update: w.samples_since_update,
@@ -361,12 +357,12 @@ impl Worker {
             let (temperature, epsilon) = self.config.exploration.at(self.env_steps);
             let mut action_idx = Vec::with_capacity(n);
             let mut action_onehot = Vec::with_capacity(n);
-            for (a, o) in self.agents.iter().zip(&obs) {
-                let (mut idx, mut hot) = a.act_explore(o, temperature, &mut self.rng);
+            for ((a, o), space) in self.agents.iter().zip(&obs).zip(&self.action_spaces) {
+                let (mut idx, mut hot) =
+                    a.act_explore_seg(o, space.segments(), temperature, &mut self.rng);
                 if epsilon > 0.0 && rand::Rng::gen::<f32>(&mut self.rng) < epsilon {
-                    idx = rand::Rng::gen_range(&mut self.rng, 0..self.act_dim);
-                    hot = vec![0.0; self.act_dim];
-                    hot[idx] = 1.0;
+                    idx = rand::Rng::gen_range(&mut self.rng, 0..space.joint_count());
+                    space.multi_hot(idx, &mut hot);
                 }
                 action_idx.push(idx);
                 action_onehot.push(hot);

@@ -33,9 +33,13 @@ pub struct Agent {
     pub role: Role,
     /// Physical state.
     pub state: PhysicalState,
-    /// Communication channel contents (observed by teammates; zeroed when
-    /// the scenario is silent, as in the paper's tasks).
-    pub comm: [f32; 2],
+    /// Communication channel contents (observed by teammates on the
+    /// *next* step; zeroed when the scenario is silent, as in the
+    /// paper's tasks). Scenarios with communication actions size this in
+    /// `make_world` and the env writes the one-hot utterance decoded
+    /// from the comm factor of the joint action before stepping physics
+    /// — physics itself never reads it.
+    pub comm: Vec<f32>,
     /// Collision radius.
     pub size: f32,
     /// Acceleration multiplier applied to action forces.
@@ -58,7 +62,7 @@ impl Agent {
             name: name.into(),
             role,
             state: PhysicalState::default(),
-            comm: [0.0; 2],
+            comm: vec![0.0; 2],
             size: 0.05,
             accel: 5.0,
             max_speed: None,

@@ -4,7 +4,7 @@
 use crate::entity::DiscreteAction;
 use crate::error::EnvError;
 use crate::scenario::Scenario;
-use crate::spaces::{BoxSpace, DiscreteSpace};
+use crate::spaces::{ActionSpace, BoxSpace};
 use crate::world::World;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -50,6 +50,7 @@ pub struct ParticleEnv {
     rng: StdRng,
     trained: Vec<usize>,
     scripted: Vec<usize>,
+    action_spaces: Vec<ActionSpace>,
 }
 
 impl ParticleEnv {
@@ -57,7 +58,7 @@ impl ParticleEnv {
     /// (the paper uses 25) and a deterministic seed.
     pub fn new(scenario: Box<dyn Scenario>, max_episode_len: usize, seed: u64) -> Self {
         let world = scenario.make_world();
-        let trained = world
+        let trained: Vec<usize> = world
             .agents
             .iter()
             .enumerate()
@@ -71,6 +72,17 @@ impl ParticleEnv {
             .filter(|(_, a)| !a.is_trained())
             .map(|(i, _)| i)
             .collect();
+        let action_spaces: Vec<ActionSpace> =
+            trained.iter().map(|&i| scenario.action_space(&world, i)).collect();
+        for (&i, space) in trained.iter().zip(&action_spaces) {
+            if space.comm_dim() > 0 {
+                assert_eq!(
+                    world.agents[i].comm.len(),
+                    space.comm_dim(),
+                    "scenario must size agent {i}'s comm buffer to its declared comm factors"
+                );
+            }
+        }
         ParticleEnv {
             scenario,
             world,
@@ -79,6 +91,7 @@ impl ParticleEnv {
             rng: StdRng::seed_from_u64(seed),
             trained,
             scripted,
+            action_spaces,
         }
     }
 
@@ -102,9 +115,10 @@ impl ParticleEnv {
         self.trained.iter().map(|&i| self.scenario.observation_space(&self.world, i)).collect()
     }
 
-    /// The shared discrete action space.
-    pub fn action_space(&self) -> DiscreteSpace {
-        DiscreteSpace::new(DiscreteAction::COUNT)
+    /// Action space of each trained agent (movement-only scenarios share
+    /// the 5-way space; communication scenarios may differ per agent).
+    pub fn action_spaces(&self) -> &[ActionSpace] {
+        &self.action_spaces
     }
 
     /// Read-only access to the underlying world (for tests/diagnostics).
@@ -148,10 +162,31 @@ impl ParticleEnv {
                 got: actions.len(),
             });
         }
-        for (&agent_idx, &action) in self.trained.iter().zip(actions) {
-            let act = DiscreteAction::from_index(action)
-                .ok_or(EnvError::InvalidAction { agent: agent_idx, action })?;
-            self.world.agents[agent_idx].action_force = act.direction();
+        for ((&agent_idx, &action), space) in
+            self.trained.iter().zip(actions).zip(&self.action_spaces)
+        {
+            if !space.contains(action) {
+                return Err(EnvError::InvalidAction { agent: agent_idx, action });
+            }
+            let segments = space.segments();
+            let mut rest = action;
+            let act = DiscreteAction::from_index(rest % segments[0])
+                .expect("movement factor is the 5-way discrete set");
+            rest /= segments[0];
+            let agent = &mut self.world.agents[agent_idx];
+            agent.action_force = act.direction();
+            // Communication factors: the one-hot utterance replaces the
+            // previous step's, becoming visible in teammates' *next*
+            // observations. Physics never reads it.
+            if segments.len() > 1 {
+                agent.comm.fill(0.0);
+                let mut off = 0;
+                for &s in &segments[1..] {
+                    agent.comm[off + rest % s] = 1.0;
+                    rest /= s;
+                    off += s;
+                }
+            }
         }
         for k in 0..self.scripted.len() {
             let agent_idx = self.scripted[k];

@@ -1,17 +1,29 @@
 //! # marl-env
 //!
 //! A Rust port of the OpenAI multi-agent particle environments used by the
-//! MARL systems paper: the 2-D soft-contact physics core plus the two
-//! evaluated scenarios —
+//! MARL systems paper: the 2-D soft-contact physics core plus the MPE
+//! scenario suite —
 //!
 //! * **predator-prey** (`simple_tag`, competitive): N cooperating predators
 //!   chase M faster, environment-controlled prey;
 //! * **cooperative navigation** (`simple_spread`, cooperative): N agents
-//!   cover N landmarks while avoiding collisions.
+//!   cover N landmarks while avoiding collisions;
+//! * **physical deception** (`simple_adversary`): good agents hide the
+//!   goal landmark from an adversary;
+//! * **keep-away** (`simple_push`): adversaries shove good agents off the
+//!   goal;
+//! * **cooperative reference** (`simple_reference`): each agent's goal is
+//!   known only to its partner, so agents must *speak* — actions are
+//!   movement ⊕ a discrete utterance broadcast into teammates' next
+//!   observations;
+//! * **world-comm** (`simple_world_comm`): predator-prey with a
+//!   broadcasting leader (heterogeneous per-agent action spaces).
 //!
 //! Observation dimensions match the paper's tables (e.g. `Box(16,)` per
 //! predator at N = 3, `Box(98,)` at N = 24, `6N` for cooperative
-//! navigation).
+//! navigation). Scenarios register factories in [`registry`]; consumers
+//! resolve them by name ([`ScenarioId::from_name`]) instead of matching a
+//! hard-coded enum.
 //!
 //! ## Quickstart
 //!
@@ -35,6 +47,7 @@
 pub mod entity;
 pub mod env;
 pub mod error;
+pub mod registry;
 pub mod render;
 pub mod scenario;
 pub mod scenarios;
@@ -47,8 +60,10 @@ pub mod world;
 pub use entity::DiscreteAction;
 pub use env::{ParticleEnv, StepResult};
 pub use error::EnvError;
+pub use registry::{register_scenario, ScenarioId};
 pub use scenario::Scenario;
 pub use soa::SoaBatch;
+pub use spaces::ActionSpace;
 pub use vecenv::VecParticleEnv;
 pub use world::World;
 
@@ -133,4 +148,47 @@ pub fn physical_deception_vec(
         })
         .collect();
     VecParticleEnv::new(scenarios, max_episode_len, seed)
+}
+
+/// Convenience constructor for the keep-away scenario (`simple_push`) at
+/// `n` trained agents.
+pub fn keep_away(n: usize, max_episode_len: usize, seed: u64) -> ParticleEnv {
+    ScenarioId::KeepAway.make_env(n, max_episode_len, seed)
+}
+
+/// Convenience constructor for the cooperative-reference scenario
+/// (`simple_reference`) at `n` trained agents.
+pub fn cooperative_reference(n: usize, max_episode_len: usize, seed: u64) -> ParticleEnv {
+    ScenarioId::CooperativeReference.make_env(n, max_episode_len, seed)
+}
+
+/// Convenience constructor for the world-comm scenario
+/// (`simple_world_comm`) at `n` trained agents.
+pub fn world_comm(n: usize, max_episode_len: usize, seed: u64) -> ParticleEnv {
+    ScenarioId::WorldComm.make_env(n, max_episode_len, seed)
+}
+
+/// Vectorized keep-away: `worlds` copies stepped as one batch.
+pub fn keep_away_vec(n: usize, max_episode_len: usize, seed: u64, worlds: usize) -> VecParticleEnv {
+    ScenarioId::KeepAway.make_vec_env(n, max_episode_len, seed, worlds)
+}
+
+/// Vectorized cooperative reference: `worlds` copies stepped as one batch.
+pub fn cooperative_reference_vec(
+    n: usize,
+    max_episode_len: usize,
+    seed: u64,
+    worlds: usize,
+) -> VecParticleEnv {
+    ScenarioId::CooperativeReference.make_vec_env(n, max_episode_len, seed, worlds)
+}
+
+/// Vectorized world-comm: `worlds` copies stepped as one batch.
+pub fn world_comm_vec(
+    n: usize,
+    max_episode_len: usize,
+    seed: u64,
+    worlds: usize,
+) -> VecParticleEnv {
+    ScenarioId::WorldComm.make_vec_env(n, max_episode_len, seed, worlds)
 }

@@ -2,7 +2,7 @@
 //! scripted (environment-controlled) behaviour.
 
 use crate::entity::DiscreteAction;
-use crate::spaces::BoxSpace;
+use crate::spaces::{ActionSpace, BoxSpace};
 use crate::world::World;
 use rand::rngs::StdRng;
 
@@ -57,6 +57,14 @@ pub trait Scenario: std::fmt::Debug + Send {
     /// Observation space of agent `agent_idx` (derived from a fresh world).
     fn observation_space(&self, world: &World, agent_idx: usize) -> BoxSpace {
         BoxSpace::new(self.observation(world, agent_idx).len())
+    }
+
+    /// Action space of agent `agent_idx`. The default is the movement-only
+    /// 5-way space; scenarios with communication actions return
+    /// movement ⊕ comm factors (and must size [`crate::entity::Agent::comm`]
+    /// to the comm width in `make_world`).
+    fn action_space(&self, _world: &World, _agent_idx: usize) -> ActionSpace {
+        ActionSpace::movement()
     }
 }
 

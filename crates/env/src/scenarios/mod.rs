@@ -1,5 +1,8 @@
 //! Concrete scenario implementations.
 
 pub mod simple_adversary;
+pub mod simple_push;
+pub mod simple_reference;
 pub mod simple_spread;
 pub mod simple_tag;
+pub mod simple_world_comm;

@@ -1,14 +1,13 @@
-//! Physical deception (`simple_adversary`): N−A cooperating *good* agents
-//! and A *adversaries* among L landmarks, one of which is the secret goal.
-//! Good agents know the goal and must cover it while spreading over decoys
-//! so the adversary — which cannot see which landmark is the goal — cannot
-//! infer it.
+//! Keep-away (`simple_push`): cooperating *good* agents try to reach a
+//! goal landmark while *adversaries* — who can see the landmarks but not
+//! which one is the goal — shove them away from it. Adversaries are
+//! rewarded for being near the goal while keeping good agents far from it,
+//! so the learned behaviour is physical blocking.
 //!
-//! This scenario is an **extension beyond the paper's evaluated tasks**
-//! (the paper uses predator-prey and cooperative navigation): it exercises
-//! *mixed* cooperative-competitive training with heterogeneous observation
-//! widths, which stresses the replay layouts differently (good agents and
-//! adversaries have different row widths).
+//! Like `simple_adversary` this is a mixed cooperative-competitive task
+//! with heterogeneous observation widths (good agents carry a goal-relative
+//! prefix adversaries lack); unlike it, agents here observe their own
+//! velocity, which matters for the contact-heavy pushing dynamics.
 
 use crate::entity::{Agent, Landmark, Role};
 use crate::scenario::{util, Scenario};
@@ -18,57 +17,57 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-/// Configuration of the physical-deception scenario.
+/// Configuration of the keep-away scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct PhysicalDeceptionConfig {
-    /// Cooperating good agents.
+pub struct KeepAwayConfig {
+    /// Cooperating good agents (want to reach the goal).
     pub good_agents: usize,
-    /// Adversaries (cannot observe the goal).
+    /// Adversaries (push good agents off the goal).
     pub adversaries: usize,
     /// Landmarks; the goal is chosen among them at reset.
     pub landmarks: usize,
 }
 
-impl PhysicalDeceptionConfig {
+impl KeepAwayConfig {
     /// Paper-style scaling from a total trained-agent count: one third
     /// (at least one) adversaries, the rest good agents, one landmark per
-    /// good agent.
+    /// good agent (at least two so the goal is ambiguous).
     pub fn scaled(total_agents: usize) -> Self {
         assert!(total_agents >= 2, "need at least one good agent and one adversary");
         let adversaries = (total_agents / 3).max(1);
         let good_agents = total_agents - adversaries;
-        PhysicalDeceptionConfig { good_agents, adversaries, landmarks: good_agents.max(2) }
+        KeepAwayConfig { good_agents, adversaries, landmarks: good_agents.max(2) }
     }
 }
 
-/// The physical-deception scenario. All agents are trained (the adversary
-/// is a learning agent, unlike the scripted prey of predator-prey).
+/// The keep-away scenario. All agents are trained; adversaries come first
+/// in the world agent order (mirroring `simple_adversary`).
 ///
 /// # Examples
 ///
 /// ```
-/// use marl_env::scenarios::simple_adversary::{PhysicalDeception, PhysicalDeceptionConfig};
+/// use marl_env::scenarios::simple_push::{KeepAway, KeepAwayConfig};
 /// use marl_env::scenario::Scenario;
 ///
-/// let s = PhysicalDeception::new(PhysicalDeceptionConfig::scaled(3));
+/// let s = KeepAway::new(KeepAwayConfig::scaled(3));
 /// let w = s.make_world();
 /// assert_eq!(w.trained_agent_count(), 3);
 /// ```
 #[derive(Debug, Clone)]
-pub struct PhysicalDeception {
-    config: PhysicalDeceptionConfig,
+pub struct KeepAway {
+    config: KeepAwayConfig,
     /// Index of the goal landmark (rotated at every reset).
     goal: std::cell::Cell<usize>,
 }
 
-impl PhysicalDeception {
+impl KeepAway {
     /// Creates the scenario.
-    pub fn new(config: PhysicalDeceptionConfig) -> Self {
-        PhysicalDeception { config, goal: std::cell::Cell::new(0) }
+    pub fn new(config: KeepAwayConfig) -> Self {
+        KeepAway { config, goal: std::cell::Cell::new(0) }
     }
 
     /// The active configuration.
-    pub fn config(&self) -> &PhysicalDeceptionConfig {
+    pub fn config(&self) -> &KeepAwayConfig {
         &self.config
     }
 
@@ -77,8 +76,7 @@ impl PhysicalDeception {
         self.goal.get()
     }
 
-    /// Whether world-agent `idx` is an adversary (adversaries come first,
-    /// mirroring the predator ordering of `simple_tag`).
+    /// Whether world-agent `idx` is an adversary (adversaries come first).
     fn is_adversary(&self, idx: usize) -> bool {
         idx < self.config.adversaries
     }
@@ -88,9 +86,9 @@ impl PhysicalDeception {
     }
 }
 
-impl Scenario for PhysicalDeception {
+impl Scenario for KeepAway {
     fn name(&self) -> &str {
-        "physical-deception"
+        "keep-away"
     }
 
     fn make_world(&self) -> World {
@@ -110,7 +108,8 @@ impl Scenario for PhysicalDeception {
             world.agents.push(a);
         }
         for i in 0..self.config.landmarks {
-            // Landmarks are non-colliding markers here.
+            // Landmarks are non-colliding markers: adversaries block with
+            // their bodies, not the terrain.
             world.landmarks.push(Landmark::new(format!("landmark-{i}"), 0.08, false));
         }
         world
@@ -130,11 +129,11 @@ impl Scenario for PhysicalDeception {
         self.goal.set(rng.gen_range(0..world.landmarks.len()));
     }
 
-    /// Good agents observe `[goal_rel(2), landmarks_rel(2L),
+    /// Good agents observe `[vel(2), goal_rel(2), landmarks_rel(2L),
     /// others_rel(2(A−1))]`; adversaries the same minus the goal prefix.
     fn observation(&self, world: &World, agent_idx: usize) -> Vec<f32> {
         let me = &world.agents[agent_idx];
-        let mut obs = Vec::new();
+        let mut obs = vec![me.state.velocity.x, me.state.velocity.y];
         if !self.is_adversary(agent_idx) {
             let g = self.goal_position(world) - me.state.position;
             obs.extend_from_slice(&[g.x, g.y]);
@@ -155,12 +154,14 @@ impl Scenario for PhysicalDeception {
 
     fn observation_into(&self, world: &World, agent_idx: usize, out: &mut [f32]) {
         let me = &world.agents[agent_idx];
-        let mut off = 0;
+        out[0] = me.state.velocity.x;
+        out[1] = me.state.velocity.y;
+        let mut off = 2;
         if !self.is_adversary(agent_idx) {
             let g = self.goal_position(world) - me.state.position;
-            out[0] = g.x;
-            out[1] = g.y;
-            off = 2;
+            out[off] = g.x;
+            out[off + 1] = g.y;
+            off += 2;
         }
         for l in &world.landmarks {
             let d = l.state.position - me.state.position;
@@ -182,27 +183,19 @@ impl Scenario for PhysicalDeception {
 
     fn reward(&self, world: &World, agent_idx: usize) -> f32 {
         let goal = self.goal_position(world);
+        let good_min = world
+            .agents
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.is_adversary(*i))
+            .map(|(_, a)| a.state.position.distance(goal))
+            .fold(f32::INFINITY, f32::min);
         if self.is_adversary(agent_idx) {
-            // Adversary: closer to the goal is better.
-            -world.agents[agent_idx].state.position.distance(goal)
+            // Adversary: keep good agents off the goal while holding it.
+            good_min - world.agents[agent_idx].state.position.distance(goal)
         } else {
-            // Good team: cover the goal (min distance of any good agent)
-            // and keep adversaries away from it.
-            let good_min = world
-                .agents
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| !self.is_adversary(*i))
-                .map(|(_, a)| a.state.position.distance(goal))
-                .fold(f32::INFINITY, f32::min);
-            let adv_sum: f32 = world
-                .agents
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| self.is_adversary(*i))
-                .map(|(_, a)| a.state.position.distance(goal))
-                .sum();
-            adv_sum - good_min
+            // Good agent: reach the goal.
+            -world.agents[agent_idx].state.position.distance(goal)
         }
     }
 }
@@ -213,30 +206,44 @@ mod tests {
     use rand::SeedableRng;
 
     fn rng() -> StdRng {
-        StdRng::seed_from_u64(13)
+        StdRng::seed_from_u64(23)
     }
 
     #[test]
     fn scaled_splits_roles() {
-        let c = PhysicalDeceptionConfig::scaled(3);
+        let c = KeepAwayConfig::scaled(3);
         assert_eq!((c.adversaries, c.good_agents, c.landmarks), (1, 2, 2));
-        let c = PhysicalDeceptionConfig::scaled(12);
-        assert_eq!((c.adversaries, c.good_agents), (4, 8));
+        let c = KeepAwayConfig::scaled(12);
+        assert_eq!((c.adversaries, c.good_agents, c.landmarks), (4, 8, 8));
     }
 
     #[test]
     fn observation_widths_are_heterogeneous() {
-        let s = PhysicalDeception::new(PhysicalDeceptionConfig::scaled(3));
+        let s = KeepAway::new(KeepAwayConfig::scaled(3));
         let w = s.make_world();
-        // adversary: 2L + 2(A-1) = 4 + 4 = 8; good: +2 goal = 10
-        assert_eq!(s.observation(&w, 0).len(), 8);
-        assert_eq!(s.observation(&w, 1).len(), 10);
-        assert_eq!(s.observation(&w, 2).len(), 10);
+        // adversary: vel(2) + 2L + 2(A-1) = 2 + 4 + 4 = 10; good: +2 goal = 12
+        assert_eq!(s.observation(&w, 0).len(), 10);
+        assert_eq!(s.observation(&w, 1).len(), 12);
+        assert_eq!(s.observation(&w, 2).len(), 12);
+    }
+
+    #[test]
+    fn observation_into_matches_allocating_path() {
+        let s = KeepAway::new(KeepAwayConfig::scaled(4));
+        let mut w = s.make_world();
+        let mut r = rng();
+        s.reset_world(&mut w, &mut r);
+        for a in 0..w.agents.len() {
+            let want = s.observation(&w, a);
+            let mut got = vec![0.0; want.len()];
+            s.observation_into(&w, a, &mut got);
+            assert_eq!(got, want, "agent {a}");
+        }
     }
 
     #[test]
     fn goal_rotates_across_resets() {
-        let s = PhysicalDeception::new(PhysicalDeceptionConfig::scaled(6));
+        let s = KeepAway::new(KeepAwayConfig::scaled(6));
         let mut w = s.make_world();
         let mut r = rng();
         let mut seen = std::collections::HashSet::new();
@@ -248,41 +255,33 @@ mod tests {
     }
 
     #[test]
-    fn adversary_reward_prefers_goal_proximity() {
-        let s = PhysicalDeception::new(PhysicalDeceptionConfig::scaled(3));
+    fn good_reward_prefers_goal_proximity() {
+        let s = KeepAway::new(KeepAwayConfig::scaled(3));
         let mut w = s.make_world();
         let mut r = rng();
         s.reset_world(&mut w, &mut r);
         let goal = w.landmarks[s.goal_landmark()].state.position;
-        w.agents[0].state.position = goal;
-        let near = s.reward(&w, 0);
-        w.agents[0].state.position = goal + Vec2::new(1.0, 1.0);
-        let far = s.reward(&w, 0);
+        w.agents[1].state.position = goal;
+        let near = s.reward(&w, 1);
+        w.agents[1].state.position = goal + Vec2::new(1.0, 1.0);
+        let far = s.reward(&w, 1);
         assert!(near > far);
     }
 
     #[test]
-    fn good_reward_rises_when_adversary_is_decoyed() {
-        let s = PhysicalDeception::new(PhysicalDeceptionConfig::scaled(3));
+    fn adversary_reward_rises_when_good_agents_are_pushed_off() {
+        let s = KeepAway::new(KeepAwayConfig::scaled(3));
         let mut w = s.make_world();
         let mut r = rng();
         s.reset_world(&mut w, &mut r);
         let goal = w.landmarks[s.goal_landmark()].state.position;
-        // A good agent covers the goal in both cases.
+        w.agents[0].state.position = goal; // adversary holds the goal
         w.agents[1].state.position = goal;
-        w.agents[0].state.position = goal; // adversary on goal
-        let bad = s.reward(&w, 1);
-        w.agents[0].state.position = goal + Vec2::new(2.0, 0.0); // decoyed
-        let good = s.reward(&w, 1);
-        assert!(good > bad);
-    }
-
-    #[test]
-    fn good_agents_share_reward() {
-        let s = PhysicalDeception::new(PhysicalDeceptionConfig::scaled(3));
-        let mut w = s.make_world();
-        let mut r = rng();
-        s.reset_world(&mut w, &mut r);
-        assert_eq!(s.reward(&w, 1), s.reward(&w, 2));
+        w.agents[2].state.position = goal;
+        let contested = s.reward(&w, 0);
+        w.agents[1].state.position = goal + Vec2::new(2.0, 0.0);
+        w.agents[2].state.position = goal + Vec2::new(0.0, 2.0);
+        let cleared = s.reward(&w, 0);
+        assert!(cleared > contested);
     }
 }

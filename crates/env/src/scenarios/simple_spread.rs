@@ -99,7 +99,7 @@ impl Scenario for CooperativeNavigation {
             a.state.position = util::uniform_position(rng, 1.0);
             a.state.velocity = Vec2::ZERO;
             a.action_force = Vec2::ZERO;
-            a.comm = [0.0; 2];
+            a.comm.fill(0.0);
         }
         for l in &mut world.landmarks {
             l.state.position = util::uniform_position(rng, 0.9);

@@ -1,72 +1,81 @@
-//! Predator-prey (`simple_tag`): N cooperating predators chase M faster,
-//! environment-controlled prey among L landmarks.
+//! World-comm (`simple_world_comm`): predator-prey with a *leader*.
+//! Predator 0 carries a discrete broadcast channel on top of its movement
+//! action; the other predators hear the previous utterance in their next
+//! observation. The prey stay scripted exactly as in `simple_tag`.
 //!
-//! Observation layout (matching the paper's reported dimensions — e.g.
-//! `Box(16,)` per predator and `Box(14,)` for the prey at N = 3, and
-//! `Box(98,)`/`Box(96,)` at N = 24):
-//!
-//! `[self_vel(2), self_pos(2), landmark_rel(2L), other_agents_rel(2·(A−1)),
-//!   prey_velocities(2·M or 2·(M−1))]`
+//! This is the suite's stress test for **heterogeneous action spaces**:
+//! the leader's space is `MultiDiscrete(5, 4)` while every other predator
+//! keeps plain `Discrete(5)`, so per-agent action dims differ within one
+//! team — which is what the trainer's per-agent offset plumbing exists
+//! for.
 
 use crate::entity::{Agent, DiscreteAction, Landmark, Role};
 use crate::scenario::{util, Scenario};
+use crate::spaces::ActionSpace;
 use crate::vec2::Vec2;
 use crate::world::World;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
-/// Configuration of the predator-prey scenario.
+/// Configuration of the world-comm scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct PredatorPreyConfig {
-    /// Number of trained predators (the paper's "number of agents" axis).
+pub struct WorldCommConfig {
+    /// Trained predators; the first is the speaking leader.
     pub predators: usize,
-    /// Number of scripted prey.
+    /// Scripted prey.
     pub prey: usize,
-    /// Number of landmarks (obstacles).
+    /// Landmarks (obstacles).
     pub landmarks: usize,
+    /// Leader utterance alphabet size.
+    pub comm_symbols: usize,
 }
 
-impl PredatorPreyConfig {
-    /// The paper's scaling rule: for N predators use `max(1, N/3)` prey and
-    /// `max(2, N/3)` landmarks, which reproduces the reported observation
-    /// dimensions at N = 3 (`Box(16,)`) and N = 24 (`Box(98,)`).
+impl WorldCommConfig {
+    /// The `simple_tag` scaling rule plus the MPE leader channel of four
+    /// symbols.
     pub fn scaled(predators: usize) -> Self {
-        assert!(predators > 0, "need at least one predator");
-        PredatorPreyConfig {
+        assert!(predators >= 2, "world-comm needs a leader and at least one listener");
+        WorldCommConfig {
             predators,
             prey: (predators / 3).max(1),
             landmarks: (predators / 3).max(2),
+            comm_symbols: 4,
         }
     }
 }
 
-/// The predator-prey scenario.
+/// The world-comm scenario.
 ///
 /// # Examples
 ///
 /// ```
-/// use marl_env::scenarios::simple_tag::{PredatorPrey, PredatorPreyConfig};
+/// use marl_env::scenarios::simple_world_comm::{WorldComm, WorldCommConfig};
 /// use marl_env::scenario::Scenario;
 ///
-/// let s = PredatorPrey::new(PredatorPreyConfig::scaled(3));
+/// let s = WorldComm::new(WorldCommConfig::scaled(3));
 /// let w = s.make_world();
-/// assert_eq!(s.observation(&w, 0).len(), 16); // predator
-/// assert_eq!(s.observation(&w, 3).len(), 14); // prey
+/// assert_eq!(s.action_space(&w, 0).segments(), &[5, 4]); // leader speaks
+/// assert_eq!(s.action_space(&w, 1).segments(), &[5]);    // listeners move
 /// ```
 #[derive(Debug, Clone)]
-pub struct PredatorPrey {
-    config: PredatorPreyConfig,
+pub struct WorldComm {
+    config: WorldCommConfig,
 }
 
-impl PredatorPrey {
-    /// Creates the scenario from a configuration.
-    pub fn new(config: PredatorPreyConfig) -> Self {
-        PredatorPrey { config }
+impl WorldComm {
+    /// Creates the scenario.
+    pub fn new(config: WorldCommConfig) -> Self {
+        WorldComm { config }
     }
 
     /// The active configuration.
-    pub fn config(&self) -> &PredatorPreyConfig {
+    pub fn config(&self) -> &WorldCommConfig {
         &self.config
+    }
+
+    /// Whether world-agent `idx` is the speaking leader.
+    pub fn is_leader(&self, idx: usize) -> bool {
+        idx == 0
     }
 
     fn prey_indices(world: &World) -> impl Iterator<Item = usize> + '_ {
@@ -78,18 +87,24 @@ impl PredatorPrey {
     }
 }
 
-impl Scenario for PredatorPrey {
+impl Scenario for WorldComm {
     fn name(&self) -> &str {
-        "predator-prey"
+        "world-comm"
     }
 
     fn make_world(&self) -> World {
         let mut world = World::new();
         for i in 0..self.config.predators {
-            let mut a = Agent::new(format!("predator-{i}"), Role::Cooperator);
+            let name =
+                if self.is_leader(i) { "leader-0".to_string() } else { format!("predator-{i}") };
+            let mut a = Agent::new(name, Role::Cooperator);
             a.size = 0.075;
             a.accel = 3.0;
             a.max_speed = Some(1.0);
+            if self.is_leader(i) {
+                // The env writes the leader's one-hot utterance here.
+                a.comm = vec![0.0; self.config.comm_symbols];
+            }
             world.agents.push(a);
         }
         for i in 0..self.config.prey {
@@ -120,11 +135,14 @@ impl Scenario for PredatorPrey {
         }
     }
 
+    /// The `simple_tag` layout, with the leader's utterance appended for
+    /// non-leader predators:
+    ///
+    /// `[self_vel(2), self_pos(2), landmark_rel(2L), others_rel(2(A−1)),
+    ///   prey_vels, leader_comm(C — listeners only)]`
     fn observation(&self, world: &World, agent_idx: usize) -> Vec<f32> {
         let me = &world.agents[agent_idx];
-        let mut obs = Vec::with_capacity(
-            4 + 2 * world.landmarks.len() + 2 * (world.agents.len() - 1) + 2 * self.config.prey,
-        );
+        let mut obs = Vec::new();
         obs.extend_from_slice(&[me.state.velocity.x, me.state.velocity.y]);
         obs.extend_from_slice(&[me.state.position.x, me.state.position.y]);
         for l in &world.landmarks {
@@ -138,12 +156,14 @@ impl Scenario for PredatorPrey {
             let d = other.state.position - me.state.position;
             obs.extend_from_slice(&[d.x, d.y]);
         }
-        // Velocities of prey (excluding self if self is prey).
         for (i, other) in world.agents.iter().enumerate() {
             if i == agent_idx || other.role != Role::Prey {
                 continue;
             }
             obs.extend_from_slice(&[other.state.velocity.x, other.state.velocity.y]);
+        }
+        if me.role == Role::Cooperator && !self.is_leader(agent_idx) {
+            obs.extend_from_slice(&world.agents[0].comm);
         }
         obs
     }
@@ -178,6 +198,11 @@ impl Scenario for PredatorPrey {
             out[off + 1] = other.state.velocity.y;
             off += 2;
         }
+        if me.role == Role::Cooperator && !self.is_leader(agent_idx) {
+            let comm = &world.agents[0].comm;
+            out[off..off + comm.len()].copy_from_slice(comm);
+            off += comm.len();
+        }
         assert_eq!(off, out.len(), "observation buffer size mismatch");
     }
 
@@ -185,8 +210,6 @@ impl Scenario for PredatorPrey {
         let me = &world.agents[agent_idx];
         match me.role {
             Role::Cooperator => {
-                // Shaped predator reward: +10 per prey collision, minus a
-                // tenth of the distance to the nearest prey.
                 let mut rew = 0.0;
                 let mut min_dist = f32::INFINITY;
                 for p in Self::prey_indices(world) {
@@ -202,8 +225,6 @@ impl Scenario for PredatorPrey {
                 rew
             }
             Role::Prey => {
-                // Prey: −10 per predator collision, +0.1 × distance to the
-                // nearest predator, minus a boundary penalty.
                 let mut rew = 0.0;
                 let mut min_dist = f32::INFINITY;
                 for p in Self::predator_indices(world) {
@@ -223,9 +244,7 @@ impl Scenario for PredatorPrey {
         }
     }
 
-    /// Prey flee the nearest predators (inverse-square repulsion) and avoid
-    /// the arena boundary; the resulting desired direction is projected onto
-    /// the discrete action set.
+    /// Same scripted evasion as `simple_tag`.
     fn scripted_action(
         &self,
         world: &World,
@@ -240,8 +259,6 @@ impl Scenario for PredatorPrey {
             let d2 = delta.norm_squared().max(1e-4);
             desired += delta * (1.0 / d2);
         }
-        // Boundary repulsion keeps prey inside the arena; exponential so it
-        // dominates the flee term near the wall.
         let pos = me.state.position;
         if pos.x.abs() > 0.8 {
             desired += Vec2::new(-pos.x.signum() * ((pos.x.abs() - 0.8) * 20.0).exp(), 0.0);
@@ -251,108 +268,106 @@ impl Scenario for PredatorPrey {
         }
         DiscreteAction::closest_to(desired)
     }
+
+    fn action_space(&self, world: &World, agent_idx: usize) -> ActionSpace {
+        if self.is_leader(agent_idx) && world.agents[agent_idx].role == Role::Cooperator {
+            ActionSpace::movement_with_comm(self.config.comm_symbols)
+        } else {
+            ActionSpace::movement()
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::Scenario;
     use rand::SeedableRng;
 
     fn rng() -> StdRng {
-        StdRng::seed_from_u64(42)
+        StdRng::seed_from_u64(47)
     }
 
     #[test]
-    fn paper_observation_dims_at_3_agents() {
-        let s = PredatorPrey::new(PredatorPreyConfig::scaled(3));
+    fn scaled_mirrors_simple_tag() {
+        let c = WorldCommConfig::scaled(3);
+        assert_eq!((c.predators, c.prey, c.landmarks, c.comm_symbols), (3, 1, 2, 4));
+        let c = WorldCommConfig::scaled(12);
+        assert_eq!((c.predators, c.prey, c.landmarks), (12, 4, 4));
+    }
+
+    #[test]
+    fn observation_dims_heterogeneous_by_leadership() {
+        let s = WorldComm::new(WorldCommConfig::scaled(3));
         let w = s.make_world();
-        assert_eq!(w.trained_agent_count(), 3);
-        assert_eq!(w.scripted_agent_count(), 1);
-        assert_eq!(w.landmarks.len(), 2);
-        for i in 0..3 {
-            assert_eq!(s.observation(&w, i).len(), 16, "predator {i}");
-        }
+        // simple_tag predator width is 16 at N=3; listeners add C=4.
+        assert_eq!(s.observation(&w, 0).len(), 16, "leader");
+        assert_eq!(s.observation(&w, 1).len(), 20, "listener");
+        assert_eq!(s.observation(&w, 2).len(), 20, "listener");
         assert_eq!(s.observation(&w, 3).len(), 14, "prey");
     }
 
     #[test]
-    fn paper_observation_dims_at_24_agents() {
-        let s = PredatorPrey::new(PredatorPreyConfig::scaled(24));
+    fn action_spaces_heterogeneous_by_leadership() {
+        let s = WorldComm::new(WorldCommConfig::scaled(3));
         let w = s.make_world();
-        assert_eq!(w.scripted_agent_count(), 8);
-        assert_eq!(w.landmarks.len(), 8);
-        assert_eq!(s.observation(&w, 0).len(), 98);
-        assert_eq!(s.observation(&w, 24).len(), 96);
+        assert_eq!(s.action_space(&w, 0).segments(), &[5, 4]);
+        assert_eq!(s.action_space(&w, 0).flat_dim(), 9);
+        assert_eq!(s.action_space(&w, 0).joint_count(), 20);
+        assert_eq!(s.action_space(&w, 1).segments(), &[5]);
+        assert_eq!(s.action_space(&w, 2).segments(), &[5]);
     }
 
     #[test]
-    fn predator_collision_yields_bonus() {
-        let s = PredatorPrey::new(PredatorPreyConfig::scaled(3));
+    fn observation_into_matches_allocating_path() {
+        let s = WorldComm::new(WorldCommConfig::scaled(4));
         let mut w = s.make_world();
         let mut r = rng();
         s.reset_world(&mut w, &mut r);
-        // Move predator 0 onto prey 3.
+        w.agents[0].comm[2] = 1.0;
+        for a in 0..w.agents.len() {
+            let want = s.observation(&w, a);
+            let mut got = vec![0.0; want.len()];
+            s.observation_into(&w, a, &mut got);
+            assert_eq!(got, want, "agent {a}");
+        }
+    }
+
+    #[test]
+    fn listeners_hear_the_leader() {
+        let s = WorldComm::new(WorldCommConfig::scaled(3));
+        let mut w = s.make_world();
+        let mut r = rng();
+        s.reset_world(&mut w, &mut r);
+        w.agents[0].comm[3] = 1.0;
+        let obs = s.observation(&w, 1);
+        let tail = &obs[obs.len() - 4..];
+        assert_eq!(tail, &[0.0, 0.0, 0.0, 1.0]);
+        // The leader does not hear itself and the prey hears nothing.
+        assert_eq!(s.observation(&w, 0).len(), 16);
+        assert_eq!(s.observation(&w, 3).len(), 14);
+    }
+
+    #[test]
+    fn rewards_match_simple_tag_shape() {
+        let s = WorldComm::new(WorldCommConfig::scaled(3));
+        let mut w = s.make_world();
+        let mut r = rng();
+        s.reset_world(&mut w, &mut r);
         w.agents[0].state.position = w.agents[3].state.position;
-        let rew = s.reward(&w, 0);
-        assert!(rew > 9.0, "expected collision bonus, got {rew}");
-        assert!(s.reward(&w, 3) < -9.0, "prey should be penalized");
+        assert!(s.reward(&w, 0) > 9.0, "collision bonus");
+        assert!(s.reward(&w, 3) < -9.0, "prey penalized");
     }
 
     #[test]
-    fn predator_shaping_prefers_proximity() {
-        let s = PredatorPrey::new(PredatorPreyConfig::scaled(3));
+    fn prey_still_flees() {
+        let s = WorldComm::new(WorldCommConfig::scaled(3));
         let mut w = s.make_world();
         let mut r = rng();
         s.reset_world(&mut w, &mut r);
-        w.agents[3].state.position = Vec2::new(0.0, 0.0);
-        w.agents[0].state.position = Vec2::new(0.5, 0.0);
-        let near = s.reward(&w, 0);
-        w.agents[0].state.position = Vec2::new(0.9, 0.0);
-        let far = s.reward(&w, 0);
-        assert!(near > far);
-    }
-
-    #[test]
-    fn prey_flees_away_from_predator() {
-        let s = PredatorPrey::new(PredatorPreyConfig::scaled(3));
-        let mut w = s.make_world();
-        let mut r = rng();
-        s.reset_world(&mut w, &mut r);
-        // predator to the left of prey → prey should move right
         w.agents[3].state.position = Vec2::new(0.0, 0.0);
         w.agents[0].state.position = Vec2::new(-0.3, 0.0);
         w.agents[1].state.position = Vec2::new(-0.4, 0.05);
         w.agents[2].state.position = Vec2::new(-0.5, -0.05);
-        let a = s.scripted_action(&w, 3, &mut r);
-        assert_eq!(a, DiscreteAction::Right);
-    }
-
-    #[test]
-    fn prey_respects_boundary() {
-        let s = PredatorPrey::new(PredatorPreyConfig::scaled(3));
-        let mut w = s.make_world();
-        let mut r = rng();
-        s.reset_world(&mut w, &mut r);
-        // prey near right wall, predators far left → boundary term wins
-        w.agents[3].state.position = Vec2::new(0.99, 0.0);
-        w.agents[0].state.position = Vec2::new(0.5, 0.0);
-        w.agents[1].state.position = Vec2::new(0.5, 0.1);
-        w.agents[2].state.position = Vec2::new(0.5, -0.1);
-        let a = s.scripted_action(&w, 3, &mut r);
-        assert_eq!(a, DiscreteAction::Left);
-    }
-
-    #[test]
-    fn reset_randomizes_positions() {
-        let s = PredatorPrey::new(PredatorPreyConfig::scaled(6));
-        let mut w = s.make_world();
-        let mut r = rng();
-        s.reset_world(&mut w, &mut r);
-        let p0: Vec<Vec2> = w.agents.iter().map(|a| a.state.position).collect();
-        s.reset_world(&mut w, &mut r);
-        let p1: Vec<Vec2> = w.agents.iter().map(|a| a.state.position).collect();
-        assert_ne!(p0, p1);
-        assert!(w.agents.iter().all(|a| a.state.position.linf() <= 1.0));
+        assert_eq!(s.scripted_action(&w, 3, &mut r), DiscreteAction::Right);
     }
 }

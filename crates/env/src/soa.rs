@@ -62,6 +62,13 @@ pub struct SoaBatch {
     // Per-landmark lanes, length `landmarks * worlds`.
     lpx: Vec<f32>,
     lpy: Vec<f32>,
+    // Communication lanes: agent `a`'s comm channel `c` lives at
+    // `(comm_off[a] + c) * worlds + w`. Comm widths may differ per agent
+    // (heterogeneous action spaces), hence the prefix-sum offsets.
+    // Physics never reads these — they are pure gather/scatter copies, so
+    // vectorized comm is bitwise-trivially equal to the scalar path.
+    comm: Vec<f32>,
+    comm_off: Vec<usize>,
     // Per-agent metadata, identical across worlds (length `agents`).
     accel: Vec<f32>,
     size: Vec<f32>,
@@ -85,6 +92,13 @@ impl SoaBatch {
         let agents = template.agents.len();
         let landmarks = template.landmarks.len();
         let meta = |f: fn(&Agent) -> f32| template.agents.iter().map(f).collect::<Vec<_>>();
+        let mut comm_off = Vec::with_capacity(agents + 1);
+        let mut total_comm = 0;
+        for a in &template.agents {
+            comm_off.push(total_comm);
+            total_comm += a.comm.len();
+        }
+        comm_off.push(total_comm);
         SoaBatch {
             worlds,
             agents,
@@ -100,6 +114,8 @@ impl SoaBatch {
             fy: vec![0.0; agents * worlds],
             lpx: vec![0.0; landmarks * worlds],
             lpy: vec![0.0; landmarks * worlds],
+            comm: vec![0.0; total_comm * worlds],
+            comm_off,
             accel: meta(|a| a.accel),
             size: meta(|a| a.size),
             max_speed: meta(|a| a.max_speed.unwrap_or(f32::INFINITY)),
@@ -145,6 +161,14 @@ impl SoaBatch {
                 self.vy[i] = agent.state.velocity.y;
                 self.afx[i] = agent.action_force.x;
                 self.afy[i] = agent.action_force.y;
+                debug_assert_eq!(
+                    agent.comm.len(),
+                    self.comm_off[a + 1] - self.comm_off[a],
+                    "comm width mismatch for agent {a}"
+                );
+                for (c, &v) in agent.comm.iter().enumerate() {
+                    self.comm[(self.comm_off[a] + c) * k + w] = v;
+                }
             }
             for (l, landmark) in world.landmarks.iter().enumerate() {
                 let i = l * k + w;
@@ -171,6 +195,9 @@ impl SoaBatch {
                 agent.state.position.y = self.py[i];
                 agent.state.velocity.x = self.vx[i];
                 agent.state.velocity.y = self.vy[i];
+                for (c, v) in agent.comm.iter_mut().enumerate() {
+                    *v = self.comm[(self.comm_off[a] + c) * k + w];
+                }
             }
         }
     }
@@ -606,6 +633,32 @@ mod tests {
 
     fn bits(v: &[f32]) -> Vec<u32> {
         v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    /// Comm lanes are pure gather/scatter copies — physics never touches
+    /// them — so utterances round-trip bitwise through the batch.
+    #[test]
+    fn comm_lanes_roundtrip_bitwise_through_a_step() {
+        let mut worlds = sample_worlds(3, 17);
+        for (w, world) in worlds.iter_mut().enumerate() {
+            for (a, agent) in world.agents.iter_mut().enumerate() {
+                for (c, v) in agent.comm.iter_mut().enumerate() {
+                    *v = (w * 100 + a * 10 + c) as f32 + 0.5;
+                }
+            }
+        }
+        let mut batch = SoaBatch::new(&worlds[0], 3);
+        batch.gather(&worlds);
+        batch.step_with(KernelKind::Scalar);
+        let mut out = sample_worlds(3, 1);
+        batch.scatter(&mut out);
+        for (got, want) in out.iter().zip(&worlds) {
+            for (ga, wa) in got.agents.iter().zip(&want.agents) {
+                let got_bits: Vec<u32> = ga.comm.iter().map(|x| x.to_bits()).collect();
+                let want_bits: Vec<u32> = wa.comm.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(got_bits, want_bits);
+            }
+        }
     }
 
     /// gather → scatter is a pure copy: round-trips exactly (incl. -0.0).

@@ -24,7 +24,7 @@ use crate::entity::DiscreteAction;
 use crate::error::EnvError;
 use crate::scenario::Scenario;
 use crate::soa::SoaBatch;
-use crate::spaces::{BoxSpace, DiscreteSpace};
+use crate::spaces::{ActionSpace, BoxSpace};
 use crate::world::World;
 use marl_nn::rng::derive_seed;
 use rand::rngs::StdRng;
@@ -44,6 +44,7 @@ pub struct VecParticleEnv {
     t: usize,
     trained: Vec<usize>,
     scripted: Vec<usize>,
+    action_spaces: Vec<ActionSpace>,
 }
 
 impl VecParticleEnv {
@@ -57,7 +58,7 @@ impl VecParticleEnv {
     pub fn new(scenarios: Vec<Box<dyn Scenario>>, max_episode_len: usize, seed: u64) -> Self {
         assert!(!scenarios.is_empty(), "need at least one world");
         let worlds: Vec<World> = scenarios.iter().map(|s| s.make_world()).collect();
-        let trained = worlds[0]
+        let trained: Vec<usize> = worlds[0]
             .agents
             .iter()
             .enumerate()
@@ -81,7 +82,28 @@ impl VecParticleEnv {
             })
             .collect();
         let soa = SoaBatch::new(&worlds[0], worlds.len());
-        VecParticleEnv { scenarios, worlds, soa, rngs, max_episode_len, t: 0, trained, scripted }
+        let action_spaces: Vec<ActionSpace> =
+            trained.iter().map(|&i| scenarios[0].action_space(&worlds[0], i)).collect();
+        for (&i, space) in trained.iter().zip(&action_spaces) {
+            if space.comm_dim() > 0 {
+                assert_eq!(
+                    worlds[0].agents[i].comm.len(),
+                    space.comm_dim(),
+                    "scenario must size agent {i}'s comm buffer to its declared comm factors"
+                );
+            }
+        }
+        VecParticleEnv {
+            scenarios,
+            worlds,
+            soa,
+            rngs,
+            max_episode_len,
+            t: 0,
+            trained,
+            scripted,
+            action_spaces,
+        }
     }
 
     /// Number of worlds stepped per batch (K).
@@ -112,9 +134,9 @@ impl VecParticleEnv {
             .collect()
     }
 
-    /// The shared discrete action space.
-    pub fn action_space(&self) -> DiscreteSpace {
-        DiscreteSpace::new(DiscreteAction::COUNT)
+    /// Action space of each trained agent (identical across worlds).
+    pub fn action_spaces(&self) -> &[ActionSpace] {
+        &self.action_spaces
     }
 
     /// Read-only access to world `w` (tests/diagnostics).
@@ -210,9 +232,31 @@ impl VecParticleEnv {
         for (w, world) in self.worlds.iter_mut().enumerate() {
             for (a, &agent_idx) in self.trained.iter().enumerate() {
                 let action = actions[w * n + a];
-                let act = DiscreteAction::from_index(action)
-                    .ok_or(EnvError::InvalidAction { agent: agent_idx, action })?;
-                world.agents[agent_idx].action_force = act.direction();
+                let space = &self.action_spaces[a];
+                if !space.contains(action) {
+                    return Err(EnvError::InvalidAction { agent: agent_idx, action });
+                }
+                let segments = space.segments();
+                let mut rest = action;
+                let act = DiscreteAction::from_index(rest % segments[0])
+                    .expect("movement factor is the 5-way discrete set");
+                rest /= segments[0];
+                let agent = &mut world.agents[agent_idx];
+                agent.action_force = act.direction();
+                // Comm utterances land on the authoritative AoS worlds
+                // before the SoA gather; the batched physics never reads
+                // them, and observations read the AoS state post-scatter,
+                // so the vectorized comm path is bitwise-trivially equal
+                // to the scalar one.
+                if segments.len() > 1 {
+                    agent.comm.fill(0.0);
+                    let mut off = 0;
+                    for &s in &segments[1..] {
+                        agent.comm[off + rest % s] = 1.0;
+                        rest /= s;
+                        off += s;
+                    }
+                }
             }
         }
         for (w, world) in self.worlds.iter_mut().enumerate() {

@@ -83,23 +83,30 @@ pub fn softmax(logits: &Matrix) -> Matrix {
 
 /// Row-wise softmax applied in place (allocation-free).
 pub fn softmax_inplace(out: &mut Matrix) {
-    let cols = out.cols();
     for r in 0..out.rows() {
-        let row = out.row_mut(r);
-        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0;
+        softmax_slice_inplace(out.row_mut(r));
+    }
+}
+
+/// Softmax over one raw slice, in place. Rows and row segments (composite
+/// action spaces normalize each segment independently) share this exact
+/// arithmetic, so a single-segment space is bitwise identical to the
+/// whole-row path.
+pub fn softmax_slice_inplace(row: &mut [f32]) {
+    let cols = row.len();
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for x in row.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    if sum > 0.0 {
         for x in row.iter_mut() {
-            *x = (*x - max).exp();
-            sum += *x;
+            *x /= sum;
         }
-        if sum > 0.0 {
-            for x in row.iter_mut() {
-                *x /= sum;
-            }
-        } else {
-            for x in row.iter_mut() {
-                *x = 1.0 / cols as f32;
-            }
+    } else {
+        for x in row.iter_mut() {
+            *x = 1.0 / cols as f32;
         }
     }
 }
@@ -117,13 +124,16 @@ pub fn softmax_backward_into(grad_out: &Matrix, softmax_out: &Matrix, grad_in: &
     assert_eq!(grad_out.shape(), softmax_out.shape(), "softmax backward shape mismatch");
     grad_in.resize(grad_out.rows(), grad_out.cols());
     for r in 0..grad_out.rows() {
-        let g = grad_out.row(r);
-        let y = softmax_out.row(r);
-        let dot: f32 = g.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
-        let out = grad_in.row_mut(r);
-        for ((o, &gi), &yi) in out.iter_mut().zip(g.iter()).zip(y.iter()) {
-            *o = yi * (gi - dot);
-        }
+        softmax_backward_slice(grad_out.row(r), softmax_out.row(r), grad_in.row_mut(r));
+    }
+}
+
+/// [`softmax_backward_into`] over one raw slice (one row, or one segment
+/// of a composite action space).
+pub fn softmax_backward_slice(g: &[f32], y: &[f32], out: &mut [f32]) {
+    let dot: f32 = g.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
+    for ((o, &gi), &yi) in out.iter_mut().zip(g.iter()).zip(y.iter()) {
+        *o = yi * (gi - dot);
     }
 }
 

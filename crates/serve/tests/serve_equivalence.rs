@@ -132,6 +132,69 @@ fn concurrent_clients_get_bitwise_identical_answers() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// Communication scenarios give agents segmented heads (movement ⊕
+/// utterance) with per-agent logits widths — world-comm's leader speaks
+/// while the rest only move, so the served model is genuinely
+/// heterogeneous. Micro-batched answers for every agent must still be
+/// bit-identical to batch-of-one inference, and each agent's logits must
+/// come back at exactly its declared flat action width.
+#[test]
+fn comm_scenario_heads_serve_bitwise_across_heterogeneous_widths() {
+    let config = TrainConfig::paper_defaults(Algorithm::Maddpg, Task::WorldComm, 3).with_seed(29);
+    let env = Task::WorldComm.make_env(3, 25, 29);
+    let widths: Vec<usize> = env.action_spaces().iter().map(|s| s.flat_dim()).collect();
+    assert!(
+        widths.iter().any(|&w| w != widths[0]),
+        "world-comm must declare heterogeneous per-agent action widths, got {widths:?}"
+    );
+    let ckpt = Trainer::new(config).expect("trainer").checkpoint();
+    let model = PolicyModel::from_checkpoint(&ckpt, 0);
+    let path = sock_path("comm-heads");
+    let serve_config = ServeConfig {
+        max_batch: 8,
+        max_delay_us: 2_000,
+        queue_capacity: 64,
+        ..ServeConfig::default()
+    };
+    let server = start_server(&path, &ckpt, serve_config, None);
+
+    let mut conn = connect(&path);
+    let mut frame = Vec::new();
+    let mut logits = Vec::new();
+    for round in 0..10usize {
+        for (agent, &width) in widths.iter().enumerate() {
+            let obs = deterministic_obs(model.obs_dim(agent), round * 100 + agent);
+            let req_id = (round * model.num_agents() + agent) as u64;
+            proto::encode_request(
+                req_id,
+                agent as u32,
+                &obs,
+                marl_obs::context::TraceCtx::NONE,
+                &mut frame,
+            );
+            conn.send_raw(&frame).expect("send");
+            let kind = conn.recv_raw_into(&mut frame, Duration::from_secs(5)).expect("reply");
+            assert_eq!(kind, KIND_INFER_RESP);
+            let resp =
+                proto::decode_response_into(&frame[marl_dist::wire::HEADER_LEN..], &mut logits)
+                    .expect("decodes");
+            assert_eq!(resp.req_id, req_id);
+            assert_eq!(logits.len(), width, "agent {agent} logits width vs declared action space");
+            let (want_action, want_logits) = reference(&model, agent as u32, &obs);
+            assert_eq!(resp.action, want_action, "agent {agent} action");
+            assert_eq!(logits, want_logits, "agent {agent} logits must match bitwise");
+            assert!(
+                (resp.action as usize) < env.action_spaces()[agent].joint_count(),
+                "agent {agent} action {} within its joint space",
+                resp.action
+            );
+        }
+    }
+    server.shutdown();
+    server.wait();
+    let _ = std::fs::remove_file(&path);
+}
+
 #[test]
 fn invalid_requests_get_typed_error_frames() {
     let ckpt = tiny_checkpoint(3);

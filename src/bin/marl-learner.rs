@@ -3,7 +3,7 @@
 //! ```text
 //! marl-learner (--socket PATH | --tcp HOST:PORT | --lockstep)
 //!              [--workers N] [--worker-bin PATH] [--max-restarts K]
-//!              [--algo maddpg|matd3] [--task pp|cn|pd] [--agents N]
+//!              [--algo maddpg|matd3] [--scenario NAME] [--agents N]
 //!              [--sampler S] [--episodes E] [--batch B] [--capacity C]
 //!              [--seed S] [--kernel auto|scalar|simd]
 //!              [--steps-per-frame F] [--params-every U]
@@ -117,12 +117,17 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                     v => return Err(CliError(format!("unknown algorithm {v}"))),
                 }
             }
-            "--task" => {
-                task = match value("--task")?.as_str() {
-                    "pp" | "predator-prey" => Task::PredatorPrey,
-                    "cn" | "cooperative-navigation" => Task::CooperativeNavigation,
-                    "pd" | "physical-deception" => Task::PhysicalDeception,
-                    v => return Err(CliError(format!("unknown task {v}"))),
+            "--task" | "--scenario" => {
+                let v = value("--scenario")?;
+                task = match Task::from_name(v) {
+                    Some(id) => id,
+                    None => {
+                        let known: Vec<&str> = Task::all().iter().map(|s| s.label()).collect();
+                        return Err(CliError(format!(
+                            "unknown scenario {v} (registered: {})",
+                            known.join(", ")
+                        )));
+                    }
                 }
             }
             "--agents" => agents = parse_num(value("--agents")?)?,
@@ -204,7 +209,7 @@ fn usage() {
     eprintln!(
         "usage: marl-learner (--socket PATH | --tcp HOST:PORT | --lockstep)\n\
          \x20                   [--workers N] [--worker-bin PATH] [--max-restarts K]\n\
-         \x20                   [--algo maddpg|matd3] [--task pp|cn|pd] [--agents N]\n\
+         \x20                   [--algo maddpg|matd3] [--scenario NAME] [--agents N]\n\
          \x20                   [--sampler baseline|n16r64|n64r16|per|ip] [--episodes E]\n\
          \x20                   [--batch B] [--capacity C] [--seed S]\n\
          \x20                   [--kernel auto|scalar|simd] [--steps-per-frame F]\n\

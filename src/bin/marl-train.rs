@@ -1,7 +1,7 @@
 //! `marl-train` — command-line entry point for training runs.
 //!
 //! ```text
-//! marl-train [--algo maddpg|matd3] [--task pp|cn|pd] [--agents N]
+//! marl-train [--algo maddpg|matd3] [--scenario NAME] [--agents N]
 //!            [--sampler baseline|n16r64|n64r16|per|ip|per-reuse:W]
 //!            [--layout per-agent|interleaved] [--episodes E] [--batch B]
 //!            [--capacity C] [--threads T] [--update-threads U] [--seed S]
@@ -107,12 +107,17 @@ fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                     v => return Err(CliError(format!("unknown algorithm {v}"))),
                 }
             }
-            "--task" => {
-                task = match value("--task")?.as_str() {
-                    "pp" | "predator-prey" => Task::PredatorPrey,
-                    "cn" | "cooperative-navigation" => Task::CooperativeNavigation,
-                    "pd" | "physical-deception" => Task::PhysicalDeception,
-                    v => return Err(CliError(format!("unknown task {v}"))),
+            "--task" | "--scenario" => {
+                let v = value("--scenario")?;
+                task = match Task::from_name(v) {
+                    Some(id) => id,
+                    None => {
+                        let known: Vec<&str> = Task::all().iter().map(|s| s.label()).collect();
+                        return Err(CliError(format!(
+                            "unknown scenario {v} (registered: {})",
+                            known.join(", ")
+                        )));
+                    }
                 }
             }
             "--agents" => agents = parse_num(value("--agents")?)?,
@@ -197,7 +202,7 @@ fn parse_num(v: &str) -> Result<usize, CliError> {
 
 fn usage() {
     eprintln!(
-        "usage: marl-train [--algo maddpg|matd3] [--task pp|cn|pd] [--agents N]\n\
+        "usage: marl-train [--algo maddpg|matd3] [--scenario NAME] [--agents N]\n\
          \x20                 [--sampler baseline|n16r64|n64r16|nK|per|ip|per-reuse:W]\n\
          \x20                 [--layout per-agent|interleaved] [--episodes E] [--batch B]\n\
          \x20                 [--capacity C] [--threads T] [--update-threads U] [--seed S]\n\
@@ -206,6 +211,11 @@ fn usage() {
          \x20                 [--trace-out FILE] [--metrics-out FILE] [--metrics-every N]\n\
          \x20                 [--prometheus-out FILE] [--span-capacity N] [--hw-counters]\n\
          \n\
+         \x20 --scenario NAME      MPE scenario from the registry: predator-prey (pp),\n\
+         \x20                      cooperative-navigation (cn), physical-deception (pd),\n\
+         \x20                      keep-away (ka), cooperative-reference (cr),\n\
+         \x20                      world-comm (wc), or any registered plugin scenario;\n\
+         \x20                      --task is accepted as an alias flag\n\
          \x20 --threads T          worker threads for each mini-batch gather (default 1)\n\
          \x20 --update-threads U   worker threads for the per-agent critic/actor updates\n\
          \x20                      (default 1; results are identical for any value)\n\

@@ -59,3 +59,17 @@ pub fn golden_config(
     c.update_every = 10;
     c
 }
+
+/// The per-scenario golden configuration: the [`golden_config`] shape
+/// (3 agents, 4 × 25-step episodes, batch 32, seed 4242, scalar kernel,
+/// uniform sampling, per-agent layout) pointed at an arbitrary registered
+/// scenario, so every scenario's full training numerics — comm actions
+/// and heterogeneous heads included — pin to one committed trace per
+/// algorithm.
+pub fn scenario_golden_config(algorithm: Algorithm, task: Task) -> TrainConfig {
+    let mut c = seeded_config(algorithm, task, 3, SamplerConfig::Uniform, 4, 32, 1024, 4242)
+        .with_layout(LayoutMode::PerAgent)
+        .with_kernel(KernelChoice::Scalar);
+    c.update_every = 10;
+    c
+}

@@ -76,6 +76,60 @@ fn vectorized_k8_golden_trace_matches_committed_digest() {
     }
 }
 
+/// One golden per scenario × algorithm for the rest of the registered
+/// MPE suite (the 16-combo matrix above already covers predator-prey and
+/// the sampler/layout axes on it; cooperative-navigation is pinned by
+/// the end-to-end suites). Communication scenarios exercise segmented
+/// Gumbel heads and — for world-comm — heterogeneous per-agent action
+/// widths through the whole update pipeline, so these traces pin exactly
+/// the numerics the scalar matrix cannot reach.
+#[test]
+fn per_scenario_golden_traces_match_committed_digests() {
+    use marl_repro::algo::Task;
+    const SCENARIOS: [(Task, &str); 4] = [
+        (Task::PhysicalDeception, "physical_deception"),
+        (Task::KeepAway, "keep_away"),
+        (Task::CooperativeReference, "cooperative_reference"),
+        (Task::WorldComm, "world_comm"),
+    ];
+    let mut failures = Vec::new();
+    for (task, tag) in SCENARIOS {
+        for (algorithm, algo_tag) in ALGORITHMS {
+            let name = format!("{algo_tag}_{tag}");
+            let cfg = common::scenario_golden_config(algorithm, task);
+            let digests = golden::record_run(cfg).expect("training failed");
+            assert!(!digests.is_empty(), "{name}: run recorded no updates");
+            if let Err(report) =
+                golden::check_or_bless(&name, &golden::describe_config(&cfg), &digests)
+            {
+                failures.push(report);
+            }
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+/// The vectorized comm golden: K = 8 worlds of cooperative-reference,
+/// whose actions are movement ⊕ a 10-way utterance. This pins the SoA
+/// comm gather/scatter lanes, the batched segmented exploration path,
+/// and the per-world RNG streams together in one committed digest chain.
+#[test]
+fn vectorized_k8_comm_golden_trace_matches_committed_digest() {
+    use marl_repro::algo::Task;
+    let cfg = common::scenario_golden_config(Algorithm::Maddpg, Task::CooperativeReference)
+        .with_num_envs(8)
+        .with_episodes(8);
+    let digests = golden::record_run(cfg).expect("training failed");
+    assert!(!digests.is_empty(), "comm k8 run recorded no updates");
+    if let Err(report) = golden::check_or_bless(
+        "maddpg_cooperative_reference_k8",
+        &golden::describe_config(&cfg),
+        &digests,
+    ) {
+        panic!("{report}");
+    }
+}
+
 /// Recording twice under one configuration yields identical digest
 /// chains — the trace is a pure function of the config, so the committed
 /// goldens can only fail when behaviour actually changes.

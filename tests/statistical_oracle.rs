@@ -21,8 +21,122 @@ use marl_repro::core::sampler::{
     IpLocalityConfig, IpLocalitySampler, PerConfig, PerSampler, Sampler,
 };
 use marl_repro::core::sumtree::SumTree;
+use marl_repro::env::registry::ScenarioId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Per-scenario reset oracle: every registered scenario draws agent
+/// spawn positions uniformly (±1 per axis), so over many seeded resets
+/// each agent's sign quadrant is visited in equal proportion. A scenario
+/// that biased its spawn distribution — or consumed RNG draws in a
+/// different order per reset — would shift the quadrant mix and trip the
+/// chi-square gate.
+#[test]
+fn scenario_resets_spawn_agents_uniformly_across_quadrants() {
+    const RESETS: usize = 4000;
+    for id in ScenarioId::all() {
+        let scenario = id.build(3);
+        let mut world = scenario.make_world();
+        let mut rng = StdRng::seed_from_u64(0x0DDB1A5E);
+        let n = world.agents.len();
+        let mut observed = vec![0u64; 4 * n];
+        for _ in 0..RESETS {
+            scenario.reset_world(&mut world, &mut rng);
+            for (a, agent) in world.agents.iter().enumerate() {
+                let q = usize::from(agent.state.position.x >= 0.0)
+                    + 2 * usize::from(agent.state.position.y >= 0.0);
+                observed[a * 4 + q] += 1;
+            }
+        }
+        let expected = vec![RESETS as f64 / 4.0; 4 * n];
+        let chi2 = chi_square_statistic(&observed, &expected);
+        let crit = chi_square_critical(4 * n - n, Z_P999);
+        assert!(
+            chi2 < crit,
+            "{id}: spawn quadrants drifted from uniform: chi2={chi2:.1} critical={crit:.1}"
+        );
+    }
+}
+
+/// Cooperative-reference goal oracle: each agent's private goal landmark
+/// is drawn uniformly per episode, and the partner observes it as a
+/// one-hot block. Reading that block straight out of the observations
+/// over many resets must recover the uniform distribution over the L
+/// landmarks — pinning both the draw and the obs wire format at once.
+#[test]
+fn cooperative_reference_goals_are_uniform_in_partner_observations() {
+    const RESETS: usize = 3000;
+    let mut env = ScenarioId::CooperativeReference.make_env(2, 25, 0x0C0FFEE);
+    let landmarks = 3; // scaled(2) keeps max(n, 3) landmarks
+    let mut observed = vec![0u64; landmarks];
+    for _ in 0..RESETS {
+        let obs = env.reset();
+        // Agent 0 observes its partner's goal one-hot after [vel(2),
+        // landmark_rel(2L)].
+        let onehot = &obs[0][2 + 2 * landmarks..2 + 3 * landmarks];
+        let goal = onehot.iter().position(|&x| x == 1.0).expect("goal one-hot present");
+        assert_eq!(onehot.iter().sum::<f32>(), 1.0, "exactly one goal bit set");
+        observed[goal] += 1;
+    }
+    let expected = vec![RESETS as f64 / landmarks as f64; landmarks];
+    let chi2 = chi_square_statistic(&observed, &expected);
+    let crit = chi_square_critical(landmarks - 1, Z_P999);
+    assert!(chi2 < crit, "goal draw drifted from uniform: chi2={chi2:.1} critical={crit:.1}");
+}
+
+/// Per-scenario reward oracle: seeded random play lands each scenario's
+/// mean per-step reward in a band its reward function promises —
+/// distance-cost scenarios are strictly negative, and every scenario
+/// stays within loose magnitude bounds that a broken shaping term
+/// (wrong sign, unclamped boundary penalty) would escape. Seeds are
+/// pinned, so each statistic is a pure function of the scenario code.
+#[test]
+fn scenario_reward_means_sit_in_promised_bands() {
+    const EPISODES: usize = 20;
+    for id in ScenarioId::all() {
+        let mut env = id.make_env(3, 25, 0xBEEF);
+        let mut rng = StdRng::seed_from_u64(0xFACE);
+        let n = env.trained_agents();
+        let (mut sum, mut steps) = (vec![0.0f64; n], 0u64);
+        for _ in 0..EPISODES {
+            env.reset();
+            loop {
+                let actions: Vec<usize> =
+                    env.action_spaces().iter().map(|s| rng.gen_range(0..s.joint_count())).collect();
+                let step = env.step(&actions).expect("step");
+                for (s, r) in sum.iter_mut().zip(&step.rewards) {
+                    *s += f64::from(*r);
+                }
+                steps += 1;
+                if step.done {
+                    break;
+                }
+            }
+        }
+        let means: Vec<f64> = sum.iter().map(|s| s / steps as f64).collect();
+        for (a, m) in means.iter().enumerate() {
+            assert!(
+                m.abs() < 50.0,
+                "{id}: agent {a} mean per-step reward {m:.2} escaped the sanity band"
+            );
+        }
+        match id {
+            // Pure distance costs: shared or per-agent, always ≤ 0.
+            ScenarioId::CooperativeNavigation | ScenarioId::CooperativeReference => {
+                for (a, m) in means.iter().enumerate() {
+                    assert!(*m < 0.0, "{id}: agent {a} distance cost must be negative ({m:.2})");
+                }
+            }
+            // Keep-away's good agents pay −dist(goal); under random play
+            // they sit clearly below zero.
+            ScenarioId::KeepAway => {
+                let good = means.last().expect("good agent present");
+                assert!(*good < 0.0, "keep-away good agent must pay distance cost ({good:.2})");
+            }
+            _ => {}
+        }
+    }
+}
 
 /// Raw sum-tree proportionality: `find_prefix` over uniformly drawn
 /// prefixes visits each leaf in proportion to its priority.
